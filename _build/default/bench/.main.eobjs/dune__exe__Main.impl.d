@@ -1,0 +1,1 @@
+bench/main.ml: Ampl Analyze Array Bechamel Benchmark Fmt Hashtbl Instance Ixp Lazy List Lp Measure Nova Regalloc Staged Sys Test Time Toolkit Workbench Workloads

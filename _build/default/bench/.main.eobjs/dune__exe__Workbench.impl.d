@@ -1,0 +1,1 @@
+bench/workbench.ml: Cps Hashtbl Ixp Printf Regalloc Workloads

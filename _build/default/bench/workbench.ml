@@ -1,0 +1,142 @@
+(* Shared benchmark plumbing: compile each paper workload once, cache the
+   result, and provide simulator harnesses for the throughput runs. *)
+
+type workload = {
+  name : string;
+  source : string;
+  (* paper Figure 5 row: lines, layouts, pack, unpack, raise, handle *)
+  paper_fig5 : (int * int * string * string * string * string) option;
+  (* paper Figure 6 row: DefL, DefLD, total, UseS, UseSD, total *)
+  paper_fig6 : (int * int * int * int * int * int) option;
+  (* paper Figure 7 row: root s, integer s, vars k, rows k, obj k, moves, spills *)
+  paper_fig7 : (float * float * int * int * int * int * int) option;
+  init_sim : Ixp.Simulator.t -> payload_len:int -> unit;
+  init_interp : Cps.Interp.state -> payload_len:int -> unit;
+}
+
+let poke_scratch mem w v = Ixp.Memory.poke mem Ixp.Insn.Scratch w v
+
+let aes =
+  {
+    name = "AES";
+    source = Workloads.Aes.source;
+    paper_fig5 = Some (541, 588, "7/8", "5", "3", "1");
+    paper_fig6 = Some (68, 16, 84, 4, 10, 14);
+    paper_fig7 = Some (30.4, 35.9, 108, 102, 37, 25, 0);
+    init_sim =
+      (fun sim ~payload_len ->
+        let mem = Ixp.Simulator.shared_memory sim in
+        Workloads.Aes.init_tables (fun w v -> Ixp.Memory.poke mem Ixp.Insn.Sram w v);
+        let sdram = Ixp.Simulator.sdram_of_thread sim ~thread:0 in
+        ignore
+          (Workloads.Aes.init_payload
+             (fun w v -> Ixp.Memory.poke sdram Ixp.Insn.Sdram w v)
+             ~payload_len));
+    init_interp =
+      (fun st ~payload_len ->
+        let mem = Cps.Interp.memory st in
+        Workloads.Aes.init_tables (fun w v -> Ixp.Memory.poke mem Ixp.Insn.Sram w v);
+        ignore
+          (Workloads.Aes.init_payload
+             (fun w v -> Ixp.Memory.poke mem Ixp.Insn.Sdram w v)
+             ~payload_len));
+  }
+
+let kasumi =
+  {
+    name = "Kasumi";
+    source = Workloads.Kasumi.source;
+    paper_fig5 = Some (587, 538, "7/7", "4", "2", "2");
+    paper_fig6 = Some (44, 14, 58, 4, 14, 18);
+    paper_fig7 = Some (48.2, 59.2, 138, 131, 50, 20, 0);
+    init_sim =
+      (fun sim ~payload_len ->
+        let mem = Ixp.Simulator.shared_memory sim in
+        Workloads.Kasumi.init_tables
+          ~load_sram:(fun w v -> Ixp.Memory.poke mem Ixp.Insn.Sram w v)
+          ~load_scratch:(fun w v -> poke_scratch mem w v);
+        let sdram = Ixp.Simulator.sdram_of_thread sim ~thread:0 in
+        ignore
+          (Workloads.Kasumi.init_payload
+             (fun w v -> Ixp.Memory.poke sdram Ixp.Insn.Sdram w v)
+             ~payload_len));
+    init_interp =
+      (fun st ~payload_len ->
+        let mem = Cps.Interp.memory st in
+        Workloads.Kasumi.init_tables
+          ~load_sram:(fun w v -> Ixp.Memory.poke mem Ixp.Insn.Sram w v)
+          ~load_scratch:(fun w v -> poke_scratch mem w v);
+        ignore
+          (Workloads.Kasumi.init_payload
+             (fun w v -> Ixp.Memory.poke mem Ixp.Insn.Sdram w v)
+             ~payload_len));
+  }
+
+let nat =
+  {
+    name = "NAT";
+    source = Workloads.Nat.source;
+    paper_fig5 = Some (839, 740, "-", "-", "-", "-");
+    paper_fig6 = Some (43, 22, 65, 8, 60, 64);
+    paper_fig7 = Some (69.2, 155.6, 208, 203, 72, 60, 0);
+    init_sim =
+      (fun sim ~payload_len ->
+        let mem = Ixp.Simulator.shared_memory sim in
+        Workloads.Nat.init_tables (fun w v -> Ixp.Memory.poke mem Ixp.Insn.Sram w v);
+        let sdram = Ixp.Simulator.sdram_of_thread sim ~thread:0 in
+        ignore
+          (Workloads.Nat.init_payload
+             (fun w v -> Ixp.Memory.poke sdram Ixp.Insn.Sdram w v)
+             ~payload_len));
+    init_interp =
+      (fun st ~payload_len ->
+        let mem = Cps.Interp.memory st in
+        Workloads.Nat.init_tables (fun w v -> Ixp.Memory.poke mem Ixp.Insn.Sram w v);
+        ignore
+          (Workloads.Nat.init_payload
+             (fun w v -> Ixp.Memory.poke mem Ixp.Insn.Sdram w v)
+             ~payload_len));
+  }
+
+let all = [ aes; kasumi; nat ]
+
+(* Compilation cache: each workload is compiled at most once per mode. *)
+let cache : (string, Regalloc.Driver.compiled) Hashtbl.t = Hashtbl.create 8
+
+let compile ?(allocator = Regalloc.Driver.Ilp_allocator)
+    ?(objective = Regalloc.Ilp.Minimize_moves) (w : workload) =
+  let key =
+    Printf.sprintf "%s/%s/%s" w.name
+      (match allocator with
+      | Regalloc.Driver.Ilp_allocator -> "ilp"
+      | Regalloc.Driver.Baseline_allocator -> "base")
+      (match objective with
+      | Regalloc.Ilp.Minimize_moves -> "moves"
+      | Regalloc.Ilp.Spill_feasibility -> "spill")
+  in
+  match Hashtbl.find_opt cache key with
+  | Some c -> c
+  | None ->
+      let options =
+        {
+          Regalloc.Driver.default_options with
+          allocator;
+          objective;
+          time_limit = 900.;
+        }
+      in
+      let c =
+        Regalloc.Driver.compile ~options ~file:(w.name ^ ".nova") w.source
+      in
+      Hashtbl.replace cache key c;
+      c
+
+let front_cache : (string, Regalloc.Driver.front) Hashtbl.t = Hashtbl.create 8
+
+let front (w : workload) =
+  match Hashtbl.find_opt front_cache w.name with
+  | Some f -> f
+  | None ->
+      let f = Regalloc.Driver.front_end ~file:(w.name ^ ".nova") w.source in
+      Hashtbl.replace front_cache w.name f;
+      f

@@ -1,0 +1,1 @@
+bin/novac.ml: Ampl Arg Cmd Cmdliner Cps Fmt Fun Ixp Lp Nova Regalloc Support Term

@@ -1,0 +1,1 @@
+bin/novarun.ml: Arg Cmd Cmdliner Cps Fmt Format Fun Ixp List Regalloc String Support Term

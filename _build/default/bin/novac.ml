@@ -1,0 +1,157 @@
+(* novac: the Nova compiler command-line driver.
+
+     novac compile FILE [--allocator ilp|baseline] [--dump PHASE] ...
+     novac stats FILE
+     novac model FILE [-o out.lp]
+
+   See README.md for the language reference. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let entry_args_conv =
+  Arg.list ~sep:',' Arg.int
+
+let handle_errors f =
+  try f () with
+  | Support.Diag.Compile_error d ->
+      Fmt.epr "%a@." Support.Diag.pp d;
+      exit 1
+  | Regalloc.Driver.Allocation_failed msg ->
+      Fmt.epr "allocation failed: %s@." msg;
+      exit 2
+
+(* ---------------- compile ---------------- *)
+
+let compile_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Nova source file")
+  in
+  let allocator =
+    Arg.(
+      value
+      & opt (enum [ ("ilp", `Ilp); ("baseline", `Baseline) ]) `Ilp
+      & info [ "allocator"; "a" ] ~doc:"Register allocator: ilp or baseline")
+  in
+  let dump =
+    Arg.(
+      value
+      & opt
+          (some
+             (enum
+                [ ("cps", `Cps); ("virtual", `Virtual); ("asm", `Asm); ("stats", `Stats) ]))
+          (Some `Asm)
+      & info [ "dump"; "d" ] ~doc:"What to print: cps, virtual, asm or stats")
+  in
+  let entry_args =
+    Arg.(
+      value & opt entry_args_conv []
+      & info [ "args" ] ~doc:"Comma-separated integer arguments for main")
+  in
+  let time_limit =
+    Arg.(value & opt float 300. & info [ "time-limit" ] ~doc:"MIP time limit (s)")
+  in
+  let run file allocator dump entry_args time_limit =
+    handle_errors (fun () ->
+        let source = read_file file in
+        let options =
+          {
+            Regalloc.Driver.default_options with
+            allocator =
+              (match allocator with
+              | `Ilp -> Regalloc.Driver.Ilp_allocator
+              | `Baseline -> Regalloc.Driver.Baseline_allocator);
+            entry_args;
+            time_limit;
+          }
+        in
+        let compiled = Regalloc.Driver.compile ~options ~file source in
+        let stats = compiled.Regalloc.Driver.stats in
+        (match dump with
+        | Some `Cps ->
+            print_endline (Cps.Ir.to_string compiled.Regalloc.Driver.cps_term)
+        | Some `Virtual ->
+            print_endline
+              (Ixp.Flowgraph.to_string Support.Ident.pp
+                 compiled.Regalloc.Driver.virtual_graph)
+        | Some `Asm ->
+            print_endline
+              (Ixp.Asm.program_to_string compiled.Regalloc.Driver.physical)
+        | Some `Stats | None -> ());
+        Fmt.epr "; %d virtual insns; %d moves, %d spills@."
+          stats.Regalloc.Driver.virtual_insns
+          stats.Regalloc.Driver.moves_inserted
+          stats.Regalloc.Driver.spills_inserted;
+        match stats.Regalloc.Driver.mip with
+        | Some m ->
+            Fmt.epr "; ILP %dx%d -> %dx%d, root %.2fs, total %.2fs, %d nodes@."
+              m.Lp.Mip.vars_before m.Lp.Mip.rows_before m.Lp.Mip.vars_after
+              m.Lp.Mip.rows_after m.Lp.Mip.root_time m.Lp.Mip.total_time
+              m.Lp.Mip.nodes
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a Nova program to IXP assembly")
+    Term.(const run $ file $ allocator $ dump $ entry_args $ time_limit)
+
+(* ---------------- stats ---------------- *)
+
+let stats_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Nova source file")
+  in
+  let run file =
+    handle_errors (fun () ->
+        let source = read_file file in
+        let prog = Nova.Parser.parse_string ~file source in
+        let s = Nova.Stats.of_program ~source prog in
+        Fmt.pr "%a@." Nova.Stats.pp s)
+  in
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Static program statistics (paper Figure 5)")
+    Term.(const run $ file)
+
+(* ---------------- model ---------------- *)
+
+let model_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Nova source file")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o" ] ~doc:"Write CPLEX LP format to this file")
+  in
+  let spill =
+    Arg.(value & flag & info [ "spill" ] ~doc:"Include the scratch-memory spill machinery")
+  in
+  let run file out spill =
+    handle_errors (fun () ->
+        let source = read_file file in
+        let front = Regalloc.Driver.front_end ~file source in
+        let mg = Regalloc.Modelgen.build ~allow_spill:spill front.Regalloc.Driver.f_graph in
+        let ilp = Regalloc.Ilp.build mg in
+        let p = ilp.Regalloc.Ilp.instance.Ampl.Model.problem in
+        let st = Lp.Problem.stats p in
+        Fmt.pr "model: %d variables, %d constraints, %d nonzeros, %d objective terms@."
+          st.Lp.Problem.n_vars st.Lp.Problem.n_rows st.Lp.Problem.n_nonzeros
+          st.Lp.Problem.n_obj_terms;
+        Fmt.pr "%a" Ampl.Model.pp_summary ilp.Regalloc.Ilp.model;
+        match out with
+        | Some path ->
+            Lp.Lp_format.write_file path p;
+            Fmt.pr "wrote %s@." path
+        | None -> ())
+  in
+  Cmd.v
+    (Cmd.info "model" ~doc:"Generate and describe the ILP model without solving")
+    Term.(const run $ file $ out $ spill)
+
+let () =
+  let doc = "compiler for the Nova network-processor language" in
+  exit
+    (Cmd.eval
+       (Cmd.group (Cmd.info "novac" ~doc) [ compile_cmd; stats_cmd; model_cmd ]))

@@ -1,0 +1,92 @@
+(* novarun: compile a Nova program and execute it on the simulated
+   IXP1200 micro-engine.
+
+     novarun FILE [--args 1,2] [--threads N] [--sram ADDR=V,...]
+             [--sdram ADDR=V,...] [--trace]
+
+   Prints the result words from the scratch result area, the cycle count,
+   and (optionally) a full instruction trace. *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* "addr=value" pairs, both accepting 0x prefixes *)
+let poke_conv =
+  let parse s =
+    match String.split_on_char '=' s with
+    | [ a; v ] -> (
+        try Ok (int_of_string a, int_of_string v)
+        with _ -> Error (`Msg ("bad poke: " ^ s)))
+    | _ -> Error (`Msg ("bad poke: " ^ s))
+  in
+  let print ppf (a, v) = Format.fprintf ppf "%d=%d" a v in
+  Arg.conv (parse, print)
+
+let run_cmd =
+  let file =
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Nova source file")
+  in
+  let entry_args =
+    Arg.(value & opt (list ~sep:',' int) [] & info [ "args" ] ~doc:"main() arguments")
+  in
+  let sram =
+    Arg.(value & opt (list ~sep:',' poke_conv) [] & info [ "sram" ] ~doc:"SRAM byte-addr=value pokes")
+  in
+  let sdram =
+    Arg.(value & opt (list ~sep:',' poke_conv) [] & info [ "sdram" ] ~doc:"SDRAM byte-addr=value pokes")
+  in
+  let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Trace every instruction") in
+  let allocator =
+    Arg.(
+      value
+      & opt (enum [ ("ilp", `Ilp); ("baseline", `Baseline) ]) `Ilp
+      & info [ "allocator"; "a" ] ~doc:"Register allocator")
+  in
+  let run file entry_args sram sdram trace allocator =
+    try
+      let source = read_file file in
+      let options =
+        {
+          Regalloc.Driver.default_options with
+          entry_args;
+          allocator =
+            (match allocator with
+            | `Ilp -> Regalloc.Driver.Ilp_allocator
+            | `Baseline -> Regalloc.Driver.Baseline_allocator);
+        }
+      in
+      let compiled = Regalloc.Driver.compile ~options ~file source in
+      let sim =
+        Ixp.Simulator.create ~trace compiled.Regalloc.Driver.physical
+      in
+      let mem = Ixp.Simulator.shared_memory sim in
+      List.iter (fun (a, v) -> Ixp.Memory.write mem Ixp.Insn.Sram a [| v |]) sram;
+      let sd = Ixp.Simulator.sdram_of_thread sim ~thread:0 in
+      List.iter (fun (a, v) -> Ixp.Memory.write sd Ixp.Insn.Sdram a [| v; 0 |]) sdram;
+      let cycles = Ixp.Simulator.run_single sim in
+      let base = Cps.Isel.result_addr_bytes Ixp.Memory.default_config / 4 in
+      Fmt.pr "cycles: %d (%.2f us at 233 MHz)@." cycles
+        (float_of_int cycles /. 233.);
+      Fmt.pr "results:";
+      for i = 0 to 3 do
+        Fmt.pr " 0x%08X" (Ixp.Memory.peek mem Ixp.Insn.Scratch (base + i))
+      done;
+      Fmt.pr "@."
+    with
+    | Support.Diag.Compile_error d ->
+        Fmt.epr "%a@." Support.Diag.pp d;
+        exit 1
+    | Regalloc.Driver.Allocation_failed msg ->
+        Fmt.epr "allocation failed: %s@." msg;
+        exit 2
+  in
+  Cmd.v
+    (Cmd.info "novarun" ~doc:"Compile and simulate a Nova program")
+    Term.(const run $ file $ entry_args $ sram $ sdram $ trace $ allocator)
+
+let () = exit (Cmd.eval run_cmd)

@@ -1,0 +1,1 @@
+examples/aes_pipeline.ml: Array Fmt Ixp Lp Nova Regalloc Workloads

@@ -1,0 +1,1 @@
+examples/nat_gateway.ml: Array Fmt Ixp Nova Regalloc Workloads

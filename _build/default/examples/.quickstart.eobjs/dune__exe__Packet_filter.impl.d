@@ -1,0 +1,1 @@
+examples/packet_filter.ml: Array Fmt Ixp Regalloc

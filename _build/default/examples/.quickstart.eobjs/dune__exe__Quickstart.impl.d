@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Cps Fmt Ixp Lp Regalloc

@@ -1,0 +1,1 @@
+lib/ampl/dataset.ml: Array Fmt Int List Set String

@@ -1,0 +1,1 @@
+lib/ampl/model.ml: Array Dataset Diag Fmt Hashtbl List Lp Support

@@ -1,0 +1,223 @@
+(* AMPL-style modeling layer over the LP substrate.
+
+   The "model" half of the paper's AMPL setup (Figure 2): indexed families
+   of 0-1 variables (e.g.  [var Move {Exists, Banks, Banks} binary]),
+   linear expressions summed over datasets, and named constraint
+   templates.  Instantiation produces an [Lp.Problem.t]; solutions are
+   read back through the same symbolic names.
+
+   Referencing a family at an index outside its declared index set is an
+   error: this strictness catches model-generation bugs early, exactly the
+   discipline AMPL enforces. *)
+
+open Support
+
+type varref = { family : string; index : Dataset.tuple }
+
+let pp_varref ppf { family; index } =
+  Fmt.pf ppf "%s[%a]" family
+    Fmt.(list ~sep:(any ",") Dataset.pp_atom)
+    index
+
+(* Linear expressions: constant + weighted variable references. *)
+type linexpr = { const : float; terms : (float * varref) list }
+
+let zero = { const = 0.; terms = [] }
+let const c = { const = c; terms = [] }
+let v ?(coef = 1.0) family index = { const = 0.; terms = [ (coef, { family; index }) ] }
+
+let add a b = { const = a.const +. b.const; terms = a.terms @ b.terms }
+let sub a b =
+  {
+    const = a.const -. b.const;
+    terms = a.terms @ List.map (fun (c, r) -> (-.c, r)) b.terms;
+  }
+
+let scale k e =
+  { const = k *. e.const; terms = List.map (fun (c, r) -> (k *. c, r)) e.terms }
+
+let sum exprs = List.fold_left add zero exprs
+
+let sum_over ds f = Dataset.fold (fun tup acc -> add (f tup) acc) ds zero
+
+type family = {
+  fam_name : string;
+  index_set : Dataset.t;
+  binary : bool;
+  lo : float;
+  hi : float;
+  (* Problem variables are created lazily on first reference. *)
+  vars : (Dataset.tuple, int) Hashtbl.t;
+}
+
+type constr = { con_name : string; expr : linexpr; sense : Lp.Problem.sense; rhs : float }
+
+type t = {
+  mutable families : family list; (* newest first *)
+  fam_index : (string, family) Hashtbl.t;
+  mutable constraints : constr list; (* newest first *)
+  mutable objective : linexpr;
+  mutable n_constraints : int;
+}
+
+let create () =
+  {
+    families = [];
+    fam_index = Hashtbl.create 16;
+    constraints = [];
+    objective = zero;
+    n_constraints = 0;
+  }
+
+let declare_binary_family t name ~index =
+  if Hashtbl.mem t.fam_index name then
+    Diag.ice "Ampl: duplicate variable family %s" name;
+  let fam =
+    {
+      fam_name = name;
+      index_set = index;
+      binary = true;
+      lo = 0.;
+      hi = 1.;
+      vars = Hashtbl.create (max 16 (Dataset.size index));
+    }
+  in
+  t.families <- fam :: t.families;
+  Hashtbl.replace t.fam_index name fam
+
+let declare_continuous_family t name ~index ~lo ~hi =
+  if Hashtbl.mem t.fam_index name then
+    Diag.ice "Ampl: duplicate variable family %s" name;
+  let fam =
+    {
+      fam_name = name;
+      index_set = index;
+      binary = false;
+      lo;
+      hi;
+      vars = Hashtbl.create (max 16 (Dataset.size index));
+    }
+  in
+  t.families <- fam :: t.families;
+  Hashtbl.replace t.fam_index name fam
+
+let family_exists t name = Hashtbl.mem t.fam_index name
+
+let add_constraint t ~name expr sense rhs =
+  t.constraints <- { con_name = name; expr; sense; rhs } :: t.constraints;
+  t.n_constraints <- t.n_constraints + 1
+
+(* Convenience: e1 <= e2 etc., folding constants onto the rhs. *)
+let add_le t ~name e1 e2 =
+  let d = sub e1 e2 in
+  add_constraint t ~name { d with const = 0. } Lp.Problem.Le (-.d.const)
+
+let add_ge t ~name e1 e2 =
+  let d = sub e1 e2 in
+  add_constraint t ~name { d with const = 0. } Lp.Problem.Ge (-.d.const)
+
+let add_eq t ~name e1 e2 =
+  let d = sub e1 e2 in
+  add_constraint t ~name { d with const = 0. } Lp.Problem.Eq (-.d.const)
+
+let add_to_objective t expr = t.objective <- add t.objective expr
+
+(* ------------------------------------------------------------------ *)
+(* Instantiation                                                       *)
+(* ------------------------------------------------------------------ *)
+
+type instance = {
+  problem : Lp.Problem.t;
+  model : t;
+  lookup : (string * Dataset.tuple, int) Hashtbl.t;
+}
+
+let var_name_of_ref r =
+  Fmt.str "%s[%a]" r.family
+    Fmt.(list ~sep:(any ",") Dataset.pp_atom)
+    r.index
+
+let resolve t problem lookup r =
+  let fam =
+    match Hashtbl.find_opt t.fam_index r.family with
+    | Some f -> f
+    | None -> Diag.ice "Ampl: reference to undeclared family %s" r.family
+  in
+  if not (Dataset.mem fam.index_set r.index) then
+    Diag.ice "Ampl: %a is outside the index set of %s" pp_varref r r.family;
+  match Hashtbl.find_opt fam.vars r.index with
+  | Some v -> v
+  | None ->
+      let var =
+        if fam.binary then
+          Lp.Problem.add_binary problem (var_name_of_ref r)
+        else
+          Lp.Problem.add_var problem ~lo:fam.lo ~hi:fam.hi (var_name_of_ref r)
+      in
+      Hashtbl.replace fam.vars r.index var;
+      Hashtbl.replace lookup (r.family, r.index) var;
+      var
+
+let instantiate t =
+  let problem = Lp.Problem.create () in
+  let lookup = Hashtbl.create 1024 in
+  (* Objective first so objective variables get low indices. *)
+  List.iter
+    (fun (c, r) ->
+      let var = resolve t problem lookup r in
+      Lp.Problem.set_obj problem var
+        (c +. Lp.Problem.var_obj problem var))
+    t.objective.terms;
+  List.iter
+    (fun con ->
+      let terms =
+        List.map (fun (c, r) -> (resolve t problem lookup r, c)) con.expr.terms
+      in
+      Lp.Problem.add_row problem ~name:con.con_name con.sense
+        (con.rhs -. con.expr.const)
+        terms)
+    (List.rev t.constraints);
+  { problem; model = t; lookup }
+
+(* Read back the value of a family member from a solution vector.
+   Members that were never referenced by any constraint or objective have
+   no LP variable; they are reported as 0 (they were unconstrained and
+   cost nothing, so 0 is a valid completion for our 0-1 models). *)
+let value inst solution family index =
+  match Hashtbl.find_opt inst.lookup (family, index) with
+  | Some var -> solution.(var)
+  | None -> 0.
+
+let is_one inst solution family index =
+  value inst solution family index > 0.5
+
+(* Iterate over the members of a family that are 1 in the solution. *)
+let iter_ones inst solution family f =
+  match Hashtbl.find_opt inst.model.fam_index family with
+  | None -> Diag.ice "Ampl: iter_ones on undeclared family %s" family
+  | Some fam ->
+      Hashtbl.iter
+        (fun index var -> if solution.(var) > 0.5 then f index)
+        fam.vars
+
+type family_stats = { declared : int; instantiated : int }
+
+let stats t name =
+  match Hashtbl.find_opt t.fam_index name with
+  | None -> { declared = 0; instantiated = 0 }
+  | Some fam ->
+      {
+        declared = Dataset.size fam.index_set;
+        instantiated = Hashtbl.length fam.vars;
+      }
+
+(* AMPL .mod-style summary rendering for documentation and debugging. *)
+let pp_summary ppf t =
+  Fmt.pf ppf "model with %d families, %d constraints@."
+    (List.length t.families) t.n_constraints;
+  List.iter
+    (fun fam ->
+      Fmt.pf ppf "  var %s {%d tuples}%s;@." fam.fam_name
+        (Dataset.size fam.index_set)
+        (if fam.binary then " binary" else ""))
+    (List.rev t.families)

@@ -1,0 +1,1 @@
+lib/cps/cps.ml: Contract Convert Deproc Interp Ir Isel Ssu

@@ -1,0 +1,1 @@
+lib/cps/contract.ml: Array Diag Ident Ir Lazy List Nova Option Support

@@ -1,0 +1,1 @@
+lib/cps/convert.ml: Array Diag Fmt Hashtbl Ident Ir List Nova String Support

@@ -1,0 +1,1 @@
+lib/cps/deproc.ml: Contract Diag Ident Ir List Support

@@ -1,0 +1,1 @@
+lib/cps/interp.ml: Array Contract Fmt Ident Ir Ixp Lazy List Nova Support Vec

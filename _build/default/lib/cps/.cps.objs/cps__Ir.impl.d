@@ -1,0 +1,1 @@
+lib/cps/ir.ml: Array Fmt Ident List Nova Support

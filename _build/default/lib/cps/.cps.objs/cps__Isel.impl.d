@@ -1,0 +1,1 @@
+lib/cps/isel.ml: Array Fmt Hashtbl Ident Ir Ixp List Nova Option Support Vec

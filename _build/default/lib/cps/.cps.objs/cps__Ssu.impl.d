@@ -1,0 +1,1 @@
+lib/cps/ssu.ml: Array Ident Ir List Option Support

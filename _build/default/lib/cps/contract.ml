@@ -1,0 +1,503 @@
+(* The CPS optimizer (paper §4.4).
+
+   Implemented passes, iterated to a fixpoint:
+     - constant folding and algebraic identities;
+     - local value propagation (copies and constants);
+     - useless-variable elimination (pure bindings with dead results);
+     - dead-code elimination (unreachable branch arms, unused functions);
+     - trimming of memory reads (shrink aggregates whose edge words are
+       never used);
+     - contraction: inlining of functions called exactly once;
+     - eta reduction (f(xs) = g(xs) forwarders);
+     - invariant-argument and unused-parameter elimination, which is what
+       resolves return-continuation parameters after
+       de-proceduralization. *)
+
+open Support
+open Ir
+
+(* ------------------------------------------------------------------ *)
+(* Census                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type census = {
+  uses : int Ident.Tbl.t; (* occurrences as a value (escape or operand) *)
+  heads : int Ident.Tbl.t; (* occurrences as the head of an App *)
+}
+
+let bump tbl x = Ident.Tbl.replace tbl x (1 + Option.value ~default:0 (Ident.Tbl.find_opt tbl x))
+
+let census_of (t : term) : census =
+  let c = { uses = Ident.Tbl.create 256; heads = Ident.Tbl.create 64 } in
+  let value = function Var x -> bump c.uses x | Int _ -> () in
+  let values = List.iter value in
+  let varray = Array.iter value in
+  let rec go t =
+    match t with
+    | Prim (_, _, vs, k) ->
+        values vs;
+        go k
+    | MemRead (_, a, _, k) ->
+        value a;
+        go k
+    | MemWrite (_, a, vs, k) ->
+        value a;
+        varray vs;
+        go k
+    | Hash (_, v, k) ->
+        value v;
+        go k
+    | BitTestSet (_, a, v, k) ->
+        value a;
+        value v;
+        go k
+    | CsrRead (_, _, k) -> go k
+    | CsrWrite (_, v, k) ->
+        value v;
+        go k
+    | RfifoRead (a, _, k) ->
+        value a;
+        go k
+    | TfifoWrite (a, vs, k) ->
+        value a;
+        varray vs;
+        go k
+    | CtxArb k -> go k
+    | Clone (_, src, k) ->
+        bump c.uses src;
+        go k
+    | Branch (_, a, b, t1, t2) ->
+        value a;
+        value b;
+        go t1;
+        go t2
+    | App (f, vs) ->
+        (match f with Var x -> bump c.heads x | Int _ -> ());
+        values vs
+    | Halt vs -> values vs
+    | Fix (defs, k) ->
+        List.iter (fun d -> go d.body) defs;
+        go k
+  in
+  go t;
+  c
+
+let use_count c x = Option.value ~default:0 (Ident.Tbl.find_opt c.uses x)
+let head_count c x = Option.value ~default:0 (Ident.Tbl.find_opt c.heads x)
+let total_count c x = use_count c x + head_count c x
+
+(* ------------------------------------------------------------------ *)
+(* One contraction round                                               *)
+(* ------------------------------------------------------------------ *)
+
+type round_state = {
+  c : census;
+  subst : value Ident.Tbl.t;
+  (* defs selected for inline-once, by name: the (unrewritten) def *)
+  inline : fundef Ident.Tbl.t;
+  (* per-fundef parameter surgery precomputed in the analysis phase:
+     name -> sorted arg indices to drop *)
+  dropped : int list Ident.Tbl.t;
+  mutable changed : bool;
+}
+
+let word_mask = 0xFFFFFFFF
+
+let fold_prim p args =
+  match (p, args) with
+  | Add, [ Int a; Int b ] -> Some (Int ((a + b) land word_mask))
+  | Sub, [ Int a; Int b ] -> Some (Int ((a - b) land word_mask))
+  | Mul, [ Int a; Int b ] -> Some (Int (a * b land word_mask))
+  | And, [ Int a; Int b ] -> Some (Int (a land b))
+  | Or, [ Int a; Int b ] -> Some (Int (a lor b))
+  | Xor, [ Int a; Int b ] -> Some (Int (a lxor b))
+  | Shl, [ Int a; Int b ] ->
+      Some (Int (if b land 31 = 0 && b <> 0 then 0 else (a lsl (b land 31)) land word_mask))
+  | Shr, [ Int a; Int b ] ->
+      Some (Int (if b >= 32 then 0 else (a land word_mask) lsr (b land 31)))
+  | Asr, [ Int a; Int b ] ->
+      let sa = if a land 0x80000000 <> 0 then a - 0x100000000 else a in
+      Some (Int (sa asr min 31 (b land 255) land word_mask))
+  | Not, [ Int a ] -> Some (Int (lnot a land word_mask))
+  | Neg, [ Int a ] -> Some (Int (-a land word_mask))
+  | Mov, [ v ] -> Some v
+  (* algebraic identities *)
+  | (Add | Or | Xor), [ v; Int 0 ] | (Add | Or | Xor), [ Int 0; v ] -> Some v
+  | Sub, [ v; Int 0 ] -> Some v
+  | (Shl | Shr | Asr), [ v; Int 0 ] -> Some v
+  | Mul, [ v; Int 1 ] | Mul, [ Int 1; v ] -> Some v
+  | Mul, [ _; Int 0 ] | Mul, [ Int 0; _ ] -> Some (Int 0)
+  | And, [ _; Int 0 ] | And, [ Int 0; _ ] -> Some (Int 0)
+  | And, [ v; Int m ] when m land word_mask = word_mask -> Some v
+  | _ -> None
+
+let eval_cmp cmp a b =
+  let signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v in
+  match cmp with
+  | Eq -> a = b
+  | Ne -> a <> b
+  | Lt -> signed a < signed b
+  | Le -> signed a <= signed b
+  | Gt -> signed a > signed b
+  | Ge -> signed a >= signed b
+  | Ult -> a land word_mask < b land word_mask
+  | Uge -> a land word_mask >= b land word_mask
+
+(* Is a term a pure binding whose results can be discarded? *)
+
+let rec resolve st v =
+  match v with
+  | Var x -> (
+      match Ident.Tbl.find_opt st.subst x with
+      | Some v' ->
+          let r = resolve st v' in
+          if r <> v' then Ident.Tbl.replace st.subst x r;
+          r
+      | None -> v)
+  | Int _ -> v
+
+let rec rewrite (st : round_state) (t : term) : term =
+  let rv = resolve st in
+  let rvs = List.map rv in
+  let rva = Array.map rv in
+  match t with
+  | Prim (x, p, vs, k) -> (
+      let vs = rvs vs in
+      if total_count st.c x = 0 then begin
+        st.changed <- true;
+        rewrite st k
+      end
+      else
+        match fold_prim p vs with
+        | Some v ->
+            st.changed <- true;
+            Ident.Tbl.replace st.subst x v;
+            rewrite st k
+        | None -> (
+            (* same-variable operand pairs: the IXP ALU cannot read one
+               bank twice, so rewrite the ones with algebraic identities
+               (isel copies the rest) *)
+            match (p, vs) with
+            | Add, [ Var a; Var b ] when Ident.equal a b ->
+                st.changed <- true;
+                Prim (x, Shl, [ Var a; Int 1 ], rewrite st k)
+            | (And | Or), [ Var a; Var b ] when Ident.equal a b ->
+                st.changed <- true;
+                Ident.Tbl.replace st.subst x (Var a);
+                rewrite st k
+            | (Xor | Sub), [ Var a; Var b ] when Ident.equal a b ->
+                st.changed <- true;
+                Ident.Tbl.replace st.subst x (Int 0);
+                rewrite st k
+            | _ -> Prim (x, p, vs, rewrite st k)))
+  | MemRead (sp, a, dsts, k) ->
+      let a = rv a in
+      let n = Array.length dsts in
+      let used i = total_count st.c dsts.(i) > 0 in
+      let all_unused = not (Array.exists (fun d -> total_count st.c d > 0) dsts) in
+      if all_unused then begin
+        st.changed <- true;
+        rewrite st k
+      end
+      else begin
+        (* trim unused leading/trailing destinations; SDRAM transfers
+           stay even-sized and even-aligned *)
+        let first = ref 0 and last = ref (n - 1) in
+        while not (used !first) do
+          incr first
+        done;
+        while not (used !last) do
+          decr last
+        done;
+        let step = match sp with Nova.Ast.Sdram -> 2 | _ -> 1 in
+        let round_up x = (x + step - 1) / step * step in
+        let emit first' count' =
+          if first' = 0 && count' = n then MemRead (sp, a, dsts, rewrite st k)
+          else begin
+            st.changed <- true;
+            let a' =
+              match a with
+              | Int base -> Int (base + (4 * first'))
+              | Var _ -> a
+            in
+            MemRead (sp, a', Array.sub dsts first' count', rewrite st k)
+          end
+        in
+        match a with
+        | Int _ ->
+            let first' = !first / step * step in
+            emit first' (round_up (!last - first' + 1))
+        | Var _ ->
+            (* dynamic address: only the tail can be trimmed *)
+            emit 0 (round_up (!last + 1))
+      end
+  | MemWrite (sp, a, vs, k) -> MemWrite (sp, rv a, rva vs, rewrite st k)
+  | Hash (x, v, k) ->
+      if total_count st.c x = 0 then begin
+        st.changed <- true;
+        rewrite st k
+      end
+      else Hash (x, rv v, rewrite st k)
+  | BitTestSet (x, a, v, k) ->
+      (* has a memory side effect: never deleted *)
+      BitTestSet (x, rv a, rv v, rewrite st k)
+  | CsrRead (x, csr, k) ->
+      if total_count st.c x = 0 then begin
+        st.changed <- true;
+        rewrite st k
+      end
+      else CsrRead (x, csr, rewrite st k)
+  | CsrWrite (csr, v, k) -> CsrWrite (csr, rv v, rewrite st k)
+  | RfifoRead (a, dsts, k) -> RfifoRead (rv a, dsts, rewrite st k)
+  | TfifoWrite (a, vs, k) -> TfifoWrite (rv a, rva vs, rewrite st k)
+  | CtxArb k -> CtxArb (rewrite st k)
+  | Clone (dsts, src, k) -> (
+      let live = Array.of_list (List.filter (fun d -> total_count st.c d > 0) (Array.to_list dsts)) in
+      match rv (Var src) with
+      | Int i ->
+          (* cloning a constant: each clone is just the constant *)
+          st.changed <- true;
+          Array.iter (fun d -> Ident.Tbl.replace st.subst d (Int i)) dsts;
+          rewrite st k
+      | Var src' ->
+          if Array.length live = 0 then begin
+            st.changed <- true;
+            rewrite st k
+          end
+          else if Array.length live < Array.length dsts then begin
+            st.changed <- true;
+            Clone (live, src', rewrite st k)
+          end
+          else Clone (dsts, src', rewrite st k))
+  | Branch (cmp, a, b, t1, t2) -> (
+      let a = rv a and b = rv b in
+      match (a, b) with
+      | Int ia, Int ib ->
+          st.changed <- true;
+          if eval_cmp cmp ia ib then rewrite st t1 else rewrite st t2
+      | _ when a = b && (cmp = Eq || cmp = Le || cmp = Ge || cmp = Uge) ->
+          st.changed <- true;
+          rewrite st t1
+      | _ when a = b && cmp = Ne ->
+          st.changed <- true;
+          rewrite st t2
+      | _ -> Branch (cmp, a, b, rewrite st t1, rewrite st t2))
+  | App (f, vs) -> (
+      let f = rv f and vs = rvs vs in
+      match f with
+      | Var fname when Ident.Tbl.mem st.inline fname ->
+          (* contract: inline the unique call *)
+          let def = Ident.Tbl.find st.inline fname in
+          st.changed <- true;
+          List.iter2
+            (fun p v -> Ident.Tbl.replace st.subst p v)
+            def.params vs;
+          rewrite st def.body
+      | Var fname -> (
+          match Ident.Tbl.find_opt st.dropped fname with
+          | Some drops ->
+              let vs =
+                List.filteri (fun i _ -> not (List.mem i drops)) vs
+              in
+              App (f, vs)
+          | None -> App (f, vs))
+      | Int _ -> Diag.ice "App head folded to a constant")
+  | Halt vs -> Halt (rvs vs)
+  | Fix (defs, k) ->
+      (* remove dead defs, register inline-once defs *)
+      let group_free =
+        lazy
+          (List.fold_left
+             (fun acc d -> Ident.Set.union acc (free_vars d.body))
+             Ident.Set.empty defs)
+      in
+      let keep =
+        List.filter
+          (fun d ->
+            let dead = total_count st.c d.name = 0 in
+            if dead then st.changed <- true;
+            not dead)
+          defs
+      in
+      let keep =
+        List.filter
+          (fun d ->
+            let inline_once =
+              head_count st.c d.name = 1
+              && use_count st.c d.name = 0
+              && not (Ident.Set.mem d.name (Lazy.force group_free))
+            in
+            if inline_once then begin
+              Ident.Tbl.replace st.inline d.name d;
+              st.changed <- true
+            end;
+            not inline_once)
+          keep
+      in
+      (* eta: f(ps) = g(ps) forwarders *)
+      let keep =
+        List.filter
+          (fun d ->
+            match d.body with
+            | App (Var g, args)
+              when (not (Ident.equal g d.name))
+                   && (not (List.exists (Ident.equal g) d.params))
+                   (* if g is being inlined-once, this body IS its unique
+                      call site: let the inline happen instead *)
+                   && (not (Ident.Tbl.mem st.inline g))
+                   && List.length args = List.length d.params
+                   && List.for_all2
+                        (fun p a -> match a with Var x -> Ident.equal x p | _ -> false)
+                        d.params args ->
+                st.changed <- true;
+                Ident.Tbl.replace st.subst d.name (Var g);
+                false
+            | _ -> true)
+          keep
+      in
+      let keep =
+        List.map
+          (fun d ->
+            (* drop parameters scheduled by the analysis phase *)
+            match Ident.Tbl.find_opt st.dropped d.name with
+            | Some drops ->
+                let params =
+                  List.filteri (fun i _ -> not (List.mem i drops)) d.params
+                in
+                { d with params; body = rewrite st d.body }
+            | None -> { d with body = rewrite st d.body })
+          keep
+      in
+      let k = rewrite st k in
+      if keep = [] then k else Fix (keep, k)
+
+(* ------------------------------------------------------------------ *)
+(* Parameter surgery analysis                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* For every fundef whose name never escapes (all occurrences are App
+   heads), find (a) unused parameters and (b) invariant arguments: every
+   call passes the same value, or the parameter itself (self-recursive
+   pass-through).  Scope safety: a variable invariant argument is only
+   substituted when it is in scope at the definition, which holds for the
+   terms our converter and deproc build (joins and loop headers are
+   introduced in the scope that calls them).  The interpreter-equivalence
+   tests guard this assumption. *)
+let analyze_params (t : term) (c : census) :
+    int list Ident.Tbl.t * value Ident.Tbl.t =
+  let calls : value list list Ident.Tbl.t = Ident.Tbl.create 64 in
+  let defs : fundef Ident.Tbl.t = Ident.Tbl.create 64 in
+  (* set of variables in scope at each definition site, for the scope
+     check on variable-valued invariant arguments *)
+  let def_scope : Ident.Set.t Ident.Tbl.t = Ident.Tbl.create 64 in
+  let rec go scope t =
+    match t with
+    | App (Var f, vs) ->
+        Ident.Tbl.replace calls f
+          (vs :: Option.value ~default:[] (Ident.Tbl.find_opt calls f))
+    | App _ | Halt _ -> ()
+    | Branch (_, _, _, a, b) ->
+        go scope a;
+        go scope b
+    | Fix (ds, k) ->
+        let scope' =
+          List.fold_left (fun s d -> Ident.Set.add d.name s) scope ds
+        in
+        List.iter
+          (fun d ->
+            Ident.Tbl.replace defs d.name d;
+            Ident.Tbl.replace def_scope d.name scope';
+            go
+              (List.fold_left (fun s p -> Ident.Set.add p s) scope' d.params)
+              d.body)
+          ds;
+        go scope' k
+    | Prim (x, _, _, k) | Hash (x, _, k) | BitTestSet (x, _, _, k)
+    | CsrRead (x, _, k) ->
+        go (Ident.Set.add x scope) k
+    | MemRead (_, _, dsts, k) | RfifoRead (_, dsts, k) | Clone (dsts, _, k) ->
+        go (Array.fold_left (fun s d -> Ident.Set.add d s) scope dsts) k
+    | MemWrite (_, _, _, k) | CsrWrite (_, _, k) | TfifoWrite (_, _, k)
+    | CtxArb k ->
+        go scope k
+  in
+  go Ident.Set.empty t;
+  let dropped = Ident.Tbl.create 16 in
+  let subst = Ident.Tbl.create 16 in
+  Ident.Tbl.iter
+    (fun name d ->
+      if use_count c name = 0 && head_count c name > 0 then begin
+        let body_census = census_of d.body in
+        let call_vectors =
+          Option.value ~default:[] (Ident.Tbl.find_opt calls name)
+        in
+        let ok_arity =
+          List.for_all
+            (fun vs -> List.length vs = List.length d.params)
+            call_vectors
+        in
+        if ok_arity && call_vectors <> [] then begin
+          let drops = ref [] in
+          List.iteri
+            (fun i p ->
+              let args_i = List.map (fun vs -> List.nth vs i) call_vectors in
+              if total_count body_census p = 0 then drops := i :: !drops
+              else begin
+                (* invariant argument: all non-self args identical *)
+                let non_self =
+                  List.filter
+                    (fun v -> match v with Var x -> not (Ident.equal x p) | Int _ -> true)
+                    args_i
+                in
+                let in_scope_at_def v =
+                  match v with
+                  | Int _ -> true
+                  | Var x -> (
+                      match Ident.Tbl.find_opt def_scope name with
+                      | Some scope -> Ident.Set.mem x scope
+                      | None -> false)
+                in
+                match non_self with
+                | v :: rest
+                  when List.for_all (fun v' -> v' = v) rest
+                       && in_scope_at_def v ->
+                    Ident.Tbl.replace subst p v;
+                    drops := i :: !drops
+                | _ -> ()
+              end)
+            d.params;
+          if !drops <> [] then
+            Ident.Tbl.replace dropped name (List.sort compare !drops)
+        end
+      end)
+    defs;
+  (dropped, subst)
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let round (t : term) : term * bool =
+  let c = census_of t in
+  let dropped, param_subst = analyze_params t c in
+  let st =
+    {
+      c;
+      subst = param_subst;
+      inline = Ident.Tbl.create 16;
+      dropped;
+      changed = Ident.Tbl.length dropped > 0 || Ident.Tbl.length param_subst > 0;
+    }
+  in
+  let t' = rewrite st t in
+  (t', st.changed)
+
+let simplify ?(max_rounds = 60) (t : term) : term =
+  let rec go t n =
+    if n = 0 then t
+    else begin
+      let t', changed = round t in
+      if changed then go t' (n - 1) else t'
+    end
+  in
+  go t max_rounds

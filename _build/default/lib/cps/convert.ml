@@ -1,0 +1,726 @@
+(* CPS conversion (paper §4.1-§4.2).
+
+   Key moves, all from the paper:
+     - records and tuples are flattened: every leaf field becomes its own
+       CPS variable, so the register allocator sees independent scalars;
+     - booleans are encoded as control flow where profitable: conditions
+       branch directly, and boolean *values* are materialized 0/1 words
+       only when stored;
+     - assignments to source-level mutable variables are eliminated (SSA
+       for temporaries): join points and loop headers become continuation
+       parameters;
+     - exceptions are continuations; an exception passed as an argument
+       is eta-wrapped at the call site so that the callee can invoke it
+       without knowing the caller's locals;
+     - [unpack] expands to shift/mask extractions for *every* leaf; the
+       optimizer's useless-variable elimination deletes the unused ones
+       (paper §4.4). *)
+
+open Support
+module T = Nova.Types
+module A = Nova.Ast
+module Ta = Nova.Tast
+
+type exn_binding =
+  | Exn_local of Ir.var * Ident.t list (* handler cont + mutables it takes *)
+  | Exn_param of Ir.var (* payload-only continuation *)
+
+type ctx = {
+  (* immutable flat bindings: variable -> flat values *)
+  env : Ir.value list Ident.Tbl.t;
+  (* current SSA value of each mutable variable *)
+  mut_vals : Ir.value Ident.Tbl.t;
+  (* in-scope mutables, outermost first *)
+  mutable muts : Ident.t list;
+  exns : exn_binding Ident.Tbl.t;
+  globals : (string, Ir.var) Hashtbl.t;
+}
+
+let lookup ctx id =
+  match Ident.Tbl.find_opt ctx.env id with
+  | Some vs -> vs
+  | None -> (
+      match Ident.Tbl.find_opt ctx.mut_vals id with
+      | Some v -> [ v ]
+      | None -> Diag.ice "CPS convert: unbound %a" Ident.pp id)
+
+(* Values of a captured list of mutables (a control construct's joins
+   pass exactly the mutables in scope at the construct, not any inner
+   [var]s declared inside its arms). *)
+let muts_vals ctx ms = List.map (fun m -> Ident.Tbl.find ctx.mut_vals m) ms
+
+let set_muts_list ctx ms vals =
+  List.iter2 (fun m v -> Ident.Tbl.replace ctx.mut_vals m v) ms vals
+
+(* Fresh parameter variables standing for the mutables at a join. *)
+let fresh_mut_params_list ms = List.map (fun m -> Ident.derive m ".phi") ms
+
+(* ------------------------------------------------------------------ *)
+(* Helpers                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let binop_prim : A.binop -> Ir.prim = function
+  | A.Add -> Ir.Add
+  | A.Sub -> Ir.Sub
+  | A.Mul -> Ir.Mul
+  | A.And -> Ir.And
+  | A.Or -> Ir.Or
+  | A.Xor -> Ir.Xor
+  | A.Shl -> Ir.Shl
+  | A.Shr -> Ir.Shr
+  | A.Asr -> Ir.Asr
+  | _ -> Diag.ice "binop_prim: not an arithmetic operator"
+
+let cmp_of_binop : A.binop -> Ir.cmp = function
+  | A.Eq -> Ir.Eq
+  | A.Ne -> Ir.Ne
+  | A.Lt -> Ir.Lt
+  | A.Le -> Ir.Le
+  | A.Gt -> Ir.Gt
+  | A.Ge -> Ir.Ge
+  | A.Ult -> Ir.Ult
+  | A.Uge -> Ir.Uge
+  | _ -> Diag.ice "cmp_of_binop: not a comparison"
+
+(* Record field offsets in the flattened representation. *)
+let record_field_slice fields fname =
+  let rec go off = function
+    | [] -> Diag.ice "record_field_slice: no field %s" fname
+    | (n, t) :: rest ->
+        let w = T.flat_width t in
+        if n = fname then (off, w) else go (off + w) rest
+  in
+  go 0 fields
+
+let tuple_slice ts i =
+  let rec go off j = function
+    | [] -> Diag.ice "tuple_slice: index out of range"
+    | t :: rest ->
+        let w = T.flat_width t in
+        if j = i then (off, w) else go (off + w) (j + 1) rest
+  in
+  go 0 0 ts
+
+let slice l off w = List.filteri (fun i _ -> i >= off && i < off + w) l
+
+(* ------------------------------------------------------------------ *)
+(* Conversion                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let rec convert (ctx : ctx) (e : Ta.texpr) (k : Ir.value list -> Ir.term) :
+    Ir.term =
+  match e.Ta.desc with
+  | Ta.Tint i -> k [ Ir.Int i ]
+  | Ta.Tbool b -> k [ Ir.Int (if b then 1 else 0) ]
+  | Ta.Tunit -> k []
+  | Ta.Tvar id -> k (lookup ctx id)
+  | Ta.Tfunval name -> k [ Ir.Var (Hashtbl.find ctx.globals name) ]
+  | Ta.Tbinop (op, a, b) -> (
+      match op with
+      | A.LAnd | A.LOr | A.Eq | A.Ne | A.Lt | A.Le | A.Gt | A.Ge | A.Ult
+      | A.Uge ->
+          (* boolean result: materialize through a join *)
+          materialize_bool ctx e k
+      | _ ->
+          convert ctx a (fun va ->
+              convert ctx b (fun vb ->
+                  let x = Ident.fresh "t" in
+                  Ir.Prim
+                    ( x,
+                      binop_prim op,
+                      [ List.hd va; List.hd vb ],
+                      k [ Ir.Var x ] ))))
+  | Ta.Tunop (op, a) -> (
+      match op with
+      | A.LNot -> materialize_bool ctx e k
+      | A.Not ->
+          convert ctx a (fun va ->
+              let x = Ident.fresh "t" in
+              Ir.Prim (x, Ir.Not, [ List.hd va ], k [ Ir.Var x ]))
+      | A.Neg ->
+          convert ctx a (fun va ->
+              let x = Ident.fresh "t" in
+              Ir.Prim (x, Ir.Neg, [ List.hd va ], k [ Ir.Var x ])))
+  | Ta.Ttuple es -> convert_list ctx es (fun vss -> k (List.concat vss))
+  | Ta.Trecord fs ->
+      convert_list ctx (List.map snd fs) (fun vss -> k (List.concat vss))
+  | Ta.Tselect (base, fname) -> (
+      match T.expand base.Ta.ty with
+      | T.Record fields ->
+          let off, w = record_field_slice fields fname in
+          convert ctx base (fun vs -> k (slice vs off w))
+      | t -> Diag.ice "Tselect on %s" (T.to_string t))
+  | Ta.Tproj (base, i) -> (
+      match T.expand base.Ta.ty with
+      | T.Tuple ts ->
+          let off, w = tuple_slice ts i in
+          convert ctx base (fun vs -> k (slice vs off w))
+      | t -> Diag.ice "Tproj on %s" (T.to_string t))
+  | Ta.Tif (c, t, f) -> convert_if ctx e c t f k
+  | Ta.Tcall (callee, args) ->
+      let fval =
+        match callee with
+        | Ta.Cglobal n -> Ir.Var (Hashtbl.find ctx.globals n)
+        | Ta.Clocal id -> List.hd (lookup ctx id)
+      in
+      convert_args ctx args (fun argvals ->
+          let width = T.flat_width e.Ta.ty in
+          let rk = Ident.fresh "ret" in
+          let results = List.init width (fun i -> Ident.fresh (Fmt.str "r%d" i)) in
+          Ir.Fix
+            ( [
+                {
+                  Ir.name = rk;
+                  params = results;
+                  kind = Ir.Cont;
+                  body = k (List.map (fun r -> Ir.Var r) results);
+                };
+              ],
+              Ir.App (fval, List.concat argvals @ [ Ir.Var rk ]) ))
+  | Ta.Tlet (id, rhs, body) ->
+      convert ctx rhs (fun vs ->
+          Ident.Tbl.replace ctx.env id vs;
+          convert ctx body k)
+  | Ta.Tlettuple (ids, rhs, body) ->
+      convert ctx rhs (fun vs ->
+          (* split flat values among the pattern variables *)
+          let tys =
+            match T.expand rhs.Ta.ty with
+            | T.Tuple ts -> ts
+            | T.Word -> [ T.Word ]
+            | t -> Diag.ice "lettuple on %s" (T.to_string t)
+          in
+          let rec assign ids tys vs =
+            match (ids, tys) with
+            | [], [] -> ()
+            | id :: ids', ty :: tys' ->
+                let w = T.flat_width ty in
+                Ident.Tbl.replace ctx.env id (slice vs 0 w);
+                assign ids' tys' (slice vs w (List.length vs - w))
+            | _ -> Diag.ice "lettuple arity mismatch"
+          in
+          assign ids tys vs;
+          convert ctx body k)
+  | Ta.Tvardecl (id, rhs, body) ->
+      convert ctx rhs (fun vs ->
+          Ident.Tbl.replace ctx.mut_vals id (List.hd vs);
+          ctx.muts <- ctx.muts @ [ id ];
+          let result = convert ctx body k in
+          ctx.muts <- List.filter (fun m -> not (Ident.equal m id)) ctx.muts;
+          Ident.Tbl.remove ctx.mut_vals id;
+          result)
+  | Ta.Tassign (id, rhs) ->
+      convert ctx rhs (fun vs ->
+          Ident.Tbl.replace ctx.mut_vals id (List.hd vs);
+          k [])
+  | Ta.Tseq (a, b) -> convert ctx a (fun _ -> convert ctx b k)
+  | Ta.Twhile (c, body) ->
+      let header = Ident.fresh "loop" in
+      let exit = Ident.fresh "endloop" in
+      let loop_muts = ctx.muts in
+      let hparams = fresh_mut_params_list loop_muts in
+      let eparams = fresh_mut_params_list loop_muts in
+      let entry_args = muts_vals ctx loop_muts in
+      set_muts_list ctx loop_muts (List.map (fun p -> Ir.Var p) hparams);
+      let hbody =
+        convert_branch ctx c
+          ~then_:(fun () ->
+            convert ctx body (fun _ ->
+                Ir.App (Ir.Var header, muts_vals ctx loop_muts)))
+          ~else_:(fun () -> Ir.App (Ir.Var exit, muts_vals ctx loop_muts))
+      in
+      set_muts_list ctx loop_muts (List.map (fun p -> Ir.Var p) eparams);
+      let ebody = k [] in
+      Ir.Fix
+        ( [
+            { Ir.name = header; params = hparams; kind = Ir.Cont; body = hbody };
+            { Ir.name = exit; params = eparams; kind = Ir.Cont; body = ebody };
+          ],
+          Ir.App (Ir.Var header, entry_args) )
+  | Ta.Tunpack (lay, packed) ->
+      convert ctx packed (fun words ->
+          let words = Array.of_list words in
+          let leaves = Nova.Layout.leaves lay in
+          (* extract every leaf; DCE deletes unused extractions *)
+          let rec extract acc = function
+            | [] -> k (List.rev acc)
+            | (leaf : Nova.Layout.leaf) :: rest ->
+                extract_leaf words leaf (fun v -> extract (v :: acc) rest)
+          in
+          extract [] leaves)
+  | Ta.Tpack (lay, pairs) ->
+      let nwords = Nova.Layout.word_size lay in
+      (* compute each output word as an OR of shifted leaf pieces *)
+      convert_list ctx (List.map snd pairs) (fun leaf_vals ->
+          let leaf_vals = List.map List.hd leaf_vals in
+          (* per word: list of (piece, value) *)
+          let per_word = Array.make nwords [] in
+          List.iteri
+            (fun i ((leaf : Nova.Layout.leaf), _) ->
+              let v = List.nth leaf_vals i in
+              List.iter
+                (fun (p : Nova.Layout.piece) ->
+                  per_word.(p.Nova.Layout.word) <-
+                    (p, v) :: per_word.(p.Nova.Layout.word))
+                (Nova.Layout.pieces ~offset:leaf.Nova.Layout.offset
+                   ~width:leaf.Nova.Layout.width))
+            pairs;
+          let rec build_words i acc =
+            if i >= nwords then k (List.rev acc)
+            else
+              build_word (List.rev per_word.(i)) (fun v ->
+                  build_words (i + 1) (v :: acc))
+          in
+          build_words 0 [])
+  | Ta.Tmemread (space, addr, n) ->
+      convert ctx addr (fun a ->
+          let dsts = Array.init n (fun i -> Ident.fresh (Fmt.str "m%d" i)) in
+          Ir.MemRead
+            ( space,
+              List.hd a,
+              dsts,
+              k (Array.to_list (Array.map (fun d -> Ir.Var d) dsts)) ))
+  | Ta.Tmemwrite (space, addr, v) ->
+      convert ctx addr (fun a ->
+          convert ctx v (fun vs ->
+              Ir.MemWrite (space, List.hd a, Array.of_list vs, k [])))
+  | Ta.Thash v ->
+      convert ctx v (fun vs ->
+          let x = Ident.fresh "h" in
+          Ir.Hash (x, List.hd vs, k [ Ir.Var x ]))
+  | Ta.Tbittestset (a, v) ->
+      convert ctx a (fun av ->
+          convert ctx v (fun vv ->
+              let x = Ident.fresh "bts" in
+              Ir.BitTestSet (x, List.hd av, List.hd vv, k [ Ir.Var x ])))
+  | Ta.Tcsrread name ->
+      let x = Ident.fresh "csr" in
+      Ir.CsrRead (x, name, k [ Ir.Var x ])
+  | Ta.Tcsrwrite (name, v) ->
+      convert ctx v (fun vs -> Ir.CsrWrite (name, List.hd vs, k []))
+  | Ta.Trfifo (addr, n) ->
+      convert ctx addr (fun a ->
+          let dsts = Array.init n (fun i -> Ident.fresh (Fmt.str "rf%d" i)) in
+          Ir.RfifoRead
+            ( List.hd a,
+              dsts,
+              k (Array.to_list (Array.map (fun d -> Ir.Var d) dsts)) ))
+  | Ta.Ttfifo (addr, v) ->
+      convert ctx addr (fun a ->
+          convert ctx v (fun vs ->
+              Ir.TfifoWrite (List.hd a, Array.of_list vs, k [])))
+  | Ta.Tctxarb -> Ir.CtxArb (k [])
+  | Ta.Traise (exn_id, args) -> (
+      convert_list ctx args (fun argvals ->
+          let payload = List.concat argvals in
+          match Ident.Tbl.find_opt ctx.exns exn_id with
+          | Some (Exn_local (h, muts)) ->
+              let mut_vals =
+                List.map (fun m -> Ident.Tbl.find ctx.mut_vals m) muts
+              in
+              Ir.App (Ir.Var h, payload @ mut_vals)
+          | Some (Exn_param h) -> Ir.App (Ir.Var h, payload)
+          | None -> (
+              (* exception bound as a plain value (function parameter) *)
+              match lookup ctx exn_id with
+              | [ Ir.Var h ] -> Ir.App (Ir.Var h, payload)
+              | _ -> Diag.ice "raise target %a not a continuation" Ident.pp exn_id)))
+  | Ta.Ttry (body, handlers) -> convert_try ctx e body handlers k
+
+(* Build one packed word from (piece, leaf value) contributions. *)
+and build_word (contribs : (Nova.Layout.piece * Ir.value) list)
+    (k : Ir.value -> Ir.term) : Ir.term =
+  match contribs with
+  | [] -> k (Ir.Int 0)
+  | _ ->
+      (* ((v >> shl) & mask) << shr, OR-ed together *)
+      let piece_value (p : Nova.Layout.piece) v k =
+        let masked after =
+          (* mask to the piece width unless the piece is a full word *)
+          if p.Nova.Layout.width >= 32 then k after
+          else
+            let m = Ident.fresh "pk" in
+            Ir.Prim
+              ( m,
+                Ir.And,
+                [ after; Ir.Int (Nova.Layout.mask_of_width p.Nova.Layout.width) ],
+                k (Ir.Var m) )
+        in
+        if p.Nova.Layout.shl = 0 then masked v
+        else
+          let s = Ident.fresh "pk" in
+          Ir.Prim (s, Ir.Shr, [ v; Ir.Int p.Nova.Layout.shl ], masked (Ir.Var s))
+      in
+      let shift_up (p : Nova.Layout.piece) v k =
+        if p.Nova.Layout.shr = 0 then k v
+        else
+          let s = Ident.fresh "pk" in
+          Ir.Prim (s, Ir.Shl, [ v; Ir.Int p.Nova.Layout.shr ], k (Ir.Var s))
+      in
+      let rec go acc = function
+        | [] -> k acc
+        | (p, v) :: rest ->
+            piece_value p v (fun masked ->
+                shift_up p masked (fun shifted ->
+                    match acc with
+                    | Ir.Int 0 -> go shifted rest
+                    | _ ->
+                        let o = Ident.fresh "pk" in
+                        Ir.Prim (o, Ir.Or, [ acc; shifted ], go (Ir.Var o) rest)))
+      in
+      go (Ir.Int 0) contribs
+
+(* Extract one leaf from packed words. *)
+and extract_leaf (words : Ir.value array) (leaf : Nova.Layout.leaf)
+    (k : Ir.value -> Ir.term) : Ir.term =
+  let pieces =
+    Nova.Layout.pieces ~offset:leaf.Nova.Layout.offset ~width:leaf.Nova.Layout.width
+  in
+  let rec go acc = function
+    | [] -> k acc
+    | (p : Nova.Layout.piece) :: rest ->
+        let w = words.(p.Nova.Layout.word) in
+        let after_shr k' =
+          if p.Nova.Layout.shr = 0 then k' w
+          else
+            let s = Ident.fresh (String.concat "." leaf.Nova.Layout.path) in
+            Ir.Prim (s, Ir.Shr, [ w; Ir.Int p.Nova.Layout.shr ], k' (Ir.Var s))
+        in
+        after_shr (fun shifted ->
+            let after_mask k' =
+              (* masking is unnecessary when the piece reaches the MSB *)
+              if p.Nova.Layout.shr + p.Nova.Layout.width >= 32 then k' shifted
+              else
+                let m = Ident.fresh (String.concat "." leaf.Nova.Layout.path) in
+                Ir.Prim
+                  ( m,
+                    Ir.And,
+                    [ shifted; Ir.Int (Nova.Layout.mask_of_width p.Nova.Layout.width) ],
+                    k' (Ir.Var m) )
+            in
+            after_mask (fun masked ->
+                let after_shl k' =
+                  if p.Nova.Layout.shl = 0 then k' masked
+                  else
+                    let s = Ident.fresh (String.concat "." leaf.Nova.Layout.path) in
+                    Ir.Prim
+                      (s, Ir.Shl, [ masked; Ir.Int p.Nova.Layout.shl ], k' (Ir.Var s))
+                in
+                after_shl (fun final ->
+                    match acc with
+                    | Ir.Int 0 -> go final rest
+                    | _ ->
+                        let o =
+                          Ident.fresh (String.concat "." leaf.Nova.Layout.path)
+                        in
+                        Ir.Prim (o, Ir.Or, [ acc; final ], go (Ir.Var o) rest))))
+  in
+  go (Ir.Int 0) pieces
+
+and convert_list ctx es k =
+  let rec go acc = function
+    | [] -> k (List.rev acc)
+    | e :: rest -> convert ctx e (fun vs -> go (vs :: acc) rest)
+  in
+  go [] es
+
+(* Arguments: exceptions passed as arguments get eta-wrapped so the
+   callee can raise them without knowing our mutable state. *)
+and convert_args ctx (args : Ta.texpr list) (k : Ir.value list list -> Ir.term)
+    : Ir.term =
+  let rec go acc = function
+    | [] -> k (List.rev acc)
+    | (a : Ta.texpr) :: rest -> (
+        match (a.Ta.desc, a.Ta.ty) with
+        | Ta.Tvar id, T.Exn payload -> (
+            match Ident.Tbl.find_opt ctx.exns id with
+            | Some (Exn_local (h, muts)) ->
+                (* wrapper closes over the current mutable values *)
+                let width = T.flat_width payload in
+                let wrapper = Ident.fresh "exnw" in
+                let params = List.init width (fun i -> Ident.fresh (Fmt.str "p%d" i)) in
+                let mut_vals =
+                  List.map (fun m -> Ident.Tbl.find ctx.mut_vals m) muts
+                in
+                Ir.Fix
+                  ( [
+                      {
+                        Ir.name = wrapper;
+                        params;
+                        kind = Ir.Cont;
+                        body =
+                          Ir.App
+                            ( Ir.Var h,
+                              List.map (fun p -> Ir.Var p) params @ mut_vals );
+                      };
+                    ],
+                    go ([ Ir.Var wrapper ] :: acc) rest )
+            | Some (Exn_param h) -> go ([ Ir.Var h ] :: acc) rest
+            | None -> convert ctx a (fun vs -> go (vs :: acc) rest))
+        | _ -> convert ctx a (fun vs -> go (vs :: acc) rest))
+  in
+  go [] args
+
+(* Convert a boolean expression into a branch on two thunks. *)
+and convert_branch ctx (c : Ta.texpr) ~(then_ : unit -> Ir.term)
+    ~(else_ : unit -> Ir.term) : Ir.term =
+  (* Both arm thunks must observe the mutable-variable state as it stands
+     right after the condition was evaluated; the state is snapshotted at
+     the branch point and restored before each arm runs. *)
+  let with_both_arms build =
+    let snapshot =
+      List.map (fun m -> (m, Ident.Tbl.find ctx.mut_vals m)) ctx.muts
+    in
+    let restore () =
+      List.iter (fun (m, v) -> Ident.Tbl.replace ctx.mut_vals m v) snapshot
+    in
+    restore ();
+    let tt = then_ () in
+    restore ();
+    let ff = else_ () in
+    build tt ff
+  in
+  match c.Ta.desc with
+  | Ta.Tbool true -> then_ ()
+  | Ta.Tbool false -> else_ ()
+  | Ta.Tunop (A.LNot, a) -> convert_branch ctx a ~then_:else_ ~else_:then_
+  | Ta.Tbinop (A.LAnd, a, b) ->
+      (* short-circuit: the else continuation is shared between the two
+         tests, so it takes the mutables as parameters (the two paths may
+         reach it with different states) *)
+      let ek = Ident.fresh "else" in
+      let scope_muts = ctx.muts in
+      let eparams = fresh_mut_params_list scope_muts in
+      let jump_else () = Ir.App (Ir.Var ek, muts_vals ctx scope_muts) in
+      let main =
+        convert_branch ctx a
+          ~then_:(fun () -> convert_branch ctx b ~then_ ~else_:jump_else)
+          ~else_:jump_else
+      in
+      set_muts_list ctx scope_muts (List.map (fun p -> Ir.Var p) eparams);
+      let ebody = else_ () in
+      Ir.Fix
+        ([ { Ir.name = ek; params = eparams; kind = Ir.Cont; body = ebody } ], main)
+  | Ta.Tbinop (A.LOr, a, b) ->
+      let tk = Ident.fresh "then" in
+      let scope_muts = ctx.muts in
+      let tparams = fresh_mut_params_list scope_muts in
+      let jump_then () = Ir.App (Ir.Var tk, muts_vals ctx scope_muts) in
+      let main =
+        convert_branch ctx a ~then_:jump_then
+          ~else_:(fun () -> convert_branch ctx b ~then_:jump_then ~else_)
+      in
+      set_muts_list ctx scope_muts (List.map (fun p -> Ir.Var p) tparams);
+      let tbody = then_ () in
+      Ir.Fix
+        ([ { Ir.name = tk; params = tparams; kind = Ir.Cont; body = tbody } ], main)
+  | Ta.Tbinop ((A.Eq | A.Ne | A.Lt | A.Le | A.Gt | A.Ge | A.Ult | A.Uge) as op, a, b) ->
+      convert ctx a (fun va ->
+          convert ctx b (fun vb ->
+              with_both_arms (fun tt ff ->
+                  Ir.Branch (cmp_of_binop op, List.hd va, List.hd vb, tt, ff))))
+  | _ ->
+      (* general boolean value: compare against 0 *)
+      convert ctx c (fun vs ->
+          with_both_arms (fun tt ff ->
+              Ir.Branch (Ir.Ne, List.hd vs, Ir.Int 0, tt, ff)))
+
+(* Materialize a boolean expression as a 0/1 word through a join. *)
+and materialize_bool ctx (e : Ta.texpr) (k : Ir.value list -> Ir.term) :
+    Ir.term =
+  let jk = Ident.fresh "bjoin" in
+  let res = Ident.fresh "b" in
+  let scope_muts = ctx.muts in
+  let mut_params = fresh_mut_params_list scope_muts in
+  let mk_arm v () = Ir.App (Ir.Var jk, v :: muts_vals ctx scope_muts) in
+  let branch =
+    convert_branch ctx e ~then_:(mk_arm (Ir.Int 1)) ~else_:(mk_arm (Ir.Int 0))
+  in
+  set_muts_list ctx scope_muts (List.map (fun p -> Ir.Var p) mut_params);
+  Ir.Fix
+    ( [
+        {
+          Ir.name = jk;
+          params = res :: mut_params;
+          kind = Ir.Cont;
+          body = k [ Ir.Var res ];
+        };
+      ],
+      branch )
+
+(* If expression with a value result. *)
+and convert_if ctx (e : Ta.texpr) c t f (k : Ir.value list -> Ir.term) :
+    Ir.term =
+  let width = T.flat_width e.Ta.ty in
+  let jk = Ident.fresh "join" in
+  let results = List.init width (fun i -> Ident.fresh (Fmt.str "v%d" i)) in
+  let scope_muts = ctx.muts in
+  let mut_params = fresh_mut_params_list scope_muts in
+  let arm branch_e () =
+    convert ctx branch_e (fun vs ->
+        (* diverging arms (raise) produce no values; pad for the join *)
+        let vs =
+          if List.length vs < width then
+            vs @ List.init (width - List.length vs) (fun _ -> Ir.Int 0)
+          else vs
+        in
+        Ir.App (Ir.Var jk, vs @ muts_vals ctx scope_muts))
+  in
+  let branch = convert_branch ctx c ~then_:(arm t) ~else_:(arm f) in
+  set_muts_list ctx scope_muts (List.map (fun p -> Ir.Var p) mut_params);
+  Ir.Fix
+    ( [
+        {
+          Ir.name = jk;
+          params = results @ mut_params;
+          kind = Ir.Cont;
+          body = k (List.map (fun r -> Ir.Var r) results);
+        };
+      ],
+      branch )
+
+and convert_try ctx (e : Ta.texpr) body handlers (k : Ir.value list -> Ir.term)
+    : Ir.term =
+  let width = T.flat_width e.Ta.ty in
+  let jk = Ident.fresh "tryjoin" in
+  let results = List.init width (fun i -> Ident.fresh (Fmt.str "v%d" i)) in
+  let scope_muts = ctx.muts in
+  let mut_params = fresh_mut_params_list scope_muts in
+  let muts0 = muts_vals ctx scope_muts in
+  let finish vs =
+    let vs =
+      if List.length vs < width then
+        vs @ List.init (width - List.length vs) (fun _ -> Ir.Int 0)
+      else vs
+    in
+    Ir.App (Ir.Var jk, vs @ muts_vals ctx scope_muts)
+  in
+  (* handler continuations: payload params + mutables at the try *)
+  let hdefs =
+    List.map
+      (fun (h : Ta.thandler) ->
+        let hname = Ident.derive h.Ta.h_exn ".hdl" in
+        (h, hname))
+      handlers
+  in
+  List.iter
+    (fun ((h : Ta.thandler), hname) ->
+      Ident.Tbl.replace ctx.exns h.Ta.h_exn (Exn_local (hname, ctx.muts)))
+    hdefs;
+  let body_term = convert ctx body finish in
+  let handler_defs =
+    List.map
+      (fun ((h : Ta.thandler), hname) ->
+        set_muts_list ctx scope_muts muts0;
+        let payload_params = List.map fst h.Ta.h_params in
+        let hmut_params = fresh_mut_params_list scope_muts in
+        List.iter
+          (fun (p, _) -> Ident.Tbl.replace ctx.env p [ Ir.Var p ])
+          h.Ta.h_params;
+        set_muts_list ctx scope_muts (List.map (fun p -> Ir.Var p) hmut_params);
+        let hbody = convert ctx h.Ta.h_body finish in
+        {
+          Ir.name = hname;
+          params = payload_params @ hmut_params;
+          kind = Ir.Cont;
+          body = hbody;
+        })
+      hdefs
+  in
+  List.iter
+    (fun ((h : Ta.thandler), _) -> Ident.Tbl.remove ctx.exns h.Ta.h_exn)
+    hdefs;
+  set_muts_list ctx scope_muts (List.map (fun p -> Ir.Var p) mut_params);
+  Ir.Fix
+    ( {
+        Ir.name = jk;
+        params = results @ mut_params;
+        kind = Ir.Cont;
+        body = k (List.map (fun r -> Ir.Var r) results);
+      }
+      :: handler_defs,
+      body_term )
+
+(* ------------------------------------------------------------------ *)
+(* Programs                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Convert a typed program into a single CPS term:
+   Fix [all functions] (App entry (entry_args, halt)). *)
+let convert_program ?(entry_args = []) (prog : Ta.tprogram) : Ir.term =
+  let globals = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Ta.tfun) ->
+      Hashtbl.replace globals f.Ta.f_name (Ident.fresh f.Ta.f_name))
+    prog.Ta.funs;
+  let fundefs =
+    List.map
+      (fun (f : Ta.tfun) ->
+        let ctx =
+          {
+            env = Ident.Tbl.create 64;
+            mut_vals = Ident.Tbl.create 16;
+            muts = [];
+            exns = Ident.Tbl.create 8;
+            globals;
+          }
+        in
+        (* flatten parameters *)
+        let flat_params =
+          List.concat_map
+            (fun (id, ty) ->
+              match ty with
+              | T.Exn _ ->
+                  Ident.Tbl.replace ctx.exns id (Exn_param id);
+                  Ident.Tbl.replace ctx.env id [ Ir.Var id ];
+                  [ id ]
+              | T.Fun _ ->
+                  Ident.Tbl.replace ctx.env id [ Ir.Var id ];
+                  [ id ]
+              | _ ->
+                  let w = T.flat_width ty in
+                  if w = 1 then begin
+                    Ident.Tbl.replace ctx.env id [ Ir.Var id ];
+                    [ id ]
+                  end
+                  else begin
+                    let parts =
+                      List.init w (fun i -> Ident.derive id (Fmt.str ".%d" i))
+                    in
+                    Ident.Tbl.replace ctx.env id
+                      (List.map (fun p -> Ir.Var p) parts);
+                    parts
+                  end)
+            f.Ta.f_params
+        in
+        let retk = Ident.fresh "k" in
+        let body = convert ctx f.Ta.f_body (fun vs -> Ir.App (Ir.Var retk, vs)) in
+        {
+          Ir.name = Hashtbl.find globals f.Ta.f_name;
+          params = flat_params @ [ retk ];
+          kind = Ir.Func;
+          body;
+        })
+      prog.Ta.funs
+  in
+  let halt = Ident.fresh "halt" in
+  let entry_fn = Hashtbl.find globals prog.Ta.entry in
+  (* a Cont that halts with whatever the entry returned *)
+  let entry_sig =
+    List.find (fun (f : Ta.tfun) -> f.Ta.f_name = prog.Ta.entry) prog.Ta.funs
+  in
+  let retwidth = T.flat_width entry_sig.Ta.f_ret in
+  let halt_params = List.init retwidth (fun i -> Ident.fresh (Fmt.str "out%d" i)) in
+  Ir.Fix
+    ( fundefs
+      @ [
+          {
+            Ir.name = halt;
+            params = halt_params;
+            kind = Ir.Cont;
+            body = Ir.Halt (List.map (fun p -> Ir.Var p) halt_params);
+          };
+        ],
+      Ir.App
+        ( Ir.Var entry_fn,
+          List.map (fun i -> Ir.Int i) entry_args @ [ Ir.Var halt ] ) )

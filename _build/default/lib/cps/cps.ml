@@ -1,0 +1,9 @@
+(* Library facade: the CPS intermediate representation and its passes. *)
+
+module Ir = Ir
+module Convert = Convert
+module Contract = Contract
+module Deproc = Deproc
+module Ssu = Ssu
+module Interp = Interp
+module Isel = Isel

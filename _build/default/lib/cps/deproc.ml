@@ -1,0 +1,155 @@
+(* De-proceduralization (paper §4.3): fully inline every procedure call
+   in non-tail position.
+
+   In CPS, a "procedure call" is an application of a [Func]-kind
+   definition.  Calls to non-recursive functions are inlined by copying
+   the body (alpha-renamed); a call to a function in a recursive group
+   instantiates a fresh copy of the whole group at the call site, so each
+   copy ends up with a single entry and invariant continuation argument,
+   which [Contract] then resolves.  Recursion inside a copy stays as tail
+   calls (the type checker guaranteed tail position), which instruction
+   selection turns into loops. *)
+
+open Support
+open Ir
+
+(* Map from function name to (its def, its recursion group).  The group
+   is the list of defs bound in the same Fix that are mutually reachable;
+   we approximate with: all defs of the Fix whose bodies reference each
+   other -- the cheap and safe choice is the whole Fix group filtered to
+   those reachable from the called function. *)
+
+let build_func_table (t : term) =
+  let tbl = Ident.Tbl.create 32 in
+  let rec go t =
+    match t with
+    | Fix (defs, k) ->
+        let funcs = List.filter (fun d -> d.kind = Func) defs in
+        List.iter (fun d -> Ident.Tbl.replace tbl d.name (d, funcs)) funcs;
+        List.iter (fun d -> go d.body) defs;
+        go k
+    | Branch (_, _, _, a, b) ->
+        go a;
+        go b
+    | Prim (_, _, _, k) | MemRead (_, _, _, k) | MemWrite (_, _, _, k)
+    | Hash (_, _, k) | BitTestSet (_, _, _, k) | CsrRead (_, _, k)
+    | CsrWrite (_, _, k) | RfifoRead (_, _, k) | TfifoWrite (_, _, k)
+    | CtxArb k | Clone (_, _, k) ->
+        go k
+    | App _ | Halt _ -> ()
+  in
+  go t;
+  tbl
+
+(* Does [d]'s recursion group actually reach [d] again?  (Self or mutual
+   recursion.) *)
+let is_recursive (d : fundef) (group : fundef list) =
+  let names = List.map (fun g -> g.name) group in
+  (* reachability from d over references to group names *)
+  let refs body =
+    let fv = free_vars body in
+    List.filter (fun n -> Ident.Set.mem n fv) names
+  in
+  let rec reach seen frontier =
+    match frontier with
+    | [] -> false
+    | n :: rest ->
+        if Ident.equal n d.name then true
+        else if List.exists (Ident.equal n) seen then reach seen rest
+        else begin
+          let dn = List.find (fun g -> Ident.equal g.name n) group in
+          reach (n :: seen) (refs dn.body @ rest)
+        end
+  in
+  reach [] (refs d.body)
+
+exception Expanded
+
+let max_expansion = 200_000 (* size guard against pathological growth *)
+
+(* One pass: find a call to a Func and expand it.  Returns None when no
+   Func call remains. *)
+let expand_one (t : term) : term option =
+  let funcs = build_func_table t in
+  let changed = ref false in
+  let rec go t =
+    if !changed then t
+    else
+      match t with
+      | App (Var f, args) -> (
+          match Ident.Tbl.find_opt funcs f with
+          | None -> t
+          | Some (d, group) ->
+              changed := true;
+              if not (is_recursive d group) then begin
+                (* simple beta: copy the body with params bound *)
+                let renamed = alpha_rename Ident.Map.empty (Fix ([ d ], App (Var d.name, args))) in
+                match renamed with
+                | Fix ([ d' ], App (Var _, args')) ->
+                    let subst =
+                      List.fold_left2
+                        (fun m p a -> Ident.Map.add p a m)
+                        Ident.Map.empty d'.params args'
+                    in
+                    substitute subst d'.body
+                | _ -> Diag.ice "deproc: unexpected rename shape"
+              end
+              else begin
+                (* instantiate a fresh copy of the whole group here *)
+                let copy =
+                  alpha_rename Ident.Map.empty (Fix (group, App (Var d.name, args)))
+                in
+                match copy with
+                | Fix (group', call') ->
+                    (* the copies act as loop blocks from now on *)
+                    Fix
+                      ( List.map (fun g -> { g with kind = Cont }) group',
+                        call' )
+                | _ -> Diag.ice "deproc: unexpected group shape"
+              end)
+      | App _ | Halt _ -> t
+      | Prim (x, p, vs, k) -> Prim (x, p, vs, go k)
+      | MemRead (sp, a, d, k) -> MemRead (sp, a, d, go k)
+      | MemWrite (sp, a, v, k) -> MemWrite (sp, a, v, go k)
+      | Hash (x, v, k) -> Hash (x, v, go k)
+      | BitTestSet (x, a, v, k) -> BitTestSet (x, a, v, go k)
+      | CsrRead (x, c, k) -> CsrRead (x, c, go k)
+      | CsrWrite (c, v, k) -> CsrWrite (c, v, go k)
+      | RfifoRead (a, d, k) -> RfifoRead (a, d, go k)
+      | TfifoWrite (a, v, k) -> TfifoWrite (a, v, go k)
+      | CtxArb k -> CtxArb (go k)
+      | Clone (d, s, k) -> Clone (d, s, go k)
+      | Branch (c, a, b, t1, t2) ->
+          let t1' = go t1 in
+          if !changed then Branch (c, a, b, t1', t2)
+          else Branch (c, a, b, t1', go t2)
+      | Fix (defs, k) ->
+          let rec do_defs acc = function
+            | [] -> (List.rev acc, go k)
+            | d :: rest ->
+                if !changed then (List.rev acc @ (d :: rest), k)
+                else begin
+                  let body' = go d.body in
+                  do_defs ({ d with body = body' } :: acc) rest
+                end
+          in
+          let defs', k' = do_defs [] defs in
+          Fix (defs', k')
+  in
+  let t' = go t in
+  if !changed then Some t' else None
+
+(* Inline all Func calls, interleaving contraction to remove the dead
+   originals and resolve continuation arguments. *)
+let run (t : term) : term =
+  let rec loop t fuel =
+    if fuel = 0 then Diag.ice "deproc: expansion did not terminate";
+    if size t > max_expansion then
+      Diag.ice "deproc: program exploded past %d nodes (excessive inlining)"
+        max_expansion;
+    match expand_one t with
+    | None -> t
+    | Some t' -> loop (Contract.simplify ~max_rounds:4 t') (fuel - 1)
+  in
+  let t = loop t 10_000 in
+  Contract.simplify t

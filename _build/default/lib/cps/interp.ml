@@ -1,0 +1,175 @@
+(* Reference interpreter for CPS terms.
+
+   Shares the memory model (and hash function) with the IXP simulator via
+   [Ixp.Memory], so "CPS interpreter output = simulator output on the
+   compiled program" is a meaningful end-to-end correctness oracle. *)
+
+open Support
+open Ir
+
+type value_rt =
+  | VInt of int
+  | VCont of fundef * env Lazy.t (* closure; lazy env ties recursive knots *)
+
+and env = value_rt Ident.Map.t
+
+type state = {
+  mem : Ixp.Memory.t;
+  mutable rfifo : int array;
+  tfifo : int Vec.t;
+  mutable steps : int;
+  max_steps : int;
+  mutable csr_cycle : int;
+}
+
+exception Interp_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Interp_error s)) fmt
+
+let create ?(max_steps = 10_000_000) ?(config = Ixp.Memory.default_config) () =
+  {
+    mem = Ixp.Memory.create ~config ();
+    rfifo = [||];
+    tfifo = Vec.create ();
+    steps = 0;
+    max_steps;
+    csr_cycle = 0;
+  }
+
+let word_mask = 0xFFFFFFFF
+
+let lookup env x =
+  match Ident.Map.find_opt x env with
+  | Some v -> v
+  | None -> error "unbound variable %s" (Ident.name x)
+
+let int_of env v =
+  match v with
+  | Int i -> i land word_mask
+  | Var x -> (
+      match lookup env x with
+      | VInt i -> i land word_mask
+      | VCont _ -> error "expected an integer, got a continuation (%s)" (Ident.name x))
+
+let eval_value env v =
+  match v with
+  | Int i -> VInt (i land word_mask)
+  | Var x -> lookup env x
+
+let eval_prim p args =
+  match (p, args) with
+  | Mov, [ a ] -> a
+  | Not, [ a ] -> lnot a land word_mask
+  | Neg, [ a ] -> -a land word_mask
+  | Add, [ a; b ] -> (a + b) land word_mask
+  | Sub, [ a; b ] -> (a - b) land word_mask
+  | Mul, [ a; b ] -> a * b land word_mask
+  | And, [ a; b ] -> a land b
+  | Or, [ a; b ] -> a lor b
+  | Xor, [ a; b ] -> a lxor b
+  | Shl, [ a; b ] ->
+      if b land 31 = 0 && b <> 0 then 0 else (a lsl (b land 31)) land word_mask
+  | Shr, [ a; b ] -> if b >= 32 then 0 else a lsr (b land 31)
+  | Asr, [ a; b ] ->
+      let sa = if a land 0x80000000 <> 0 then a - 0x100000000 else a in
+      sa asr min 31 (b land 255) land word_mask
+  | _ -> error "bad primitive application"
+
+let rec run (st : state) (env : env) (t : term) : int list =
+  st.steps <- st.steps + 1;
+  if st.steps > st.max_steps then error "step limit exceeded";
+  match t with
+  | Prim (x, p, vs, k) ->
+      let args = List.map (int_of env) vs in
+      run st (Ident.Map.add x (VInt (eval_prim p args)) env) k
+  | MemRead (sp, a, dsts, k) ->
+      let addr = int_of env a in
+      let values =
+        Ixp.Memory.read st.mem (space_to_ixp sp) addr ~count:(Array.length dsts)
+      in
+      let env =
+        Array.to_list dsts
+        |> List.mapi (fun i d -> (d, values.(i)))
+        |> List.fold_left (fun env (d, v) -> Ident.Map.add d (VInt v) env) env
+      in
+      run st env k
+  | MemWrite (sp, a, vs, k) ->
+      let addr = int_of env a in
+      Ixp.Memory.write st.mem (space_to_ixp sp) addr
+        (Array.map (int_of env) vs);
+      run st env k
+  | Hash (x, v, k) ->
+      run st (Ident.Map.add x (VInt (Ixp.Memory.hash (int_of env v))) env) k
+  | BitTestSet (x, a, v, k) ->
+      let old = Ixp.Memory.bit_test_set st.mem (int_of env a) (int_of env v) in
+      run st (Ident.Map.add x (VInt old) env) k
+  | CsrRead (x, csr, k) ->
+      let v =
+        match csr with
+        | "ctx" -> 0
+        | "cycle" ->
+            st.csr_cycle <- st.csr_cycle + 1;
+            st.csr_cycle
+        | _ -> 0
+      in
+      run st (Ident.Map.add x (VInt v) env) k
+  | CsrWrite (_, _, k) -> run st env k
+  | RfifoRead (a, dsts, k) ->
+      let base = int_of env a / 4 in
+      let env =
+        Array.to_list dsts
+        |> List.mapi (fun i d ->
+               let idx = base + i in
+               (d, if idx < Array.length st.rfifo then st.rfifo.(idx) else 0))
+        |> List.fold_left (fun env (d, v) -> Ident.Map.add d (VInt v) env) env
+      in
+      run st env k
+  | TfifoWrite (a, vs, k) ->
+      ignore (int_of env a);
+      Array.iter (fun v -> Vec.push st.tfifo (int_of env v)) vs;
+      run st env k
+  | CtxArb k -> run st env k
+  | Clone (dsts, src, k) ->
+      let v = lookup env src in
+      run st (Array.fold_left (fun env d -> Ident.Map.add d v env) env dsts) k
+  | Branch (cmp, a, b, t1, t2) ->
+      if Contract.eval_cmp cmp (int_of env a) (int_of env b) then run st env t1
+      else run st env t2
+  | App (f, args) -> (
+      match eval_value env f with
+      | VCont (d, defenv) ->
+          if List.length args <> List.length d.params then
+            error "arity mismatch calling %s (%d args, %d params)"
+              (Ident.name d.name) (List.length args) (List.length d.params);
+          let env' =
+            List.fold_left2
+              (fun e p a -> Ident.Map.add p (eval_value env a) e)
+              (Lazy.force defenv) d.params args
+          in
+          run st env' d.body
+      | VInt _ -> error "application of a non-function")
+  | Halt vs -> List.map (int_of env) vs
+  | Fix (defs, k) ->
+      (* mutual recursion: tie the knot through a lazy environment *)
+      let rec final =
+        lazy
+          (List.fold_left
+             (fun e d -> Ident.Map.add d.name (VCont (d, final)) e)
+             env defs)
+      in
+      run st (Lazy.force final) k
+
+and space_to_ixp : Nova.Ast.mem_space -> Ixp.Insn.space = function
+  | Nova.Ast.Sram -> Ixp.Insn.Sram
+  | Nova.Ast.Sdram -> Ixp.Insn.Sdram
+  | Nova.Ast.Scratch -> Ixp.Insn.Scratch
+
+(* Convenience entry point. *)
+let run_term ?max_steps ?config ?(rfifo = [||]) (t : term) =
+  let st = create ?max_steps ?config () in
+  st.rfifo <- rfifo;
+  let result = run st Ident.Map.empty t in
+  (result, st)
+
+let tfifo_contents st = Vec.to_array st.tfifo
+let memory st = st.mem

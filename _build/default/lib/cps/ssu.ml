@@ -1,0 +1,134 @@
+(* Static single use transformation (paper §4.5, §10).
+
+   After this pass, every use of a variable as an operand of a
+   memory-write-side instruction (SRAM/SDRAM/scratch/FIFO stores, the
+   sources of [hash] and [bit_test_set]) is the only use of that variable
+   in the program.  Additional write-side uses go through fresh clones
+   introduced by a [Clone] pseudo-instruction placed right after the
+   variable's definition; clones are semantically copies but do not
+   interfere with each other, so the ILP model may (but need not) keep
+   them in one register. *)
+
+open Support
+open Ir
+
+(* Count write-side and total uses per variable. *)
+let count_uses (t : term) =
+  let writes = Ident.Tbl.create 64 in
+  let others = Ident.Tbl.create 256 in
+  let bump tbl x =
+    Ident.Tbl.replace tbl x (1 + Option.value ~default:0 (Ident.Tbl.find_opt tbl x))
+  in
+  let wv = function Var x -> bump writes x | Int _ -> () in
+  let ov = function Var x -> bump others x | Int _ -> () in
+  let ovs = List.iter ov in
+  let rec go t =
+    match t with
+    | Prim (_, _, vs, k) ->
+        ovs vs;
+        go k
+    | MemRead (_, a, _, k) | RfifoRead (a, _, k) ->
+        ov a;
+        go k
+    | MemWrite (_, a, vs, k) | TfifoWrite (a, vs, k) ->
+        ov a;
+        Array.iter wv vs;
+        go k
+    | Hash (_, v, k) ->
+        wv v;
+        go k
+    | BitTestSet (_, a, v, k) ->
+        ov a;
+        wv v;
+        go k
+    | CsrRead (_, _, k) -> go k
+    | CsrWrite (_, v, k) ->
+        ov v;
+        go k
+    | CtxArb k -> go k
+    | Clone (_, src, k) ->
+        bump others src;
+        go k
+    | Branch (_, a, b, t1, t2) ->
+        ov a;
+        ov b;
+        go t1;
+        go t2
+    | App (f, vs) ->
+        ov f;
+        ovs vs
+    | Halt vs -> ovs vs
+    | Fix (defs, k) ->
+        List.iter (fun d -> go d.body) defs;
+        go k
+  in
+  go t;
+  (writes, others)
+
+(* Variables needing clones: write-use count >= 2, or >= 1 with other
+   uses.  The number of clones equals the number of write uses; the
+   original keeps the non-write uses (and, if it has no other uses, the
+   first write use). *)
+let run (t : term) : term =
+  let writes, others = count_uses t in
+  let needed = Ident.Tbl.create 32 in
+  Ident.Tbl.iter
+    (fun x w ->
+      let o = Option.value ~default:0 (Ident.Tbl.find_opt others x) in
+      let clones = if o > 0 then w else w - 1 in
+      if clones > 0 then begin
+        let fresh = List.init clones (fun _ -> Ident.clone x) in
+        (* queue of replacement names for successive write uses; when the
+           original has no other uses it serves the first write use *)
+        let queue = if o > 0 then fresh else x :: fresh in
+        Ident.Tbl.replace needed x (ref queue, Array.of_list fresh)
+      end)
+    writes;
+  if Ident.Tbl.length needed = 0 then t
+  else begin
+    let next_clone x =
+      match Ident.Tbl.find_opt needed x with
+      | None -> x
+      | Some (queue, _) -> (
+          match !queue with
+          | [] -> x (* more uses than counted: fall back to the original *)
+          | y :: rest ->
+              queue := rest;
+              y)
+    in
+    let wv = function Var x -> Var (next_clone x) | Int i -> Int i in
+    (* insert Clone right after each definition of a needed variable *)
+    let after_def x k =
+      match Ident.Tbl.find_opt needed x with
+      | Some (_, clones) -> Clone (clones, x, k)
+      | None -> k
+    in
+    let after_defs xs k = List.fold_left (fun k x -> after_def x k) k xs in
+    let rec go t =
+      match t with
+      | Prim (x, p, vs, k) -> Prim (x, p, vs, after_def x (go k))
+      | MemRead (sp, a, dsts, k) ->
+          MemRead (sp, a, dsts, after_defs (Array.to_list dsts) (go k))
+      | RfifoRead (a, dsts, k) ->
+          RfifoRead (a, dsts, after_defs (Array.to_list dsts) (go k))
+      | MemWrite (sp, a, vs, k) -> MemWrite (sp, a, Array.map wv vs, go k)
+      | TfifoWrite (a, vs, k) -> TfifoWrite (a, Array.map wv vs, go k)
+      | Hash (x, v, k) -> Hash (x, wv v, after_def x (go k))
+      | BitTestSet (x, a, v, k) -> BitTestSet (x, a, wv v, after_def x (go k))
+      | CsrRead (x, c, k) -> CsrRead (x, c, after_def x (go k))
+      | CsrWrite (c, v, k) -> CsrWrite (c, v, go k)
+      | CtxArb k -> CtxArb (go k)
+      | Clone (dsts, src, k) ->
+          Clone (dsts, src, after_defs (Array.to_list dsts) (go k))
+      | Branch (c, a, b, t1, t2) -> Branch (c, a, b, go t1, go t2)
+      | App (f, vs) -> App (f, vs)
+      | Halt vs -> Halt vs
+      | Fix (defs, k) ->
+          Fix
+            ( List.map
+                (fun d -> { d with body = after_defs d.params (go d.body) })
+                defs,
+              go k )
+    in
+    go t
+  end

@@ -1,0 +1,1 @@
+lib/ixp/asm.ml: Array Bank Buffer Flowgraph Insn Printf Reg String

@@ -1,0 +1,1 @@
+lib/ixp/bank.ml: Fmt List Stdlib

@@ -1,0 +1,1 @@
+lib/ixp/checker.ml: Array Bank Flowgraph Fmt Insn List Reg Support

@@ -1,0 +1,1 @@
+lib/ixp/flowgraph.ml: Array Diag Fmt Hashtbl Insn Int List Map Option Printf String Support

@@ -1,0 +1,1 @@
+lib/ixp/frequency.ml: Flowgraph Fmt Hashtbl Insn List Option

@@ -1,0 +1,1 @@
+lib/ixp/insn.ml: Array Bank Fmt

@@ -1,0 +1,1 @@
+lib/ixp/liveness.ml: Array Flowgraph Hashtbl Ident Insn List Option Support

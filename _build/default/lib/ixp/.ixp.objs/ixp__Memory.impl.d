@@ -1,0 +1,1 @@
+lib/ixp/memory.ml: Array Insn Printf

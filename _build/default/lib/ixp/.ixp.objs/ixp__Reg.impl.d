@@ -1,0 +1,1 @@
+lib/ixp/reg.ml: Bank Fmt Int Map Printf Set

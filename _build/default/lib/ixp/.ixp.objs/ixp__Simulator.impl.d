@@ -1,0 +1,1 @@
+lib/ixp/simulator.ml: Array Bank Flowgraph Fmt Fun Insn Memory Printf Reg Support Vec

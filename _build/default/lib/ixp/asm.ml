@@ -1,0 +1,100 @@
+(* Micro-engine-flavoured assembly printer for allocated programs.
+
+   The syntax is modelled on the Intel IXP assembler's general shape
+   (destination first, transfer registers prefixed with $) but is meant
+   for human inspection and golden tests, not for Intel's toolchain. *)
+
+let reg_syntax (r : Reg.t) =
+  match Reg.bank r with
+  | Bank.A -> Printf.sprintf "a%d" (Reg.num r)
+  | Bank.B -> Printf.sprintf "b%d" (Reg.num r)
+  | Bank.L -> Printf.sprintf "$l%d" (Reg.num r)
+  | Bank.LD -> Printf.sprintf "$$l%d" (Reg.num r)
+  | Bank.S -> Printf.sprintf "$s%d" (Reg.num r)
+  | Bank.SD -> Printf.sprintf "$$s%d" (Reg.num r)
+  | Bank.M -> Printf.sprintf "m%d" (Reg.num r)
+  | Bank.C -> Printf.sprintf "const%d" (Reg.num r)
+
+let operand_syntax = function
+  | Insn.Reg r -> reg_syntax r
+  | Insn.Lit i -> string_of_int i
+
+let addr_syntax (a : Reg.t Insn.addr) =
+  if a.Insn.disp = 0 then operand_syntax a.Insn.base
+  else Printf.sprintf "%s, %d" (operand_syntax a.Insn.base) a.Insn.disp
+
+let agg_syntax regs =
+  String.concat ", " (Array.to_list (Array.map reg_syntax regs))
+
+let insn_syntax (i : Reg.t Insn.t) =
+  match i with
+  | Insn.Alu { dst; op; x; y } ->
+      Printf.sprintf "alu[%s, %s, %s, %s]" (reg_syntax dst) (reg_syntax x)
+        (Insn.alu_op_to_string op) (operand_syntax y)
+  | Insn.Alu1 { dst; op = `Mov; src } ->
+      Printf.sprintf "alu[%s, --, b, %s]" (reg_syntax dst) (reg_syntax src)
+  | Insn.Alu1 { dst; op = `Not; src } ->
+      Printf.sprintf "alu[%s, --, ~b, %s]" (reg_syntax dst) (reg_syntax src)
+  | Insn.Alu1 { dst; op = `Neg; src } ->
+      Printf.sprintf "alu[%s, 0, -, %s]" (reg_syntax dst) (reg_syntax src)
+  | Insn.Imm { dst; value } ->
+      Printf.sprintf "immed[%s, 0x%x]" (reg_syntax dst) (value land 0xFFFFFFFF)
+  | Insn.Move { dst; src } ->
+      Printf.sprintf "alu[%s, --, b, %s] ; move" (reg_syntax dst)
+        (reg_syntax src)
+  | Insn.Read { space; dsts; addr } ->
+      Printf.sprintf "%s[read, %s, %s, %d] ; -> %s"
+        (Insn.space_to_string space)
+        (reg_syntax dsts.(0))
+        (addr_syntax addr) (Array.length dsts) (agg_syntax dsts)
+  | Insn.Write { space; srcs; addr } ->
+      Printf.sprintf "%s[write, %s, %s, %d] ; <- %s"
+        (Insn.space_to_string space)
+        (reg_syntax srcs.(0))
+        (addr_syntax addr) (Array.length srcs) (agg_syntax srcs)
+  | Insn.Hash { dst; src } ->
+      Printf.sprintf "hash1_48[%s] ; result in %s" (reg_syntax src)
+        (reg_syntax dst)
+  | Insn.Bit_test_set { dst; src; addr } ->
+      Printf.sprintf "sram[bit_wr, %s, %s, set_test] ; old -> %s"
+        (reg_syntax src) (addr_syntax addr) (reg_syntax dst)
+  | Insn.Clone { dsts; src } ->
+      Printf.sprintf "; clone %s -> %s" (reg_syntax src) (agg_syntax dsts)
+  | Insn.Spill { slot; src } ->
+      Printf.sprintf "scratch[write, %s, spill_%d, 1] ; spill" (reg_syntax src)
+        slot
+  | Insn.Reload { slot; dst } ->
+      Printf.sprintf "scratch[read, %s, spill_%d, 1] ; reload" (reg_syntax dst)
+        slot
+  | Insn.Csr_read { dst; csr } ->
+      Printf.sprintf "csr[read, %s, %s]" (reg_syntax dst) csr
+  | Insn.Csr_write { src; csr } ->
+      Printf.sprintf "csr[write, %s, %s]" (reg_syntax src) csr
+  | Insn.Rfifo_read { dsts; addr } ->
+      Printf.sprintf "r_fifo_rd[%s, %s, %d]" (reg_syntax dsts.(0))
+        (addr_syntax addr) (Array.length dsts)
+  | Insn.Tfifo_write { srcs; addr } ->
+      Printf.sprintf "t_fifo_wr[%s, %s, %d]" (reg_syntax srcs.(0))
+        (addr_syntax addr) (Array.length srcs)
+  | Insn.Ctx_arb -> "ctx_arb[voluntary]"
+  | Insn.Nop -> "nop"
+
+let term_syntax (t : Reg.t Insn.terminator) =
+  match t with
+  | Insn.Jump l -> Printf.sprintf "br[%s#]" l
+  | Insn.Branch { cond; x; y; ifso; ifnot } ->
+      Printf.sprintf "br_%s[%s, %s, %s#] ; else %s#"
+        (Insn.cond_to_string cond) (reg_syntax x) (operand_syntax y) ifso ifnot
+  | Insn.Halt -> "halt"
+
+let program_to_string (g : Reg.t Flowgraph.t) =
+  let buf = Buffer.create 1024 in
+  Flowgraph.iter_blocks
+    (fun b ->
+      Buffer.add_string buf (b.Flowgraph.label ^ "#:\n");
+      Array.iter
+        (fun i -> Buffer.add_string buf ("    " ^ insn_syntax i ^ "\n"))
+        b.Flowgraph.insns;
+      Buffer.add_string buf ("    " ^ term_syntax b.Flowgraph.term ^ "\n"))
+    g;
+  Buffer.contents buf

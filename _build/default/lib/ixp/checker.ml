@@ -1,0 +1,186 @@
+(* Static machine-legality checker for allocated (physical-register)
+   programs.
+
+   Independently re-validates everything the ILP model and the coloring
+   phases promised:
+
+     - ALU operands come from {A, B, L, LD}, with at most one operand from
+       each of the groups A, B, and L+LD; results go to {A, B, S, SD};
+     - aggregate transfers use adjacent, ascending registers of the
+       correct transfer bank for their memory space, with a legal size;
+     - address operands live in A or B;
+     - same-register instructions (hash, bit_test_set) have equal register
+       numbers on the read and write sides;
+     - inserted moves follow the datapaths (no transfer-to-same-transfer
+       moves, no moves out of S/SD except to memory);
+     - spills/reloads use the correct transfer banks;
+     - no clone pseudo-instructions survive allocation.
+
+   Every integration test and benchmark runs this checker on the final
+   program; a violation is reported with its block and position. *)
+
+type violation = { block : string; pos : int; message : string }
+
+let pp_violation ppf v =
+  Fmt.pf ppf "%s.%d: %s" v.block v.pos v.message
+
+let check_alu_operands add x (y : Reg.t Insn.operand) =
+  let add fmt = Fmt.kstr add fmt in
+  let bank_of r = Reg.bank r in
+  let check_source r =
+    if not (Bank.can_feed_alu (bank_of r)) then
+      add "ALU operand %s is in bank %s, which cannot feed the ALU"
+        (Reg.to_string r)
+        (Bank.to_string (bank_of r))
+  in
+  check_source x;
+  (match y with
+  | Insn.Reg ry ->
+      check_source ry;
+      (* group rule: at most one operand from each of A, B, L+LD *)
+      let group b =
+        match b with
+        | Bank.A -> `A
+        | Bank.B -> `B
+        | Bank.L | Bank.LD -> `X
+        | b' -> `Other b'
+      in
+      if group (bank_of x) = group (bank_of ry) then
+        add "ALU operands %s and %s come from the same bank group"
+          (Reg.to_string x) (Reg.to_string ry)
+  | Insn.Lit _ -> ())
+
+let check_alu_dest add (dst : Reg.t) =
+  let add fmt = Fmt.kstr add fmt in
+  if not (Bank.can_receive_alu (Reg.bank dst)) then
+    add "ALU result %s is in bank %s, which the ALU cannot write"
+      (Reg.to_string dst)
+      (Bank.to_string (Reg.bank dst))
+
+let check_aggregate add ~what ~expected_bank (regs : Reg.t array) space =
+  let add fmt = Fmt.kstr add fmt in
+  let n = Array.length regs in
+  if not (Insn.legal_aggregate space n) then
+    add "%s: illegal %s aggregate size %d" what (Insn.space_to_string space) n;
+  Array.iteri
+    (fun k r ->
+      if not (Bank.equal (Reg.bank r) expected_bank) then
+        add "%s: member %d (%s) not in bank %s" what k (Reg.to_string r)
+          (Bank.to_string expected_bank);
+      if k > 0 && Reg.num r <> Reg.num regs.(k - 1) + 1 then
+        add "%s: members %s and %s are not adjacent" what
+          (Reg.to_string regs.(k - 1))
+          (Reg.to_string r))
+    regs
+
+let check_addr add (a : Reg.t Insn.addr) =
+  let add fmt = Fmt.kstr add fmt in
+  match a.Insn.base with
+  | Insn.Lit _ -> ()
+  | Insn.Reg r ->
+      if not (Bank.equal (Reg.bank r) Bank.A || Bank.equal (Reg.bank r) Bank.B)
+      then
+        add "address register %s must live in A or B" (Reg.to_string r)
+
+let check_insn add (insn : Reg.t Insn.t) =
+  let addf fmt = Fmt.kstr add fmt in
+  match insn with
+  | Insn.Alu { dst; x; y; _ } ->
+      check_alu_dest add dst;
+      check_alu_operands add x y
+  | Insn.Alu1 { dst; src; _ } ->
+      check_alu_dest add dst;
+      check_alu_operands add src (Insn.Lit 0)
+  | Insn.Imm { dst; _ } -> check_alu_dest add dst
+  | Insn.Move { dst; src } ->
+      if not (Bank.direct_move_ok ~src:(Reg.bank src) ~dst:(Reg.bank dst)) then
+        addf "move %s -> %s violates the datapaths" (Reg.to_string src)
+          (Reg.to_string dst)
+  | Insn.Read { space; dsts; addr } ->
+      check_aggregate add ~what:"read" ~expected_bank:(Insn.read_bank space)
+        dsts space;
+      check_addr add addr
+  | Insn.Write { space; srcs; addr } ->
+      check_aggregate add ~what:"write" ~expected_bank:(Insn.write_bank space)
+        srcs space;
+      check_addr add addr
+  | Insn.Hash { dst; src } ->
+      if not (Bank.equal (Reg.bank dst) Bank.L) then
+        addf "hash destination %s must be in L" (Reg.to_string dst);
+      if not (Bank.equal (Reg.bank src) Bank.S) then
+        addf "hash source %s must be in S" (Reg.to_string src);
+      if Reg.num dst <> Reg.num src then
+        addf "hash source/destination must share a register number (%s vs %s)"
+          (Reg.to_string src) (Reg.to_string dst)
+  | Insn.Bit_test_set { dst; src; addr } ->
+      if not (Bank.equal (Reg.bank dst) Bank.L) then
+        addf "bit_test_set destination %s must be in L" (Reg.to_string dst);
+      if not (Bank.equal (Reg.bank src) Bank.S) then
+        addf "bit_test_set source %s must be in S" (Reg.to_string src);
+      if Reg.num dst <> Reg.num src then
+        addf "bit_test_set register numbers differ (%s vs %s)"
+          (Reg.to_string src) (Reg.to_string dst);
+      check_addr add addr
+  | Insn.Clone _ -> addf "clone pseudo-instruction survived allocation"
+  | Insn.Spill { src; _ } ->
+      if not (Bank.equal (Reg.bank src) Bank.S) then
+        addf "spill source %s must be in S" (Reg.to_string src)
+  | Insn.Reload { dst; _ } ->
+      if not (Bank.equal (Reg.bank dst) Bank.L) then
+        addf "reload destination %s must be in L" (Reg.to_string dst)
+  | Insn.Csr_read { dst; _ } ->
+      if not Bank.(equal (Reg.bank dst) A || equal (Reg.bank dst) B) then
+        addf "CSR read destination %s must be in A or B" (Reg.to_string dst)
+  | Insn.Csr_write { src; _ } ->
+      if not Bank.(equal (Reg.bank src) A || equal (Reg.bank src) B) then
+        addf "CSR write source %s must be in A or B" (Reg.to_string src)
+  | Insn.Rfifo_read { dsts; addr } ->
+      check_aggregate add ~what:"rfifo read" ~expected_bank:Bank.LD dsts
+        Insn.Sdram;
+      check_addr add addr
+  | Insn.Tfifo_write { srcs; addr } ->
+      check_aggregate add ~what:"tfifo write" ~expected_bank:Bank.SD srcs
+        Insn.Sdram;
+      check_addr add addr
+  | Insn.Ctx_arb | Insn.Nop -> ()
+
+let check_term add (term : Reg.t Insn.terminator) =
+  match term with
+  | Insn.Jump _ | Insn.Halt -> ()
+  | Insn.Branch { x; y; _ } -> check_alu_operands add x y
+
+let check (program : Reg.t Flowgraph.t) =
+  let violations = ref [] in
+  Flowgraph.iter_blocks
+    (fun b ->
+      let label = b.Flowgraph.label in
+      Array.iteri
+        (fun pos insn ->
+          let add message =
+            violations := { block = label; pos; message } :: !violations
+          in
+          check_insn add insn)
+        b.Flowgraph.insns;
+      let add message =
+        violations :=
+          { block = label; pos = Array.length b.Flowgraph.insns; message }
+          :: !violations
+      in
+      check_term add b.Flowgraph.term;
+      (* terminator targets must exist *)
+      List.iter
+        (fun target ->
+          match Flowgraph.block program target with
+          | (_ : Reg.t Flowgraph.block) -> ()
+          | exception _ -> add ("branch to unknown block " ^ target))
+        (Insn.term_targets b.Flowgraph.term))
+    program;
+  List.rev !violations
+
+let check_exn program =
+  match check program with
+  | [] -> ()
+  | vs ->
+      Support.Diag.ice "machine-legality check failed:@.%a"
+        Fmt.(list ~sep:cut pp_violation)
+        vs

@@ -1,0 +1,129 @@
+(* Memory system model for the simulated IXP1200.
+
+   Three word-addressed spaces with the alignment rules the paper
+   describes (§1.1): SDRAM transfers move 8-byte (2-word) aligned units,
+   SRAM transfers 4-byte (1-word) aligned units; scratch behaves like
+   SRAM.  All values are 32-bit words stored as masked OCaml ints.
+
+   Latencies are unloaded approximations of IXP1200 figures and are
+   configurable; the throughput benchmarks only depend on their relative
+   magnitudes (SDRAM > SRAM > scratch >> ALU). *)
+
+let word_mask = 0xFFFFFFFF
+
+type config = {
+  sram_words : int;
+  sdram_words : int;
+  scratch_words : int;
+  sram_latency : int;
+  sdram_latency : int;
+  scratch_latency : int;
+  hash_latency : int;
+  fifo_latency : int;
+}
+
+let default_config =
+  {
+    sram_words = 64 * 1024;
+    sdram_words = 256 * 1024;
+    scratch_words = 1024;
+    sram_latency = 18;
+    sdram_latency = 33;
+    scratch_latency = 12;
+    hash_latency = 14;
+    fifo_latency = 10;
+  }
+
+type t = {
+  config : config;
+  sram : int array;
+  sdram : int array;
+  scratch : int array;
+  (* Spill area lives at the top of scratch; slots grow downward. *)
+  mutable spill_base : int;
+}
+
+exception Fault of string
+
+let fault fmt = Printf.ksprintf (fun s -> raise (Fault s)) fmt
+
+let create ?(config = default_config) () =
+  {
+    config;
+    sram = Array.make config.sram_words 0;
+    sdram = Array.make config.sdram_words 0;
+    scratch = Array.make config.scratch_words 0;
+    spill_base = config.scratch_words - 64;
+  }
+
+let space_array t = function
+  | Insn.Sram -> t.sram
+  | Insn.Sdram -> t.sdram
+  | Insn.Scratch -> t.scratch
+
+let latency t = function
+  | Insn.Sram -> t.config.sram_latency
+  | Insn.Sdram -> t.config.sdram_latency
+  | Insn.Scratch -> t.config.scratch_latency
+
+(* Byte address -> word index, enforcing the alignment rule of the
+   space.  SDRAM additionally requires the *transfer* to start at an
+   8-byte boundary. *)
+let word_index t space byte_addr ~count =
+  let align = match space with Insn.Sdram -> 8 | _ -> 4 in
+  if byte_addr mod align <> 0 then
+    fault "%s access at 0x%x violates %d-byte alignment"
+      (Insn.space_to_string space) byte_addr align;
+  if not (Insn.legal_aggregate space count) then
+    fault "illegal %s aggregate size %d" (Insn.space_to_string space) count;
+  let arr = space_array t space in
+  let idx = byte_addr / 4 in
+  if idx < 0 || idx + count > Array.length arr then
+    fault "%s access at 0x%x (+%d words) out of range"
+      (Insn.space_to_string space) byte_addr count;
+  idx
+
+let read t space byte_addr ~count =
+  let idx = word_index t space byte_addr ~count in
+  let arr = space_array t space in
+  Array.init count (fun k -> arr.(idx + k))
+
+let write t space byte_addr values =
+  let count = Array.length values in
+  let idx = word_index t space byte_addr ~count in
+  let arr = space_array t space in
+  Array.iteri (fun k v -> arr.(idx + k) <- v land word_mask) values
+
+(* Word-granular accessors used by test harnesses and loaders. *)
+let peek t space word = (space_array t space).(word)
+let poke t space word v = (space_array t space).(word) <- v land word_mask
+
+let load_words t space ~word_offset values =
+  Array.iteri (fun k v -> poke t space (word_offset + k) v) values
+
+(* bit_test_set: atomically OR [v] into SRAM at [byte_addr], returning
+   the previous value. *)
+let bit_test_set t byte_addr v =
+  let idx = word_index t Insn.Sram byte_addr ~count:1 in
+  let old = t.sram.(idx) in
+  t.sram.(idx) <- (old lor v) land word_mask;
+  old
+
+(* Deterministic stand-in for the IXP hash unit (a polynomial hash over
+   48/64-bit quantities on real hardware). *)
+let hash v =
+  let v = v land word_mask in
+  let v = v * 0x9E3779B1 land word_mask in
+  let v = v lxor (v lsr 15) in
+  let v = v * 0x85EBCA77 land word_mask in
+  v lxor (v lsr 13) land word_mask
+
+(* Spill slots (scratch-resident).  The allocator asks for a slot index;
+   the simulator maps it into the reserved area. *)
+let spill_addr t slot =
+  let w = t.spill_base + slot in
+  if w >= t.config.scratch_words then fault "spill slot %d out of range" slot;
+  w
+
+let spill_store t slot v = t.scratch.(spill_addr t slot) <- v land word_mask
+let spill_load t slot = t.scratch.(spill_addr t slot)

@@ -1,0 +1,31 @@
+(* Physical registers: a bank plus a register number within the bank.
+   For the scratch "bank" M the number is a spill-slot index. *)
+
+type t = { bank : Bank.t; num : int }
+
+let make bank num =
+  let cap = Bank.capacity bank in
+  if num < 0 || (cap <> max_int && num >= cap) then
+    invalid_arg
+      (Printf.sprintf "Reg.make: %s[%d] out of range" (Bank.to_string bank) num);
+  { bank; num }
+
+let bank t = t.bank
+let num t = t.num
+
+let equal a b = Bank.equal a.bank b.bank && a.num = b.num
+
+let compare a b =
+  match Bank.compare a.bank b.bank with 0 -> Int.compare a.num b.num | c -> c
+
+let to_string t = Printf.sprintf "%s%d" (Bank.to_string t.bank) t.num
+let pp ppf t = Fmt.string ppf (to_string t)
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = Set.Make (Ord)
+module Map = Map.Make (Ord)

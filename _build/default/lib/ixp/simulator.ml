@@ -1,0 +1,326 @@
+(* Cycle-counting micro-engine simulator.
+
+   Executes post-allocation programs (physical registers) and models the
+   throughput-relevant behaviour of an IXP1200 micro-engine: per-thread
+   register files, shared SRAM/scratch, per-thread SDRAM packet buffers
+   and FIFOs, memory latencies, and hardware multi-threading in which a
+   thread yields on every memory reference and the engine switches to the
+   next ready context (latency hiding).
+
+   This replaces the paper's physical 233 MHz IXP1200 + hardware packet
+   generator; see DESIGN.md for the substitution argument. *)
+
+open Support
+
+type thread_state = {
+  id : int;
+  regs_a : int array;
+  regs_b : int array;
+  regs_l : int array;
+  regs_ld : int array;
+  regs_s : int array;
+  regs_sd : int array;
+  mutable rfifo : int array; (* current inbound packet, as words *)
+  tfifo : int Vec.t; (* outbound words *)
+  (* private SDRAM packet buffer image *)
+  sdram : Memory.t;
+  mutable block : string;
+  mutable pc : int;
+  mutable ready_at : int; (* cycle at which the thread may run again *)
+  mutable halted : bool;
+  mutable packets_done : int;
+  mutable insns_executed : int;
+}
+
+type t = {
+  program : Reg.t Flowgraph.t;
+  shared : Memory.t; (* SRAM + scratch live here *)
+  threads : thread_state array;
+  mutable clock : int;
+  clock_mhz : float;
+  trace : bool;
+}
+
+exception Stuck of string
+
+let word_mask = Memory.word_mask
+
+let create ?(threads = 1) ?(clock_mhz = 233.0) ?(config = Memory.default_config)
+    ?(trace = false) program =
+  let shared = Memory.create ~config () in
+  let mk id =
+    {
+      id;
+      regs_a = Array.make 16 0;
+      regs_b = Array.make 16 0;
+      regs_l = Array.make 8 0;
+      regs_ld = Array.make 8 0;
+      regs_s = Array.make 8 0;
+      regs_sd = Array.make 8 0;
+      rfifo = [||];
+      tfifo = Vec.create ();
+      sdram = Memory.create ~config ();
+      block = (Flowgraph.entry program).Flowgraph.label;
+      pc = 0;
+      ready_at = 0;
+      halted = false;
+      packets_done = 0;
+      insns_executed = 0;
+    }
+  in
+  {
+    program;
+    shared;
+    threads = Array.init threads mk;
+    clock = 0;
+    clock_mhz;
+    trace;
+  }
+
+let shared_memory t = t.shared
+let thread t i = t.threads.(i)
+
+(* Register file access. *)
+let reg_file th (bank : Bank.t) =
+  match bank with
+  | Bank.A -> th.regs_a
+  | Bank.B -> th.regs_b
+  | Bank.L -> th.regs_l
+  | Bank.LD -> th.regs_ld
+  | Bank.S -> th.regs_s
+  | Bank.SD -> th.regs_sd
+  | Bank.M -> raise (Stuck "direct register access to scratch bank M")
+  | Bank.C -> raise (Stuck "direct register access to the constant bank C")
+
+let get th (r : Reg.t) = (reg_file th (Reg.bank r)).(Reg.num r)
+let set th (r : Reg.t) v = (reg_file th (Reg.bank r)).(Reg.num r) <- v land word_mask
+
+let operand_value th = function
+  | Insn.Reg r -> get th r
+  | Insn.Lit i -> i land word_mask
+
+let addr_value th (a : Reg.t Insn.addr) =
+  (operand_value th a.Insn.base + a.Insn.disp) land word_mask
+
+let to_signed v = if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let alu_eval op x y =
+  match op with
+  | Insn.Add -> x + y
+  | Insn.Sub -> x - y
+  | Insn.And -> x land y
+  | Insn.Or -> x lor y
+  | Insn.Xor -> x lxor y
+  | Insn.Shl -> if y land 31 = 0 && y <> 0 then 0 else x lsl (y land 31)
+  | Insn.Shr -> if y >= 32 then 0 else (x land word_mask) lsr (y land 31)
+  | Insn.Asr -> to_signed x asr min 31 (y land 255)
+  | Insn.Mullo -> x * y
+
+let cond_eval cond x y =
+  let sx = to_signed x and sy = to_signed y in
+  match cond with
+  | Insn.Eq -> x = y
+  | Insn.Ne -> x <> y
+  | Insn.Lt -> sx < sy
+  | Insn.Le -> sx <= sy
+  | Insn.Gt -> sx > sy
+  | Insn.Ge -> sx >= sy
+  | Insn.Ultl -> x < y
+  | Insn.Uge -> x >= y
+
+(* Which memory image does a space access go to?  SRAM and scratch are
+   shared; SDRAM is the thread's private packet buffer. *)
+let memory_for t th = function
+  | Insn.Sram | Insn.Scratch -> t.shared
+  | Insn.Sdram -> th.sdram
+
+(* Hook invoked when a thread halts: supply the next inbound packet, or
+   none to retire the thread. *)
+type packet_source = thread:int -> packets_done:int -> int array option
+
+(* Execute one instruction for [th]; returns the latency in cycles. *)
+let exec_insn t th insn =
+  th.insns_executed <- th.insns_executed + 1;
+  if t.trace then
+    Fmt.epr "[%d] t%d %s.%d: %a@." t.clock th.id th.block th.pc
+      (Insn.pp Reg.pp) insn;
+  match insn with
+  | Insn.Alu { dst; op; x; y } ->
+      set th dst (alu_eval op (get th x) (operand_value th y));
+      1
+  | Insn.Alu1 { dst; op = `Mov; src } ->
+      set th dst (get th src);
+      1
+  | Insn.Alu1 { dst; op = `Not; src } ->
+      set th dst (lnot (get th src));
+      1
+  | Insn.Alu1 { dst; op = `Neg; src } ->
+      set th dst (-get th src);
+      1
+  | Insn.Imm { dst; value } ->
+      set th dst value;
+      (* Loading a full 32-bit constant takes two instructions on the
+         IXP1200; small constants take one. *)
+      if value land word_mask < 0x10000 then 1 else 2
+  | Insn.Move { dst; src } ->
+      set th dst (get th src);
+      1
+  | Insn.Read { space; dsts; addr } ->
+      let mem = memory_for t th space in
+      let values =
+        Memory.read mem space (addr_value th addr) ~count:(Array.length dsts)
+      in
+      Array.iteri (fun k d -> set th d values.(k)) dsts;
+      Memory.latency mem space
+  | Insn.Write { space; srcs; addr } ->
+      let mem = memory_for t th space in
+      Memory.write mem space (addr_value th addr) (Array.map (get th) srcs);
+      Memory.latency mem space
+  | Insn.Hash { dst; src } ->
+      set th dst (Memory.hash (get th src));
+      t.shared.Memory.config.Memory.hash_latency
+  | Insn.Bit_test_set { dst; src; addr } ->
+      set th dst (Memory.bit_test_set t.shared (addr_value th addr) (get th src));
+      Memory.latency t.shared Insn.Sram
+  | Insn.Clone _ -> raise (Stuck "clone pseudo-instruction reached simulator")
+  | Insn.Spill { slot; src } ->
+      Memory.spill_store t.shared slot (get th src);
+      Memory.latency t.shared Insn.Scratch
+  | Insn.Reload { slot; dst } ->
+      set th dst (Memory.spill_load t.shared slot);
+      Memory.latency t.shared Insn.Scratch
+  | Insn.Csr_read { dst; csr } ->
+      let v =
+        match csr with
+        | "ctx" -> th.id
+        | "cycle" -> t.clock land word_mask
+        | _ -> 0
+      in
+      set th dst v;
+      1
+  | Insn.Csr_write _ -> 1
+  | Insn.Rfifo_read { dsts; addr } ->
+      let base = addr_value th addr / 4 in
+      Array.iteri
+        (fun k d ->
+          let idx = base + k in
+          let v = if idx < Array.length th.rfifo then th.rfifo.(idx) else 0 in
+          set th d v)
+        dsts;
+      t.shared.Memory.config.Memory.fifo_latency
+  | Insn.Tfifo_write { srcs; addr } ->
+      ignore (addr_value th addr);
+      Array.iter (fun s -> Vec.push th.tfifo (get th s)) srcs;
+      t.shared.Memory.config.Memory.fifo_latency
+  | Insn.Ctx_arb -> 1
+  | Insn.Nop -> 1
+
+(* Advance [th] through instructions until it yields (memory reference or
+   ctx_arb), halts, or runs out of fuel. *)
+let step_thread t th ~fuel =
+  let yielded = ref false in
+  let fuel = ref fuel in
+  while (not !yielded) && not th.halted do
+    if !fuel <= 0 then
+      raise (Stuck (Printf.sprintf "thread %d: fuel exhausted" th.id));
+    decr fuel;
+    let b = Flowgraph.block t.program th.block in
+    if th.pc < Array.length b.Flowgraph.insns then begin
+      let insn = b.Flowgraph.insns.(th.pc) in
+      th.pc <- th.pc + 1;
+      let lat = exec_insn t th insn in
+      t.clock <- t.clock + min lat 2;
+      (* issue cost: memory ops occupy the pipe briefly; the remaining
+         latency is hidden by switching threads *)
+      if lat > 2 then begin
+        th.ready_at <- t.clock + lat - 2;
+        yielded := true
+      end
+      else if insn = Insn.Ctx_arb then begin
+        th.ready_at <- t.clock;
+        yielded := true
+      end
+    end
+    else begin
+      (match b.Flowgraph.term with
+      | Insn.Jump l ->
+          th.block <- l;
+          th.pc <- 0;
+          t.clock <- t.clock + 1
+      | Insn.Branch { cond; x; y; ifso; ifnot } ->
+          let taken = cond_eval cond (get th x) (operand_value th y) in
+          th.block <- (if taken then ifso else ifnot);
+          th.pc <- 0;
+          t.clock <- t.clock + if taken then 3 else 1
+      | Insn.Halt ->
+          th.halted <- true;
+          th.packets_done <- th.packets_done + 1)
+    end
+  done
+
+(* Run a single thread to completion (no packet refill); the common mode
+   for semantics tests. *)
+let run_single ?(fuel = 10_000_000) t =
+  let th = t.threads.(0) in
+  while not th.halted do
+    (* no other context to hide the latency: absorb the stall *)
+    if th.ready_at > t.clock then t.clock <- th.ready_at;
+    step_thread t th ~fuel
+  done;
+  t.clock
+
+(* Multi-threaded throughput run: each thread processes packets supplied
+   by [source] until the source dries up. *)
+let run_packets ?(fuel = 100_000_000) t (source : packet_source) =
+  let restart th =
+    match source ~thread:th.id ~packets_done:th.packets_done with
+    | None -> false
+    | Some packet ->
+        th.rfifo <- packet;
+        th.block <- (Flowgraph.entry t.program).Flowgraph.label;
+        th.pc <- 0;
+        th.halted <- false;
+        true
+  in
+  let alive = Array.map (fun th -> restart th) t.threads in
+  let any_alive () = Array.exists Fun.id alive in
+  let budget = ref fuel in
+  while any_alive () && !budget > 0 do
+    decr budget;
+    (* pick the ready thread with the earliest ready_at *)
+    let best = ref (-1) in
+    Array.iteri
+      (fun i th ->
+        if alive.(i) && not th.halted then
+          if !best < 0 || th.ready_at < t.threads.(!best).ready_at then best := i)
+      t.threads;
+    match !best with
+    | -1 ->
+        (* all alive threads halted: refill *)
+        Array.iteri
+          (fun i th -> if alive.(i) && th.halted then alive.(i) <- restart th)
+          t.threads
+    | i ->
+        let th = t.threads.(i) in
+        if th.ready_at > t.clock then t.clock <- th.ready_at;
+        step_thread t th ~fuel:1_000_000;
+        if th.halted then alive.(i) <- restart th
+  done;
+  t.clock
+
+let cycles t = t.clock
+let packets_done t =
+  Array.fold_left (fun acc th -> acc + th.packets_done) 0 t.threads
+
+let insns_executed t =
+  Array.fold_left (fun acc th -> acc + th.insns_executed) 0 t.threads
+
+(* Megabits per second for [bytes] of payload processed in [cycles]. *)
+let mbps t ~bytes =
+  let seconds = float_of_int t.clock /. (t.clock_mhz *. 1e6) in
+  if seconds <= 0. then 0.
+  else float_of_int (bytes * 8) /. seconds /. 1e6
+
+let read_tfifo t ~thread = Vec.to_array t.threads.(thread).tfifo
+let set_rfifo t ~thread packet = t.threads.(thread).rfifo <- packet
+let sdram_of_thread t ~thread = t.threads.(thread).sdram

@@ -1,0 +1,1 @@
+lib/lp/bigint.ml: Array Buffer Char Fmt Hashtbl Int List Printf String

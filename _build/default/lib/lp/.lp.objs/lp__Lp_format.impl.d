@@ -1,0 +1,1 @@
+lib/lp/lp_format.ml: Buffer Float Fun List Printf Problem String

@@ -1,0 +1,1 @@
+lib/lp/mip.ml: Array Branch_bound Presolve Problem Revised Sys

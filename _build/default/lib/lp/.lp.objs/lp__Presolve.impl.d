@@ -1,0 +1,1 @@
+lib/lp/presolve.ml: Array Float Hashtbl Int List Option Printf Problem Queue String

@@ -1,0 +1,1 @@
+lib/lp/rat.ml: Bigint Float Fmt Int64

@@ -1,0 +1,141 @@
+(* Branch and bound for 0-1 (and general-integer) programs over the
+   revised dual simplex.
+
+   A single solver state is threaded through a depth-first search; each
+   node only changes variable bounds, which keeps the current basis dual
+   feasible, so child re-solves take few pivots.  The first child explored
+   fixes the branching variable toward its fractional value (diving), which
+   finds integral incumbents quickly on the register-allocation models. *)
+
+type status = Optimal | Infeasible | Limit
+
+type result = {
+  status : status;
+  objective : float;
+  solution : float array;
+  nodes : int;
+  root_objective : float;
+  root_time : float; (* seconds to solve the root relaxation *)
+  total_time : float;
+  simplex_iterations : int;
+}
+
+let int_tol = 1e-6
+
+let fractional_var (p : Problem.t) x =
+  (* Most fractional integer-constrained variable, preferring variables
+     with a real objective coefficient: those encode actual decisions
+     (moves), whereas zero/epsilon-cost variables (register colors) are
+     largely symmetric and should be branched last. *)
+  let best = ref (-1) in
+  let best_key = ref (-1, int_tol) in
+  Array.iteri
+    (fun j v ->
+      if Problem.var_integer p j then begin
+        let f = Float.abs (v -. Float.round v) in
+        if f > int_tol then begin
+          let costly = if Float.abs (Problem.var_obj p j) > 1e-5 then 1 else 0 in
+          if (costly, f) > !best_key then begin
+            best := j;
+            best_key := (costly, f)
+          end
+        end
+      end)
+    x;
+  !best
+
+exception Gap_closed
+
+let solve ?(time_limit = 600.) ?(node_limit = 500_000) ?(rel_gap = 1e-4)
+    (p : Problem.t) =
+  let t0 = Sys.time () in
+  let solver = Revised.create p in
+  let nodes = ref 0 in
+  let incumbent = ref None in
+  let incumbent_obj = ref infinity in
+  let limit_hit = ref false in
+  let orig_lo = Array.init (Problem.num_vars p) (Problem.var_lo p) in
+  let orig_hi = Array.init (Problem.num_vars p) (Problem.var_hi p) in
+  let root_objective = ref nan in
+  let root_time = ref 0. in
+  let rec node depth =
+    if Sys.time () -. t0 > time_limit || !nodes >= node_limit then
+      limit_hit := true
+    else begin
+      incr nodes;
+      match Revised.solve solver with
+      | Revised.Iteration_limit -> limit_hit := true
+      | Revised.Infeasible -> ()
+      | Revised.Optimal ->
+          let obj = Revised.objective solver in
+          if depth = 0 then begin
+            root_objective := obj;
+            root_time := Sys.time () -. t0
+          end;
+          (* Prune against incumbent (with relative gap). *)
+          let cutoff =
+            if !incumbent = None then infinity
+            else !incumbent_obj -. (rel_gap *. Float.abs !incumbent_obj) -. 1e-9
+          in
+          if obj < cutoff then begin
+            let x = Revised.primal solver in
+            match fractional_var p x with
+            | -1 ->
+                (* Integral: new incumbent.  If it is within the gap of
+                   the root relaxation -- a lower bound on the optimum --
+                   optimality is proven and the search can stop. *)
+                incumbent := Some (Array.copy x);
+                incumbent_obj := obj;
+                if
+                  Float.is_finite !root_objective
+                  && obj
+                     <= !root_objective
+                        +. (rel_gap *. Float.abs obj)
+                        +. 1e-9
+                then raise Gap_closed
+            | v ->
+                let f = x.(v) in
+                let lo = floor f and hi = ceil f in
+                (* two children; explore the nearer-integer side first *)
+                let children =
+                  if f -. lo < hi -. f then
+                    [ (orig_lo.(v), lo); (hi, orig_hi.(v)) ]
+                  else [ (hi, orig_hi.(v)); (orig_lo.(v), lo) ]
+                in
+                List.iter
+                  (fun (l, h) ->
+                    if l <= h +. 1e-9 && not !limit_hit then begin
+                      Revised.set_bounds solver v ~lo:l ~hi:h;
+                      node (depth + 1);
+                      Revised.set_bounds solver v ~lo:orig_lo.(v)
+                        ~hi:orig_hi.(v)
+                    end)
+                  children
+          end
+    end
+  in
+  (try node 0 with Gap_closed -> ());
+  let total_time = Sys.time () -. t0 in
+  match !incumbent with
+  | Some x ->
+      {
+        status = (if !limit_hit then Limit else Optimal);
+        objective = !incumbent_obj;
+        solution = x;
+        nodes = !nodes;
+        root_objective = !root_objective;
+        root_time = !root_time;
+        total_time;
+        simplex_iterations = Revised.iterations solver;
+      }
+  | None ->
+      {
+        status = (if !limit_hit then Limit else Infeasible);
+        objective = infinity;
+        solution = Array.make (Problem.num_vars p) 0.;
+        nodes = !nodes;
+        root_objective = !root_objective;
+        root_time = !root_time;
+        total_time;
+        simplex_iterations = Revised.iterations solver;
+      }

@@ -1,0 +1,343 @@
+(* Textbook two-phase primal simplex on a dense tableau, functorized over
+   an ordered field.
+
+   This implementation favours clarity and exactness over speed: it is the
+   reference solver used by the test suite (instantiated at [Rat_field] it
+   is exact and immune to cycling thanks to Bland's rule) and the
+   cross-check for the production revised solver.  Problem sizes here are
+   expected to be small (tens to a few hundred variables). *)
+
+module Make (F : Field.S) = struct
+  type status = Optimal | Infeasible | Unbounded
+
+  type result = {
+    status : status;
+    objective : F.t; (* meaningful when Optimal *)
+    solution : F.t array; (* values of the original problem variables *)
+  }
+
+  (* Internal standard form:  min c'y  s.t.  Ay = b, y >= 0, b >= 0. *)
+
+  type std = {
+    ncols : int;
+    nrows : int;
+    a : F.t array array; (* nrows x ncols *)
+    b : F.t array;
+    c : F.t array;
+    (* Mapping back: original var j has value
+       offset_j + sum_k scale_k * y_{col_k}. *)
+    recover : (F.t * (F.t * int) list) array;
+  }
+
+  (* Convert a [Problem.t] into standard form:
+     - each variable is shifted/flipped/split so that it becomes one or two
+       nonnegative columns;
+     - finite upper bounds become extra [<=] rows;
+     - every row gets a slack (Le), surplus (Ge) or nothing (Eq). *)
+  let standardize (p : Problem.t) =
+    let nv = Problem.num_vars p in
+    let ncols = ref 0 in
+    let recover = Array.make nv (F.zero, []) in
+    (* per original var: list of (coef, col) and constant offset s.t.
+       x = offset + sum coef*y_col, with y >= 0 *)
+    let var_expr = Array.make nv (F.zero, []) in
+    let extra_ub_rows = ref [] in
+    for j = 0 to nv - 1 do
+      let lo = Problem.var_lo p j and hi = Problem.var_hi p j in
+      if lo > hi then extra_ub_rows := `Contradiction :: !extra_ub_rows
+      else if Float.is_finite lo then begin
+        (* x = lo + y, y >= 0, y <= hi - lo (if finite) *)
+        let col = !ncols in
+        incr ncols;
+        var_expr.(j) <- (F.of_float lo, [ (F.one, col) ]);
+        if Float.is_finite hi then
+          extra_ub_rows := `Ub (col, F.of_float (hi -. lo)) :: !extra_ub_rows
+      end
+      else if Float.is_finite hi then begin
+        (* x = hi - y, y >= 0 *)
+        let col = !ncols in
+        incr ncols;
+        var_expr.(j) <- (F.of_float hi, [ (F.neg F.one, col) ])
+      end
+      else begin
+        (* free: x = y+ - y- *)
+        let cp = !ncols and cm = !ncols + 1 in
+        ncols := !ncols + 2;
+        var_expr.(j) <- (F.zero, [ (F.one, cp); (F.neg F.one, cm) ])
+      end
+    done;
+    Array.blit var_expr 0 recover 0 nv;
+    (* Count rows: original rows + upper-bound rows. *)
+    let ub_rows =
+      List.filter_map (function `Ub x -> Some x | `Contradiction -> None)
+        !extra_ub_rows
+    in
+    let contradiction =
+      List.exists (function `Contradiction -> true | _ -> false) !extra_ub_rows
+    in
+    let orig_rows = ref [] in
+    Problem.iter_rows (fun r -> orig_rows := r :: !orig_rows) p;
+    let orig_rows = List.rev !orig_rows in
+    let slack_count =
+      List.length ub_rows
+      + List.length
+          (List.filter (fun r -> r.Problem.sense <> Problem.Eq) orig_rows)
+    in
+    let nrows = List.length orig_rows + List.length ub_rows in
+    let total_cols = !ncols + slack_count in
+    let a = Array.make_matrix nrows total_cols F.zero in
+    let b = Array.make nrows F.zero in
+    let c = Array.make total_cols F.zero in
+    (* Objective in terms of the new columns. *)
+    for j = 0 to nv - 1 do
+      let cj = F.of_float (Problem.var_obj p j) in
+      if F.compare cj F.zero <> 0 then begin
+        let _, terms = var_expr.(j) in
+        List.iter
+          (fun (coef, col) -> c.(col) <- F.add c.(col) (F.mul cj coef))
+          terms
+      end
+    done;
+    (* Objective constant from shifts (added back at the end). *)
+    let obj_const = ref F.zero in
+    for j = 0 to nv - 1 do
+      let cj = F.of_float (Problem.var_obj p j) in
+      if F.compare cj F.zero <> 0 then
+        let off, _ = var_expr.(j) in
+        obj_const := F.add !obj_const (F.mul cj off)
+    done;
+    let slack = ref !ncols in
+    let set_row i sense rhs terms =
+      (* terms are (orig var, coef); expand through var_expr. *)
+      let rhs = ref rhs in
+      List.iter
+        (fun (v, coef) ->
+          let coef = F.of_float coef in
+          let off, cols = var_expr.(v) in
+          rhs := F.sub !rhs (F.mul coef off);
+          List.iter
+            (fun (scale, col) ->
+              a.(i).(col) <- F.add a.(i).(col) (F.mul coef scale))
+            cols)
+        terms;
+      (match sense with
+      | Problem.Le ->
+          a.(i).(!slack) <- F.one;
+          incr slack
+      | Problem.Ge ->
+          a.(i).(!slack) <- F.neg F.one;
+          incr slack
+      | Problem.Eq -> ());
+      b.(i) <- !rhs
+    in
+    List.iteri
+      (fun i r -> set_row i r.Problem.sense (F.of_float r.Problem.rhs) r.terms)
+      orig_rows;
+    List.iteri
+      (fun k (col, ub) ->
+        let i = List.length orig_rows + k in
+        a.(i).(col) <- F.one;
+        a.(i).(!slack) <- F.one;
+        incr slack;
+        b.(i) <- ub)
+      ub_rows;
+    (* Make b >= 0 by row negation. *)
+    for i = 0 to nrows - 1 do
+      if F.compare b.(i) F.zero < 0 then begin
+        b.(i) <- F.neg b.(i);
+        for j = 0 to total_cols - 1 do
+          a.(i).(j) <- F.neg a.(i).(j)
+        done
+      end
+    done;
+    ( { ncols = total_cols; nrows; a; b; c; recover },
+      !obj_const,
+      contradiction )
+
+  (* One phase of the simplex method with Bland's anticycling rule on the
+     extended tableau [t] (nrows x (ncols+1), last column = b), with basis
+     array [basis] and cost row [cost] (ncols+1 wide, last entry = -z). *)
+  let run_phase t basis cost nrows ncols ~max_enter =
+    let rec iterate () =
+      (* Bland: entering = smallest index with negative reduced cost.
+         Artificial columns (j >= max_enter) are never allowed to enter:
+         they start basic and once driven out must stay out, regardless of
+         what pivoting does to their reduced costs. *)
+      let entering = ref (-1) in
+      (try
+         for j = 0 to max_enter - 1 do
+           if F.compare cost.(j) F.zero < 0 then begin
+             entering := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !entering < 0 then `Optimal
+      else begin
+        let e = !entering in
+        (* Ratio test, Bland ties: smallest basis var index. *)
+        let leave = ref (-1) in
+        let best = ref F.zero in
+        for i = 0 to nrows - 1 do
+          if F.compare t.(i).(e) F.zero > 0 then begin
+            let ratio = F.div t.(i).(ncols) t.(i).(e) in
+            if
+              !leave < 0
+              || F.compare ratio !best < 0
+              || (F.compare ratio !best = 0 && basis.(i) < basis.(!leave))
+            then begin
+              leave := i;
+              best := ratio
+            end
+          end
+        done;
+        if !leave < 0 then `Unbounded
+        else begin
+          let l = !leave in
+          (* Pivot on (l, e). *)
+          let piv = t.(l).(e) in
+          for j = 0 to ncols do
+            t.(l).(j) <- F.div t.(l).(j) piv
+          done;
+          for i = 0 to nrows - 1 do
+            if i <> l && not (F.is_zero t.(i).(e)) then begin
+              let f = t.(i).(e) in
+              for j = 0 to ncols do
+                t.(i).(j) <- F.sub t.(i).(j) (F.mul f t.(l).(j))
+              done
+            end
+          done;
+          if not (F.is_zero cost.(e)) then begin
+            let f = cost.(e) in
+            for j = 0 to ncols do
+              cost.(j) <- F.sub cost.(j) (F.mul f t.(l).(j))
+            done
+          end;
+          basis.(l) <- e;
+          iterate ()
+        end
+      end
+    in
+    iterate ()
+
+  let solve (p : Problem.t) =
+    let std, obj_const, contradiction = standardize p in
+    let nv = Problem.num_vars p in
+    let fail status =
+      { status; objective = F.zero; solution = Array.make nv F.zero }
+    in
+    if contradiction then fail Infeasible
+    else begin
+      let m = std.nrows and n = std.ncols in
+      (* Extended tableau with artificials: columns [0,n) structural+slack,
+         [n, n+m) artificial, column n+m = rhs. *)
+      let width = n + m in
+      let t = Array.make_matrix m (width + 1) F.zero in
+      for i = 0 to m - 1 do
+        for j = 0 to n - 1 do
+          t.(i).(j) <- std.a.(i).(j)
+        done;
+        t.(i).(n + i) <- F.one;
+        t.(i).(width) <- std.b.(i)
+      done;
+      let basis = Array.init m (fun i -> n + i) in
+      (* Phase-1 cost row: minimize sum of artificials; start reduced. *)
+      let cost1 = Array.make (width + 1) F.zero in
+      for j = 0 to width - 1 do
+        if j >= n then cost1.(j) <- F.zero
+        else begin
+          (* reduced cost of column j = -(sum of rows) since artificial
+             basis has cost 1 each *)
+          let s = ref F.zero in
+          for i = 0 to m - 1 do
+            s := F.add !s t.(i).(j)
+          done;
+          cost1.(j) <- F.neg !s
+        end
+      done;
+      let z1 = ref F.zero in
+      for i = 0 to m - 1 do
+        z1 := F.add !z1 t.(i).(width)
+      done;
+      cost1.(width) <- F.neg !z1;
+      (match run_phase t basis cost1 m width ~max_enter:n with
+      | `Unbounded -> failwith "dense_simplex: phase 1 unbounded (impossible)"
+      | `Optimal -> ());
+      (* Infeasible if phase-1 optimum > 0. *)
+      let phase1_obj = F.neg cost1.(width) in
+      if F.compare phase1_obj F.zero > 0 && not (F.is_zero phase1_obj) then
+        fail Infeasible
+      else begin
+        (* Drive any artificial still in the basis out (degenerate). *)
+        for i = 0 to m - 1 do
+          if basis.(i) >= n then begin
+            (* find a structural column with nonzero entry in this row *)
+            let found = ref (-1) in
+            (try
+               for j = 0 to n - 1 do
+                 if not (F.is_zero t.(i).(j)) then begin
+                   found := j;
+                   raise Exit
+                 end
+               done
+             with Exit -> ());
+            match !found with
+            | -1 -> () (* redundant row; leave artificial at zero *)
+            | e ->
+                let piv = t.(i).(e) in
+                for j = 0 to width do
+                  t.(i).(j) <- F.div t.(i).(j) piv
+                done;
+                for i' = 0 to m - 1 do
+                  if i' <> i && not (F.is_zero t.(i').(e)) then begin
+                    let f = t.(i').(e) in
+                    for j = 0 to width do
+                      t.(i').(j) <- F.sub t.(i').(j) (F.mul f t.(i).(j))
+                    done
+                  end
+                done;
+                basis.(i) <- e
+          end
+        done;
+        (* Phase-2 cost row: original costs, reduced w.r.t. current basis.
+           Artificial columns are forbidden (treat as +inf cost: zero them
+           and never let them enter by giving them cost 0 but blocking). *)
+        let cost2 = Array.make (width + 1) F.zero in
+        for j = 0 to n - 1 do
+          cost2.(j) <- std.c.(j)
+        done;
+        (* Reduce: subtract basis costs. *)
+        for i = 0 to m - 1 do
+          let cb = if basis.(i) < n then std.c.(basis.(i)) else F.zero in
+          if not (F.is_zero cb) then
+            for j = 0 to width do
+              cost2.(j) <- F.sub cost2.(j) (F.mul cb t.(i).(j))
+            done
+        done;
+        match run_phase t basis cost2 m width ~max_enter:n with
+        | `Unbounded -> fail Unbounded
+        | `Optimal ->
+            let y = Array.make width F.zero in
+            for i = 0 to m - 1 do
+              if basis.(i) < width then y.(basis.(i)) <- t.(i).(width)
+            done;
+            let solution =
+              Array.init nv (fun j ->
+                  let off, terms = std.recover.(j) in
+                  List.fold_left
+                    (fun acc (coef, col) -> F.add acc (F.mul coef y.(col)))
+                    off terms)
+            in
+            let objective =
+              Array.to_list solution
+              |> List.mapi (fun j v -> F.mul (F.of_float (Problem.var_obj p j)) v)
+              |> List.fold_left F.add F.zero
+            in
+            ignore obj_const;
+            { status = Optimal; objective; solution }
+      end
+    end
+end
+
+module Exact = Make (Field.Rat_field)
+module Approx = Make (Field.Float_field)

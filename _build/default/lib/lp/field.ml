@@ -1,0 +1,63 @@
+(* Ordered-field abstraction: the dense simplex is one implementation
+   instantiated at [Float_field] (fast, approximate) and [Rat_field]
+   (exact, for cross-checking in tests). *)
+
+module type S = sig
+  type t
+
+  val zero : t
+  val one : t
+  val of_int : int -> t
+  val of_float : float -> t
+  val to_float : t -> float
+  val add : t -> t -> t
+  val sub : t -> t -> t
+  val mul : t -> t -> t
+  val div : t -> t -> t
+  val neg : t -> t
+  val compare : t -> t -> int
+  val abs : t -> t
+
+  (* [is_zero] may use a tolerance in inexact instances. *)
+  val is_zero : t -> bool
+  val pp : t Fmt.t
+end
+
+module Float_field : S with type t = float = struct
+  type t = float
+
+  let eps = 1e-9
+  let zero = 0.
+  let one = 1.
+  let of_int = float_of_int
+  let of_float f = f
+  let to_float f = f
+  let add = ( +. )
+  let sub = ( -. )
+  let mul = ( *. )
+  let div = ( /. )
+  let neg = ( ~-. )
+  let compare = Float.compare
+  let abs = Float.abs
+  let is_zero f = Float.abs f < eps
+  let pp = Fmt.float
+end
+
+module Rat_field : S with type t = Rat.t = struct
+  type t = Rat.t
+
+  let zero = Rat.zero
+  let one = Rat.one
+  let of_int = Rat.of_int
+  let of_float = Rat.of_float
+  let to_float = Rat.to_float
+  let add = Rat.add
+  let sub = Rat.sub
+  let mul = Rat.mul
+  let div = Rat.div
+  let neg = Rat.neg
+  let compare = Rat.compare
+  let abs = Rat.abs
+  let is_zero = Rat.is_zero
+  let pp = Rat.pp
+end

@@ -1,0 +1,126 @@
+(* High-level MIP entry point: presolve, branch and bound, postsolve.
+
+   This is the interface the register allocator talks to; it reports the
+   statistics that Figure 7 of the paper tabulates (model size, root-LP
+   and integer solve times). *)
+
+type status = Optimal | Infeasible | Limit
+
+type stats = {
+  vars_before : int;
+  rows_before : int;
+  vars_after : int; (* after presolve *)
+  rows_after : int;
+  obj_terms : int;
+  nonzeros : int;
+  root_time : float;
+  total_time : float;
+  root_objective : float;
+  nodes : int;
+  simplex_iterations : int;
+}
+
+type result = {
+  status : status;
+  objective : float;
+  solution : float array; (* indexed by the original problem's variables *)
+  stats : stats;
+}
+
+let default_stats =
+  {
+    vars_before = 0;
+    rows_before = 0;
+    vars_after = 0;
+    rows_after = 0;
+    obj_terms = 0;
+    nonzeros = 0;
+    root_time = 0.;
+    total_time = 0.;
+    root_objective = nan;
+    nodes = 0;
+    simplex_iterations = 0;
+  }
+
+let solve ?(presolve = true) ?(time_limit = 600.) ?(rel_gap = 1e-4)
+    (p : Problem.t) =
+  let t0 = Sys.time () in
+  let before = Problem.stats p in
+  let finish status objective solution ~root_time ~root_obj ~nodes ~iters
+      ~after_stats =
+    let total_time = Sys.time () -. t0 in
+    {
+      status;
+      objective;
+      solution;
+      stats =
+        {
+          vars_before = before.Problem.n_vars;
+          rows_before = before.Problem.n_rows;
+          vars_after = after_stats.Problem.n_vars;
+          rows_after = after_stats.Problem.n_rows;
+          obj_terms = before.Problem.n_obj_terms;
+          nonzeros = before.Problem.n_nonzeros;
+          root_time;
+          total_time;
+          root_objective = root_obj;
+          nodes;
+          simplex_iterations = iters;
+        };
+    }
+  in
+  let empty_solution = Array.make (Problem.num_vars p) 0. in
+  if presolve then begin
+    match Presolve.run p with
+    | Presolve.Infeasible_detected ->
+        finish Infeasible infinity empty_solution ~root_time:0. ~root_obj:nan
+          ~nodes:0 ~iters:0 ~after_stats:(Problem.stats p)
+    | Presolve.Reduced (reduced, info) ->
+        let after_stats = Problem.stats reduced in
+        if Problem.num_vars reduced = 0 then begin
+          (* Fully solved by presolve. *)
+          let solution = Presolve.postsolve info [||] in
+          let objective = Problem.objective_value p solution in
+          finish Optimal objective solution ~root_time:0.
+            ~root_obj:objective ~nodes:0 ~iters:0 ~after_stats
+        end
+        else begin
+          let r = Branch_bound.solve ~time_limit ~rel_gap reduced in
+          let status =
+            match r.Branch_bound.status with
+            | Branch_bound.Optimal -> Optimal
+            | Branch_bound.Infeasible -> Infeasible
+            | Branch_bound.Limit -> Limit
+          in
+          let solution, objective =
+            if status = Infeasible then (empty_solution, infinity)
+            else begin
+              let s = Presolve.postsolve info r.Branch_bound.solution in
+              (s, Problem.objective_value p s)
+            end
+          in
+          finish status objective solution ~root_time:r.Branch_bound.root_time
+            ~root_obj:r.Branch_bound.root_objective ~nodes:r.Branch_bound.nodes
+            ~iters:r.Branch_bound.simplex_iterations ~after_stats
+        end
+  end
+  else begin
+    let r = Branch_bound.solve ~time_limit ~rel_gap p in
+    let status =
+      match r.Branch_bound.status with
+      | Branch_bound.Optimal -> Optimal
+      | Branch_bound.Infeasible -> Infeasible
+      | Branch_bound.Limit -> Limit
+    in
+    finish status r.Branch_bound.objective r.Branch_bound.solution
+      ~root_time:r.Branch_bound.root_time ~root_obj:r.Branch_bound.root_objective
+      ~nodes:r.Branch_bound.nodes ~iters:r.Branch_bound.simplex_iterations
+      ~after_stats:(Problem.stats p)
+  end
+
+(* Solve the LP relaxation only (used for root-relaxation statistics). *)
+let solve_relaxation (p : Problem.t) =
+  let solver = Revised.create p in
+  match Revised.solve solver with
+  | Revised.Optimal -> Some (Revised.objective solver, Revised.primal solver)
+  | Revised.Infeasible | Revised.Iteration_limit -> None

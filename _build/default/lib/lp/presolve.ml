@@ -1,0 +1,309 @@
+(* LP/MIP presolve.
+
+   The register-allocation models contain vast numbers of structurally
+   trivial constraints -- copy-propagation equalities (After = Before),
+   two-bank one-place constraints (x + y = 1), and variables fixed by the
+   static bank-pruning analysis.  Presolve eliminates these before the
+   simplex ever sees them, typically shrinking the model by 3-10x:
+
+     - empty rows        : dropped (checked for consistency);
+     - singleton rows    : converted into variable bounds;
+     - fixed variables   : substituted into rows and objective;
+     - doubleton x = y   : alias elimination (coefs +-1, integral rhs,
+                           preserving 0-1 integrality);
+     - doubleton x+y = c : substitution y := c - x (same restriction).
+
+   A postsolve record reconstructs values of eliminated variables. *)
+
+type elim =
+  | Fixed of int * float (* var = value *)
+  | Affine of int * float * float * int (* var = a + b * other *)
+
+type info = {
+  n_original : int;
+  elims : elim list; (* in elimination order; replay in reverse *)
+  keep_map : int array; (* original var -> reduced var, or -1 *)
+  obj_constant : float;
+}
+
+type outcome = Reduced of Problem.t * info | Infeasible_detected
+
+let feas_tol = 1e-9
+
+(* Mutable working representation. *)
+type work = {
+  n : int;
+  lo : float array;
+  hi : float array;
+  obj : float array;
+  integer : bool array;
+  alive_var : bool array;
+  (* rows: id -> (terms hashtable var->coef, sense, rhs); names kept for
+     diagnostics *)
+  mutable rows : (int, (int, float) Hashtbl.t * Problem.sense ref * float ref) Hashtbl.t;
+  row_names : (int, string) Hashtbl.t;
+  var_rows : (int, unit) Hashtbl.t array; (* var -> set of row ids *)
+  mutable elims : elim list;
+  mutable obj_constant : float;
+  mutable infeasible : bool;
+  queue : int Queue.t; (* row ids to revisit *)
+}
+
+let init (p : Problem.t) =
+  let n = Problem.num_vars p in
+  let w =
+    {
+      n;
+      lo = Array.init n (Problem.var_lo p);
+      hi = Array.init n (Problem.var_hi p);
+      obj = Array.init n (Problem.var_obj p);
+      integer = Array.init n (Problem.var_integer p);
+      alive_var = Array.make n true;
+      rows = Hashtbl.create 64;
+      row_names = Hashtbl.create 64;
+      var_rows = Array.init n (fun _ -> Hashtbl.create 4);
+      elims = [];
+      obj_constant = 0.;
+      infeasible = false;
+      queue = Queue.create ();
+    }
+  in
+  let rid = ref 0 in
+  Problem.iter_rows
+    (fun r ->
+      let tbl = Hashtbl.create (List.length r.terms) in
+      List.iter
+        (fun (v, c) ->
+          Hashtbl.replace tbl v c;
+          Hashtbl.replace w.var_rows.(v) !rid ())
+        r.terms;
+      Hashtbl.replace w.rows !rid (tbl, ref r.sense, ref r.rhs);
+      Hashtbl.replace w.row_names !rid r.row_name;
+      Queue.add !rid w.queue;
+      incr rid)
+    p;
+  w
+
+let row_alive w rid = Hashtbl.mem w.rows rid
+
+let kill_row w rid =
+  match Hashtbl.find_opt w.rows rid with
+  | None -> ()
+  | Some (tbl, _, _) ->
+      Hashtbl.iter (fun v _ -> Hashtbl.remove w.var_rows.(v) rid) tbl;
+      Hashtbl.remove w.rows rid
+
+let tighten_lo w v x =
+  if x > w.lo.(v) then begin
+    w.lo.(v) <- (if w.integer.(v) then Float.ceil (x -. feas_tol) else x);
+    if w.lo.(v) > w.hi.(v) +. feas_tol then w.infeasible <- true
+  end
+
+let tighten_hi w v x =
+  if x < w.hi.(v) then begin
+    w.hi.(v) <- (if w.integer.(v) then Float.floor (x +. feas_tol) else x);
+    if w.lo.(v) > w.hi.(v) +. feas_tol then w.infeasible <- true
+  end
+
+(* Substitute variable [v] := [a] + [b] * [u] everywhere ([u] < 0 means a
+   pure constant).  Re-queue all affected rows. *)
+let substitute w v ~a ~b ~u =
+  w.alive_var.(v) <- false;
+  w.elims <- (if u < 0 then Fixed (v, a) else Affine (v, a, b, u)) :: w.elims;
+  (* objective *)
+  if w.obj.(v) <> 0. then begin
+    w.obj_constant <- w.obj_constant +. (w.obj.(v) *. a);
+    if u >= 0 then w.obj.(u) <- w.obj.(u) +. (w.obj.(v) *. b);
+    w.obj.(v) <- 0.
+  end;
+  let rids = Hashtbl.fold (fun rid () acc -> rid :: acc) w.var_rows.(v) [] in
+  List.iter
+    (fun rid ->
+      match Hashtbl.find_opt w.rows rid with
+      | None -> ()
+      | Some (tbl, _sense, rhs) ->
+          (match Hashtbl.find_opt tbl v with
+          | None -> ()
+          | Some c ->
+              Hashtbl.remove tbl v;
+              Hashtbl.remove w.var_rows.(v) rid;
+              rhs := !rhs -. (c *. a);
+              if u >= 0 then begin
+                let prev = Option.value ~default:0. (Hashtbl.find_opt tbl u) in
+                let c' = prev +. (c *. b) in
+                if Float.abs c' < 1e-12 then begin
+                  Hashtbl.remove tbl u;
+                  Hashtbl.remove w.var_rows.(u) rid
+                end
+                else begin
+                  Hashtbl.replace tbl u c';
+                  Hashtbl.replace w.var_rows.(u) rid ()
+                end
+              end);
+          Queue.add rid w.queue)
+    rids
+
+let fix_var w v x =
+  if w.alive_var.(v) then begin
+    if x < w.lo.(v) -. feas_tol || x > w.hi.(v) +. feas_tol then
+      w.infeasible <- true
+    else if w.integer.(v) && Float.abs (x -. Float.round x) > feas_tol then
+      w.infeasible <- true
+    else substitute w v ~a:x ~b:0. ~u:(-1)
+  end
+
+(* Process one row: empty/singleton/doubleton reductions. *)
+let process_row w rid =
+  match Hashtbl.find_opt w.rows rid with
+  | None -> ()
+  | Some (tbl, sense, rhs) -> (
+      let nterms = Hashtbl.length tbl in
+      if nterms = 0 then begin
+        let ok =
+          match !sense with
+          | Problem.Le -> !rhs >= -.feas_tol
+          | Problem.Ge -> !rhs <= feas_tol
+          | Problem.Eq -> Float.abs !rhs <= feas_tol
+        in
+        if not ok then w.infeasible <- true;
+        kill_row w rid
+      end
+      else if nterms = 1 then begin
+        let v, c = Hashtbl.fold (fun v c _ -> (v, c)) tbl (0, 0.) in
+        let x = !rhs /. c in
+        (match (!sense, c > 0.) with
+        | Problem.Eq, _ ->
+            kill_row w rid;
+            fix_var w v x
+        | Problem.Le, true | Problem.Ge, false ->
+            kill_row w rid;
+            tighten_hi w v x
+        | Problem.Le, false | Problem.Ge, true ->
+            kill_row w rid;
+            tighten_lo w v x);
+        if w.lo.(v) >= w.hi.(v) -. feas_tol && w.alive_var.(v) then
+          fix_var w v w.lo.(v)
+      end
+      else if nterms = 2 && !sense = Problem.Eq then begin
+        (* a x + b y = c with |a| = |b| = 1: eliminate y = (c - a x)/b. *)
+        let terms = Hashtbl.fold (fun v c acc -> (v, c) :: acc) tbl [] in
+        let unit c = Float.abs (Float.abs c -. 1.) < 1e-12 in
+        (* Eliminating y must not lose y's integrality: with unit
+           coefficients, y is integral iff x is, provided rhs is integral. *)
+        let integrality_safe x y =
+          (not w.integer.(y)) || (w.integer.(x) && Float.is_integer !rhs)
+        in
+        match terms with
+        | [ (x, a); (y, b) ] when unit a && unit b && integrality_safe x y ->
+            (* y = rhs/b - (a/b) x *)
+            let const = !rhs /. b and slope = -.(a /. b) in
+            kill_row w rid;
+            (* implied bounds on x from y's bounds *)
+            let ylo = w.lo.(y) and yhi = w.hi.(y) in
+            if slope > 0. then begin
+              if Float.is_finite ylo then tighten_lo w x ((ylo -. const) /. slope);
+              if Float.is_finite yhi then tighten_hi w x ((yhi -. const) /. slope)
+            end
+            else begin
+              if Float.is_finite ylo then tighten_hi w x ((ylo -. const) /. slope);
+              if Float.is_finite yhi then tighten_lo w x ((yhi -. const) /. slope)
+            end;
+            substitute w y ~a:const ~b:slope ~u:x;
+            if w.lo.(x) >= w.hi.(x) -. feas_tol && w.alive_var.(x) then
+              fix_var w x w.lo.(x)
+        | _ -> ()
+      end)
+
+let run (p : Problem.t) =
+  let w = init p in
+  (* Pre-pass: fix variables whose bounds already coincide. *)
+  for v = 0 to w.n - 1 do
+    if w.lo.(v) >= w.hi.(v) -. feas_tol && Float.is_finite w.lo.(v) then
+      fix_var w v w.lo.(v)
+  done;
+  while (not w.infeasible) && not (Queue.is_empty w.queue) do
+    let rid = Queue.pop w.queue in
+    if row_alive w rid then process_row w rid
+  done;
+  if w.infeasible then Infeasible_detected
+  else begin
+    (* Rebuild reduced problem. *)
+    let keep_map = Array.make w.n (-1) in
+    let reduced = Problem.create () in
+    for v = 0 to w.n - 1 do
+      if w.alive_var.(v) then
+        keep_map.(v) <-
+          Problem.add_var reduced ~lo:w.lo.(v) ~hi:w.hi.(v) ~obj:w.obj.(v)
+            ~integer:w.integer.(v)
+            (Problem.var_name p v)
+    done;
+    (* Deduplicate rows: chains of aliased variables leave many copies
+       of the same constraint (e.g. per-program-point interference rows
+       collapse onto one representative).  Identical term vectors merge;
+       for inequalities the tightest bound wins. *)
+    let canonical tbl =
+      Hashtbl.fold (fun v c acc -> (keep_map.(v), c) :: acc) tbl []
+      |> List.sort (fun (a, _) (b, _) -> Int.compare a b)
+    in
+    let best :
+        (string, Problem.sense * float * (int * float) list * string) Hashtbl.t =
+      Hashtbl.create 256
+    in
+    let infeasible_rows = ref false in
+    Hashtbl.iter
+      (fun rid (tbl, sense, rhs) ->
+        let rname = Option.value ~default:"" (Hashtbl.find_opt w.row_names rid) in
+        let terms = canonical tbl in
+        let key =
+          String.concat ";"
+            ((match !sense with
+             | Problem.Le -> "<"
+             | Problem.Ge -> ">"
+             | Problem.Eq -> "=")
+            :: List.map (fun (v, c) -> Printf.sprintf "%d:%h" v c) terms)
+        in
+        match Hashtbl.find_opt best key with
+        | None -> Hashtbl.replace best key (!sense, !rhs, terms, rname)
+        | Some (s, r, _, n) -> (
+            match s with
+            | Problem.Le ->
+                Hashtbl.replace best key (s, Float.min r !rhs, terms, n)
+            | Problem.Ge ->
+                Hashtbl.replace best key (s, Float.max r !rhs, terms, n)
+            | Problem.Eq ->
+                if Float.abs (r -. !rhs) > feas_tol then infeasible_rows := true))
+      w.rows;
+    Hashtbl.iter
+      (fun _ (sense, rhs, terms, name) ->
+        Problem.add_row reduced ~name sense rhs terms)
+      best;
+    if !infeasible_rows then w.infeasible <- true;
+    if w.infeasible then Infeasible_detected
+    else
+      Reduced
+        ( reduced,
+          {
+            n_original = w.n;
+            elims = w.elims;
+            keep_map;
+            obj_constant = w.obj_constant;
+          } )
+  end
+
+let postsolve info reduced_solution =
+  let x = Array.make info.n_original 0. in
+  Array.iteri
+    (fun v r -> if r >= 0 then x.(v) <- reduced_solution.(r))
+    info.keep_map;
+  (* [elims] is newest-first.  An elimination only ever refers to a
+     variable that was alive at its time, i.e. one that is either kept or
+     eliminated *later* (appearing nearer the head).  Replaying head to
+     tail therefore resolves every reference to an already-computed
+     value. *)
+  List.iter
+    (fun e ->
+      match e with
+      | Fixed (v, a) -> x.(v) <- a
+      | Affine (v, a, b, u) -> x.(v) <- a +. (b *. x.(u)))
+    info.elims;
+  x

@@ -1,0 +1,101 @@
+(* Exact rational arithmetic over [Bigint].
+
+   Invariants: denominator > 0; gcd(num, den) = 1; zero is 0/1. *)
+
+type t = { num : Bigint.t; den : Bigint.t }
+
+let make num den =
+  if Bigint.is_zero den then raise Division_by_zero;
+  let num, den =
+    if Bigint.sign den < 0 then (Bigint.neg num, Bigint.neg den) else (num, den)
+  in
+  if Bigint.is_zero num then { num = Bigint.zero; den = Bigint.one }
+  else begin
+    let g = Bigint.gcd num den in
+    { num = Bigint.div num g; den = Bigint.div den g }
+  end
+
+let zero = { num = Bigint.zero; den = Bigint.one }
+let one = { num = Bigint.one; den = Bigint.one }
+let minus_one = { num = Bigint.minus_one; den = Bigint.one }
+
+let of_bigint n = { num = n; den = Bigint.one }
+let of_int i = of_bigint (Bigint.of_int i)
+let of_ints num den = make (Bigint.of_int num) (Bigint.of_int den)
+
+let num t = t.num
+let den t = t.den
+
+let is_zero t = Bigint.is_zero t.num
+let sign t = Bigint.sign t.num
+
+let neg t = { t with num = Bigint.neg t.num }
+
+let add a b =
+  make
+    (Bigint.add (Bigint.mul a.num b.den) (Bigint.mul b.num a.den))
+    (Bigint.mul a.den b.den)
+
+let sub a b = add a (neg b)
+let mul a b = make (Bigint.mul a.num b.num) (Bigint.mul a.den b.den)
+
+let inv t =
+  if is_zero t then raise Division_by_zero;
+  make t.den t.num
+
+let div a b = mul a (inv b)
+
+let compare a b =
+  Bigint.compare (Bigint.mul a.num b.den) (Bigint.mul b.num a.den)
+
+let equal a b = Bigint.equal a.num b.num && Bigint.equal a.den b.den
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let abs t = if sign t < 0 then neg t else t
+
+let is_integer t = Bigint.equal t.den Bigint.one
+
+(* Floor division of num by den (rounding toward -infinity). *)
+let floor t =
+  let q, r = Bigint.divmod t.num t.den in
+  if Bigint.sign r < 0 then Bigint.sub q Bigint.one else q
+
+let ceil t = Bigint.neg (floor (neg t))
+
+let to_float t = Bigint.to_float t.num /. Bigint.to_float t.den
+
+let pow2 e =
+  let two = Bigint.of_int 2 in
+  let rec go acc n = if n = 0 then acc else go (Bigint.mul acc two) (n - 1) in
+  go Bigint.one e
+
+(* Exact conversion: every finite float is a dyadic rational. *)
+let of_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then of_int (int_of_float f)
+  else begin
+    let m, e = Float.frexp f in
+    (* f = m * 2^e with 0.5 <= |m| < 1; scale mantissa to an integer. *)
+    let m53 = Int64.of_float (m *. 9007199254740992.0) (* 2^53 *) in
+    let num = Bigint.of_string (Int64.to_string m53) in
+    let e = e - 53 in
+    if e >= 0 then of_bigint (Bigint.mul num (pow2 e))
+    else make num (pow2 (-e))
+  end
+
+let to_string t =
+  if is_integer t then Bigint.to_string t.num
+  else Bigint.to_string t.num ^ "/" ^ Bigint.to_string t.den
+
+let pp ppf t = Fmt.string ppf (to_string t)
+
+module Infix = struct
+  let ( + ) = add
+  let ( - ) = sub
+  let ( * ) = mul
+  let ( / ) = div
+  let ( = ) = equal
+  let ( < ) a b = compare a b < 0
+  let ( <= ) a b = compare a b <= 0
+  let ( > ) a b = compare a b > 0
+  let ( >= ) a b = compare a b >= 0
+end

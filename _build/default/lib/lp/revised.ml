@@ -1,0 +1,437 @@
+(* Production LP solver: bounded-variable revised dual simplex with a
+   dense explicit basis inverse and sparse columns.
+
+   Why dual simplex: the register-allocation MIPs have nonnegative move
+   costs, so the all-slack basis with every structural variable at a
+   dual-feasible bound is immediately dual feasible -- no phase 1 is ever
+   needed.  Branch and bound only ever changes variable bounds, which
+   preserves dual feasibility of the current basis, so node re-solves are
+   warm-started for free.
+
+   Internal form: every row [a_i x (sense) b_i] becomes [a_i x + s_i = b_i]
+   with slack bounds
+       Le: s_i in [0, +inf)    Ge: s_i in (-inf, 0]    Eq: s_i in [0, 0].
+
+   Requirements (checked at [create]): every structural variable must have
+   at least one finite bound, and a finite bound on the side demanded by
+   the sign of its objective coefficient (so that an initial dual-feasible
+   placement exists).  The 0-1 models satisfy this trivially. *)
+
+type status = Optimal | Infeasible | Iteration_limit
+
+type t = {
+  n : int; (* structural variables *)
+  m : int; (* rows = slack variables *)
+  cost : float array; (* length n+m; slacks cost 0 *)
+  lo : float array; (* length n+m, mutable via set_bounds *)
+  hi : float array;
+  cols : (int * float) array array; (* sparse column per variable *)
+  rhs : float array; (* length m *)
+  binv : float array array; (* m x m dense basis inverse *)
+  basis : int array; (* length m: variable in basis position i *)
+  in_basis : int array; (* var -> basis position, or -1 *)
+  at_upper : bool array; (* nonbasic status; meaningful when not basic *)
+  xb : float array; (* values of basic variables *)
+  dvals : float array; (* reduced costs, maintained incrementally *)
+  mutable dvals_fresh : bool;
+  mutable dirty : bool; (* xb / dual status must be refreshed *)
+  (* cheap-restart queue: (nonbasic var, its value before the bound
+     change); the basis and duals are unaffected by bound changes, and
+     x_B shifts by one FTRAN column per changed variable *)
+  mutable bound_deltas : (int * float) list;
+  mutable iters : int;
+  mutable total_iters : int;
+  mutable factorizations : int;
+}
+
+let feas_tol = 1e-7
+let dual_tol = 1e-7
+let pivot_tol = 1e-9
+
+let create (p : Problem.t) =
+  let n = Problem.num_vars p in
+  let m = Problem.num_rows p in
+  let nm = n + m in
+  let cost = Array.make nm 0. in
+  let lo = Array.make nm 0. in
+  let hi = Array.make nm 0. in
+  let cols = Array.make nm [||] in
+  let rhs = Array.make m 0. in
+  for j = 0 to n - 1 do
+    cost.(j) <- Problem.var_obj p j;
+    lo.(j) <- Problem.var_lo p j;
+    hi.(j) <- Problem.var_hi p j;
+    if Float.is_finite lo.(j) = false && Float.is_finite hi.(j) = false then
+      invalid_arg "Revised.create: free variables are not supported";
+    if cost.(j) > 0. && not (Float.is_finite lo.(j)) then
+      invalid_arg "Revised.create: positive cost needs a finite lower bound";
+    if cost.(j) < 0. && not (Float.is_finite hi.(j)) then
+      invalid_arg "Revised.create: negative cost needs a finite upper bound"
+  done;
+  (* Build structural columns row-wise then transpose. *)
+  let col_build = Array.make n [] in
+  let rows = ref [] in
+  Problem.iter_rows (fun r -> rows := r :: !rows) p;
+  let rows = Array.of_list (List.rev !rows) in
+  Array.iteri
+    (fun i (r : Problem.row) ->
+      rhs.(i) <- r.rhs;
+      (match r.sense with
+      | Problem.Le ->
+          lo.(n + i) <- 0.;
+          hi.(n + i) <- infinity
+      | Problem.Ge ->
+          lo.(n + i) <- neg_infinity;
+          hi.(n + i) <- 0.
+      | Problem.Eq ->
+          lo.(n + i) <- 0.;
+          hi.(n + i) <- 0.);
+      List.iter (fun (v, c) -> col_build.(v) <- (i, c) :: col_build.(v)) r.terms)
+    rows;
+  for j = 0 to n - 1 do
+    cols.(j) <- Array.of_list (List.rev col_build.(j))
+  done;
+  for i = 0 to m - 1 do
+    cols.(n + i) <- [| (i, 1.0) |]
+  done;
+  let binv = Array.init m (fun i -> Array.init m (fun k -> if i = k then 1. else 0.)) in
+  let basis = Array.init m (fun i -> n + i) in
+  let in_basis = Array.make nm (-1) in
+  for i = 0 to m - 1 do
+    in_basis.(n + i) <- i
+  done;
+  let at_upper = Array.make nm false in
+  for j = 0 to n - 1 do
+    (* Dual-feasible initial placement. *)
+    if cost.(j) < 0. then at_upper.(j) <- true
+    else if not (Float.is_finite lo.(j)) then at_upper.(j) <- true
+  done;
+  {
+    n; m; cost; lo; hi; cols; rhs; binv; basis; in_basis; at_upper;
+    xb = Array.make m 0.;
+    dvals = Array.make nm 0.;
+    dvals_fresh = false;
+    dirty = true;
+    bound_deltas = [];
+    iters = 0;
+    total_iters = 0;
+    factorizations = 0;
+  }
+
+let nonbasic_value t j = if t.at_upper.(j) then t.hi.(j) else t.lo.(j)
+
+(* Recompute x_B = Binv (b - N x_N) from scratch. *)
+let recompute_xb t =
+  let v = Array.copy t.rhs in
+  for j = 0 to t.n + t.m - 1 do
+    if t.in_basis.(j) < 0 then begin
+      let xj = nonbasic_value t j in
+      if xj <> 0. then
+        Array.iter (fun (i, c) -> v.(i) <- v.(i) -. (c *. xj)) t.cols.(j)
+    end
+  done;
+  for i = 0 to t.m - 1 do
+    let row = t.binv.(i) in
+    let acc = ref 0. in
+    for k = 0 to t.m - 1 do
+      acc := !acc +. (row.(k) *. v.(k))
+    done;
+    t.xb.(i) <- !acc
+  done
+
+(* Dual values y = c_B' Binv and reduced costs for all variables. *)
+let compute_duals t =
+  let y = Array.make t.m 0. in
+  for i = 0 to t.m - 1 do
+    let cb = t.cost.(t.basis.(i)) in
+    if cb <> 0. then begin
+      let row = t.binv.(i) in
+      for k = 0 to t.m - 1 do
+        y.(k) <- y.(k) +. (cb *. row.(k))
+      done
+    end
+  done;
+  y
+
+let reduced_cost t y j =
+  let d = ref t.cost.(j) in
+  Array.iter (fun (i, c) -> d := !d -. (y.(i) *. c)) t.cols.(j);
+  !d
+
+let refresh_dvals t =
+  let y = compute_duals t in
+  for j = 0 to t.n + t.m - 1 do
+    t.dvals.(j) <- (if t.in_basis.(j) >= 0 then 0. else reduced_cost t y j)
+  done;
+  t.dvals_fresh <- true
+
+(* Restore dual feasibility of nonbasic placements by bound flips (used
+   after arbitrary bound changes from branch and bound). *)
+let restore_dual_feasibility t =
+  let y = compute_duals t in
+  t.dvals_fresh <- false;
+  for j = 0 to t.n + t.m - 1 do
+    if t.in_basis.(j) < 0 then begin
+      let d = reduced_cost t y j in
+      if (not t.at_upper.(j)) && d < -.dual_tol && Float.is_finite t.hi.(j) then
+        t.at_upper.(j) <- true
+      else if t.at_upper.(j) && d > dual_tol && Float.is_finite t.lo.(j) then
+        t.at_upper.(j) <- false
+      else if (not (Float.is_finite t.lo.(j))) && not t.at_upper.(j) then
+        t.at_upper.(j) <- true
+      else if (not (Float.is_finite t.hi.(j))) && t.at_upper.(j) then
+        t.at_upper.(j) <- false
+    end
+  done
+
+(* FTRAN: w = Binv * A_q for a sparse column q. *)
+let ftran t q =
+  let w = Array.make t.m 0. in
+  Array.iter
+    (fun (i, c) ->
+      if c <> 0. then
+        for k = 0 to t.m - 1 do
+          Array.unsafe_set w k
+            (Array.unsafe_get w k
+            +. (Array.unsafe_get (Array.unsafe_get t.binv k) i *. c))
+        done)
+    t.cols.(q);
+  w
+
+(* Rebuild Binv from scratch with Gauss-Jordan for numerical hygiene. *)
+let refactorize t =
+  t.factorizations <- t.factorizations + 1;
+  let m = t.m in
+  (* aug = [B | I] column-built from basis columns. *)
+  let b = Array.make_matrix m m 0. in
+  for i = 0 to m - 1 do
+    Array.iter (fun (r, c) -> b.(r).(i) <- c) t.cols.(t.basis.(i))
+  done;
+  let inv = Array.init m (fun i -> Array.init m (fun k -> if i = k then 1. else 0.)) in
+  for col = 0 to m - 1 do
+    (* partial pivot *)
+    let piv = ref col in
+    for r = col + 1 to m - 1 do
+      if Float.abs b.(r).(col) > Float.abs b.(!piv).(col) then piv := r
+    done;
+    if Float.abs b.(!piv).(col) < 1e-12 then
+      failwith "Revised.refactorize: singular basis";
+    if !piv <> col then begin
+      let tmp = b.(col) in
+      b.(col) <- b.(!piv);
+      b.(!piv) <- tmp;
+      let tmp = inv.(col) in
+      inv.(col) <- inv.(!piv);
+      inv.(!piv) <- tmp
+    end;
+    let p = b.(col).(col) in
+    for k = 0 to m - 1 do
+      b.(col).(k) <- b.(col).(k) /. p;
+      inv.(col).(k) <- inv.(col).(k) /. p
+    done;
+    for r = 0 to m - 1 do
+      if r <> col && b.(r).(col) <> 0. then begin
+        let f = b.(r).(col) in
+        for k = 0 to m - 1 do
+          b.(r).(k) <- b.(r).(k) -. (f *. b.(col).(k));
+          inv.(r).(k) <- inv.(r).(k) -. (f *. inv.(col).(k))
+        done
+      end
+    done
+  done;
+  for i = 0 to m - 1 do
+    Array.blit inv.(i) 0 t.binv.(i) 0 m
+  done
+
+let set_bounds t j ~lo ~hi =
+  if j < 0 || j >= t.n then invalid_arg "Revised.set_bounds";
+  (* Tightenings (branch-and-bound dives) restart incrementally: the
+     basis and reduced costs are untouched, a nonbasic variable stays on
+     its side with its value merely clamped, and x_B shifts by one FTRAN
+     column.  Widenings (backtracks) may make the current side
+     dual-infeasible, so they schedule the full refresh. *)
+  let widening = lo < t.lo.(j) || hi > t.hi.(j) in
+  if widening then t.dirty <- true;
+  if not t.dirty then begin
+    (* only the OLDEST record per variable matters: several changes
+       between two solves must not double-count the shift *)
+    if
+      t.in_basis.(j) < 0
+      && not (List.exists (fun (k, _) -> k = j) t.bound_deltas)
+    then t.bound_deltas <- (j, nonbasic_value t j) :: t.bound_deltas
+  end;
+  t.lo.(j) <- lo;
+  t.hi.(j) <- hi
+
+exception Done of status
+
+let solve ?(max_iters = 200_000) t =
+  if t.dirty then begin
+    restore_dual_feasibility t;
+    recompute_xb t;
+    t.dirty <- false;
+    t.bound_deltas <- []
+  end
+  else if t.bound_deltas <> [] then begin
+    (* incremental restart: shift x_B by the changed nonbasic values *)
+    List.iter
+      (fun (j, old_value) ->
+        if t.in_basis.(j) < 0 then begin
+          let new_value = nonbasic_value t j in
+          let delta = new_value -. old_value in
+          if Float.abs delta > 1e-13 then begin
+            let w = ftran t j in
+            for i = 0 to t.m - 1 do
+              t.xb.(i) <- t.xb.(i) -. (delta *. w.(i))
+            done
+          end
+        end)
+      t.bound_deltas;
+    t.bound_deltas <- []
+  end;
+  if not t.dvals_fresh then refresh_dvals t;
+  t.iters <- 0;
+  let nm = t.n + t.m in
+  let alphas = Array.make nm 0. in
+  (try
+     while true do
+       if t.iters >= max_iters then raise (Done Iteration_limit);
+       t.iters <- t.iters + 1;
+       t.total_iters <- t.total_iters + 1;
+       if t.total_iters mod 2000 = 0 then begin
+         refactorize t;
+         recompute_xb t;
+         refresh_dvals t
+       end;
+       (* Leaving variable: most-infeasible basic. *)
+       let r = ref (-1) in
+       let worst = ref feas_tol in
+       let sigma = ref 1.0 in
+       for i = 0 to t.m - 1 do
+         let v = Array.unsafe_get t.basis i in
+         let x = Array.unsafe_get t.xb i in
+         if x > t.hi.(v) +. feas_tol && x -. t.hi.(v) > !worst then begin
+           r := i;
+           worst := x -. t.hi.(v);
+           sigma := 1.0
+         end
+         else if x < t.lo.(v) -. feas_tol && t.lo.(v) -. x > !worst then begin
+           r := i;
+           worst := t.lo.(v) -. x;
+           sigma := -1.0
+         end
+       done;
+       if !r < 0 then raise (Done Optimal);
+       let r = !r and sigma = !sigma in
+       (* Pivot row of Binv. *)
+       let rho = t.binv.(r) in
+       (* Ratio test over nonbasic columns, using the maintained reduced
+          costs; alphas are cached for the incremental dual update. *)
+       let best_j = ref (-1) in
+       let best_ratio = ref infinity in
+       let best_alpha = ref 0. in
+       for j = 0 to nm - 1 do
+         if t.in_basis.(j) < 0 then begin
+           let alpha = ref 0. in
+           let col = t.cols.(j) in
+           for k = 0 to Array.length col - 1 do
+             let i, c = Array.unsafe_get col k in
+             alpha := !alpha +. (Array.unsafe_get rho i *. c)
+           done;
+           Array.unsafe_set alphas j !alpha;
+           if t.lo.(j) < t.hi.(j) -. 1e-15 then begin
+             let a = sigma *. !alpha in
+             let eligible =
+               if t.at_upper.(j) then a < -.pivot_tol else a > pivot_tol
+             in
+             if eligible then begin
+               let d = Array.unsafe_get t.dvals j in
+               let ratio = Float.abs (d /. a) in
+               if
+                 ratio < !best_ratio -. 1e-12
+                 || (ratio < !best_ratio +. 1e-12
+                    && Float.abs a > Float.abs !best_alpha)
+               then begin
+                 best_j := j;
+                 best_ratio := ratio;
+                 best_alpha := !alpha
+               end
+             end
+           end
+         end
+       done;
+       if !best_j < 0 then raise (Done Infeasible);
+       let q = !best_j in
+       (* incremental dual update: d_j -= (d_q / alpha_q) * alpha_j *)
+       let theta = t.dvals.(q) /. alphas.(q) in
+       if theta <> 0. then
+         for j = 0 to nm - 1 do
+           if t.in_basis.(j) < 0 && j <> q then
+             Array.unsafe_set t.dvals j
+               (Array.unsafe_get t.dvals j -. (theta *. Array.unsafe_get alphas j))
+         done;
+       (* Full entering column. *)
+       let w = ftran t q in
+       let wr = w.(r) in
+       let leaving = t.basis.(r) in
+       let target =
+         if sigma > 0. then t.hi.(leaving) else t.lo.(leaving)
+       in
+       let step = (t.xb.(r) -. target) /. wr in
+       (* Update basic values. *)
+       for i = 0 to t.m - 1 do
+         t.xb.(i) <- t.xb.(i) -. (step *. w.(i))
+       done;
+       let entering_old = nonbasic_value t q in
+       (* Update Binv: pivot row r on w. *)
+       let inv_wr = 1.0 /. wr in
+       let br = t.binv.(r) in
+       for k = 0 to t.m - 1 do
+         Array.unsafe_set br k (Array.unsafe_get br k *. inv_wr)
+       done;
+       for i = 0 to t.m - 1 do
+         if i <> r then begin
+           let wi = Array.unsafe_get w i in
+           if Float.abs wi > 1e-13 then begin
+             let bi = Array.unsafe_get t.binv i in
+             for k = 0 to t.m - 1 do
+               Array.unsafe_set bi k
+                 (Array.unsafe_get bi k -. (wi *. Array.unsafe_get br k))
+             done
+           end
+         end
+       done;
+       (* Swap basis membership. *)
+       t.basis.(r) <- q;
+       t.in_basis.(q) <- r;
+       t.in_basis.(leaving) <- -1;
+       t.at_upper.(leaving) <- sigma > 0.;
+       t.xb.(r) <- entering_old +. step;
+       t.dvals.(leaving) <- -.theta;
+       t.dvals.(q) <- 0.
+     done;
+     assert false
+   with Done s ->
+     (match s with
+     | Optimal | Infeasible | Iteration_limit -> s))
+
+let primal t =
+  let x = Array.make t.n 0. in
+  for j = 0 to t.n - 1 do
+    let pos = t.in_basis.(j) in
+    x.(j) <- (if pos >= 0 then t.xb.(pos) else nonbasic_value t j)
+  done;
+  x
+
+let objective t =
+  let x = primal t in
+  let acc = ref 0. in
+  for j = 0 to t.n - 1 do
+    acc := !acc +. (t.cost.(j) *. x.(j))
+  done;
+  !acc
+
+let iterations t = t.total_iters
+let factorizations t = t.factorizations
+let num_rows t = t.m
+let num_cols t = t.n

@@ -1,0 +1,1 @@
+lib/nova/ast.ml: Srcloc Support

@@ -1,0 +1,1 @@
+lib/nova/layout.ml: Ast Diag Fmt Hashtbl List Support

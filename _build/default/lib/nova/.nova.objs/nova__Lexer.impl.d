@@ -1,0 +1,1 @@
+lib/nova/lexer.ml: Array Buffer Diag List Printf Srcloc String Support

@@ -1,0 +1,1 @@
+lib/nova/parser.ml: Array Ast Diag Lexer List Support

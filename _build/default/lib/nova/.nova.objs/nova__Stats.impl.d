@@ -1,0 +1,1 @@
+lib/nova/stats.ml: Ast Fmt List String

@@ -1,0 +1,1 @@
+lib/nova/tast.ml: Ast Ident Layout Srcloc Support Types

@@ -1,0 +1,1 @@
+lib/nova/typecheck.ml: Ast Diag Hashtbl Ident Layout List Option String Support Tast Types

@@ -1,0 +1,1 @@
+lib/nova/types.ml: Fmt Layout List

@@ -1,0 +1,236 @@
+(* Layout resolution and bit-level access planning (paper §3.2).
+
+   A layout statically describes the arrangement of bit-fields within a
+   byte stream (network order: bit offset 0 is the most significant bit of
+   the first 32-bit word).  Overlays provide alternative views of the same
+   bit range; `##` concatenates layouts; `{n}` is an anonymous gap.
+
+   [unpack] and [pack] compile to shift/mask plans over the packed word
+   tuple; the CPS optimizer later deletes the extractions whose results
+   are never used (paper §4.4). *)
+
+open Support
+open Ast
+
+type t =
+  | Leaf of int (* named bit-field width (name kept in Struct) *)
+  | Gap of int
+  | Struct of (string * t) list
+  | Overlay of (string * t) list (* alternatives covering one range *)
+  | Seq of t list
+
+type env = (string, t) Hashtbl.t
+
+let create_env () : env = Hashtbl.create 16
+
+let rec bit_size = function
+  | Leaf w | Gap w -> w
+  | Struct fields -> List.fold_left (fun a (_, t) -> a + bit_size t) 0 fields
+  | Overlay [] -> 0
+  | Overlay ((_, t) :: _) -> bit_size t
+  | Seq ts -> List.fold_left (fun a t -> a + bit_size t) 0 ts
+
+let word_size t = (bit_size t + 31) / 32
+
+(* Resolve a surface layout expression against the named-layout
+   environment, checking overlay-alternative sizes agree and that leaf
+   fields fit in a machine word. *)
+let rec resolve (env : env) (l : layout_expr) : t =
+  match l with
+  | Lname (name, loc) -> (
+      match Hashtbl.find_opt env name with
+      | Some t -> t
+      | None -> Diag.error ~loc "unknown layout '%s'" name)
+  | Lgap (n, loc) ->
+      if n <= 0 then Diag.error ~loc "gap width must be positive";
+      Gap n
+  | Lconcat (a, b) -> (
+      let ra = resolve env a and rb = resolve env b in
+      match rb with
+      | Seq bs -> Seq (ra :: bs)
+      | _ -> Seq [ ra; rb ])
+  | Lfields (fields, loc) ->
+      let seen = Hashtbl.create 8 in
+      Struct
+        (List.map
+           (fun f ->
+             if Hashtbl.mem seen f.fname then
+               Diag.error ~loc:f.floc "duplicate field '%s'" f.fname;
+             Hashtbl.replace seen f.fname ();
+             (f.fname, resolve_field_type env f.floc f.fty))
+           fields)
+      |> fun t ->
+      ignore loc;
+      t
+
+and resolve_field_type env loc = function
+  | Fbits w ->
+      if w <= 0 || w > 32 then
+        Diag.error ~loc "bit-field width %d out of range 1..32" w;
+      Leaf w
+  | Fsub l -> resolve env l
+  | Foverlay alts ->
+      let resolved =
+        List.map (fun (n, ft) -> (n, resolve_field_type env loc ft)) alts
+      in
+      (match resolved with
+      | [] -> Diag.error ~loc "empty overlay"
+      | (_, first) :: rest ->
+          let sz = bit_size first in
+          List.iter
+            (fun (n, t) ->
+              if bit_size t <> sz then
+                Diag.error ~loc
+                  "overlay alternative '%s' has size %d, expected %d" n
+                  (bit_size t) sz)
+            rest);
+      Overlay resolved
+
+let define env name t = Hashtbl.replace env name t
+
+(* ------------------------------------------------------------------ *)
+(* Leaves                                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Every bit-field reachable in the layout, including all overlay
+   alternatives, with its absolute bit offset.  Paths name the access
+   chain, e.g. ["src_address"; "a2"] or ["verpri"; "parts"; "version"]. *)
+type leaf = { path : string list; offset : int; width : int }
+
+let leaves (t : t) : leaf list =
+  let acc = ref [] in
+  let rec go prefix offset = function
+    | Leaf w ->
+        acc := { path = List.rev prefix; offset; width = w } :: !acc;
+        offset + w
+    | Gap w -> offset + w
+    | Struct fields ->
+        List.fold_left
+          (fun off (name, sub) -> go (name :: prefix) off sub)
+          offset fields
+    | Overlay alts ->
+        let size =
+          match alts with [] -> 0 | (_, first) :: _ -> bit_size first
+        in
+        List.iter (fun (name, sub) -> ignore (go (name :: prefix) offset sub)) alts;
+        offset + size
+    | Seq ts -> List.fold_left (fun off sub -> go prefix off sub) offset ts
+  in
+  ignore (go [] 0 t);
+  List.rev !acc
+
+(* Leaves of exactly one overlay alternative (pack's input view):
+   the [choose] callback picks an alternative name for each overlay
+   encountered (identified by its path). *)
+let leaves_choosing (t : t) ~(choose : string list -> string option) :
+    leaf list option =
+  let acc = ref [] in
+  let ok = ref true in
+  let rec go prefix offset = function
+    | Leaf w ->
+        acc := { path = List.rev prefix; offset; width = w } :: !acc;
+        offset + w
+    | Gap w -> offset + w
+    | Struct fields ->
+        List.fold_left
+          (fun off (name, sub) -> go (name :: prefix) off sub)
+          offset fields
+    | Overlay alts -> (
+        let size =
+          match alts with [] -> 0 | (_, first) :: _ -> bit_size first
+        in
+        match choose (List.rev prefix) with
+        | None ->
+            ok := false;
+            offset + size
+        | Some picked -> (
+            match List.assoc_opt picked alts with
+            | None ->
+                ok := false;
+                offset + size
+            | Some sub ->
+                ignore (go (picked :: prefix) offset sub);
+                offset + size))
+    | Seq ts -> List.fold_left (fun off sub -> go prefix off sub) offset ts
+  in
+  ignore (go [] 0 t);
+  if !ok then Some (List.rev !acc) else None
+
+(* Overlay positions within a layout: path of each overlay together with
+   its alternatives' names. *)
+let overlays (t : t) : (string list * string list) list =
+  let acc = ref [] in
+  let rec go prefix = function
+    | Leaf _ | Gap _ -> ()
+    | Struct fields -> List.iter (fun (n, sub) -> go (n :: prefix) sub) fields
+    | Overlay alts ->
+        acc := (List.rev prefix, List.map fst alts) :: !acc;
+        List.iter (fun (n, sub) -> go (n :: prefix) sub) alts
+    | Seq ts -> List.iter (go prefix) ts
+  in
+  go [] t;
+  List.rev !acc
+
+(* ------------------------------------------------------------------ *)
+(* Shift/mask plans                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* One piece of a field: take [width] bits located [shr] bits up from the
+   LSB of packed word [word]; contribute them shifted left by [shl] into
+   the result. *)
+type piece = { word : int; shr : int; width : int; shl : int }
+
+let mask_of_width w = if w >= 32 then 0xFFFFFFFF else (1 lsl w) - 1
+
+(* Decompose the bit range [offset, offset+width) (MSB-first numbering)
+   into per-word pieces. *)
+let pieces ~offset ~width =
+  let rec go offset width acc =
+    if width = 0 then List.rev acc
+    else begin
+      let word = offset / 32 in
+      let bit_in_word = offset mod 32 in
+      let take = min width (32 - bit_in_word) in
+      (* bits [bit_in_word, bit_in_word+take) of the word, MSB-first,
+         i.e. shifted right by 32 - bit_in_word - take from the LSB end *)
+      let shr = 32 - bit_in_word - take in
+      let shl = width - take in
+      go (offset + take) (width - take) ({ word; shr; width = take; shl } :: acc)
+    end
+  in
+  go offset width []
+
+(* Extract the field's value given an accessor for packed words. *)
+let extract_value ~offset ~width ~get_word =
+  List.fold_left
+    (fun acc p ->
+      let bits = (get_word p.word lsr p.shr) land mask_of_width p.width in
+      acc lor (bits lsl p.shl))
+    0
+    (pieces ~offset ~width)
+
+(* Insert [v] into the packed words via [get_word]/[set_word]. *)
+let insert_value ~offset ~width ~get_word ~set_word v =
+  List.iter
+    (fun p ->
+      let bits = (v lsr p.shl) land mask_of_width p.width in
+      let cleared = get_word p.word land lnot (mask_of_width p.width lsl p.shr) in
+      set_word p.word ((cleared lor (bits lsl p.shr)) land 0xFFFFFFFF))
+    (pieces ~offset ~width)
+
+let pp ppf t =
+  let rec go ppf = function
+    | Leaf w -> Fmt.pf ppf ":%d" w
+    | Gap w -> Fmt.pf ppf "{%d}" w
+    | Struct fields ->
+        Fmt.pf ppf "{@[%a@]}"
+          Fmt.(list ~sep:comma (fun ppf (n, t) -> Fmt.pf ppf "%s%a" n go t))
+          fields
+    | Overlay alts ->
+        Fmt.pf ppf "overlay{@[%a@]}"
+          Fmt.(
+            list ~sep:(any " | ") (fun ppf (n, t) -> Fmt.pf ppf "%s%a" n go t))
+          alts
+    | Seq ts -> Fmt.pf ppf "%a" Fmt.(list ~sep:(any " ## ") go) ts
+  in
+  go ppf t

@@ -1,0 +1,259 @@
+(* Hand-written lexer for Nova. *)
+
+open Support
+
+type token =
+  | INT of int
+  | IDENT of string
+  | STRING of string
+  (* keywords *)
+  | KW_layout | KW_overlay | KW_fun | KW_let | KW_var | KW_const
+  | KW_if | KW_else | KW_while | KW_try | KW_handle | KW_raise
+  | KW_pack | KW_unpack | KW_true | KW_false
+  | KW_word | KW_bool | KW_unit | KW_packed | KW_unpacked | KW_exn
+  | KW_sram | KW_sdram | KW_scratch | KW_hash | KW_bit_test_set
+  | KW_csr | KW_rfifo | KW_tfifo | KW_ctx_arb
+  (* punctuation *)
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | COMMA | SEMI | COLON | DOT | BAR | HASHHASH | ARROW | LARROW
+  | ASSIGN (* := *) | EQUALS (* = *)
+  (* operators *)
+  | PLUS | MINUS | STAR | AMP | CARET | BANG | TILDE
+  | SHL | SHR | ASR_OP
+  | EQEQ | NEQ | LT | LE | GT | GE | ULT | UGE
+  | ANDAND | OROR
+  | EOF
+
+let keyword_table =
+  [
+    ("layout", KW_layout); ("overlay", KW_overlay); ("fun", KW_fun);
+    ("let", KW_let); ("var", KW_var); ("const", KW_const); ("if", KW_if);
+    ("else", KW_else); ("while", KW_while); ("try", KW_try);
+    ("handle", KW_handle); ("raise", KW_raise); ("pack", KW_pack);
+    ("unpack", KW_unpack); ("true", KW_true); ("false", KW_false);
+    ("word", KW_word); ("bool", KW_bool); ("unit", KW_unit);
+    ("packed", KW_packed); ("unpacked", KW_unpacked); ("exn", KW_exn);
+    ("sram", KW_sram); ("sdram", KW_sdram); ("scratch", KW_scratch);
+    ("hash", KW_hash); ("bit_test_set", KW_bit_test_set); ("csr", KW_csr);
+    ("rfifo", KW_rfifo); ("tfifo", KW_tfifo); ("ctx_arb", KW_ctx_arb);
+  ]
+
+let token_to_string = function
+  | INT i -> string_of_int i
+  | IDENT s -> s
+  | STRING s -> Printf.sprintf "%S" s
+  | EOF -> "<eof>"
+  | t -> (
+      match List.find_opt (fun (_, t') -> t' = t) keyword_table with
+      | Some (s, _) -> s
+      | None -> (
+          match t with
+          | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+          | LBRACKET -> "[" | RBRACKET -> "]" | COMMA -> "," | SEMI -> ";"
+          | COLON -> ":" | DOT -> "." | BAR -> "|" | HASHHASH -> "##"
+          | ARROW -> "->" | LARROW -> "<-" | ASSIGN -> ":=" | EQUALS -> "="
+          | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | AMP -> "&"
+          | CARET -> "^" | BANG -> "!" | TILDE -> "~"
+          | SHL -> "<<" | SHR -> ">>" | ASR_OP -> ">>>"
+          | EQEQ -> "==" | NEQ -> "!=" | LT -> "<" | LE -> "<=" | GT -> ">"
+          | GE -> ">=" | ULT -> "<u" | UGE -> ">=u"
+          | ANDAND -> "&&" | OROR -> "||"
+          | _ -> "<token>"))
+
+type lexeme = { tok : token; loc : Srcloc.t }
+
+type state = {
+  src : string;
+  file : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable bol : int; (* offset of beginning of current line *)
+}
+
+let make_state ~file src = { src; file; pos = 0; line = 1; bol = 0 }
+
+let current_pos st =
+  { Srcloc.line = st.line; col = st.pos - st.bol + 1; offset = st.pos }
+
+let error st fmt =
+  let pos = current_pos st in
+  let loc = Srcloc.make ~file:st.file ~start_pos:pos ~end_pos:pos in
+  Diag.error ~loc fmt
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.bol <- st.pos + 1
+  | _ -> ());
+  st.pos <- st.pos + 1
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+      advance st;
+      advance st;
+      let rec go () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | None, _ -> error st "unterminated block comment"
+        | _ ->
+            advance st;
+            go ()
+      in
+      go ();
+      skip_trivia st
+  | _ -> ()
+
+let lex_number st =
+  let start = st.pos in
+  if peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X') then begin
+    advance st;
+    advance st;
+    while (match peek st with Some c -> is_hex c || c = '_' | None -> false) do
+      advance st
+    done;
+    let text = String.sub st.src start (st.pos - start) in
+    int_of_string (String.concat "" (String.split_on_char '_' text))
+  end
+  else begin
+    while (match peek st with Some c -> is_digit c || c = '_' | None -> false) do
+      advance st
+    done;
+    let text = String.sub st.src start (st.pos - start) in
+    int_of_string (String.concat "" (String.split_on_char '_' text))
+  end
+
+let next_token st =
+  skip_trivia st;
+  let start_pos = current_pos st in
+  let mk tok =
+    let end_pos = current_pos st in
+    { tok; loc = Srcloc.make ~file:st.file ~start_pos ~end_pos }
+  in
+  match peek st with
+  | None -> mk EOF
+  | Some c when is_digit c -> mk (INT (lex_number st))
+  | Some c when is_ident_start c ->
+      let start = st.pos in
+      while (match peek st with Some c -> is_ident_char c | None -> false) do
+        advance st
+      done;
+      let text = String.sub st.src start (st.pos - start) in
+      mk
+        (match List.assoc_opt text keyword_table with
+        | Some kw -> kw
+        | None -> IDENT text)
+  | Some '"' ->
+      advance st;
+      let buf = Buffer.create 16 in
+      let rec go () =
+        match peek st with
+        | Some '"' -> advance st
+        | Some c ->
+            Buffer.add_char buf c;
+            advance st;
+            go ()
+        | None -> error st "unterminated string literal"
+      in
+      go ();
+      mk (STRING (Buffer.contents buf))
+  | Some c ->
+      let two tok =
+        advance st;
+        advance st;
+        mk tok
+      in
+      let one tok =
+        advance st;
+        mk tok
+      in
+      (match (c, peek2 st) with
+      | '#', Some '#' -> two HASHHASH
+      | '<', Some '-' -> two LARROW
+      | '<', Some '<' -> two SHL
+      | '<', Some '=' -> two LE
+      | '<', Some 'u' when (st.pos + 2 >= String.length st.src)
+                           || not (is_ident_char st.src.[st.pos + 2]) ->
+          advance st;
+          advance st;
+          mk ULT
+      | '>', Some '>' ->
+          advance st;
+          advance st;
+          if peek st = Some '>' then begin
+            advance st;
+            mk ASR_OP
+          end
+          else mk SHR
+      | '>', Some '=' ->
+          advance st;
+          advance st;
+          if
+            peek st = Some 'u'
+            && (st.pos + 1 >= String.length st.src
+               || not (is_ident_char st.src.[st.pos + 1]))
+          then begin
+            advance st;
+            mk UGE
+          end
+          else mk GE
+      | ':', Some '=' -> two ASSIGN
+      | '=', Some '=' -> two EQEQ
+      | '!', Some '=' -> two NEQ
+      | '&', Some '&' -> two ANDAND
+      | '|', Some '|' -> two OROR
+      | '-', Some '>' -> two ARROW
+      | '(', _ -> one LPAREN
+      | ')', _ -> one RPAREN
+      | '{', _ -> one LBRACE
+      | '}', _ -> one RBRACE
+      | '[', _ -> one LBRACKET
+      | ']', _ -> one RBRACKET
+      | ',', _ -> one COMMA
+      | ';', _ -> one SEMI
+      | ':', _ -> one COLON
+      | '.', _ -> one DOT
+      | '|', _ -> one BAR
+      | '=', _ -> one EQUALS
+      | '+', _ -> one PLUS
+      | '-', _ -> one MINUS
+      | '*', _ -> one STAR
+      | '&', _ -> one AMP
+      | '^', _ -> one CARET
+      | '!', _ -> one BANG
+      | '~', _ -> one TILDE
+      | '<', _ -> one LT
+      | '>', _ -> one GT
+      | _ -> error st "unexpected character %C" c)
+
+(* Tokenize a whole source buffer. *)
+let tokenize ~file src =
+  let st = make_state ~file src in
+  let acc = ref [] in
+  let rec go () =
+    let lx = next_token st in
+    acc := lx :: !acc;
+    if lx.tok <> EOF then go ()
+  in
+  go ();
+  Array.of_list (List.rev !acc)

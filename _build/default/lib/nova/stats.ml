@@ -1,0 +1,84 @@
+(* Static program statistics, as tabulated in the paper's Figure 5:
+   line count, number of layout specifications, and occurrence counts of
+   pack / unpack / raise / handle. *)
+
+open Ast
+
+type t = {
+  lines : int; (* wc-style: includes whitespace and comments *)
+  layout_specs : int;
+  packs : int;
+  unpacks : int;
+  raises : int;
+  handles : int;
+  functions : int;
+  consts : int;
+}
+
+let count_lines src =
+  String.fold_left (fun n c -> if c = '\n' then n + 1 else n) 0 src
+  + if src <> "" && src.[String.length src - 1] <> '\n' then 1 else 0
+
+let rec expr_counts e (packs, unpacks, raises, handles) =
+  let fold es acc = List.fold_left (fun acc e -> expr_counts e acc) acc es in
+  match e with
+  | Int _ | Bool _ | Var _ | Unit _ | CsrRead _ | CtxArb _ ->
+      (packs, unpacks, raises, handles)
+  | Binop (_, a, b, _) | Seq (a, b, _) | While (a, b, _)
+  | MemWrite (_, a, b, _) | BitTestSet (a, b, _) | TfifoWrite (a, b, _) ->
+      fold [ a; b ] (packs, unpacks, raises, handles)
+  | Unop (_, a, _) | Select (a, _, _) | Proj (a, _, _) | Assign (_, a, _)
+  | MemRead (_, a, _, _) | Hash (a, _) | CsrWrite (_, a, _)
+  | RfifoRead (a, _, _) ->
+      expr_counts a (packs, unpacks, raises, handles)
+  | Tuple (es, _) -> fold es (packs, unpacks, raises, handles)
+  | Record (fs, _) -> fold (List.map snd fs) (packs, unpacks, raises, handles)
+  | If (a, b, c, _) -> fold [ a; b; c ] (packs, unpacks, raises, handles)
+  | Call (_, args, _) ->
+      fold
+        (List.map (function Apos e | Anamed (_, e) -> e) args)
+        (packs, unpacks, raises, handles)
+  | Let (_, _, a, b, _) | Vardecl (_, _, a, b, _) ->
+      fold [ a; b ] (packs, unpacks, raises, handles)
+  | Unpack (_, a, _) -> expr_counts a (packs, unpacks + 1, raises, handles)
+  | Pack (_, a, _) -> expr_counts a (packs + 1, unpacks, raises, handles)
+  | Raise (_, args, _) ->
+      fold
+        (List.map (function Apos e | Anamed (_, e) -> e) args)
+        (packs, unpacks, raises + 1, handles)
+  | Try (body, hs, _) ->
+      let acc = expr_counts body (packs, unpacks, raises, handles + List.length hs) in
+      List.fold_left (fun acc h -> expr_counts h.hbody acc) acc hs
+
+let of_program ~source (prog : program) =
+  let packs, unpacks, raises, handles =
+    List.fold_left
+      (fun acc d ->
+        match d with
+        | Dfun f -> expr_counts f.fn_body acc
+        | Dconst (_, e, _) -> expr_counts e acc
+        | Dlayout _ -> acc)
+      (0, 0, 0, 0) prog.decls
+  in
+  let layout_specs =
+    List.length
+      (List.filter (function Dlayout _ -> true | _ -> false) prog.decls)
+  in
+  {
+    lines = count_lines source;
+    layout_specs;
+    packs;
+    unpacks;
+    raises;
+    handles;
+    functions =
+      List.length (List.filter (function Dfun _ -> true | _ -> false) prog.decls);
+    consts =
+      List.length (List.filter (function Dconst _ -> true | _ -> false) prog.decls);
+  }
+
+let pp ppf t =
+  Fmt.pf ppf
+    "lines=%d layouts=%d pack=%d unpack=%d raise=%d handle=%d funs=%d consts=%d"
+    t.lines t.layout_specs t.packs t.unpacks t.raises t.handles t.functions
+    t.consts

@@ -1,0 +1,73 @@
+(* Typed abstract syntax, produced by [Typecheck].
+
+   Variables are resolved to unique [Ident.t]s, named arguments are
+   normalized to positional order, layout expressions are resolved, and
+   every node carries its type. *)
+
+open Support
+
+type texpr = { desc : desc; ty : Types.t; loc : Srcloc.t }
+
+and desc =
+  | Tint of int
+  | Tbool of bool
+  | Tunit
+  | Tvar of Ident.t
+  | Tfunval of string (* top-level function used as an argument *)
+  | Tbinop of Ast.binop * texpr * texpr
+  | Tunop of Ast.unop * texpr
+  | Ttuple of texpr list
+  | Trecord of (string * texpr) list
+  | Tselect of texpr * string (* field of record/unpacked *)
+  | Tproj of texpr * int (* tuple component *)
+  | Tif of texpr * texpr * texpr
+  | Tcall of callee * texpr list
+  | Tlet of Ident.t * texpr * texpr
+  | Tlettuple of Ident.t list * texpr * texpr
+  | Tvardecl of Ident.t * texpr * texpr (* mutable binder *)
+  | Tassign of Ident.t * texpr
+  | Tseq of texpr * texpr
+  | Twhile of texpr * texpr
+  | Tunpack of Layout.t * texpr
+  (* pack: the leaves (in layout order, one overlay alternative chosen)
+     paired with the expression supplying each leaf value *)
+  | Tpack of Layout.t * (Layout.leaf * texpr) list
+  | Tmemread of Ast.mem_space * texpr * int
+  | Tmemwrite of Ast.mem_space * texpr * texpr
+  | Thash of texpr
+  | Tbittestset of texpr * texpr
+  | Tcsrread of string
+  | Tcsrwrite of string * texpr
+  | Trfifo of texpr * int
+  | Ttfifo of texpr * texpr
+  | Tctxarb
+  | Traise of Ident.t * texpr list (* target is an exn-typed binding *)
+  | Ttry of texpr * thandler list
+
+and callee =
+  | Cglobal of string
+  | Clocal of Ident.t (* function-typed parameter *)
+
+and thandler = {
+  h_exn : Ident.t; (* the exception identity bound by this try *)
+  h_params : (Ident.t * Types.t) list;
+  h_body : texpr;
+}
+
+type tfun = {
+  f_name : string;
+  f_params : (Ident.t * Types.t) list;
+  f_ret : Types.t;
+  f_body : texpr;
+  (* true when some call to this function must be a tail call (the
+     function participates in recursion) *)
+  f_recursive : bool;
+}
+
+type tprogram = {
+  funs : tfun list; (* in source order *)
+  entry : string;
+  layouts : Layout.env;
+}
+
+let mk desc ty loc = { desc; ty; loc }

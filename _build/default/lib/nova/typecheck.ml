@@ -1,0 +1,866 @@
+(* Elaboration and type checking (paper §3).
+
+   Responsibilities:
+     - resolve layout definitions and fold compile-time constants;
+     - resolve every variable to a unique [Ident.t];
+     - enforce the two-layer type discipline: arrow/exception types may
+       appear only as function arguments, so no control structure ever
+       needs memory allocation;
+     - enforce the no-stack rule: calls between functions in the same
+       recursion group (SCC of the call graph) must be in tail position;
+     - normalize named arguments, overlay choices for [pack], and
+       memory-read aggregate counts inferred from tuple patterns.
+
+   Un-annotated function parameters default to [word]; un-annotated
+   return types default to [unit]. *)
+
+open Support
+open Ast
+module T = Types
+
+type binding =
+  | Bval of Ident.t * T.t (* immutable *)
+  | Bmut of Ident.t * T.t (* mutable (var) *)
+  | Bexn of Ident.t * T.t (* exception; T.t is the payload *)
+  | Bconst of int
+  | Bglobal (* top-level function; signature in globals *)
+  | Blocalfun of Ident.t * T.t list * T.t (* nested function *)
+
+type global_sig = { gs_params : (string * T.t) list; gs_ret : T.t }
+
+type env = {
+  layouts : Layout.env;
+  globals : (string, global_sig) Hashtbl.t;
+  locals : (string * binding) list; (* innermost first *)
+  (* stack of enclosing named functions (for the tail-call check):
+     innermost first; each entry is the function's scc id *)
+  current_fn : string;
+}
+
+let err ~loc fmt = Diag.error ~loc fmt
+
+let lookup env name = List.assoc_opt name env.locals
+
+let bind env name b = { env with locals = (name, b) :: env.locals }
+
+(* ------------------------------------------------------------------ *)
+(* Surface types -> semantic types                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec elab_ty env (t : Ast.ty) : T.t =
+  match t with
+  | Tword _ -> T.Word
+  | Tbool _ -> T.Bool
+  | Tunit _ -> T.Unit
+  | Ttuple (ts, _) -> T.Tuple (List.map (elab_ty env) ts)
+  | Trecord (fs, _) -> T.Record (List.map (fun (n, t) -> (n, elab_ty env t)) fs)
+  | Tpacked (l, _) -> T.Packed (Layout.resolve env.layouts l)
+  | Tunpacked (l, _) -> T.Unpacked (Layout.resolve env.layouts l)
+  | Tfun (args, ret, _) ->
+      T.Fun (List.map (elab_ty env) args, elab_ty env ret)
+  | Texn (t, _) -> T.Exn (elab_ty env t)
+
+(* ------------------------------------------------------------------ *)
+(* Constant folding for `const` declarations                           *)
+(* ------------------------------------------------------------------ *)
+
+let rec const_eval env (e : expr) : int =
+  let loc = expr_loc e in
+  match e with
+  | Int (i, _) -> i
+  | Var (x, _) -> (
+      match lookup env x with
+      | Some (Bconst i) -> i
+      | _ -> err ~loc "'%s' is not a compile-time constant" x)
+  | Binop (op, a, b, _) -> (
+      let a = const_eval env a and b = const_eval env b in
+      match op with
+      | Add -> a + b
+      | Sub -> a - b
+      | Mul -> a * b
+      | And -> a land b
+      | Or -> a lor b
+      | Xor -> a lxor b
+      | Shl -> a lsl b
+      | Shr -> a lsr b
+      | Asr -> a asr b
+      | _ -> err ~loc "operator %s not allowed in constants" (binop_to_string op))
+  | Unop (Not, a, _) -> lnot (const_eval env a) land 0xFFFFFFFF
+  | Unop (Neg, a, _) -> -const_eval env a
+  | _ -> err ~loc "expression is not a compile-time constant"
+
+(* ------------------------------------------------------------------ *)
+(* Checking                                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Call-graph edges collected while checking, for the SCC analysis:
+   (caller, callee) over function names (top-level names and local
+   function idents rendered unique via Ident.name). *)
+let call_edges : (string * string) list ref = ref []
+
+let record_call caller callee = call_edges := (caller, callee) :: !call_edges
+
+let expect_ty ~loc ~what expected actual =
+  if not (T.equal expected actual) then
+    err ~loc "%s: expected %s but found %s" what (T.to_string expected)
+      (T.to_string actual)
+
+let rec check env ~tail (e : expr) : Tast.texpr =
+  let loc = expr_loc e in
+  let mk desc ty = Tast.mk desc ty loc in
+  match e with
+  | Int (i, _) -> mk (Tast.Tint i) T.Word
+  | Bool (b, _) -> mk (Tast.Tbool b) T.Bool
+  | Unit _ -> mk Tast.Tunit T.Unit
+  | Var (x, _) -> (
+      match lookup env x with
+      | Some (Bval (id, t)) | Some (Bmut (id, t)) -> mk (Tast.Tvar id) t
+      | Some (Bconst i) -> mk (Tast.Tint i) T.Word
+      | Some (Bexn (id, payload)) -> mk (Tast.Tvar id) (T.Exn payload)
+      | Some (Blocalfun (id, args, ret)) -> mk (Tast.Tvar id) (T.Fun (args, ret))
+      | Some Bglobal | None -> (
+          match Hashtbl.find_opt env.globals x with
+          | Some gs ->
+              record_call env.current_fn x;
+              mk (Tast.Tfunval x)
+                (T.Fun (List.map snd gs.gs_params, gs.gs_ret))
+          | None -> err ~loc "unbound variable '%s'" x))
+  | Binop (op, a, b, _) -> (
+      match op with
+      | LAnd | LOr ->
+          let ta = check env ~tail:false a in
+          let tb = check env ~tail:false b in
+          expect_ty ~loc ~what:"left operand" T.Bool ta.Tast.ty;
+          expect_ty ~loc ~what:"right operand" T.Bool tb.Tast.ty;
+          mk (Tast.Tbinop (op, ta, tb)) T.Bool
+      | Eq | Ne | Lt | Le | Gt | Ge | Ult | Uge ->
+          let ta = check env ~tail:false a in
+          let tb = check env ~tail:false b in
+          expect_ty ~loc ~what:"left operand" T.Word ta.Tast.ty;
+          expect_ty ~loc ~what:"right operand" T.Word tb.Tast.ty;
+          mk (Tast.Tbinop (op, ta, tb)) T.Bool
+      | Add | Sub | Mul | And | Or | Xor | Shl | Shr | Asr ->
+          let ta = check env ~tail:false a in
+          let tb = check env ~tail:false b in
+          expect_ty ~loc ~what:"left operand" T.Word ta.Tast.ty;
+          expect_ty ~loc ~what:"right operand" T.Word tb.Tast.ty;
+          mk (Tast.Tbinop (op, ta, tb)) T.Word)
+  | Unop (op, a, _) -> (
+      let ta = check env ~tail:false a in
+      match op with
+      | LNot ->
+          expect_ty ~loc ~what:"operand" T.Bool ta.Tast.ty;
+          mk (Tast.Tunop (op, ta)) T.Bool
+      | Not | Neg ->
+          expect_ty ~loc ~what:"operand" T.Word ta.Tast.ty;
+          mk (Tast.Tunop (op, ta)) T.Word)
+  | Tuple (es, _) ->
+      let ts = List.map (check env ~tail:false) es in
+      List.iter
+        (fun (t : Tast.texpr) ->
+          if not (T.first_order t.Tast.ty) then
+            err ~loc "tuples may only contain first-order values")
+        ts;
+      mk (Tast.Ttuple ts) (T.Tuple (List.map (fun t -> t.Tast.ty) ts))
+  | Record (fs, _) ->
+      let seen = Hashtbl.create 8 in
+      let tfs =
+        List.map
+          (fun (n, e) ->
+            if Hashtbl.mem seen n then err ~loc "duplicate record field '%s'" n;
+            Hashtbl.replace seen n ();
+            (n, check env ~tail:false e))
+          fs
+      in
+      List.iter
+        (fun (_, (t : Tast.texpr)) ->
+          if not (T.first_order t.Tast.ty) then
+            err ~loc "records may only contain first-order values")
+        tfs;
+      mk (Tast.Trecord tfs)
+        (T.Record (List.map (fun (n, t) -> (n, t.Tast.ty)) tfs))
+  | Select (e, f, _) -> (
+      let te = check env ~tail:false e in
+      match T.expand te.Tast.ty with
+      | T.Record fs -> (
+          match List.assoc_opt f fs with
+          | Some t -> mk (Tast.Tselect (te, f)) t
+          | None ->
+              err ~loc "record has no field '%s' (fields: %s)" f
+                (String.concat ", " (List.map fst fs)))
+      | t -> err ~loc "field selection on non-record type %s" (T.to_string t))
+  | Proj (e, i, _) -> (
+      let te = check env ~tail:false e in
+      match T.expand te.Tast.ty with
+      | T.Tuple ts when i >= 0 && i < List.length ts ->
+          mk (Tast.Tproj (te, i)) (List.nth ts i)
+      | T.Tuple ts ->
+          err ~loc "tuple index %d out of range (size %d)" i (List.length ts)
+      | t -> err ~loc "projection on non-tuple type %s" (T.to_string t))
+  | If (c, t1, t2, _) ->
+      let tc = check env ~tail:false c in
+      expect_ty ~loc ~what:"condition" T.Bool tc.Tast.ty;
+      let tt = check env ~tail t1 in
+      let tf = check env ~tail t2 in
+      if not (T.equal tt.Tast.ty tf.Tast.ty) then
+        err ~loc "branches of if have different types: %s vs %s"
+          (T.to_string tt.Tast.ty) (T.to_string tf.Tast.ty);
+      let ty = if tt.Tast.ty = T.Never then tf.Tast.ty else tt.Tast.ty in
+      mk (Tast.Tif (tc, tt, tf)) ty
+  | Call (fname, args, _) -> check_call env ~tail ~loc fname args
+  | Let (Pvar (x, _), ty, rhs, body, _) ->
+      let trhs = check env ~tail:false rhs in
+      (match ty with
+      | Some t -> expect_ty ~loc ~what:"let binding" (elab_ty env t) trhs.Tast.ty
+      | None -> ());
+      if not (T.first_order trhs.Tast.ty) then
+        err ~loc "cannot bind a function or exception with let";
+      let id = Ident.fresh x in
+      let env' = bind env x (Bval (id, trhs.Tast.ty)) in
+      let tbody = check env' ~tail body in
+      mk (Tast.Tlet (id, trhs, tbody)) tbody.Tast.ty
+  | Let (Ptuple (xs, _), ty, rhs, body, _) ->
+      (* infer aggregate counts for bare memory reads *)
+      let rhs =
+        match rhs with
+        | MemRead (space, addr, None, l) ->
+            MemRead (space, addr, Some (List.length xs), l)
+        | _ -> rhs
+      in
+      let trhs = check env ~tail:false rhs in
+      (match ty with
+      | Some t -> expect_ty ~loc ~what:"let binding" (elab_ty env t) trhs.Tast.ty
+      | None -> ());
+      let comps =
+        match T.expand trhs.Tast.ty with
+        | T.Tuple ts -> ts
+        | T.Word when List.length xs = 1 -> [ T.Word ]
+        | t ->
+            err ~loc "tuple pattern against non-tuple type %s" (T.to_string t)
+      in
+      if List.length comps <> List.length xs then
+        err ~loc "pattern has %d components but value has %d" (List.length xs)
+          (List.length comps);
+      let ids = List.map Ident.fresh xs in
+      let env' =
+        List.fold_left2
+          (fun env (x, id) t -> bind env x (Bval (id, t)))
+          env
+          (List.combine xs ids)
+          comps
+      in
+      let tbody = check env' ~tail body in
+      mk (Tast.Tlettuple (ids, trhs, tbody)) tbody.Tast.ty
+  | Vardecl (x, ty, rhs, body, _) ->
+      let trhs = check env ~tail:false rhs in
+      (match ty with
+      | Some t -> expect_ty ~loc ~what:"var binding" (elab_ty env t) trhs.Tast.ty
+      | None -> ());
+      (match T.expand trhs.Tast.ty with
+      | T.Word | T.Bool -> ()
+      | t ->
+          err ~loc "mutable variables must be scalar (word/bool), got %s"
+            (T.to_string t));
+      let id = Ident.fresh x in
+      let env' = bind env x (Bmut (id, trhs.Tast.ty)) in
+      let tbody = check env' ~tail body in
+      mk (Tast.Tvardecl (id, trhs, tbody)) tbody.Tast.ty
+  | Assign (x, rhs, _) -> (
+      match lookup env x with
+      | Some (Bmut (id, t)) ->
+          let trhs = check env ~tail:false rhs in
+          expect_ty ~loc ~what:"assignment" t trhs.Tast.ty;
+          mk (Tast.Tassign (id, trhs)) T.Unit
+      | Some _ -> err ~loc "'%s' is not a mutable variable" x
+      | None -> err ~loc "unbound variable '%s'" x)
+  | Seq (a, b, _) ->
+      let ta = check env ~tail:false a in
+      if not (T.equal ta.Tast.ty T.Unit) then
+        err ~loc:(expr_loc a) "discarded expression must have type unit, not %s"
+          (T.to_string ta.Tast.ty);
+      let tb = check env ~tail b in
+      mk (Tast.Tseq (ta, tb)) tb.Tast.ty
+  | While (c, body, _) ->
+      let tc = check env ~tail:false c in
+      expect_ty ~loc ~what:"while condition" T.Bool tc.Tast.ty;
+      let tb = check env ~tail:false body in
+      expect_ty ~loc ~what:"while body" T.Unit tb.Tast.ty;
+      mk (Tast.Twhile (tc, tb)) T.Unit
+  | Unpack (l, e, _) ->
+      let lay = Layout.resolve env.layouts l in
+      let te = check env ~tail:false e in
+      expect_ty ~loc ~what:"unpack argument" (T.Packed lay) te.Tast.ty;
+      mk (Tast.Tunpack (lay, te)) (T.Unpacked lay)
+  | Pack (l, arg, _) ->
+      let lay = Layout.resolve env.layouts l in
+      let pairs = check_pack env ~loc lay arg in
+      mk (Tast.Tpack (lay, pairs)) (T.Packed lay)
+  | MemRead (space, addr, count, _) ->
+      let n =
+        match count with
+        | Some n -> n
+        | None -> err ~loc "memory read needs an explicit count here"
+      in
+      let ispace = space in
+      (match space with
+      | Sdram ->
+          if not (n >= 2 && n <= 8 && n mod 2 = 0) then
+            err ~loc "sdram reads move 2, 4, 6 or 8 words, not %d" n
+      | Sram | Scratch ->
+          if not (n >= 1 && n <= 8) then
+            err ~loc "%s reads move 1..8 words, not %d"
+              (mem_space_to_string space) n);
+      let taddr = check env ~tail:false addr in
+      expect_ty ~loc ~what:"address" T.Word taddr.Tast.ty;
+      let ty = if n = 1 then T.Word else T.Tuple (List.init n (fun _ -> T.Word)) in
+      mk (Tast.Tmemread (ispace, taddr, n)) ty
+  | MemWrite (space, addr, value, _) ->
+      let taddr = check env ~tail:false addr in
+      expect_ty ~loc ~what:"address" T.Word taddr.Tast.ty;
+      let tv = check env ~tail:false value in
+      let n =
+        match T.expand tv.Tast.ty with
+        | T.Word -> 1
+        | T.Tuple ts ->
+            List.iter
+              (fun t -> expect_ty ~loc ~what:"stored value" T.Word t)
+              ts;
+            List.length ts
+        | t -> err ~loc "cannot store a value of type %s" (T.to_string t)
+      in
+      (match space with
+      | Sdram ->
+          if not (n >= 2 && n <= 8 && n mod 2 = 0) then
+            err ~loc "sdram writes move 2, 4, 6 or 8 words, not %d" n
+      | Sram | Scratch ->
+          if not (n >= 1 && n <= 8) then
+            err ~loc "%s writes move 1..8 words, not %d"
+              (mem_space_to_string space) n);
+      mk (Tast.Tmemwrite (space, taddr, tv)) T.Unit
+  | Hash (e, _) ->
+      let te = check env ~tail:false e in
+      expect_ty ~loc ~what:"hash argument" T.Word te.Tast.ty;
+      mk (Tast.Thash te) T.Word
+  | BitTestSet (a, v, _) ->
+      let ta = check env ~tail:false a in
+      expect_ty ~loc ~what:"address" T.Word ta.Tast.ty;
+      let tv = check env ~tail:false v in
+      expect_ty ~loc ~what:"value" T.Word tv.Tast.ty;
+      mk (Tast.Tbittestset (ta, tv)) T.Word
+  | CsrRead (name, _) -> mk (Tast.Tcsrread name) T.Word
+  | CsrWrite (name, v, _) ->
+      let tv = check env ~tail:false v in
+      expect_ty ~loc ~what:"CSR value" T.Word tv.Tast.ty;
+      mk (Tast.Tcsrwrite (name, tv)) T.Unit
+  | RfifoRead (addr, n, _) ->
+      if not (n >= 2 && n <= 8 && n mod 2 = 0) then
+        err ~loc "rfifo reads move 2, 4, 6 or 8 words, not %d" n;
+      let ta = check env ~tail:false addr in
+      expect_ty ~loc ~what:"address" T.Word ta.Tast.ty;
+      mk (Tast.Trfifo (ta, n)) (T.Tuple (List.init n (fun _ -> T.Word)))
+  | TfifoWrite (addr, v, _) ->
+      let ta = check env ~tail:false addr in
+      expect_ty ~loc ~what:"address" T.Word ta.Tast.ty;
+      let tv = check env ~tail:false v in
+      (match T.expand tv.Tast.ty with
+      | T.Word -> ()
+      | T.Tuple ts ->
+          List.iter (fun t -> expect_ty ~loc ~what:"fifo value" T.Word t) ts
+      | t -> err ~loc "cannot send a value of type %s to tfifo" (T.to_string t));
+      mk (Tast.Ttfifo (ta, tv)) T.Unit
+  | CtxArb _ -> mk Tast.Tctxarb T.Unit
+  | Raise (x, args, _) -> (
+      match lookup env x with
+      | Some (Bexn (id, payload)) ->
+          let targs = check_payload env ~loc payload args in
+          (* a raise never returns; Never unifies with any type *)
+          Tast.mk (Tast.Traise (id, targs)) T.Never loc
+      | Some _ -> err ~loc "'%s' is not an exception" x
+      | None -> err ~loc "unbound exception '%s'" x)
+  | Try (body, handlers, _) ->
+      (* each handler introduces its exception name for the body *)
+      let hs =
+        List.map
+          (fun h ->
+            let payload =
+              match h.hparams with
+              | [] -> T.Unit
+              | ps ->
+                  T.Record
+                    (List.map
+                       (fun (n, t) ->
+                         ( n,
+                           match t with
+                           | Some t -> elab_ty env t
+                           | None -> T.Word ))
+                       ps)
+            in
+            (h, Ident.fresh h.hexn, payload))
+          handlers
+      in
+      let env_body =
+        List.fold_left
+          (fun env (h, id, payload) -> bind env h.hexn (Bexn (id, payload)))
+          env hs
+      in
+      let tbody = check env_body ~tail:false body in
+      let thandlers =
+        List.map
+          (fun (h, id, payload) ->
+            let params =
+              match payload with
+              | T.Unit -> []
+              | T.Record fs ->
+                  List.map (fun (n, t) -> (Ident.fresh n, t)) fs
+              | _ -> assert false
+            in
+            let env_h =
+              List.fold_left2
+                (fun env (n, _) (pid, pty) -> bind env n (Bval (pid, pty)))
+                env h.hparams params
+            in
+            let tb = check env_h ~tail h.hbody in
+            if not (T.equal tb.Tast.ty tbody.Tast.ty) then
+              err ~loc:h.hloc
+                "handler for %s has type %s but the try body has type %s"
+                h.hexn (T.to_string tb.Tast.ty) (T.to_string tbody.Tast.ty);
+            { Tast.h_exn = id; h_params = params; h_body = tb })
+          hs
+      in
+      let try_ty =
+        List.fold_left
+          (fun acc (h : Tast.thandler) ->
+            if acc = T.Never then h.Tast.h_body.Tast.ty else acc)
+          tbody.Tast.ty thandlers
+      in
+      mk (Tast.Ttry (tbody, thandlers)) try_ty
+
+and check_payload env ~loc payload (args : arg list) : Tast.texpr list =
+  (* normalize raise arguments against the payload type *)
+  match payload with
+  | T.Unit ->
+      (match args with
+      | [] | [ Apos (Ast.Unit _) ] -> ()
+      | _ -> err ~loc "this exception takes no arguments");
+      []
+  | T.Record fs ->
+      let named =
+        List.map
+          (function
+            | Anamed (n, e) -> (n, e)
+            | Apos _ -> err ~loc "exception arguments must be named [x = e, …]")
+          args
+      in
+      List.map
+        (fun (n, t) ->
+          match List.assoc_opt n named with
+          | Some e ->
+              let te = check env ~tail:false e in
+              expect_ty ~loc ~what:("argument " ^ n) t te.Tast.ty;
+              te
+          | None -> err ~loc "missing exception argument '%s'" n)
+        fs
+  | T.Tuple ts ->
+      let pos =
+        List.map
+          (function
+            | Apos e -> e
+            | Anamed _ -> err ~loc "positional arguments expected")
+          args
+      in
+      if List.length pos <> List.length ts then
+        err ~loc "exception takes %d arguments, got %d" (List.length ts)
+          (List.length pos);
+      List.map2
+        (fun e t ->
+          let te = check env ~tail:false e in
+          expect_ty ~loc ~what:"exception argument" t te.Tast.ty;
+          te)
+        pos ts
+  | t ->
+      (match args with
+      | [ Apos e ] ->
+          let te = check env ~tail:false e in
+          expect_ty ~loc ~what:"exception argument" t te.Tast.ty;
+          [ te ]
+      | _ -> err ~loc "exception takes one argument")
+
+and check_call env ~tail ~loc fname (args : arg list) : Tast.texpr =
+  (* resolve the callee *)
+  let callee, param_tys, param_names, ret =
+    match lookup env fname with
+    | Some (Blocalfun (id, arg_tys, ret)) ->
+        record_call env.current_fn (Ident.name id);
+        (Tast.Clocal id, arg_tys, None, ret)
+    | Some (Bval (id, T.Fun (arg_tys, ret)))
+    | Some (Bmut (id, T.Fun (arg_tys, ret))) ->
+        (Tast.Clocal id, arg_tys, None, ret)
+    | Some (Bexn _) ->
+        err ~loc "'%s' is an exception; use raise to invoke it" fname
+    | Some _ -> err ~loc "'%s' is not a function" fname
+    | None -> (
+        match Hashtbl.find_opt env.globals fname with
+        | Some gs ->
+            record_call env.current_fn fname;
+            ( Tast.Cglobal fname,
+              List.map snd gs.gs_params,
+              Some (List.map fst gs.gs_params),
+              gs.gs_ret )
+        | None -> err ~loc "unknown function '%s'" fname)
+  in
+  ignore tail;
+  (* normalize arguments to positional order *)
+  let positional =
+    let all_named =
+      List.for_all (function Anamed _ -> true | Apos _ -> false) args
+    in
+    if all_named && args <> [] then begin
+      match param_names with
+      | None -> err ~loc "named arguments require a named-parameter function"
+      | Some names ->
+          let named =
+            List.map
+              (function Anamed (n, e) -> (n, e) | Apos _ -> assert false)
+              args
+          in
+          List.iter
+            (fun (n, _) ->
+              if not (List.mem n names) then
+                err ~loc "function '%s' has no parameter '%s'" fname n)
+            named;
+          List.map
+            (fun n ->
+              match List.assoc_opt n named with
+              | Some e -> e
+              | None -> err ~loc "missing argument '%s'" n)
+            names
+    end
+    else
+      List.map
+        (function
+          | Apos e -> e
+          | Anamed _ -> err ~loc "cannot mix named and positional arguments")
+        args
+  in
+  if List.length positional <> List.length param_tys then
+    err ~loc "function '%s' takes %d arguments, got %d" fname
+      (List.length param_tys) (List.length positional);
+  let targs =
+    List.map2
+      (fun e t ->
+        let te = check env ~tail:false e in
+        expect_ty ~loc ~what:"argument" t te.Tast.ty;
+        te)
+      positional param_tys
+  in
+  Tast.mk (Tast.Tcall (callee, targs)) ret loc
+
+(* Check a pack argument against a resolved layout, producing the chosen
+   leaves (layout order) paired with their value expressions. *)
+and check_pack env ~loc (lay : Layout.t) (arg : expr) :
+    (Layout.leaf * Tast.texpr) list =
+  (* First determine overlay choices by walking record literals. *)
+  let choices : (string list, string) Hashtbl.t = Hashtbl.create 8 in
+  let rec walk_choices prefix (node : Layout.t) (e : expr option) =
+    match node with
+    | Layout.Leaf _ | Layout.Gap _ -> ()
+    | Layout.Struct fields ->
+        List.iter
+          (fun (n, sub) ->
+            let sube =
+              match e with
+              | Some (Record (fs, _)) -> List.assoc_opt n fs
+              | _ -> None
+            in
+            walk_choices (prefix @ [ n ]) sub sube)
+          fields
+    | Layout.Overlay alts -> (
+        match e with
+        | Some (Record ([ (n, sube) ], _)) when List.mem_assoc n alts ->
+            Hashtbl.replace choices prefix n;
+            walk_choices (prefix @ [ n ]) (List.assoc n alts) (Some sube)
+        | _ ->
+            err ~loc
+              "overlay at %s needs a single-alternative record literal"
+              (String.concat "." prefix))
+    | Layout.Seq ts -> List.iter (fun sub -> walk_choices prefix sub e) ts
+  in
+  walk_choices [] lay (Some arg);
+  let chosen_leaves =
+    match
+      Layout.leaves_choosing lay ~choose:(fun path ->
+          Hashtbl.find_opt choices path)
+    with
+    | Some ls -> ls
+    | None -> err ~loc "pack: could not resolve overlay alternatives"
+  in
+  (* Locate the value expression for each leaf path. *)
+  let rec value_for (e : expr) (path : string list) : Tast.texpr =
+    match (path, e) with
+    | [], _ ->
+        let te = check env ~tail:false e in
+        expect_ty ~loc ~what:"packed field" T.Word te.Tast.ty;
+        te
+    | seg :: rest, Record (fs, _) -> (
+        match List.assoc_opt seg fs with
+        | Some sub -> value_for sub rest
+        | None -> err ~loc "pack: missing field '%s'" seg)
+    | segs, _ ->
+        (* a non-literal sub-value: synthesize selects along the path *)
+        let te = check env ~tail:false e in
+        let rec selects (te : Tast.texpr) = function
+          | [] ->
+              expect_ty ~loc ~what:"packed field" T.Word te.Tast.ty;
+              te
+          | seg :: rest -> (
+              match T.expand te.Tast.ty with
+              | T.Record fs -> (
+                  match List.assoc_opt seg fs with
+                  | Some fty ->
+                      selects (Tast.mk (Tast.Tselect (te, seg)) fty loc) rest
+                  | None -> err ~loc "pack: value has no field '%s'" seg)
+              | t ->
+                  err ~loc "pack: cannot select '%s' from %s" seg
+                    (T.to_string t))
+        in
+        selects te segs
+  in
+  List.map (fun (leaf : Layout.leaf) -> (leaf, value_for arg leaf.Layout.path))
+    chosen_leaves
+
+(* ------------------------------------------------------------------ *)
+(* Tail-position verification                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* After checking, verify that every call to a function in the same
+   recursion group as its caller occurs in tail position.  We recompute
+   tail positions on the typed tree. *)
+let rec verify_tails ~intra_scc ~caller ~tail (e : Tast.texpr) =
+  let recurse ?(tail = false) sub = verify_tails ~intra_scc ~caller ~tail sub in
+  match e.Tast.desc with
+  | Tast.Tint _ | Tast.Tbool _ | Tast.Tunit | Tast.Tvar _ | Tast.Tfunval _
+  | Tast.Tcsrread _ | Tast.Tctxarb ->
+      ()
+  | Tast.Tbinop (_, a, b) ->
+      recurse a;
+      recurse b
+  | Tast.Tunop (_, a) -> recurse a
+  | Tast.Ttuple es -> List.iter recurse es
+  | Tast.Trecord fs -> List.iter (fun (_, e) -> recurse e) fs
+  | Tast.Tselect (e, _) | Tast.Tproj (e, _) -> recurse e
+  | Tast.Tif (c, t, f) ->
+      recurse c;
+      verify_tails ~intra_scc ~caller ~tail t;
+      verify_tails ~intra_scc ~caller ~tail f
+  | Tast.Tcall (callee, args) ->
+      let callee_name =
+        match callee with
+        | Tast.Cglobal n -> Some n
+        | Tast.Clocal id -> Some (Ident.name id)
+      in
+      (match callee_name with
+      | Some n when intra_scc caller n && not tail ->
+          Diag.error ~loc:e.Tast.loc
+            "recursive call to '%s' must be in tail position (Nova has no \
+             stack)"
+            n
+      | _ -> ());
+      List.iter recurse args
+  | Tast.Tlet (_, rhs, body) | Tast.Tlettuple (_, rhs, body)
+  | Tast.Tvardecl (_, rhs, body) ->
+      recurse rhs;
+      verify_tails ~intra_scc ~caller ~tail body
+  | Tast.Tassign (_, rhs) -> recurse rhs
+  | Tast.Tseq (a, b) ->
+      recurse a;
+      verify_tails ~intra_scc ~caller ~tail b
+  | Tast.Twhile (c, b) ->
+      recurse c;
+      recurse b
+  | Tast.Tunpack (_, e) -> recurse e
+  | Tast.Tpack (_, pairs) -> List.iter (fun (_, e) -> recurse e) pairs
+  | Tast.Tmemread (_, a, _) -> recurse a
+  | Tast.Tmemwrite (_, a, v) ->
+      recurse a;
+      recurse v
+  | Tast.Thash e -> recurse e
+  | Tast.Tbittestset (a, v) ->
+      recurse a;
+      recurse v
+  | Tast.Tcsrwrite (_, v) -> recurse v
+  | Tast.Trfifo (a, _) -> recurse a
+  | Tast.Ttfifo (a, v) ->
+      recurse a;
+      recurse v
+  | Tast.Traise (_, args) -> List.iter recurse args
+  | Tast.Ttry (body, handlers) ->
+      verify_tails ~intra_scc ~caller ~tail:false body;
+      List.iter
+        (fun (h : Tast.thandler) ->
+          verify_tails ~intra_scc ~caller ~tail h.Tast.h_body)
+        handlers
+
+(* Tarjan SCC over the recorded call graph. *)
+let sccs_of_edges nodes edges =
+  let adj = Hashtbl.create 16 in
+  List.iter (fun n -> Hashtbl.replace adj n []) nodes;
+  List.iter
+    (fun (a, b) ->
+      if Hashtbl.mem adj a && Hashtbl.mem adj b then
+        Hashtbl.replace adj a (b :: Hashtbl.find adj a))
+    edges;
+  let index = Hashtbl.create 16 in
+  let lowlink = Hashtbl.create 16 in
+  let on_stack = Hashtbl.create 16 in
+  let stack = ref [] in
+  let counter = ref 0 in
+  let scc_of = Hashtbl.create 16 in
+  let scc_count = ref 0 in
+  let rec strongconnect v =
+    Hashtbl.replace index v !counter;
+    Hashtbl.replace lowlink v !counter;
+    incr counter;
+    stack := v :: !stack;
+    Hashtbl.replace on_stack v true;
+    List.iter
+      (fun w ->
+        if not (Hashtbl.mem index w) then begin
+          strongconnect w;
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
+        end
+        else if Hashtbl.mem on_stack w && Hashtbl.find on_stack w then
+          Hashtbl.replace lowlink v
+            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
+      (Hashtbl.find adj v);
+    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
+      let id = !scc_count in
+      incr scc_count;
+      let rec pop () =
+        match !stack with
+        | [] -> ()
+        | w :: rest ->
+            stack := rest;
+            Hashtbl.replace on_stack w false;
+            Hashtbl.replace scc_of w id;
+            if w <> v then pop ()
+      in
+      pop ()
+    end
+  in
+  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) nodes;
+  (* self-loop detection: a singleton scc is recursive only with a self
+     edge *)
+  let self_loop = Hashtbl.create 16 in
+  List.iter (fun (a, b) -> if a = b then Hashtbl.replace self_loop a true) edges;
+  let scc_sizes = Hashtbl.create 16 in
+  Hashtbl.iter
+    (fun _ id ->
+      Hashtbl.replace scc_sizes id
+        (1 + Option.value ~default:0 (Hashtbl.find_opt scc_sizes id)))
+    scc_of;
+  fun a b ->
+    match (Hashtbl.find_opt scc_of a, Hashtbl.find_opt scc_of b) with
+    | Some ia, Some ib when ia = ib ->
+        Hashtbl.find scc_sizes ia > 1 || Hashtbl.mem self_loop a
+    | _ -> false
+
+(* ------------------------------------------------------------------ *)
+(* Programs                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let check_program ?(entry = "main") (prog : Ast.program) : Tast.tprogram =
+  call_edges := [];
+  let layouts = Layout.create_env () in
+  let globals = Hashtbl.create 16 in
+  let base_env = { layouts; globals; locals = []; current_fn = "" } in
+  (* pass 1: layouts, consts, function signatures *)
+  let consts = ref [] in
+  List.iter
+    (fun decl ->
+      match decl with
+      | Dlayout (name, l, _) ->
+          let env = { base_env with locals = !consts } in
+          Layout.define layouts name (Layout.resolve env.layouts l)
+      | Dconst (name, e, _) ->
+          let env = { base_env with locals = !consts } in
+          consts := (name, Bconst (const_eval env e)) :: !consts
+      | Dfun f ->
+          let env = { base_env with locals = !consts } in
+          let params =
+            match f.fn_params with Ppos ps | Pnamed ps -> ps
+          in
+          let gs_params =
+            List.map
+              (fun (n, t) ->
+                (n, match t with Some t -> elab_ty env t | None -> T.Word))
+              params
+          in
+          let gs_ret =
+            match f.fn_ret with Some t -> elab_ty env t | None -> T.Unit
+          in
+          if not (T.first_order gs_ret) then
+            Diag.error ~loc:f.fn_loc
+              "function '%s' cannot return a function or exception" f.fn_name;
+          if Hashtbl.mem globals f.fn_name then
+            Diag.error ~loc:f.fn_loc "duplicate function '%s'" f.fn_name;
+          Hashtbl.replace globals f.fn_name { gs_params; gs_ret })
+    prog.decls;
+  (* pass 2: check bodies *)
+  let funs =
+    List.filter_map
+      (fun decl ->
+        match decl with
+        | Dlayout _ | Dconst _ -> None
+        | Dfun f ->
+            let gs = Hashtbl.find globals f.fn_name in
+            let f_params =
+              List.map (fun (n, t) -> (Ident.fresh n, t)) gs.gs_params
+            in
+            let locals =
+              List.fold_left2
+                (fun acc (n, _) (id, t) ->
+                  (match t with
+                  | T.Exn payload -> (n, Bexn (id, payload))
+                  | T.Fun (args, ret) -> (n, Blocalfun (id, args, ret))
+                  | _ -> (n, Bval (id, t)))
+                  :: acc)
+                !consts
+                (match f.fn_params with Ppos ps | Pnamed ps -> ps)
+                f_params
+            in
+            let env =
+              { base_env with locals; current_fn = f.fn_name }
+            in
+            let body = check env ~tail:true f.fn_body in
+            if not (T.equal body.Tast.ty gs.gs_ret) then
+              Diag.error ~loc:f.fn_loc
+                "function '%s' returns %s but its body has type %s" f.fn_name
+                (T.to_string gs.gs_ret)
+                (T.to_string body.Tast.ty);
+            Some
+              {
+                Tast.f_name = f.fn_name;
+                f_params;
+                f_ret = gs.gs_ret;
+                f_body = body;
+                f_recursive = false;
+              })
+      prog.decls
+  in
+  (* tail-call verification *)
+  let nodes = List.map (fun (f : Tast.tfun) -> f.Tast.f_name) funs in
+  let intra_scc = sccs_of_edges nodes !call_edges in
+  List.iter
+    (fun (f : Tast.tfun) ->
+      verify_tails ~intra_scc ~caller:f.Tast.f_name ~tail:true f.Tast.f_body)
+    funs;
+  let funs =
+    List.map
+      (fun (f : Tast.tfun) ->
+        { f with Tast.f_recursive = intra_scc f.Tast.f_name f.Tast.f_name })
+      funs
+  in
+  if not (List.exists (fun (f : Tast.tfun) -> f.Tast.f_name = entry) funs) then
+    Diag.error "program has no entry function '%s'" entry;
+  { Tast.funs; entry; layouts }

@@ -1,0 +1,115 @@
+(* Semantic types (paper §3: a type system stratified into types and
+   layouts).
+
+   [Packed l] is a synonym for the word tuple of l's size; [Unpacked l]
+   is a synonym for the record type spreading every bit-field (including
+   all overlay alternatives).  [equal] compares modulo these synonyms.
+
+   Arrow and exception types exist only to describe *arguments* (the
+   typing rules below forbid them anywhere a value could outlive its
+   scope), which is what guarantees that control needs no memory
+   allocation. *)
+
+type t =
+  | Word
+  | Bool
+  | Unit
+  | Never (* the type of expressions that cannot return, e.g. raise *)
+  | Tuple of t list
+  | Record of (string * t) list (* in declaration order *)
+  | Packed of Layout.t
+  | Unpacked of Layout.t
+  | Fun of t list * t
+  | Exn of t (* payload type *)
+
+(* The record type corresponding to unpacked(l). *)
+let rec unpacked_record (l : Layout.t) : t =
+  match l with
+  | Layout.Leaf _ -> Word
+  | Layout.Gap _ -> Record []
+  | Layout.Struct fields ->
+      Record
+        (List.filter_map
+           (fun (n, sub) ->
+             match sub with
+             | Layout.Gap _ -> None
+             | _ -> Some (n, unpacked_record sub))
+           fields)
+  | Layout.Overlay alts ->
+      Record (List.map (fun (n, sub) -> (n, unpacked_record sub)) alts)
+  | Layout.Seq ts ->
+      (* concatenate the fields of the component structs *)
+      let fields =
+        List.concat_map
+          (fun sub ->
+            match unpacked_record sub with
+            | Record fs -> fs
+            | Word -> [] (* a bare leaf in a Seq has no name; unreachable *)
+            | _ -> [])
+          ts
+      in
+      Record fields
+
+let packed_tuple (l : Layout.t) : t =
+  Tuple (List.init (Layout.word_size l) (fun _ -> Word))
+
+(* Expand the layout synonyms one level. *)
+let expand = function
+  | Packed l -> packed_tuple l
+  | Unpacked l -> unpacked_record l
+  | t -> t
+
+let rec equal a b =
+  match (expand a, expand b) with
+  (* Never is the type of diverging computations; it unifies with any *)
+  | Never, _ | _, Never -> true
+  | Word, Word | Bool, Bool | Unit, Unit -> true
+  | Tuple xs, Tuple ys ->
+      List.length xs = List.length ys && List.for_all2 equal xs ys
+  | Record xs, Record ys ->
+      List.length xs = List.length ys
+      && List.for_all2
+           (fun (n1, t1) (n2, t2) -> n1 = n2 && equal t1 t2)
+           xs ys
+  | Fun (a1, r1), Fun (a2, r2) ->
+      List.length a1 = List.length a2
+      && List.for_all2 equal a1 a2 && equal r1 r2
+  | Exn t1, Exn t2 -> equal t1 t2
+  | _ -> false
+
+(* First-order types can be stored, returned, and bound; arrow and
+   exception types cannot (paper §3.1). *)
+let rec first_order = function
+  | Word | Bool | Unit | Never -> true
+  | Tuple ts -> List.for_all first_order ts
+  | Record fs -> List.for_all (fun (_, t) -> first_order t) fs
+  | Packed _ | Unpacked _ -> true
+  | Fun _ | Exn _ -> false
+
+(* Number of machine words a first-order value flattens to. *)
+let rec flat_width = function
+  | Word | Bool -> 1
+  | Unit | Never -> 0
+  | Tuple ts -> List.fold_left (fun a t -> a + flat_width t) 0 ts
+  | Record fs -> List.fold_left (fun a (_, t) -> a + flat_width t) 0 fs
+  | Packed l -> Layout.word_size l
+  | Unpacked l -> flat_width (unpacked_record l)
+  | Fun _ | Exn _ -> 0
+
+let rec pp ppf = function
+  | Word -> Fmt.string ppf "word"
+  | Never -> Fmt.string ppf "never"
+  | Bool -> Fmt.string ppf "bool"
+  | Unit -> Fmt.string ppf "unit"
+  | Tuple ts -> Fmt.pf ppf "(@[%a@])" Fmt.(list ~sep:comma pp) ts
+  | Record fs ->
+      Fmt.pf ppf "[@[%a@]]"
+        Fmt.(list ~sep:comma (fun ppf (n, t) -> Fmt.pf ppf "%s: %a" n pp t))
+        fs
+  | Packed l -> Fmt.pf ppf "packed(%a)" Layout.pp l
+  | Unpacked l -> Fmt.pf ppf "unpacked(%a)" Layout.pp l
+  | Fun (args, r) ->
+      Fmt.pf ppf "fun(@[%a@]): %a" Fmt.(list ~sep:comma pp) args pp r
+  | Exn t -> Fmt.pf ppf "exn(%a)" pp t
+
+let to_string t = Fmt.str "%a" pp t

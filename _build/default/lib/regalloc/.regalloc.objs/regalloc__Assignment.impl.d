@@ -1,0 +1,1 @@
+lib/regalloc/assignment.ml: Array Diag Fmt Ident Ilp Ixp List Modelgen Support

@@ -1,0 +1,1 @@
+lib/regalloc/baseline.ml: Array Assignment Hashtbl Ident Ixp List Modelgen Option Support

@@ -1,0 +1,1 @@
+lib/regalloc/driver.ml: Array Assignment Baseline Cps Diag Emit Fmt Ident Ilp Ixp List Lp Modelgen Nova Support

@@ -1,0 +1,1 @@
+lib/regalloc/emit.ml: Array Assignment Fmt Hashtbl Ident Ixp List Modelgen Support Union_find Vec

@@ -1,0 +1,1 @@
+lib/regalloc/ilp.ml: Ampl Array Float Hashtbl Ident Ixp List Lp Modelgen Option Support

@@ -1,0 +1,1 @@
+lib/regalloc/modelgen.ml: Array Hashtbl Ident Ixp List Option Support Union_find

@@ -1,0 +1,216 @@
+(* Heuristic baseline allocator, for the ILP-vs-heuristic comparison.
+
+   The strategy mirrors what conservative compilers (and the eager-copy
+   approaches of Kong-Wilken / Scholz-Eckstein, which the paper §2.1
+   argues do not adapt to the IXP) would do:
+
+     - every temporary has a fixed *home* GPR bank (A or B, chosen
+       round-robin to balance pressure);
+     - aggregate reads are vacated eagerly: each member moves from the
+       transfer bank to its home at the first point after the read;
+     - write-side operands move from home into S/SD at the point just
+       before the store (SSU already gave each write operand a dedicated
+       name, so the windows are short and colors are position-determined);
+     - ALU bank conflicts are resolved by bouncing the second operand to
+       the other GPR bank right before the instruction and back right
+       after (the eager-copy discipline);
+     - when a home bank would exceed its capacity at some point, the
+       variable with the longest remaining lifetime is demoted to scratch
+       (spilled), reloading around each use.
+
+   The output is an [Assignment], so emission, checking and simulation
+   are shared with the ILP allocator.  For simplicity the baseline only
+   handles graphs without clone multi-use (it runs before SSU cloning
+   would matter; clone instructions are treated as plain copies). *)
+
+open Support
+module Bank = Ixp.Bank
+module FG = Ixp.Flowgraph
+module Insn = Ixp.Insn
+
+(* The baseline computes, per (point, temp), the bank; then derives
+   moves from bank changes along copy edges. *)
+
+type state = {
+  mg : Modelgen.t;
+  (* (point, temp stamp) -> bank, before/after *)
+  before : (int * int, Bank.t) Hashtbl.t;
+  after : (int * int, Bank.t) Hashtbl.t;
+  home : Bank.t Ident.Tbl.t;
+  color : (int * string, int) Hashtbl.t; (* (temp stamp, bank) -> color *)
+}
+
+let bank_key v = Ident.stamp v
+
+let assign_homes (mg : Modelgen.t) =
+  let home = Ident.Tbl.create 64 in
+  let flip = ref false in
+  Array.iter
+    (fun v ->
+      Ident.Tbl.replace home v (if !flip then Bank.B else Bank.A);
+      flip := not !flip)
+    mg.Modelgen.temps;
+  home
+
+let build (mg : Modelgen.t) : Assignment.t =
+  let st =
+    {
+      mg;
+      before = Hashtbl.create 1024;
+      after = Hashtbl.create 1024;
+      home = assign_homes mg;
+      color = Hashtbl.create 64;
+    }
+  in
+  let home v = Ident.Tbl.find st.home v in
+  (* default: everything sits in its home bank everywhere it exists *)
+  Modelgen.iter_exists mg (fun p v ->
+      Hashtbl.replace st.before (p, bank_key v) (home v);
+      Hashtbl.replace st.after (p, bank_key v) (home v));
+  (* transfer-bank windows from aggregates *)
+  List.iter
+    (fun (ad : Modelgen.agg_def) ->
+      let b = Insn.read_bank ad.Modelgen.ad_space in
+      Array.iteri
+        (fun j v ->
+          (* value appears in the transfer bank and is moved home at the
+             same point (before -> after) *)
+          Hashtbl.replace st.before (ad.Modelgen.ad_point, bank_key v) b;
+          Hashtbl.replace st.color (bank_key v, Bank.to_string b) j)
+        ad.Modelgen.ad_members)
+    mg.Modelgen.agg_defs;
+  List.iter
+    (fun (au : Modelgen.agg_use) ->
+      let b = Insn.write_bank au.Modelgen.au_space in
+      Array.iteri
+        (fun j v ->
+          (* operand moves into the write bank at the point before the
+             store; SSU guarantees this is its only use, so it stays
+             there until death *)
+          Hashtbl.replace st.after (au.Modelgen.au_point, bank_key v) b;
+          Hashtbl.replace st.color (bank_key v, Bank.to_string b) j;
+          (* propagate S residence forward while it still exists *)
+          let rec forward p =
+            List.iter
+              (fun (p1, p2, w) ->
+                if p1 = p && Ident.equal w v then begin
+                  Hashtbl.replace st.before (p2, bank_key v) b;
+                  Hashtbl.replace st.after (p2, bank_key v) b;
+                  forward p2
+                end)
+              mg.Modelgen.copies
+          in
+          forward au.Modelgen.au_point)
+        au.Modelgen.au_members)
+    mg.Modelgen.agg_uses;
+  (* ALU operand conflicts: bounce the second operand *)
+  List.iter
+    (fun (p1, x, y) ->
+      let bx = Hashtbl.find st.after (p1, bank_key x) in
+      let by = Hashtbl.find st.after (p1, bank_key y) in
+      let same_group =
+        (Bank.equal bx by && not (Bank.is_transfer bx))
+        || (Bank.is_read_transfer bx && Bank.is_read_transfer by)
+      in
+      if same_group then begin
+        let other =
+          if Bank.is_transfer by then
+            if Bank.equal bx Bank.A then Bank.B else Bank.A
+          else if Bank.equal by Bank.A then Bank.B
+          else Bank.A
+        in
+        Hashtbl.replace st.after (p1, bank_key y) other
+      end)
+    mg.Modelgen.arith2;
+  (* address and CSR operands must be in A/B *)
+  List.iter
+    (fun (p1, v) ->
+      let b = Hashtbl.find st.after (p1, bank_key v) in
+      if not Bank.(equal b A || equal b B) then
+        Hashtbl.replace st.after (p1, bank_key v) (home v))
+    mg.Modelgen.use_ab;
+  (* single ALU operands stuck on the write side would be illegal; the
+     eager discipline never leaves them there because SSU separated write
+     uses, but arith1 on a freshly-read member is fine (L feeds ALU). *)
+  List.iter
+    (fun (p1, v) ->
+      let b = Hashtbl.find st.after (p1, bank_key v) in
+      if Bank.is_write_transfer b then
+        Hashtbl.replace st.after (p1, bank_key v) (home v))
+    mg.Modelgen.arith1;
+  (* same-register pairs: hash/bit_test_set want matching numbers *)
+  List.iter
+    (fun (d, s) ->
+      let c =
+        Option.value ~default:0
+          (Hashtbl.find_opt st.color (bank_key s, Bank.to_string Bank.S))
+      in
+      Hashtbl.replace st.color (bank_key d, Bank.to_string Bank.L) c;
+      Hashtbl.replace st.color (bank_key s, Bank.to_string Bank.S) c)
+    mg.Modelgen.same_reg;
+  (* propagate bank changes along copies: the value must be somewhere
+     consistent on every edge.  The baseline reconciles by forcing the
+     home bank on both sides of any mismatched copy edge, except when the
+     mismatch is one of the deliberate windows above (transfer sides stay
+     as set; the GPR side aligns). *)
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 8 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun (p1, p2, v) ->
+        let a1 = Hashtbl.find st.after (p1, bank_key v) in
+        let b2 = Hashtbl.find st.before (p2, bank_key v) in
+        if not (Bank.equal a1 b2) then begin
+          (* prefer keeping transfer windows; move the GPR side *)
+          if Bank.is_transfer b2 then begin
+            Hashtbl.replace st.after (p1, bank_key v) b2;
+            changed := true
+          end
+          else begin
+            Hashtbl.replace st.before (p2, bank_key v) a1;
+            changed := true
+          end
+        end)
+      mg.Modelgen.copies
+  done;
+  (* bounced operands return home right after the instruction: nothing to
+     do -- [before] of the next point is home, and the move derivation
+     below inserts the move back.  Build the assignment views. *)
+  let bank_before p v =
+    Option.value ~default:(home v) (Hashtbl.find_opt st.before (p, bank_key v))
+  in
+  let bank_after p v =
+    Option.value ~default:(home v) (Hashtbl.find_opt st.after (p, bank_key v))
+  in
+  let moves_at p =
+    Ident.Set.fold
+      (fun v acc ->
+        let b = bank_before p v and b' = bank_after p v in
+        if Bank.equal b b' then acc else (v, b, b') :: acc)
+      mg.Modelgen.exists_at.(p) []
+  in
+  let xfer_color v b =
+    match Hashtbl.find_opt st.color (bank_key v, Bank.to_string b) with
+    | Some c -> c
+    | None -> 0
+  in
+  { Assignment.mg; bank_before; bank_after; moves_at; xfer_color }
+
+(* Count the moves the baseline inserts (weighted like the ILP's
+   objective, for a like-for-like comparison). *)
+let move_cost (a : Assignment.t) =
+  let mg = a.Assignment.mg in
+  let total = ref 0 and cost = ref 0. in
+  Array.iteri
+    (fun p _ ->
+      List.iter
+        (fun (_, b1, b2) ->
+          incr total;
+          cost :=
+            !cost
+            +. (mg.Modelgen.weights.(p) *. Bank.move_cost ~src:b1 ~dst:b2 ()))
+        (a.Assignment.moves_at p))
+    mg.Modelgen.points;
+  (!total, !cost)

@@ -1,0 +1,227 @@
+(* End-to-end compilation driver: Nova source -> physical IXP program.
+
+   Pipeline (paper §4, §5):
+     parse -> typecheck -> CPS conversion -> CPS optimization ->
+     de-proceduralization -> SSU cloning -> instruction selection ->
+     model generation -> ILP (or baseline heuristic) -> solution
+     application -> machine-legality check. *)
+
+open Support
+
+type allocator = Ilp_allocator | Baseline_allocator
+
+type options = {
+  allocator : allocator;
+  objective : Ilp.objective_mode;
+  time_limit : float;
+  rel_gap : float;
+  entry : string;
+  entry_args : int list;
+  validate : bool; (* run Assignment.validate and Checker *)
+  rematerialize : bool; (* §12: constants through the virtual bank C *)
+}
+
+let default_options =
+  {
+    allocator = Ilp_allocator;
+    objective = Ilp.Minimize_moves;
+    time_limit = 300.;
+    rel_gap = 1e-4;
+    entry = "main";
+    entry_args = [];
+    validate = true;
+    rematerialize = false;
+  }
+
+type stats = {
+  source : Nova.Stats.t;
+  cps_size_initial : int;
+  cps_size_optimized : int;
+  virtual_blocks : int;
+  virtual_insns : int;
+  coloring : Modelgen.coloring_stats;
+  mip : Lp.Mip.stats option; (* None for the baseline *)
+  moves_inserted : int;
+  spills_inserted : int;
+  weighted_move_cost : float;
+}
+
+type compiled = {
+  options : options;
+  tprog : Nova.Tast.tprogram;
+  cps_term : Cps.Ir.term; (* after all CPS phases, pre-isel *)
+  virtual_graph : Ident.t Ixp.Flowgraph.t;
+  mg : Modelgen.t;
+  assignment : Assignment.t;
+  physical : Ixp.Reg.t Ixp.Flowgraph.t;
+  stats : stats;
+}
+
+exception Allocation_failed of string
+
+(* Front half: source -> virtual flowgraph.  Shared by all allocators and
+   by benchmarks that only need model statistics. *)
+type front = {
+  f_tprog : Nova.Tast.tprogram;
+  f_source : Nova.Stats.t;
+  f_term : Cps.Ir.term;
+  f_size_initial : int;
+  f_graph : Ident.t Ixp.Flowgraph.t;
+}
+
+let front_end ?(entry = "main") ?(entry_args = []) ?(rematerialize = false)
+    ~file source =
+  let prog = Nova.Parser.parse_string ~file source in
+  let source_stats = Nova.Stats.of_program ~source prog in
+  let tprog = Nova.Typecheck.check_program ~entry prog in
+  let term = Cps.Convert.convert_program ~entry_args tprog in
+  let size_initial = Cps.Ir.size term in
+  (match Cps.Ir.check_ssa term with
+  | Ok () -> ()
+  | Error e -> Diag.ice "CPS conversion broke SSA: %s" e);
+  let term = Cps.Contract.simplify term in
+  let term = Cps.Deproc.run term in
+  let term = Cps.Ssu.run term in
+  (match Cps.Ir.check_ssa term with
+  | Ok () -> ()
+  | Error e -> Diag.ice "SSU broke SSA: %s" e);
+  let graph = Cps.Isel.run term in
+  let graph = if rematerialize then Cps.Isel.share_constants graph else graph in
+  {
+    f_tprog = tprog;
+    f_source = source_stats;
+    f_term = term;
+    f_size_initial = size_initial;
+    f_graph = graph;
+  }
+
+let allocate (options : options) (front : front) : compiled =
+  let solve_ilp mg =
+    let ilp = Ilp.build ~objective_mode:options.objective mg in
+    Ilp.solve ~time_limit:options.time_limit ~rel_gap:options.rel_gap ilp
+  in
+  let mg, assignment, mip_stats =
+    match options.allocator with
+    | Baseline_allocator ->
+        let mg = Modelgen.build front.f_graph in
+        (mg, Baseline.build mg, None)
+    | Ilp_allocator when options.rematerialize -> (
+        let mg =
+          Modelgen.build ~allow_spill:false ~rematerialize:true front.f_graph
+        in
+        match solve_ilp mg with
+        | Ok sol -> (mg, Assignment.of_ilp sol, Some sol.Ilp.result.Lp.Mip.stats)
+        | Error `Limit -> raise (Allocation_failed "MIP solver hit its limit")
+        | Error `Infeasible ->
+            raise (Allocation_failed "remat model infeasible"))
+    | Ilp_allocator -> (
+        (* spill-free model first (paper §11): much smaller; fall back to
+           the full model with scratch enabled only when infeasible.
+           When branch&bound hits its budget with a feasible incumbent in
+           hand, that incumbent is used: it is a valid (machine-checked)
+           allocation, merely without the optimality certificate -- the
+           achieved gap is visible in the MIP stats. *)
+        let mg = Modelgen.build ~allow_spill:false front.f_graph in
+        match solve_ilp mg with
+        | Ok sol -> (mg, Assignment.of_ilp sol, Some sol.Ilp.result.Lp.Mip.stats)
+        | Error `Limit -> raise (Allocation_failed "MIP solver hit its limit")
+        | Error `Infeasible -> (
+            let mg = Modelgen.build ~allow_spill:true front.f_graph in
+            match solve_ilp mg with
+            | Ok sol ->
+                (mg, Assignment.of_ilp sol, Some sol.Ilp.result.Lp.Mip.stats)
+            | Error `Infeasible ->
+                raise (Allocation_failed "ILP model is infeasible")
+            | Error `Limit ->
+                raise (Allocation_failed "MIP solver hit its limit")))
+  in
+  if options.validate then begin
+    match Assignment.validate assignment with
+    | [] -> ()
+    | errs ->
+        raise
+          (Allocation_failed
+             (Fmt.str "assignment invalid:@.%a"
+                Fmt.(list ~sep:cut string)
+                errs))
+  end;
+  let emitted = Emit.run assignment in
+  if options.validate then begin
+    match Ixp.Checker.check emitted.Emit.physical with
+    | [] -> ()
+    | vs ->
+        raise
+          (Allocation_failed
+             (Fmt.str "machine check failed:@.%a"
+                Fmt.(list ~sep:cut Ixp.Checker.pp_violation)
+                vs))
+  end;
+  let weighted =
+    match options.allocator with
+    | Baseline_allocator -> snd (Baseline.move_cost assignment)
+    | Ilp_allocator ->
+        (* recompute from the assignment for comparability *)
+        let total = ref 0. in
+        Array.iteri
+          (fun p _ ->
+            List.iter
+              (fun (_, b1, b2) ->
+                total :=
+                  !total
+                  +. mg.Modelgen.weights.(p)
+                     *. Ixp.Bank.move_cost ~src:b1 ~dst:b2 ())
+              (assignment.Assignment.moves_at p))
+          mg.Modelgen.points;
+        !total
+  in
+  {
+    options;
+    tprog = front.f_tprog;
+    cps_term = front.f_term;
+    virtual_graph = front.f_graph;
+    mg;
+    assignment;
+    physical = emitted.Emit.physical;
+    stats =
+      {
+        source = front.f_source;
+        cps_size_initial = front.f_size_initial;
+        cps_size_optimized = Cps.Ir.size front.f_term;
+        virtual_blocks = Ixp.Flowgraph.num_blocks front.f_graph;
+        virtual_insns = Ixp.Flowgraph.num_insns front.f_graph;
+        coloring = Modelgen.coloring_stats mg;
+        mip = mip_stats;
+        moves_inserted = emitted.Emit.moves_inserted;
+        spills_inserted = emitted.Emit.spills_inserted;
+        weighted_move_cost = weighted;
+      };
+  }
+
+let compile ?(options = default_options) ~file source =
+  let front =
+    front_end ~entry:options.entry ~entry_args:options.entry_args
+      ~rematerialize:options.rematerialize ~file source
+  in
+  allocate options front
+
+(* Convenience: run the compiled program on the simulator and return the
+   observable results from the scratch result area. *)
+let simulate ?(threads = 1) ?(init = fun (_ : Ixp.Simulator.t) -> ())
+    (c : compiled) =
+  let sim = Ixp.Simulator.create ~threads c.physical in
+  init sim;
+  let cycles = Ixp.Simulator.run_single sim in
+  let mem = Ixp.Simulator.shared_memory sim in
+  let base = Cps.Isel.result_addr_bytes Ixp.Memory.default_config / 4 in
+  let results =
+    Array.init Cps.Isel.result_words (fun i ->
+        Ixp.Memory.peek mem Ixp.Insn.Scratch (base + i))
+  in
+  (cycles, results, sim)
+
+(* Reference semantics via the CPS interpreter, for equivalence tests. *)
+let interpret ?(init = fun (_ : Cps.Interp.state) -> ()) (c : compiled) =
+  let st = Cps.Interp.create () in
+  init st;
+  let result = Cps.Interp.run st Ident.Map.empty c.cps_term in
+  (result, st)

@@ -1,0 +1,547 @@
+(* Solution application: turn a bank/color [Assignment] into a physical
+   IXP program.
+
+   Responsibilities:
+     - number the A/B banks with a coloring phase in the style of
+       Appel-George phase 2 with Briggs-conservative coalescing (the
+       paper's optimistic-coalescing role): nodes are per-block bank
+       *segments* of a temporary's lifetime, unioned across control edges
+       (no moves are allowed there) and across clone instructions (clones
+       start in their original's register);
+     - expand the declared inter-bank moves at every point into real
+       instructions, sequencing each point's move set as a parallel copy
+       (the reserved register A15 breaks cycles -- this is why the ILP's
+       K constraint keeps A at 15), staging scratch traffic through free
+       S/L registers guaranteed by the model's needsSpill headroom;
+     - rewrite every instruction's uses/defs to physical registers.
+
+   The result is validated by [Ixp.Checker] in the driver. *)
+
+open Support
+module Bank = Ixp.Bank
+module FG = Ixp.Flowgraph
+module Insn = Ixp.Insn
+module Reg = Ixp.Reg
+
+exception Emit_error of string
+
+let error fmt = Fmt.kstr (fun s -> raise (Emit_error s)) fmt
+
+(* An instant: before (0) or after (1) the moves of a point. *)
+let inst ~pos ~side = (2 * pos) + side
+
+type t = {
+  assignment : Assignment.t;
+  (* A/B register number per coloring node root *)
+  node_color : (int, int) Hashtbl.t;
+  node_at : (string * int * int, int) Hashtbl.t;
+  uf : Union_find.t;
+  slots : int Ident.Tbl.t;
+  mutable next_slot : int;
+  mutable moves_inserted : int;
+  mutable spills_inserted : int;
+}
+
+let spare_a = Reg.make Bank.A 15
+
+(* ------------------------------------------------------------------ *)
+(* Segment construction and coloring                                   *)
+(* ------------------------------------------------------------------ *)
+
+let build_segments (a : Assignment.t) =
+  let mg = a.Assignment.mg in
+  let graph = mg.Modelgen.graph in
+  let nodes = Vec.create () in
+  let at : (string * int * int, int) Hashtbl.t = Hashtbl.create 1024 in
+  let bank_at p side v =
+    if side = 0 then a.Assignment.bank_before p v else a.Assignment.bank_after p v
+  in
+  (* per-block scan *)
+  FG.iter_blocks
+    (fun b ->
+      let label = b.FG.label in
+      let n = Array.length b.FG.insns in
+      for pos = 0 to n do
+        let p = Modelgen.id_of_point mg { FG.block = label; pos } in
+        for side = 0 to 1 do
+          let i = inst ~pos ~side in
+          Ident.Set.iter
+            (fun v ->
+              let bank = bank_at p side v in
+              if Bank.equal bank Bank.A || Bank.equal bank Bank.B then begin
+                let prev =
+                  if i = 0 then None
+                  else Hashtbl.find_opt at (label, i - 1, Ident.stamp v)
+                in
+                let node =
+                  match prev with
+                  | Some id when snd (Vec.get nodes id) = bank -> id
+                  | _ ->
+                      Vec.push nodes (v, bank);
+                      Vec.length nodes - 1
+                in
+                Hashtbl.replace at (label, i, Ident.stamp v) node
+              end)
+            mg.Modelgen.exists_at.(p)
+        done
+      done)
+    graph;
+  let uf = Union_find.create (max 1 (Vec.length nodes)) in
+  (* control edges: pred's exit After-instant joins succ's entry Before *)
+  List.iter
+    (fun (p1, p2) ->
+      let pt1 = Modelgen.point_of mg p1 and pt2 = Modelgen.point_of mg p2 in
+      let i1 = inst ~pos:pt1.FG.pos ~side:1 in
+      let i2 = inst ~pos:pt2.FG.pos ~side:0 in
+      Ident.Set.iter
+        (fun v ->
+          if Ident.Set.mem v mg.Modelgen.exists_at.(p1) then
+            match
+              ( Hashtbl.find_opt at (pt1.FG.block, i1, Ident.stamp v),
+                Hashtbl.find_opt at (pt2.FG.block, i2, Ident.stamp v) )
+            with
+            | Some n1, Some n2 -> ignore (Union_find.union uf n1 n2)
+            | _ -> ())
+        mg.Modelgen.exists_at.(p2))
+    mg.Modelgen.control_edges;
+  (* clone instructions: destination segments start in the source's
+     register *)
+  List.iter
+    (fun (p1, p2, dsts, src) ->
+      let pt1 = Modelgen.point_of mg p1 and pt2 = Modelgen.point_of mg p2 in
+      let i1 = inst ~pos:pt1.FG.pos ~side:1 in
+      let i2 = inst ~pos:pt2.FG.pos ~side:0 in
+      Array.iter
+        (fun d ->
+          match
+            ( Hashtbl.find_opt at (pt1.FG.block, i1, Ident.stamp src),
+              Hashtbl.find_opt at (pt2.FG.block, i2, Ident.stamp d) )
+          with
+          | Some n1, Some n2 -> ignore (Union_find.union uf n1 n2)
+          | _ -> ())
+        dsts)
+    mg.Modelgen.clones;
+  (* clone mates sharing a GPR bank at an instant share the register *)
+  FG.iter_blocks
+    (fun b ->
+      let label = b.FG.label in
+      let n = Array.length b.FG.insns in
+      for pos = 0 to n do
+        let p = Modelgen.id_of_point mg { FG.block = label; pos } in
+        for side = 0 to 1 do
+          let i = inst ~pos ~side in
+          let fams = Hashtbl.create 8 in
+          Ident.Set.iter
+            (fun v ->
+              match Hashtbl.find_opt at (label, i, Ident.stamp v) with
+              | None -> ()
+              | Some node ->
+                  let bank = snd (Vec.get nodes node) in
+                  let key = (Ident.stamp (mg.Modelgen.clone_family v), bank) in
+                  (match Hashtbl.find_opt fams key with
+                  | Some other -> ignore (Union_find.union uf node other)
+                  | None -> Hashtbl.replace fams key node))
+            mg.Modelgen.exists_at.(p)
+        done
+      done)
+    graph;
+  (nodes, at, uf)
+
+(* Interference graph over segment roots, then greedy Kempe coloring
+   with Briggs-conservative coalescing of move-related segments. *)
+let color_segments (a : Assignment.t) nodes at uf =
+  let mg = a.Assignment.mg in
+  let graph = mg.Modelgen.graph in
+  let root n = Union_find.find uf n in
+  let adj : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 256 in
+  let ensure n =
+    match Hashtbl.find_opt adj n with
+    | Some s -> s
+    | None ->
+        let s = Hashtbl.create 8 in
+        Hashtbl.replace adj n s;
+        s
+  in
+  let add_edge n1 n2 =
+    if n1 <> n2 then begin
+      Hashtbl.replace (ensure n1) n2 ();
+      Hashtbl.replace (ensure n2) n1 ()
+    end
+  in
+  (* occupants per (block, instant) *)
+  FG.iter_blocks
+    (fun b ->
+      let label = b.FG.label in
+      let n = Array.length b.FG.insns in
+      for pos = 0 to n do
+        let p = Modelgen.id_of_point mg { FG.block = label; pos } in
+        for side = 0 to 1 do
+          let i = inst ~pos ~side in
+          let occupants = ref [] in
+          Ident.Set.iter
+            (fun v ->
+              match Hashtbl.find_opt at (label, i, Ident.stamp v) with
+              | Some node -> occupants := (v, root node) :: !occupants
+              | None -> ())
+            mg.Modelgen.exists_at.(p);
+          let rec pairs = function
+            | [] -> ()
+            | (v1, n1) :: rest ->
+                List.iter
+                  (fun (v2, n2) ->
+                    if
+                      n1 <> n2
+                      && snd (Vec.get nodes n1) = snd (Vec.get nodes n2)
+                      && not
+                           (Ident.equal
+                              (mg.Modelgen.clone_family v1)
+                              (mg.Modelgen.clone_family v2))
+                    then add_edge n1 n2)
+                  rest;
+                pairs rest
+          in
+          pairs !occupants;
+          (* make sure singleton roots exist in adj *)
+          List.iter (fun (_, n) -> ignore (ensure n)) !occupants
+        done
+      done)
+    graph;
+  (* conservative coalescing of move-related same-bank segments *)
+  let capacity bank = if bank = Bank.A then 15 else 16 in
+  List.iter
+    (fun (p1, p2, insn) ->
+      match insn with
+      | Insn.Alu1 { op = `Mov; dst; src } -> (
+          let pt1 = Modelgen.point_of mg p1 and pt2 = Modelgen.point_of mg p2 in
+          let i1 = inst ~pos:pt1.FG.pos ~side:1 in
+          let i2 = inst ~pos:pt2.FG.pos ~side:0 in
+          match
+            ( Hashtbl.find_opt at (pt1.FG.block, i1, Ident.stamp src),
+              Hashtbl.find_opt at (pt2.FG.block, i2, Ident.stamp dst) )
+          with
+          | Some n1, Some n2 ->
+              let r1 = root n1 and r2 = root n2 in
+              let b1 = snd (Vec.get nodes r1) and b2 = snd (Vec.get nodes r2) in
+              if r1 <> r2 && b1 = b2 && not (Hashtbl.mem (ensure r1) r2) then begin
+                (* Briggs: merged node must have < K significant
+                   neighbours *)
+                let k = capacity b1 in
+                let merged = Hashtbl.create 16 in
+                Hashtbl.iter (fun n () -> Hashtbl.replace merged n ()) (ensure r1);
+                Hashtbl.iter (fun n () -> Hashtbl.replace merged n ()) (ensure r2);
+                let significant =
+                  Hashtbl.fold
+                    (fun n () acc ->
+                      if Hashtbl.length (ensure n) >= k then acc + 1 else acc)
+                    merged 0
+                in
+                if significant < k then begin
+                  let r = Union_find.union uf r1 r2 in
+                  let other = if r = r1 then r2 else r1 in
+                  (* fold adjacency of [other] into [r] *)
+                  Hashtbl.iter
+                    (fun n () ->
+                      Hashtbl.remove (ensure n) other;
+                      add_edge r n)
+                    (ensure other);
+                  Hashtbl.remove adj other
+                end
+              end
+          | _ -> ())
+      | _ -> ())
+    mg.Modelgen.insn_edges;
+  (* Kempe simplify + select *)
+  let node_color = Hashtbl.create 256 in
+  let all_roots =
+    Hashtbl.fold (fun n _ acc -> n :: acc) adj []
+  in
+  let degree = Hashtbl.create 256 in
+  List.iter (fun n -> Hashtbl.replace degree n (Hashtbl.length (ensure n))) all_roots;
+  let removed = Hashtbl.create 256 in
+  let stack = ref [] in
+  let remaining = ref (List.length all_roots) in
+  while !remaining > 0 do
+    (* pick a low-degree node, or max-degree as optimistic spill choice *)
+    let best = ref None in
+    List.iter
+      (fun n ->
+        if not (Hashtbl.mem removed n) then begin
+          let k = capacity (snd (Vec.get nodes n)) in
+          let d = Hashtbl.find degree n in
+          match !best with
+          | None -> best := Some (n, d, d < k)
+          | Some (_, _, true) when d < k -> ()
+          | Some (_, bd, true) -> if d < k && d < bd then best := Some (n, d, true)
+          | Some (_, bd, false) ->
+              if d < k then best := Some (n, d, true)
+              else if d > bd then best := Some (n, d, false)
+        end)
+      all_roots;
+    match !best with
+    | None -> remaining := 0
+    | Some (n, _, _) ->
+        Hashtbl.replace removed n ();
+        stack := n :: !stack;
+        decr remaining;
+        Hashtbl.iter
+          (fun m () ->
+            if not (Hashtbl.mem removed m) then
+              Hashtbl.replace degree m (Hashtbl.find degree m - 1))
+          (ensure n)
+  done;
+  List.iter
+    (fun n ->
+      let bank = snd (Vec.get nodes n) in
+      let k = capacity bank in
+      let taken = Array.make 16 false in
+      Hashtbl.iter
+        (fun m () ->
+          match Hashtbl.find_opt node_color m with
+          | Some c -> taken.(c) <- true
+          | None -> ())
+        (ensure n);
+      let rec find c =
+        if c >= k then
+          error "A/B coloring failed for %a in %s (pressure exceeds capacity)"
+            Ident.pp (fst (Vec.get nodes n)) (Bank.to_string bank)
+        else if taken.(c) then find (c + 1)
+        else c
+      in
+      Hashtbl.replace node_color n (find 0))
+    !stack;
+  node_color
+
+(* ------------------------------------------------------------------ *)
+(* Physical register lookup                                            *)
+(* ------------------------------------------------------------------ *)
+
+let slot_of st v =
+  match Ident.Tbl.find_opt st.slots v with
+  | Some s -> s
+  | None ->
+      let s = st.next_slot in
+      st.next_slot <- s + 1;
+      Ident.Tbl.replace st.slots v s;
+      s
+
+let reg_at st ~block ~instant v =
+  let a = st.assignment in
+  let mg = a.Assignment.mg in
+  let pos = instant / 2 and side = instant mod 2 in
+  let p = Modelgen.id_of_point mg { FG.block; pos } in
+  let bank =
+    if side = 0 then a.Assignment.bank_before p v else a.Assignment.bank_after p v
+  in
+  match bank with
+  | Bank.A | Bank.B -> (
+      match Hashtbl.find_opt st.node_at (block, instant, Ident.stamp v) with
+      | Some node -> (
+          let r = Union_find.find st.uf node in
+          match Hashtbl.find_opt st.node_color r with
+          | Some c -> Reg.make bank c
+          | None -> error "uncolored segment for %a" Ident.pp v)
+      | None -> error "no segment for %a at %s.%d" Ident.pp v block instant)
+  | Bank.L | Bank.LD | Bank.S | Bank.SD ->
+      Reg.make bank (a.Assignment.xfer_color v bank)
+  | Bank.M -> error "reg_at: %a is in scratch at %s.%d" Ident.pp v block instant
+  | Bank.C ->
+      error "reg_at: %a is a constant (bank C) at %s.%d" Ident.pp v block
+        instant
+
+(* Which S (or L) registers are free around point [p]? *)
+let free_xfer_reg st ~p bank =
+  let a = st.assignment in
+  let mg = a.Assignment.mg in
+  let taken = Array.make 8 false in
+  Ident.Set.iter
+    (fun v ->
+      let check b = Bank.equal b bank in
+      if check (a.Assignment.bank_before p v) || check (a.Assignment.bank_after p v)
+      then taken.(a.Assignment.xfer_color v bank) <- true)
+    mg.Modelgen.exists_at.(p);
+  let rec find r =
+    if r >= 8 then
+      error "no free %s register at point %d for spill staging"
+        (Bank.to_string bank) p
+    else if taken.(r) then find (r + 1)
+    else r
+  in
+  Reg.make bank (find 0)
+
+(* ------------------------------------------------------------------ *)
+(* Move expansion                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Emit the moves scheduled at point [p] of [block] at position [pos]. *)
+let emit_moves st out ~block ~pos ~p =
+  let a = st.assignment in
+  let moves = a.Assignment.moves_at p in
+  if moves <> [] then begin
+    let i_before = inst ~pos ~side:0 and i_after = inst ~pos ~side:1 in
+    (* 0. constant discards are free: nothing to emit for b -> C *)
+    (* 1. spills (reads only) *)
+    List.iter
+      (fun (v, b1, b2) ->
+        if Bank.equal b2 Bank.M then begin
+          st.spills_inserted <- st.spills_inserted + 1;
+          let slot = slot_of st v in
+          if Bank.is_write_transfer b1 then
+            (* already on the write side: store directly *)
+            Vec.push out
+              (Insn.Spill { slot; src = reg_at st ~block ~instant:i_before v })
+          else begin
+            let stage = free_xfer_reg st ~p Bank.S in
+            Vec.push out
+              (Insn.Move { dst = stage; src = reg_at st ~block ~instant:i_before v });
+            Vec.push out (Insn.Spill { slot; src = stage })
+          end
+        end)
+      moves;
+    (* 2. register-register parallel copy *)
+    let pairs =
+      List.filter_map
+        (fun (v, b1, b2) ->
+          if
+            Bank.equal b1 Bank.M || Bank.equal b2 Bank.M
+            || Bank.equal b1 Bank.C || Bank.equal b2 Bank.C
+          then None
+          else
+            Some
+              ( reg_at st ~block ~instant:i_after v,
+                reg_at st ~block ~instant:i_before v ))
+        moves
+    in
+    st.moves_inserted <- st.moves_inserted + List.length pairs;
+    let remaining = ref (List.filter (fun (d, s) -> not (Reg.equal d s)) pairs) in
+    let is_pending_src r = List.exists (fun (_, s) -> Reg.equal s r) !remaining in
+    let guard = ref 0 in
+    while !remaining <> [] do
+      incr guard;
+      if !guard > 1000 then error "parallel copy did not terminate";
+      let ready, blocked =
+        List.partition (fun (d, _) -> not (is_pending_src d)) !remaining
+      in
+      if ready <> [] then begin
+        List.iter
+          (fun (d, s) -> Vec.push out (Insn.Move { dst = d; src = s }))
+          ready;
+        remaining := blocked
+      end
+      else begin
+        match !remaining with
+        | [] -> ()
+        | (d, s) :: rest ->
+            (* break the cycle through the reserved A15 *)
+            Vec.push out (Insn.Move { dst = spare_a; src = d });
+            Vec.push out (Insn.Move { dst = d; src = s });
+            remaining :=
+              List.map
+                (fun (d', s') -> if Reg.equal s' d then (d', spare_a) else (d', s'))
+                rest
+      end
+    done;
+    (* 2b. constant loads (writes only): a move out of C is an immediate *)
+    List.iter
+      (fun (v, b1, b2) ->
+        if Bank.equal b1 Bank.C && not (Bank.equal b2 Bank.C) then begin
+          match Modelgen.const_of st.assignment.Assignment.mg v with
+          | Some value ->
+              st.moves_inserted <- st.moves_inserted + 1;
+              Vec.push out
+                (Insn.Imm { dst = reg_at st ~block ~instant:i_after v; value })
+          | None -> error "move out of C for non-constant %a" Ident.pp v
+        end)
+      moves;
+    (* 3. reloads (writes only) *)
+    List.iter
+      (fun (v, b1, b2) ->
+        if Bank.equal b1 Bank.M then begin
+          st.spills_inserted <- st.spills_inserted + 1;
+          let slot = slot_of st v in
+          match b2 with
+          | Bank.L ->
+              Vec.push out
+                (Insn.Reload { slot; dst = reg_at st ~block ~instant:i_after v })
+          | Bank.A | Bank.B ->
+              let stage = free_xfer_reg st ~p Bank.L in
+              Vec.push out (Insn.Reload { slot; dst = stage });
+              Vec.push out
+                (Insn.Move { dst = reg_at st ~block ~instant:i_after v; src = stage })
+          | _ ->
+              error "illegal reload target %s for %a" (Bank.to_string b2)
+                Ident.pp v
+        end)
+      moves
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Program emission                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type result = {
+  physical : Reg.t FG.t;
+  moves_inserted : int;
+  spills_inserted : int;
+  gpr_segments : int;
+}
+
+let run (a : Assignment.t) : result =
+  let nodes, at, uf = build_segments a in
+  let node_color = color_segments a nodes at uf in
+  let st =
+    {
+      assignment = a;
+      node_color;
+      node_at = at;
+      uf;
+      slots = Ident.Tbl.create 16;
+      next_slot = 0;
+      moves_inserted = 0;
+      spills_inserted = 0;
+    }
+  in
+  let mg = a.Assignment.mg in
+  let graph = mg.Modelgen.graph in
+  let out_graph = FG.create () in
+  FG.iter_blocks
+    (fun b ->
+      let label = b.FG.label in
+      let n = Array.length b.FG.insns in
+      let out = Vec.create () in
+      for pos = 0 to n do
+        let p = Modelgen.id_of_point mg { FG.block = label; pos } in
+        emit_moves st out ~block:label ~pos ~p;
+        if pos < n then begin
+          match b.FG.insns.(pos) with
+          | Insn.Clone _ -> () (* clones are free: same register *)
+          | Insn.Imm { dst; _ }
+            when Bank.equal
+                   (a.Assignment.bank_before
+                      (Modelgen.id_of_point mg { FG.block = label; pos = pos + 1 })
+                      dst)
+                   Bank.C ->
+              () (* rematerialized constant: the definition is virtual *)
+          | insn -> (
+              let use v = reg_at st ~block:label ~instant:(inst ~pos ~side:1) v in
+              let def v =
+                reg_at st ~block:label ~instant:(inst ~pos:(pos + 1) ~side:0) v
+              in
+              match Insn.map_uses_defs ~use ~def insn with
+              (* peephole: coalescing made this copy a no-op *)
+              | Insn.Alu1 { op = `Mov; dst; src } when Reg.equal dst src -> ()
+              | Insn.Move { dst; src } when Reg.equal dst src -> ()
+              | mapped -> Vec.push out mapped)
+        end
+      done;
+      let exit_use v =
+        reg_at st ~block:label ~instant:(inst ~pos:n ~side:1) v
+      in
+      let term = Insn.map_term exit_use b.FG.term in
+      ignore (FG.add_block out_graph ~label ~insns:(Vec.to_list out) ~term))
+    graph;
+  {
+    physical = out_graph;
+    moves_inserted = st.moves_inserted;
+    spills_inserted = st.spills_inserted;
+    gpr_segments = Vec.length nodes;
+  }

@@ -1,0 +1,1 @@
+lib/support/ident.ml: Fmt Hashtbl Int Map Printf Set

@@ -1,0 +1,56 @@
+(* Compiler diagnostics.
+
+   All user-facing errors raised by the front end and back end carry a
+   source location and a severity.  Internal invariant violations use
+   [ice] ("internal compiler error") so that they are distinguishable from
+   errors in the program under compilation. *)
+
+type severity = Error | Warning | Note
+
+type t = { severity : severity; loc : Srcloc.t; message : string }
+
+exception Compile_error of t
+
+let pp_severity ppf = function
+  | Error -> Fmt.string ppf "error"
+  | Warning -> Fmt.string ppf "warning"
+  | Note -> Fmt.string ppf "note"
+
+let pp ppf d =
+  Fmt.pf ppf "%a: %a: %s" Srcloc.pp d.loc pp_severity d.severity d.message
+
+let to_string d = Fmt.str "%a" pp d
+
+let error ?(loc = Srcloc.dummy) fmt =
+  Fmt.kstr
+    (fun message ->
+      raise (Compile_error { severity = Error; loc; message }))
+    fmt
+
+let errorf ?loc fmt = error ?loc fmt
+
+(* Internal compiler error: a bug in this compiler, not in user code. *)
+let ice fmt =
+  Fmt.kstr
+    (fun message ->
+      raise
+        (Compile_error
+           { severity = Error; loc = Srcloc.dummy;
+             message = "internal compiler error: " ^ message }))
+    fmt
+
+let warning_printer :
+    (t -> unit) ref =
+  ref (fun d -> Fmt.epr "%a@." pp d)
+
+let warn ?(loc = Srcloc.dummy) fmt =
+  Fmt.kstr
+    (fun message ->
+      !warning_printer { severity = Warning; loc; message })
+    fmt
+
+(* Run [f] and capture a compile error as [Result.Error]. *)
+let protect f =
+  match f () with
+  | v -> Ok v
+  | exception Compile_error d -> Error d

@@ -1,0 +1,46 @@
+(* Union-find with path compression and union by rank.
+
+   Used by the A/B coloring phase (coalescing classes) and by the SSU pass
+   (clone families). *)
+
+type t = { parent : int array; rank : int array }
+
+let create n = { parent = Array.init n (fun i -> i); rank = Array.make n 0 }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t i j =
+  let ri = find t i and rj = find t j in
+  if ri = rj then ri
+  else if t.rank.(ri) < t.rank.(rj) then begin
+    t.parent.(ri) <- rj;
+    rj
+  end
+  else if t.rank.(ri) > t.rank.(rj) then begin
+    t.parent.(rj) <- ri;
+    ri
+  end
+  else begin
+    t.parent.(rj) <- ri;
+    t.rank.(ri) <- t.rank.(ri) + 1;
+    ri
+  end
+
+let equiv t i j = find t i = find t j
+
+(* All classes, as a list of members per representative. *)
+let classes t =
+  let tbl = Hashtbl.create 16 in
+  Array.iteri
+    (fun i _ ->
+      let r = find t i in
+      Hashtbl.replace tbl r (i :: (Option.value ~default:[] (Hashtbl.find_opt tbl r))))
+    t.parent;
+  Hashtbl.fold (fun _ members acc -> List.rev members :: acc) tbl []

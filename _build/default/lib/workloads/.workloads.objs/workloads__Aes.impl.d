@@ -1,0 +1,1 @@
+lib/workloads/aes.ml: Aes_ref Array Lazy Printf

@@ -1,0 +1,1 @@
+lib/workloads/aes_ref.ml: Array Lazy

@@ -1,0 +1,1 @@
+lib/workloads/kasumi.ml: Aes_ref Array Kasumi_ref Lazy Printf

@@ -1,0 +1,1 @@
+lib/workloads/kasumi_ref.ml: Array Lazy

@@ -1,0 +1,1 @@
+lib/workloads/nat.ml: Array Ixp Printf

@@ -1,0 +1,214 @@
+(* AES-128 in Nova, following the paper's description (§11):
+     - encryption state kept in registers throughout;
+     - tables (four T-tables + S-box) in SRAM;
+     - key expansion statically computed (the harness preloads the round
+       keys into SRAM);
+     - ethernet/IP/TCP headers processed ahead of the payload: the
+       plaintext is read quad-word *misaligned* from SDRAM (the paper
+       shifts headers) and the ciphertext is written quad-word aligned;
+     - the TCP checksum over the ciphertext is maintained and patched
+       back into the header;
+     - non-IPv4/non-TCP/partial-block packets punt to the slow path;
+     - no CBC: data a whole number of 16-byte blocks. *)
+
+(* SRAM memory map (byte addresses) *)
+let t0_base = 0x1000
+let t1_base = 0x1400
+let t2_base = 0x1800
+let t3_base = 0x1C00
+let sbox_base = 0x2000
+let rk_base = 0x2400
+let csum_addr = 0x50
+let flow_addr = 0x60 (* packed flow-accounting record, 4 words *)
+
+(* SDRAM: IPv4+TCP headers at [hdr_base]; plaintext blocks start at
+   [pkt_base + 4] (misaligned on purpose); ciphertext written aligned at
+   [ct_base]. *)
+let hdr_base = 0xC0
+let pkt_base = 0x100
+let ct_base = 0x800
+
+let source =
+  Printf.sprintf
+    {|
+// AES-128 fast path for the IXP micro-engine.
+// Tables and round keys live in SRAM; the state never leaves registers.
+
+layout ipv4_hdr = {
+  vi : overlay { whole : 8 | parts : { version : 4, ihl : 4 } },
+  tos : 8, total_length : 16,
+  ident : 16, flags_frag : 16,
+  ttl : 8, protocol : 8, hdr_csum : 16,
+  src : 32, dst : 32
+};
+
+layout tcp_hdr = {
+  sport : 16, dport : 16,
+  seq : 32,
+  ack : 32,
+  data_off : 4, tcp_flags : 12, window : 16,
+  tcp_csum : 16, urgent : 16
+};
+
+// flow-accounting record logged to SRAM for the slow path
+layout flow_record = {
+  fsrc : 32, fdst : 32, ports : 32, bytes : 16, fproto : 8, fstatus : 8
+};
+
+const T0   = %d;
+const T1   = %d;
+const T2   = %d;
+const T3   = %d;
+const SBOX = %d;
+const RK   = %d;
+const HDR  = %d;   // IPv4 + TCP headers
+const PKT  = %d;   // plaintext at PKT+4: quad-word misaligned
+const CT   = %d;   // ciphertext written quad-word aligned
+const CSUM = %d;
+const FLOW = %d;
+
+// One T-table lookup: tables are word-indexed by a byte.
+fun t_lookup (base : word, b : word) : word {
+  sram(base + (b << 2), 1)
+}
+
+// One main-round column: out = T0[b0(a)] ^ T1[b1(b)] ^ T2[b2(c)] ^ T3[b3(d)] ^ rk
+fun round_column (a : word, b : word, c : word, d : word, rk : word) : word {
+  let x0 = t_lookup(T0, (a >> 24) & 0xFF);
+  let x1 = t_lookup(T1, (b >> 16) & 0xFF);
+  let x2 = t_lookup(T2, (c >> 8) & 0xFF);
+  let x3 = t_lookup(T3, d & 0xFF);
+  x0 ^ x1 ^ x2 ^ x3 ^ rk
+}
+
+// Final round column: SubBytes + ShiftRows, no MixColumns.
+fun final_column (a : word, b : word, c : word, d : word, rk : word) : word {
+  let x0 = t_lookup(SBOX, (a >> 24) & 0xFF);
+  let x1 = t_lookup(SBOX, (b >> 16) & 0xFF);
+  let x2 = t_lookup(SBOX, (c >> 8) & 0xFF);
+  let x3 = t_lookup(SBOX, d & 0xFF);
+  ((x0 << 24) | (x1 << 16) | (x2 << 8) | x3) ^ rk
+}
+
+fun main () : word {
+  try {
+    // parse the headers in front of the payload
+    let (i0, i1, i2, i3, i4, t0) = sdram(HDR, 6);
+    let (t1, t2, t3, t4) = sdram(HDR + 24, 4);
+    let ip = unpack[ipv4_hdr]((i0, i1, i2, i3, i4));
+    let tcp = unpack[tcp_hdr]((t0, t1, t2, t3, t4));
+    if (ip.vi.parts.version != 4) { raise Punt [code = 1]; }
+    if (ip.protocol != 6) { raise Punt [code = 2]; }
+    let payload_len = ip.total_length - 40;
+    if ((payload_len & 15) != 0) { raise Punt [code = 3]; }
+    var off = 0;
+    var csum = 0;
+    while (off <u payload_len) {
+      // Misaligned plaintext: the block at PKT+4+off straddles the
+      // aligned 6-word window starting at PKT+off.
+      let (skip0, p0, p1, p2, p3, skip1) = sdram(PKT + off, 6);
+      let (k0, k1, k2, k3) = sram(RK, 4);
+      var s0 = p0 ^ k0;
+      var s1 = p1 ^ k1;
+      var s2 = p2 ^ k2;
+      var s3 = p3 ^ k3;
+      var r = 1;
+      while (r < 10) {
+        let (rk0, rk1, rk2, rk3) = sram(RK + (r << 4), 4);
+        let n0 = round_column(s0, s1, s2, s3, rk0);
+        let n1 = round_column(s1, s2, s3, s0, rk1);
+        let n2 = round_column(s2, s3, s0, s1, rk2);
+        let n3 = round_column(s3, s0, s1, s2, rk3);
+        s0 := n0; s1 := n1; s2 := n2; s3 := n3;
+        r := r + 1;
+      }
+      let (f0, f1, f2, f3) = sram(RK + 160, 4);
+      let c0 = final_column(s0, s1, s2, s3, f0);
+      let c1 = final_column(s1, s2, s3, s0, f1);
+      let c2 = final_column(s2, s3, s0, s1, f2);
+      let c3 = final_column(s3, s0, s1, s2, f3);
+      // ciphertext goes out quad-word aligned
+      sdram(CT + off) <- (c0, c1, c2, c3);
+      // maintain the TCP checksum over the ciphertext
+      csum := csum + (c0 >> 16) + (c0 & 0xFFFF);
+      csum := csum + (c1 >> 16) + (c1 & 0xFFFF);
+      csum := csum + (c2 >> 16) + (c2 & 0xFFFF);
+      csum := csum + (c3 >> 16) + (c3 & 0xFFFF);
+      off := off + 16;
+    }
+    // fold to 16 bits (twice covers all carries)
+    csum := (csum & 0xFFFF) + (csum >> 16);
+    csum := (csum & 0xFFFF) + (csum >> 16);
+    sram(CSUM) <- csum;
+    // log the flow record for the accounting slow path
+    let record = pack[flow_record] [
+      fsrc = ip.src, fdst = ip.dst,
+      ports = (tcp.sport << 16) | tcp.dport,
+      bytes = payload_len, fproto = ip.protocol, fstatus = 1 ];
+    sram(FLOW) <- record;
+    // patch the refreshed TCP checksum back into the header
+    let (m0, m1) = sdram(HDR + 32, 2);
+    sdram(HDR + 32) <- (m0, (csum << 16) | (m1 & 0xFFFF));
+    csum
+  }
+  handle Punt [code : word] { 0xF0000000 | code }
+}
+|}
+    t0_base t1_base t2_base t3_base sbox_base rk_base hdr_base pkt_base
+    ct_base csum_addr flow_addr
+
+(* The statically-expanded key used by benchmarks and tests. *)
+let demo_key = [| 0x2B7E1516; 0x28AED2A6; 0xABF71588; 0x09CF4F3C |]
+
+let round_keys = lazy (Aes_ref.expand_key demo_key)
+
+(* Deterministic pseudo-random payload words. *)
+let payload_words n =
+  let out = Array.make n 0 in
+  let state = ref 0x12345678 in
+  for i = 0 to n - 1 do
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFFFFF;
+    out.(i) <- !state land 0xFFFFFFFF
+  done;
+  out
+
+(* The synthetic IPv4+TCP header the harness puts in front of the
+   payload. *)
+let header_words ~payload_len =
+  let total = 40 + payload_len in
+  [|
+    (4 lsl 28) lor (5 lsl 24) lor total; (* ver/ihl/tos/len *)
+    (0x1337 lsl 16) lor 0x4000; (* ident, DF *)
+    (64 lsl 24) lor (6 lsl 16); (* ttl, TCP, csum=0 *)
+    0xC0A80001; (* src 192.168.0.1 *)
+    0x0A000002; (* dst 10.0.0.2 *)
+    (0x1F90 lsl 16) lor 0x01BB; (* ports 8080 -> 443 *)
+    0x11223344; (* seq *)
+    0x55667788; (* ack *)
+    (5 lsl 28) lor (0x018 lsl 16) lor 0xFFFF; (* data off, flags, window *)
+    0xABCD0000; (* old checksum, urgent 0 *)
+  |]
+
+let init_tables load_sram =
+  let t k = Aes_ref.t_table k in
+  Array.iteri (fun i w -> load_sram ((t0_base / 4) + i) w) (t 0);
+  Array.iteri (fun i w -> load_sram ((t1_base / 4) + i) w) (t 1);
+  Array.iteri (fun i w -> load_sram ((t2_base / 4) + i) w) (t 2);
+  Array.iteri (fun i w -> load_sram ((t3_base / 4) + i) w) (t 3);
+  Array.iteri (fun i w -> load_sram ((sbox_base / 4) + i) w) (Lazy.force Aes_ref.sbox_words);
+  Array.iteri (fun i w -> load_sram ((rk_base / 4) + i) w) (Lazy.force round_keys)
+
+let init_payload load_sdram ~payload_len =
+  Array.iteri
+    (fun i w -> load_sdram ((hdr_base / 4) + i) w)
+    (header_words ~payload_len);
+  let words = payload_words (payload_len / 4) in
+  Array.iteri (fun i w -> load_sdram ((pkt_base / 4) + 1 + i) w) words;
+  words
+
+(* Expected results computed by the reference implementation. *)
+let expected ~payload_len =
+  let words = payload_words (payload_len / 4) in
+  let ct = Aes_ref.encrypt_words (Lazy.force round_keys) words in
+  let csum = Aes_ref.ones_complement_sum ct in
+  (ct, csum)

@@ -1,0 +1,147 @@
+(* Reference AES-128 implementation (encryption only, ECB over whole
+   blocks, as in the paper's variant: no CBC, data a multiple of 16
+   bytes).
+
+   Everything is derived from first principles -- S-box from the GF(2^8)
+   multiplicative inverse and affine map, T-tables from the S-box -- so
+   the tables this module computes are genuine AES tables.  The compiled
+   Nova program uses the same tables (loaded into simulated SRAM), so
+   compiled output must agree with [encrypt_block] bit-for-bit. *)
+
+let word_mask = 0xFFFFFFFF
+
+(* GF(2^8) arithmetic modulo x^8 + x^4 + x^3 + x + 1 (0x11B). *)
+let xtime a =
+  let a = a lsl 1 in
+  if a land 0x100 <> 0 then a lxor 0x11B else a
+
+let gmul a b =
+  let rec go a b acc =
+    if b = 0 then acc
+    else go (xtime a) (b lsr 1) (if b land 1 = 1 then acc lxor a else acc)
+  in
+  go a b 0
+
+let ginv a =
+  if a = 0 then 0
+  else begin
+    (* brute force: the field is tiny *)
+    let rec find x = if gmul a x = 1 then x else find (x + 1) in
+    find 1
+  end
+
+let rotl8 b n = ((b lsl n) lor (b lsr (8 - n))) land 0xFF
+
+let sbox =
+  lazy
+    (Array.init 256 (fun i ->
+         let inv = ginv i in
+         inv lxor rotl8 inv 1 lxor rotl8 inv 2 lxor rotl8 inv 3
+         lxor rotl8 inv 4 lxor 0x63))
+
+(* T-tables (big-endian convention: state words are column-major,
+   byte 0 = most significant). *)
+let t_table k =
+  let s = Lazy.force sbox in
+  Array.init 256 (fun i ->
+      let se = s.(i) in
+      let s2 = gmul se 2 and s3 = gmul se 3 in
+      let w =
+        (* T0 row: [2s, s, s, 3s] as the four bytes (MSB first) *)
+        (s2 lsl 24) lor (se lsl 16) lor (se lsl 8) lor s3
+      in
+      (* Tk = rotate right by 8k bits *)
+      let rot = 8 * k in
+      if rot = 0 then w
+      else ((w lsr rot) lor (w lsl (32 - rot))) land word_mask)
+
+let sbox_words = lazy (Array.map (fun b -> b) (Lazy.force sbox))
+
+(* ------------------------------------------------------------------ *)
+(* Key schedule                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let rcon =
+  [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1B; 0x36 |]
+
+let sub_word w =
+  let s = Lazy.force sbox in
+  (s.((w lsr 24) land 0xFF) lsl 24)
+  lor (s.((w lsr 16) land 0xFF) lsl 16)
+  lor (s.((w lsr 8) land 0xFF) lsl 8)
+  lor s.(w land 0xFF)
+
+let rot_word w = ((w lsl 8) lor (w lsr 24)) land word_mask
+
+(* 44 round-key words from a 16-byte key given as four words. *)
+let expand_key (key : int array) =
+  if Array.length key <> 4 then invalid_arg "expand_key: need 4 words";
+  let w = Array.make 44 0 in
+  Array.blit key 0 w 0 4;
+  for i = 4 to 43 do
+    let temp = w.(i - 1) in
+    let temp =
+      if i mod 4 = 0 then
+        sub_word (rot_word temp) lxor (rcon.((i / 4) - 1) lsl 24)
+      else temp
+    in
+    w.(i) <- w.(i - 4) lxor temp land word_mask
+  done;
+  w
+
+(* ------------------------------------------------------------------ *)
+(* Block encryption                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let byte w n = (w lsr (8 * (3 - n))) land 0xFF
+
+(* Encrypt one 16-byte block (four words, big-endian). *)
+let encrypt_block (round_keys : int array) (block : int array) =
+  let t0 = t_table 0 and t1 = t_table 1 and t2 = t_table 2 and t3 = t_table 3 in
+  let s = Array.init 4 (fun i -> block.(i) lxor round_keys.(i)) in
+  let current = ref s in
+  for round = 1 to 9 do
+    let s = !current in
+    let nxt = Array.make 4 0 in
+    for c = 0 to 3 do
+      nxt.(c) <-
+        t0.(byte s.(c) 0)
+        lxor t1.(byte s.((c + 1) mod 4) 1)
+        lxor t2.(byte s.((c + 2) mod 4) 2)
+        lxor t3.(byte s.((c + 3) mod 4) 3)
+        lxor round_keys.((4 * round) + c)
+    done;
+    current := nxt
+  done;
+  (* final round: SubBytes + ShiftRows, no MixColumns *)
+  let s = !current in
+  let sb = Lazy.force sbox in
+  Array.init 4 (fun c ->
+      (sb.(byte s.(c) 0) lsl 24)
+      lor (sb.(byte s.((c + 1) mod 4) 1) lsl 16)
+      lor (sb.(byte s.((c + 2) mod 4) 2) lsl 8)
+      lor sb.(byte s.((c + 3) mod 4) 3)
+      lxor round_keys.(40 + c)
+      land word_mask)
+
+(* Encrypt a buffer of whole blocks in place. *)
+let encrypt_words round_keys (data : int array) =
+  let n = Array.length data in
+  if n mod 4 <> 0 then invalid_arg "encrypt_words: partial block";
+  let out = Array.make n 0 in
+  for blk = 0 to (n / 4) - 1 do
+    let b = Array.sub data (4 * blk) 4 in
+    Array.blit (encrypt_block round_keys b) 0 out (4 * blk) 4
+  done;
+  out
+
+(* Internet ones-complement checksum over 32-bit words (folded to 16
+   bits), as the compiled code maintains for the TCP payload. *)
+let ones_complement_sum words =
+  let acc =
+    Array.fold_left
+      (fun acc w -> acc + (w land 0xFFFF) + ((w lsr 16) land 0xFFFF))
+      0 words
+  in
+  let rec fold x = if x > 0xFFFF then fold ((x land 0xFFFF) + (x lsr 16)) else x in
+  fold acc

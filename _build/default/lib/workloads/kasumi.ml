@@ -1,0 +1,178 @@
+(* Kasumi in Nova, following the paper's description (§11):
+     - subkey tables interleaved and packed so each round iteration does
+       one scratch read for all its subkey halfwords;
+     - all tables in scratch memory except the S9 table, which lives in
+       SRAM;
+     - the IPv4/TCP headers in front of the payload are parsed with
+       layouts (the `whole` overlay arm checks version+ihl in one go);
+     - payload processed in 8-byte blocks in place; checksum maintained;
+     - bad version or partial blocks punt to the slow path. *)
+
+(* memory map *)
+let sk_base = 0x100 (* scratch bytes: 8 rounds x 4 packed words *)
+let s7_base = 0x200 (* scratch: 128 words *)
+let s9_base = 0x3000 (* SRAM: 512 words *)
+let hdr_base = 0xC0 (* SDRAM: IPv4+TCP headers *)
+let pkt_base = 0x100 (* SDRAM payload, encrypted in place *)
+let csum_addr = 0x54 (* SRAM result *)
+let stat_addr = 0x70 (* SRAM: packed status record *)
+
+let source =
+  Printf.sprintf
+    {|
+// Kasumi fast path: FL/FO/FI Feistel network, subkeys packed in scratch,
+// S9 in SRAM, S7 in scratch.
+
+layout ipv4_hdr = {
+  vi : overlay { whole : 8 | parts : { version : 4, ihl : 4 } },
+  tos : 8, total_length : 16,
+  ident : 16, flags_frag : 16,
+  ttl : 8, protocol : 8, hdr_csum : 16,
+  src : 32, dst : 32
+};
+
+layout status_record = { blocks : 16, scsum : 16, flowid : 32 };
+
+const SK  = %d;
+const S7T = %d;
+const S9T = %d;
+const HDR = %d;
+const PKT = %d;
+const CSUM = %d;
+const STAT = %d;
+
+// FI: two S9/S7 half-rounds on a 16-bit value.
+fun fi (x : word, ki : word) : word {
+  let nine0  = (x >> 7) & 0x1FF;
+  let seven0 = x & 0x7F;
+  let t9 = sram(S9T + (nine0 << 2), 1);
+  let nine1 = t9 ^ seven0;
+  let t7 = scratch(S7T + (seven0 << 2), 1);
+  let seven1 = t7 ^ (nine1 & 0x7F);
+  let seven2 = (seven1 ^ (ki >> 9)) & 0x7F;
+  let nine2 = nine1 ^ (ki & 0x1FF);
+  let u9 = sram(S9T + (nine2 << 2), 1);
+  let nine3 = u9 ^ seven2;
+  let u7 = scratch(S7T + (seven2 << 2), 1);
+  let seven3 = u7 ^ (nine3 & 0x7F);
+  ((seven3 << 9) | nine3) & 0xFFFF
+}
+
+// FO: three FI rounds.  w1 = KO1<<16|KO2, w2 = KO3<<16|KI1, w3 = KI2<<16|KI3.
+fun fo (x : word, w1 : word, w2 : word, w3 : word) : word {
+  let l0 = (x >> 16) & 0xFFFF;
+  let r0 = x & 0xFFFF;
+  let l1 = fi(l0 ^ (w1 >> 16), w2 & 0xFFFF) ^ r0;
+  let r1 = fi(r0 ^ (w1 & 0xFFFF), (w3 >> 16) & 0xFFFF) ^ l1;
+  let l2 = fi(l1 ^ (w2 >> 16), w3 & 0xFFFF) ^ r1;
+  (l2 << 16) | r1
+}
+
+// FL: rotate-and-mask mixing.  w0 = KL1<<16|KL2.
+fun fl (x : word, w0 : word) : word {
+  let kl1 = (w0 >> 16) & 0xFFFF;
+  let kl2 = w0 & 0xFFFF;
+  let l0 = (x >> 16) & 0xFFFF;
+  let r0 = x & 0xFFFF;
+  let t = l0 & kl1;
+  let r1 = r0 ^ (((t << 1) | (t >> 15)) & 0xFFFF);
+  let u = r1 | kl2;
+  let l1 = l0 ^ (((u << 1) | (u >> 15)) & 0xFFFF);
+  (l1 << 16) | r1
+}
+
+fun main () : word {
+  try {
+    // the `whole` overlay arm checks version and header length together
+    let (i0, i1, i2, i3, i4, skip) = sdram(HDR, 6);
+    let ip = unpack[ipv4_hdr]((i0, i1, i2, i3, i4));
+    if (ip.vi.whole != 0x45) { raise Punt [why = ip.vi.whole]; }
+    let payload_len = ip.total_length - 40;
+    if ((payload_len & 7) != 0) { raise BadLen [len = payload_len]; }
+    var off = 0;
+    var csum = 0;
+    while (off <u payload_len) {
+      let (hi, lo) = sdram(PKT + off);
+      var l = hi;
+      var r = lo;
+      // two rounds per iteration: odd rounds FL;FO, even rounds FO;FL
+      var i = 0;
+      while (i < 4) {
+        let (a0, a1, a2, a3) = scratch(SK + (i << 5), 4);
+        let outA = fo(fl(l, a0), a1, a2, a3);
+        let l1 = r ^ outA;
+        let r1 = l;
+        let (b0, b1, b2, b3) = scratch(SK + (i << 5) + 16, 4);
+        let outB = fl(fo(l1, b1, b2, b3), b0);
+        let l2 = r1 ^ outB;
+        r := l1;
+        l := l2;
+        i := i + 1;
+      }
+      sdram(PKT + off) <- (l, r);
+      csum := csum + (l >> 16) + (l & 0xFFFF) + (r >> 16) + (r & 0xFFFF);
+      off := off + 8;
+    }
+    csum := (csum & 0xFFFF) + (csum >> 16);
+    csum := (csum & 0xFFFF) + (csum >> 16);
+    sram(CSUM) <- csum;
+    // status record for the control processor
+    let status = pack[status_record] [
+      blocks = payload_len >> 3, scsum = csum, flowid = ip.src ^ ip.dst ];
+    sram(STAT) <- status;
+    csum
+  }
+  handle Punt [why : word] { 0xE0000000 | why }
+  handle BadLen [len : word] { 0xD0000000 | len }
+}
+|}
+    sk_base s7_base s9_base hdr_base pkt_base csum_addr stat_addr
+
+let demo_key = [| 0x0123; 0x4567; 0x89AB; 0xCDEF; 0x1122; 0x3344; 0x5566; 0x7788 |]
+
+let round_keys = lazy (Kasumi_ref.schedule demo_key)
+
+let payload_words n =
+  let out = Array.make n 0 in
+  let state = ref 0x0BADF00D in
+  for i = 0 to n - 1 do
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFFFFF;
+    out.(i) <- !state land 0xFFFFFFFF
+  done;
+  out
+
+let header_words ~payload_len =
+  let total = 40 + payload_len in
+  [|
+    (4 lsl 28) lor (5 lsl 24) lor total;
+    (0xBEEF lsl 16) lor 0x4000;
+    (64 lsl 24) lor (6 lsl 16);
+    0xC0A80001;
+    0x0A000002;
+    0; 0; 0; 0; 0;
+  |]
+
+let init_tables ~load_sram ~load_scratch =
+  Array.iteri
+    (fun i w -> load_scratch ((sk_base / 4) + i) w)
+    (Kasumi_ref.packed_subkeys (Lazy.force round_keys));
+  Array.iteri
+    (fun i w -> load_scratch ((s7_base / 4) + i) w)
+    (Lazy.force Kasumi_ref.s7);
+  Array.iteri
+    (fun i w -> load_sram ((s9_base / 4) + i) w)
+    (Lazy.force Kasumi_ref.s9)
+
+let init_payload load_sdram ~payload_len =
+  Array.iteri
+    (fun i w -> load_sdram ((hdr_base / 4) + i) w)
+    (header_words ~payload_len);
+  let words = payload_words (payload_len / 4) in
+  Array.iteri (fun i w -> load_sdram ((pkt_base / 4) + i) w) words;
+  words
+
+let expected ~payload_len =
+  let words = payload_words (payload_len / 4) in
+  let ct = Kasumi_ref.encrypt_words (Lazy.force round_keys) words in
+  let csum = Aes_ref.ones_complement_sum ct in
+  (ct, csum)

@@ -1,0 +1,234 @@
+(* IPv6 -> IPv4 network address translation in Nova (paper §11, citing
+   Grosse & Lakshman's Bell Labs work):
+     - the IPv6 header is parsed with the paper's own ipv6_header layout,
+       including the verpri overlay from §3.2;
+     - the IPv4 header is built with pack[];
+     - the packet start must move (different header sizes), so the
+       payload is copied with a carried-word loop that fights the SDRAM
+       8-byte alignment rules;
+     - the IPv4 header checksum is computed, and the TCP checksum is
+       adjusted for the pseudo-header change;
+     - non-v6 packets and expired hop limits punt to the slow path
+       through exceptions. *)
+
+let in_base = 0x100 (* SDRAM byte address of the inbound packet *)
+let out_base = 0x40 (* outbound packet *)
+let nat_table = 0x4000 (* SRAM: 256 mapped IPv4 source addresses *)
+
+let source =
+  Printf.sprintf
+    {|
+// IPv6 -> IPv4 NAT fast path.
+
+layout ipv6_address = { a1 : 32, a2 : 32, a3 : 32, a4 : 32 };
+
+layout ipv6_header = {
+  verpri : overlay { whole : 8 | parts : { version : 4, priority : 4 } },
+  flow_label : 24,
+  payload_length : 16,
+  next_header : 8,
+  hop_limit : 8,
+  src_address : ipv6_address,
+  dst_address : ipv6_address
+};
+
+layout ipv4_header = {
+  version : 4, ihl : 4, tos : 8, total_length : 16,
+  ident : 16, flags : 3, frag_offset : 13,
+  ttl : 8, protocol : 8, checksum : 16,
+  src : 32, dst : 32
+};
+
+const IN  = %d;
+const OUT = %d;
+const NATTBL = %d;
+
+fun halves (w : word) : word { (w >> 16) + (w & 0xFFFF) }
+
+fun fold16 (x : word) : word {
+  let y = (x & 0xFFFF) + (x >> 16);
+  (y & 0xFFFF) + (y >> 16)
+}
+
+fun main () : word {
+  try {
+    // pull in the 40-byte IPv6 header and the first payload chunk
+    let (h0, h1, h2, h3, h4, h5, h6, h7) = sdram(IN, 8);
+    let (h8, h9) = sdram(IN + 32, 2);
+    let u = unpack[ipv6_header]((h0, h1, h2, h3, h4, h5, h6, h7, h8, h9));
+    if (u.verpri.parts.version != 6) { raise Punt [code = 1]; }
+    let ttl = u.hop_limit - 1;
+    if (ttl == 0) { raise Punt [code = 2]; }
+    // the copy loop is driven by the header's own payload length
+    let payload_len = u.payload_length;
+    // translate addresses: source through the NAT table, destination
+    // embedded in the low 32 bits of the v6 address
+    let idx = hash(u.src_address.a4) & 0xFF;
+    let v4src = sram(NATTBL + (idx << 2), 1);
+    let v4dst = u.dst_address.a4;
+    let hdr = pack[ipv4_header] [
+      version = 4, ihl = 5, tos = 0,
+      total_length = u.payload_length + 20,
+      ident = u.flow_label & 0xFFFF,
+      flags = 2, frag_offset = 0,
+      ttl = ttl, protocol = u.next_header, checksum = 0,
+      src = v4src, dst = v4dst ];
+    // IPv4 header checksum over the five words (checksum field zero)
+    let sum = halves(hdr.0) + halves(hdr.1) + halves(hdr.2)
+            + halves(hdr.3) + halves(hdr.4);
+    let ck = (~(fold16(sum))) & 0xFFFF;
+    let w2 = (hdr.2 & 0xFFFF0000) | ck;
+    // move the packet: header plus first three payload words fill the
+    // first aligned 8-word group at OUT
+    let (p0, p1, p2, p3, p4, p5, p6, p7) = sdram(IN + 40, 8);
+    sdram(OUT) <- (hdr.0, hdr.1, w2, hdr.3, hdr.4, p0, p1, p2);
+    // carried copy: output groups lag the input by five words
+    var c3 = p3; var c4 = p4; var c5 = p5; var c6 = p6; var c7 = p7;
+    var src = IN + 72;
+    var dst = OUT + 32;
+    while (src <u IN + 40 + payload_len) {
+      let (q0, q1, q2, q3, q4, q5, q6, q7) = sdram(src);
+      sdram(dst) <- (c3, c4, c5, c6, c7, q0, q1, q2);
+      c3 := q3; c4 := q4; c5 := q5; c6 := q6; c7 := q7;
+      src := src + 32;
+      dst := dst + 32;
+    }
+    sdram(dst) <- (c3, c4, c5, c6, c7, 0, 0, 0);
+    // TCP checksum adjustment for the pseudo-header change: the old
+    // checksum sits in the high half of payload word 4
+    let psum6 = fold16(halves(u.src_address.a1) + halves(u.src_address.a2)
+                     + halves(u.src_address.a3) + halves(u.src_address.a4)
+                     + halves(u.dst_address.a1) + halves(u.dst_address.a2)
+                     + halves(u.dst_address.a3) + halves(u.dst_address.a4));
+    let psum4 = fold16(halves(v4src) + halves(v4dst));
+    let oldck = (p4 >> 16) & 0xFFFF;
+    let newck = fold16(oldck + psum6 + (0xFFFF ^ psum4));
+    // patch the copied packet (read-modify-write an aligned pair)
+    let (m0, m1) = sdram(OUT + 32, 2);
+    sdram(OUT + 32) <- (m0, (m1 & 0xFFFF) | (newck << 16));
+    ck
+  }
+  handle Punt [code : word] { 0xF0000000 | code }
+}
+|}
+    in_base out_base nat_table
+
+(* ------------------------------------------------------------------ *)
+(* Reference implementation (mirrors the Nova program word for word)   *)
+(* ------------------------------------------------------------------ *)
+
+let mask = 0xFFFFFFFF
+
+let halves w = ((w lsr 16) land 0xFFFF) + (w land 0xFFFF)
+
+let fold16 x =
+  let y = (x land 0xFFFF) + (x lsr 16) in
+  ((y land 0xFFFF) + (y lsr 16)) land mask
+
+(* The NAT mapping table the harness loads into SRAM. *)
+let table = Array.init 256 (fun i -> 0x0A000000 lor (i lsl 8) lor 0x01)
+
+(* Transform an SDRAM image in place; returns the program's result
+   word. *)
+let reference_transform (sdram : int array) ~payload_len =
+  let w i = sdram.(i) in
+  let inw = in_base / 4 and outw = out_base / 4 in
+  let h = Array.init 10 (fun i -> w (inw + i)) in
+  let version = h.(0) lsr 28 in
+  if version <> 6 then 0xF0000001
+  else begin
+    let hop_limit = h.(1) land 0xFF in
+    let ttl = hop_limit - 1 in
+    if ttl = 0 then 0xF0000002
+    else begin
+      let payload_length = (h.(1) lsr 16) land 0xFFFF in
+      let next_header = (h.(1) lsr 8) land 0xFF in
+      let flow_label = h.(0) land 0xFFFFFF in
+      let src4 = h.(5) (* src_address.a4 *) in
+      let idx = Ixp.Memory.hash src4 land 0xFF in
+      let v4src = table.(idx) in
+      let v4dst = h.(9) in
+      (* pack ipv4_header *)
+      let hdr0 =
+        (4 lsl 28) lor (5 lsl 24) lor ((payload_length + 20) land 0xFFFF)
+      in
+      let hdr1 = ((flow_label land 0xFFFF) lsl 16) lor (2 lsl 13) in
+      let hdr2 = (ttl lsl 24) lor (next_header lsl 16) in
+      let hdr3 = v4src and hdr4 = v4dst in
+      let sum =
+        halves hdr0 + halves hdr1 + halves hdr2 + halves hdr3 + halves hdr4
+      in
+      let ck = lnot (fold16 sum) land 0xFFFF in
+      let w2 = hdr2 lor ck in
+      let p = Array.init 8 (fun i -> w (inw + 10 + i)) in
+      let set i v = sdram.(i) <- v land mask in
+      set outw hdr0;
+      set (outw + 1) hdr1;
+      set (outw + 2) w2;
+      set (outw + 3) hdr3;
+      set (outw + 4) hdr4;
+      set (outw + 5) p.(0);
+      set (outw + 6) p.(1);
+      set (outw + 7) p.(2);
+      let c = Array.sub p 3 5 in
+      let src = ref (in_base + 72) and dst = ref (out_base + 32) in
+      while !src < in_base + 40 + payload_len do
+        let q = Array.init 8 (fun i -> w ((!src / 4) + i)) in
+        let d = !dst / 4 in
+        Array.iteri (fun i v -> set (d + i) v) [| c.(0); c.(1); c.(2); c.(3); c.(4); q.(0); q.(1); q.(2) |];
+        Array.blit q 3 c 0 5;
+        src := !src + 32;
+        dst := !dst + 32
+      done;
+      let d = !dst / 4 in
+      Array.iteri (fun i v -> set (d + i) v)
+        [| c.(0); c.(1); c.(2); c.(3); c.(4); 0; 0; 0 |];
+      let psum6 =
+        fold16
+          (halves h.(2) + halves h.(3) + halves h.(4) + halves h.(5)
+         + halves h.(6) + halves h.(7) + halves h.(8) + halves h.(9))
+      in
+      let psum4 = fold16 (halves v4src + halves v4dst) in
+      let oldck = (p.(4) lsr 16) land 0xFFFF in
+      let newck = fold16 (oldck + psum6 + (0xFFFF lxor psum4)) in
+      let m1 = w (outw + 9) in
+      set (outw + 9) ((m1 land 0xFFFF) lor (newck lsl 16));
+      ck
+    end
+  end
+
+(* Build a deterministic inbound packet image. *)
+let build_packet ~payload_len =
+  let n = 10 + (payload_len / 4) in
+  let words = Array.make n 0 in
+  (* IPv6 header: version 6, priority 2, flow label, lengths *)
+  words.(0) <- (6 lsl 28) lor (2 lsl 24) lor 0xABCDE;
+  words.(1) <- (payload_len lsl 16) lor (6 lsl 8) lor 0x40 (* TCP, hop 64 *);
+  for i = 0 to 3 do
+    words.(2 + i) <- 0x20010DB8 + (i * 0x01010101)
+  done;
+  for i = 0 to 3 do
+    words.(6 + i) <- 0xFE800000 + (i * 0x00010023)
+  done;
+  let state = ref 0x5EEDF00D in
+  for i = 10 to n - 1 do
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFFFFF;
+    words.(i) <- !state land mask
+  done;
+  words
+
+let init_tables load_sram =
+  Array.iteri (fun i v -> load_sram ((nat_table / 4) + i) v) table
+
+let init_payload load_sdram ~payload_len =
+  let words = build_packet ~payload_len in
+  Array.iteri (fun i v -> load_sdram ((in_base / 4) + i) v) words;
+  words
+
+(* Expected output SDRAM image and return value. *)
+let expected ~payload_len ~sdram_words =
+  let image = Array.make sdram_words 0 in
+  let packet = build_packet ~payload_len in
+  Array.blit packet 0 image (in_base / 4) (Array.length packet);
+  let ret = reference_transform image ~payload_len in
+  (image, ret)

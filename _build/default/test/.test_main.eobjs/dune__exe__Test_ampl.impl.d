@@ -1,0 +1,1 @@
+test/test_ampl.ml: Alcotest Ampl Lp Support

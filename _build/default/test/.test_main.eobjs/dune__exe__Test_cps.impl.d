@@ -1,0 +1,1 @@
+test/test_cps.ml: Alcotest Array Cps Ident Ixp List Nova Option Support

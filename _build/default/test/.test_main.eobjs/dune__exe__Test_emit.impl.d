@@ -1,0 +1,1 @@
+test/test_emit.ml: Alcotest Array Ixp List Regalloc String

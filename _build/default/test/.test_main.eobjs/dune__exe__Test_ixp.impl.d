@@ -1,0 +1,1 @@
+test/test_ixp.ml: Alcotest Ident Ixp List Support

@@ -1,0 +1,1 @@
+test/test_lp.ml: Alcotest Array Bigint Dense_simplex Dump Float Fmt List Lp Lp_format Mip Presolve Printf Problem QCheck QCheck_alcotest Rat Revised String

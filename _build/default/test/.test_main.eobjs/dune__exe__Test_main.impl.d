@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_ampl Test_cps Test_emit Test_ixp Test_lp Test_misc Test_nova Test_paper Test_random Test_regalloc Test_support Test_workloads

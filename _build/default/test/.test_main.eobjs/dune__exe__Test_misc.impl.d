@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Ampl Cps Diag Float Fmt Ident Ixp List Lp Nova Srcloc String Support

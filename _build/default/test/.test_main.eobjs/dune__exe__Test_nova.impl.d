@@ -1,0 +1,1 @@
+test/test_nova.ml: Alcotest Array Ast Hashtbl Layout Lexer List Nova Parser QCheck QCheck_alcotest Stats Support Tast Typecheck

@@ -1,0 +1,1 @@
+test/test_paper.ml: Alcotest Array Cps Ixp List Nova Printf Regalloc Support

@@ -1,0 +1,1 @@
+test/test_random.ml: Array Buffer Cps Ixp List Printf QCheck QCheck_alcotest Regalloc String Support

@@ -1,0 +1,1 @@
+test/test_regalloc.ml: Alcotest Array Cps Ixp List Printf Regalloc

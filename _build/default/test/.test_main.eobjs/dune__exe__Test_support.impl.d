@@ -1,0 +1,1 @@
+test/test_support.ml: Alcotest Bitset Ident List Printf QCheck QCheck_alcotest Support Union_find Vec

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Cps Ixp Lazy Printf Regalloc Support Workloads

@@ -1,0 +1,96 @@
+(* Tests for the AMPL-style modeling layer. *)
+
+module D = Ampl.Dataset
+module M = Ampl.Model
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_dataset_basics () =
+  let s = D.of_list 2 [ [ D.S "a"; D.I 1 ]; [ D.S "b"; D.I 2 ]; [ D.S "a"; D.I 1 ] ] in
+  checki "dedup" 2 (D.size s);
+  checkb "mem" true (D.mem s [ D.S "a"; D.I 1 ]);
+  checkb "not mem" false (D.mem s [ D.S "a"; D.I 2 ]);
+  let p = D.product (D.of_strings [ "x"; "y" ]) (D.of_ints [ 1; 2; 3 ]) in
+  checki "product" 6 (D.size p);
+  checki "arity" 2 (D.arity p);
+  let proj = D.project [ 0 ] p in
+  checki "project" 2 (D.size proj)
+
+let test_dataset_ops () =
+  let a = D.of_ints [ 1; 2; 3 ] and b = D.of_ints [ 3; 4 ] in
+  checki "union" 4 (D.size (D.union a b));
+  checki "inter" 1 (D.size (D.inter a b));
+  checki "diff" 2 (D.size (D.diff a b));
+  checkb "arity mismatch" true
+    (try
+       ignore (D.union a (D.product a a));
+       false
+     with Invalid_argument _ -> true)
+
+(* A small assignment problem through the modeling layer. *)
+let test_model_assignment () =
+  let model = M.create () in
+  let tasks = D.of_strings [ "t1"; "t2" ] in
+  let workers = D.of_strings [ "w1"; "w2" ] in
+  let idx = D.product tasks workers in
+  M.declare_binary_family model "X" ~index:idx;
+  (* each task to exactly one worker and vice versa *)
+  D.iter
+    (fun t ->
+      M.add_eq model ~name:"task"
+        (M.sum_over workers (fun w -> M.v "X" (t @ w)))
+        (M.const 1.))
+    tasks;
+  D.iter
+    (fun w ->
+      M.add_eq model ~name:"worker"
+        (M.sum_over tasks (fun t -> M.v "X" (t @ w)))
+        (M.const 1.))
+    workers;
+  (* costs: t1/w1 = 5, t1/w2 = 1, t2/w1 = 2, t2/w2 = 9 *)
+  M.add_to_objective model (M.v "X" ~coef:5. [ D.S "t1"; D.S "w1" ]);
+  M.add_to_objective model (M.v "X" ~coef:1. [ D.S "t1"; D.S "w2" ]);
+  M.add_to_objective model (M.v "X" ~coef:2. [ D.S "t2"; D.S "w1" ]);
+  M.add_to_objective model (M.v "X" ~coef:9. [ D.S "t2"; D.S "w2" ]);
+  let inst = M.instantiate model in
+  let r = Lp.Mip.solve inst.M.problem in
+  checkb "optimal" true (r.Lp.Mip.status = Lp.Mip.Optimal);
+  Alcotest.(check (float 1e-6)) "objective" 3. r.Lp.Mip.objective;
+  checkb "t1->w2" true
+    (M.is_one inst r.Lp.Mip.solution "X" [ D.S "t1"; D.S "w2" ]);
+  checkb "t2->w1" true
+    (M.is_one inst r.Lp.Mip.solution "X" [ D.S "t2"; D.S "w1" ])
+
+let test_model_strictness () =
+  let model = M.create () in
+  M.declare_binary_family model "Y" ~index:(D.of_ints [ 1; 2 ]);
+  M.add_eq model ~name:"bad" (M.v "Y" [ D.I 7 ]) (M.const 1.);
+  checkb "out-of-set reference rejected" true
+    (try
+       ignore (M.instantiate model);
+       false
+     with Support.Diag.Compile_error _ -> true)
+
+let test_unreferenced_default () =
+  let model = M.create () in
+  M.declare_binary_family model "Z" ~index:(D.of_ints [ 1; 2; 3 ]);
+  M.add_eq model ~name:"only_one" (M.v "Z" [ D.I 1 ]) (M.const 1.);
+  let inst = M.instantiate model in
+  let r = Lp.Mip.solve inst.M.problem in
+  checkb "optimal" true (r.Lp.Mip.status = Lp.Mip.Optimal);
+  (* Z[2] was never referenced: reported as 0 *)
+  Alcotest.(check (float 0.)) "default zero" 0.
+    (M.value inst r.Lp.Mip.solution "Z" [ D.I 2 ])
+
+let suites =
+  [
+    ( "ampl",
+      [
+        Alcotest.test_case "dataset basics" `Quick test_dataset_basics;
+        Alcotest.test_case "dataset ops" `Quick test_dataset_ops;
+        Alcotest.test_case "assignment model" `Quick test_model_assignment;
+        Alcotest.test_case "index strictness" `Quick test_model_strictness;
+        Alcotest.test_case "unreferenced default" `Quick test_unreferenced_default;
+      ] );
+  ]

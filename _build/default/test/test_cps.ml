@@ -1,0 +1,411 @@
+(* Tests for the CPS middle end: conversion, optimizer, SSA/SSU
+   invariants, de-proceduralization, instruction selection -- validated
+   chiefly by interpreter equivalence across phases. *)
+
+open Support
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let to_cps ?(entry_args = []) src =
+  let prog = Nova.Parser.parse_string ~file:"t.nova" src in
+  let tprog = Nova.Typecheck.check_program prog in
+  Cps.Convert.convert_program ~entry_args tprog
+
+let run_with ?(sram = [||]) term =
+  let st = Cps.Interp.create () in
+  let mem = Cps.Interp.memory st in
+  Array.iteri (fun i v -> Ixp.Memory.poke mem Ixp.Insn.Sram (25 + i) v) sram;
+  let r = Cps.Interp.run st Ident.Map.empty term in
+  (r, st)
+
+let result ?sram term = fst (run_with ?sram term)
+
+(* every optimization stage preserves the interpreter's verdict *)
+let stages term =
+  [
+    ("raw", term);
+    ("contracted", Cps.Contract.simplify term);
+    ("deproc", Cps.Deproc.run (Cps.Contract.simplify term));
+    ("ssu", Cps.Ssu.run (Cps.Deproc.run (Cps.Contract.simplify term)));
+  ]
+
+let check_all_stages ?sram src expected =
+  let term = to_cps src in
+  List.iter
+    (fun (name, t) ->
+      Alcotest.(check (list int)) name expected (result ?sram t))
+    (stages term)
+
+(* ---------------- conversion + semantics ---------------- *)
+
+let test_arith_program () =
+  check_all_stages "fun main () : word { (3 + 4) * 2 - 1 }" [ 13 ]
+
+let test_loop_program () =
+  check_all_stages
+    {|
+fun main () : word {
+  var acc = 0;
+  var i = 1;
+  while (i <= 10) { acc := acc + i; i := i + 1; }
+  acc
+}
+|}
+    [ 55 ]
+
+let test_nested_loops_and_ifs () =
+  check_all_stages
+    {|
+fun main () : word {
+  var total = 0;
+  var i = 0;
+  while (i < 5) {
+    var j = 0;
+    while (j < 5) {
+      if (((i ^ j) & 1) == 1) { total := total + 1; }
+      else { total := total + 10; }
+      j := j + 1;
+    }
+    i := i + 1;
+  }
+  total
+}
+|}
+    (* (i^j)&1==1 in 12 of 25 cases -> 12*1 + 13*10 = 142 *)
+    [ 142 ]
+
+let test_function_inlining () =
+  check_all_stages
+    {|
+fun square (x : word) : word { x * x }
+fun cube (x : word) : word { x * square(x) }
+fun main () : word { cube(3) + square(4) }
+|}
+    [ 43 ]
+
+let test_tail_recursion_becomes_loop () =
+  let src =
+    {|
+fun gcd (a : word, b : word) : word {
+  if (b == 0) { a } else { gcd(b, a - (a / b?)) }
+}
+fun main () : word { 0 }
+|}
+  in
+  ignore src;
+  (* no division in Nova; use a subtraction-based gcd *)
+  check_all_stages
+    {|
+fun gcd (a : word, b : word) : word {
+  if (a == b) { a }
+  else { if (a > b) { gcd(a - b, b) } else { gcd(a, b - a) } }
+}
+fun main () : word { gcd(48, 36) }
+|}
+    [ 12 ]
+
+let test_exceptions () =
+  check_all_stages
+    {|
+fun risky (e : exn([code : word]), x : word) : word {
+  if (x > 10) { raise e [code = x]; }
+  x * 2
+}
+fun main () : word {
+  let a = try { risky(Overflow, 4) } handle Overflow [code] { code };
+  let b = try { risky(Overflow2, 40) } handle Overflow2 [code] { code + 1 };
+  a + b
+}
+|}
+    [ 8 + 41 ]
+
+let test_booleans_materialized () =
+  check_all_stages
+    {|
+fun main () : word {
+  let t = 3 < 5;
+  let f = 3 > 5;
+  var n = 0;
+  if (t && !f) { n := 10; } else { n := 20; }
+  let stored = t || f;
+  if (stored) { n + 1 } else { n + 2 }
+}
+|}
+    [ 11 ]
+
+let test_memory_and_layout () =
+  check_all_stages
+    ~sram:[| 0x61234567; 0xDEADBEEF |]
+    {|
+layout h = { ver : 4, rest : 28, all : 32 };
+fun main () : word {
+  let (w0, w1) = sram(100);
+  let u = unpack[h]((w0, w1));
+  u.ver + (u.all & 0xFF)
+}
+|}
+    [ 6 + 0xEF ]
+
+let test_pack_roundtrip () =
+  check_all_stages
+    {|
+layout h = { a : 12, b : 8, c : 12 };
+fun main () : word {
+  let p = pack[h] [a = 0xABC, b = 0xDE, c = 0xF01];
+  let u = unpack[h](p);
+  if (u.a == 0xABC && u.b == 0xDE && u.c == 0xF01) { p.0 } else { 0 }
+}
+|}
+    [ 0xABCDEF01 ]
+
+(* ---------------- optimizer-specific behaviour ---------------- *)
+
+let test_constant_folding_shrinks () =
+  let term = to_cps "fun main () : word { (2 + 3) * (4 + 5) }" in
+  let opt = Cps.Contract.simplify term in
+  checkb "folds to a constant program" true (Cps.Ir.size opt <= 2);
+  Alcotest.(check (list int)) "value" [ 45 ] (result opt)
+
+let test_dead_read_elimination () =
+  (* only u.b used: the extraction of a and c must disappear, and the
+     3-word read must shrink *)
+  let src =
+    {|
+layout p = { a : 32, b : 32, c : 32 };
+fun main () : word {
+  let (w0, w1, w2) = sram(100);
+  let u = unpack[p]((w0, w1, w2));
+  u.b
+}
+|}
+  in
+  let term = Cps.Deproc.run (Cps.Contract.simplify (to_cps src)) in
+  let read_sizes = ref [] in
+  Cps.Ir.iter_terms
+    (fun t ->
+      match t with
+      | Cps.Ir.MemRead (_, _, dsts, _) ->
+          read_sizes := Array.length dsts :: !read_sizes
+      | _ -> ())
+    term;
+  checkb "read trimmed to one word" true (!read_sizes = [ 1 ])
+
+let test_useless_variable_elimination () =
+  let src =
+    {|
+fun main () : word {
+  let x = 1 + 2;
+  let unused = x * 100;
+  let unused2 = unused + 1;
+  x
+}
+|}
+  in
+  let opt = Cps.Contract.simplify (to_cps src) in
+  checkb "dead chain removed" true (Cps.Ir.size opt <= 2)
+
+let test_ssa_holds_through_phases () =
+  let term =
+    to_cps
+      {|
+fun f (x : word) : word { x + 1 }
+fun main () : word {
+  var a = 0;
+  var i = 0;
+  while (i < 3) { a := f(a); i := i + 1; }
+  a
+}
+|}
+  in
+  List.iter
+    (fun (name, t) ->
+      match Cps.Ir.check_ssa t with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail (name ^ ": " ^ e))
+    (stages term)
+
+(* ---------------- SSU ---------------- *)
+
+let count_clones term =
+  let n = ref 0 in
+  Cps.Ir.iter_terms
+    (fun t -> match t with Cps.Ir.Clone _ -> incr n | _ -> ())
+    term;
+  !n
+
+(* count write-side uses per variable; after SSU each must be the sole
+   use of its variable *)
+let ssu_invariant_holds term =
+  let writes = Ident.Tbl.create 16 and others = Ident.Tbl.create 64 in
+  let bump tbl x =
+    Ident.Tbl.replace tbl x (1 + Option.value ~default:0 (Ident.Tbl.find_opt tbl x))
+  in
+  let wv = function Cps.Ir.Var x -> bump writes x | Cps.Ir.Int _ -> () in
+  let ov = function Cps.Ir.Var x -> bump others x | Cps.Ir.Int _ -> () in
+  Cps.Ir.iter_terms
+    (fun t ->
+      match t with
+      | Cps.Ir.MemWrite (_, a, vs, _) | Cps.Ir.TfifoWrite (a, vs, _) ->
+          ov a;
+          Array.iter wv vs
+      | Cps.Ir.Hash (_, v, _) -> wv v
+      | Cps.Ir.BitTestSet (_, a, v, _) ->
+          ov a;
+          wv v
+      | Cps.Ir.Prim (_, _, vs, _) -> List.iter ov vs
+      | Cps.Ir.MemRead (_, a, _, _) | Cps.Ir.RfifoRead (a, _, _) -> ov a
+      | Cps.Ir.CsrWrite (_, v, _) -> ov v
+      | Cps.Ir.Branch (_, a, b, _, _) ->
+          ov a;
+          ov b
+      | Cps.Ir.App (f, vs) ->
+          ov f;
+          List.iter ov vs
+      | Cps.Ir.Halt vs -> List.iter ov vs
+      | Cps.Ir.Clone _ -> () (* the defining copy is not a use *)
+      | _ -> ())
+    term;
+  Ident.Tbl.fold
+    (fun x w ok ->
+      ok
+      && w = 1
+      && Option.value ~default:0 (Ident.Tbl.find_opt others x) = 0)
+    writes true
+
+let test_ssu_single_use () =
+  (* x stored twice and used once more: needs clones (the paper's §2.1
+     motivating example) *)
+  let src =
+    {|
+fun main () : word {
+  let (x, a, b) = sram(100);
+  let (c, y, z) = sram(200);
+  sram(300) <- (a, y, x, b);
+  sram(400) <- (z, x, b, c);
+  x
+}
+|}
+  in
+  let before = Cps.Deproc.run (Cps.Contract.simplify (to_cps src)) in
+  checkb "invariant does not hold before" false (ssu_invariant_holds before);
+  let after = Cps.Ssu.run before in
+  checkb "clones inserted" true (count_clones after > 0);
+  checkb "invariant holds after" true (ssu_invariant_holds after);
+  Alcotest.(check (list int)) "semantics preserved" (result before)
+    (result after)
+
+let test_ssu_noop_when_single_use () =
+  let src =
+    {|
+fun main () : word {
+  let x = 5; let y = 7;
+  sram(100) <- (x, y);
+  1
+}
+|}
+  in
+  let before = Cps.Deproc.run (Cps.Contract.simplify (to_cps src)) in
+  let after = Cps.Ssu.run before in
+  checki "no clones needed" 0 (count_clones after)
+
+(* ---------------- isel ---------------- *)
+
+let test_isel_structure () =
+  let src =
+    {|
+fun main () : word {
+  var acc = 0;
+  var i = 0;
+  while (i < 4) { acc := acc + i; i := i + 1; }
+  acc
+}
+|}
+  in
+  let term = Cps.Ssu.run (Cps.Deproc.run (Cps.Contract.simplify (to_cps src))) in
+  let g = Cps.Isel.run term in
+  checkb "has entry" true
+    (match Ixp.Flowgraph.entry g with b -> b.Ixp.Flowgraph.label = "entry");
+  (* all jump targets resolve *)
+  Ixp.Flowgraph.iter_blocks
+    (fun b ->
+      List.iter
+        (fun l -> ignore (Ixp.Flowgraph.block g l))
+        (Ixp.Insn.term_targets b.Ixp.Flowgraph.term))
+    g;
+  (* exactly one halt *)
+  let halts = ref 0 in
+  Ixp.Flowgraph.iter_blocks
+    (fun b -> if b.Ixp.Flowgraph.term = Ixp.Insn.Halt then incr halts)
+    g;
+  checkb "has halt" true (!halts >= 1)
+
+let test_isel_rejects_higher_order_leftovers () =
+  (* an App to an unknown variable must raise *)
+  let v = Ident.fresh "f" in
+  let t = Cps.Ir.App (Cps.Ir.Var v, []) in
+  checkb "isel error" true
+    (try
+       ignore (Cps.Isel.run t);
+       false
+     with Cps.Isel.Isel_error _ -> true)
+
+(* parallel moves: jumps with swapped arguments must be sequenced
+   correctly (exercised through semantics) *)
+let test_parallel_move_swap () =
+  check_all_stages
+    {|
+fun main () : word {
+  var a = 1;
+  var b = 2;
+  var i = 0;
+  while (i < 3) {
+    let t = a;
+    a := b;
+    b := t;
+    i := i + 1;
+  }
+  (a << 4) | b
+}
+|}
+    [ 0x21 ]
+
+let suites =
+  [
+    ( "cps.semantics",
+      [
+        Alcotest.test_case "arithmetic" `Quick test_arith_program;
+        Alcotest.test_case "loops" `Quick test_loop_program;
+        Alcotest.test_case "nested control" `Quick test_nested_loops_and_ifs;
+        Alcotest.test_case "function inlining" `Quick test_function_inlining;
+        Alcotest.test_case "tail recursion" `Quick
+          test_tail_recursion_becomes_loop;
+        Alcotest.test_case "exceptions" `Quick test_exceptions;
+        Alcotest.test_case "booleans" `Quick test_booleans_materialized;
+        Alcotest.test_case "memory + layout" `Quick test_memory_and_layout;
+        Alcotest.test_case "pack roundtrip" `Quick test_pack_roundtrip;
+        Alcotest.test_case "parallel move swap" `Quick test_parallel_move_swap;
+      ] );
+    ( "cps.optimizer",
+      [
+        Alcotest.test_case "constant folding" `Quick
+          test_constant_folding_shrinks;
+        Alcotest.test_case "memory read trimming" `Quick
+          test_dead_read_elimination;
+        Alcotest.test_case "useless variables" `Quick
+          test_useless_variable_elimination;
+        Alcotest.test_case "ssa through phases" `Quick
+          test_ssa_holds_through_phases;
+      ] );
+    ( "cps.ssu",
+      [
+        Alcotest.test_case "single use enforced" `Quick test_ssu_single_use;
+        Alcotest.test_case "no-op when single" `Quick test_ssu_noop_when_single_use;
+      ] );
+    ( "cps.isel",
+      [
+        Alcotest.test_case "structure" `Quick test_isel_structure;
+        Alcotest.test_case "rejects unknown targets" `Quick
+          test_isel_rejects_higher_order_leftovers;
+      ] );
+  ]

@@ -1,0 +1,368 @@
+(* Tests for the IXP machine model: banks/datapaths, memory and
+   alignment, flowgraph/liveness/frequency, checker, simulator. *)
+
+open Support
+module Bank = Ixp.Bank
+module Insn = Ixp.Insn
+module FG = Ixp.Flowgraph
+module Reg = Ixp.Reg
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* ---------------- banks and datapaths ---------------- *)
+
+let test_bank_datapaths () =
+  checkb "A feeds ALU" true (Bank.can_feed_alu Bank.A);
+  checkb "S cannot feed ALU" false (Bank.can_feed_alu Bank.S);
+  checkb "ALU writes S" true (Bank.can_receive_alu Bank.S);
+  checkb "ALU cannot write L" false (Bank.can_receive_alu Bank.L);
+  (* no path between registers of the same transfer bank *)
+  checkb "L->L illegal" false (Bank.direct_move_ok ~src:Bank.L ~dst:Bank.L);
+  checkb "A->S ok" true (Bank.direct_move_ok ~src:Bank.A ~dst:Bank.S);
+  checkb "S->A illegal" false (Bank.direct_move_ok ~src:Bank.S ~dst:Bank.A);
+  (* values in S escape only through memory *)
+  checkb "S->M legal move" true (Bank.move_legal ~src:Bank.S ~dst:Bank.M);
+  checkb "S->B illegal move" false (Bank.move_legal ~src:Bank.S ~dst:Bank.B);
+  checkb "M->L legal" true (Bank.move_legal ~src:Bank.M ~dst:Bank.L);
+  checkb "M->SD illegal" false (Bank.move_legal ~src:Bank.M ~dst:Bank.SD)
+
+let test_move_costs () =
+  let c ~src ~dst = Bank.move_cost ~src ~dst () in
+  checkb "identity free" true (c ~src:Bank.A ~dst:Bank.A = 0.);
+  checkb "reg-reg cheap" true (c ~src:Bank.A ~dst:Bank.S = 1.0);
+  checkb "spill expensive" true (c ~src:Bank.A ~dst:Bank.M > 100.);
+  checkb "reload expensive" true (c ~src:Bank.M ~dst:Bank.A > 100.);
+  checkb "bias against B" true
+    (c ~src:Bank.A ~dst:Bank.B > c ~src:Bank.B ~dst:Bank.A *. 0.9)
+
+(* ---------------- memory ---------------- *)
+
+let test_memory_alignment () =
+  let m = Ixp.Memory.create () in
+  Ixp.Memory.write m Insn.Sram 100 [| 1; 2; 3 |];
+  checkb "sram read back" true (Ixp.Memory.read m Insn.Sram 100 ~count:3 = [| 1; 2; 3 |]);
+  checkb "sram misaligned" true
+    (try
+       ignore (Ixp.Memory.read m Insn.Sram 101 ~count:1);
+       false
+     with Ixp.Memory.Fault _ -> true);
+  checkb "sdram 4-byte rejected" true
+    (try
+       ignore (Ixp.Memory.read m Insn.Sdram 100 ~count:2);
+       false
+     with Ixp.Memory.Fault _ -> true);
+  checkb "sdram odd count rejected" true
+    (try
+       ignore (Ixp.Memory.read m Insn.Sdram 96 ~count:3);
+       false
+     with Ixp.Memory.Fault _ -> true);
+  checkb "sdram ok" true
+    (try
+       ignore (Ixp.Memory.read m Insn.Sdram 96 ~count:4);
+       true
+     with Ixp.Memory.Fault _ -> false)
+
+let test_memory_bit_test_set () =
+  let m = Ixp.Memory.create () in
+  Ixp.Memory.write m Insn.Sram 200 [| 0b1010 |];
+  let old = Ixp.Memory.bit_test_set m 200 0b0110 in
+  checki "old value" 0b1010 old;
+  checki "new value" 0b1110 (Ixp.Memory.peek m Insn.Sram 50)
+
+let test_memory_hash_deterministic () =
+  checki "hash stable" (Ixp.Memory.hash 0xDEADBEEF) (Ixp.Memory.hash 0xDEADBEEF);
+  checkb "hash mixes" true (Ixp.Memory.hash 1 <> Ixp.Memory.hash 2)
+
+(* ---------------- flowgraph + liveness ---------------- *)
+
+let mk_var = Ident.fresh
+
+let diamond_graph () =
+  (* entry: x = imm, branch -> a | b; a: y = x+1; b: y2 = x+2; join uses *)
+  let g = FG.create () in
+  let x = mk_var "x" and y = mk_var "y" and z = mk_var "z" in
+  ignore
+    (FG.add_block g ~label:"entry"
+       ~insns:[ Insn.Imm { dst = x; value = 1 } ]
+       ~term:
+         (Insn.Branch
+            { cond = Insn.Eq; x; y = Insn.Lit 0; ifso = "a"; ifnot = "b" }));
+  ignore
+    (FG.add_block g ~label:"a"
+       ~insns:[ Insn.Alu { dst = y; op = Insn.Add; x; y = Insn.Lit 1 } ]
+       ~term:(Insn.Jump "join"));
+  ignore
+    (FG.add_block g ~label:"b"
+       ~insns:[ Insn.Alu { dst = y; op = Insn.Add; x; y = Insn.Lit 2 } ]
+       ~term:(Insn.Jump "join"));
+  ignore
+    (FG.add_block g ~label:"join"
+       ~insns:[ Insn.Alu1 { dst = z; op = `Mov; src = y } ]
+       ~term:Insn.Halt);
+  (g, x, y, z)
+
+let test_liveness_diamond () =
+  let g, x, y, _z = diamond_graph () in
+  let live = Ixp.Liveness.compute g in
+  (* x live into both arms; y live into join *)
+  checkb "x live at a entry" true
+    (Ident.Set.mem x (Ixp.Liveness.live_at live { FG.block = "a"; pos = 0 }));
+  checkb "y live at join entry" true
+    (Ident.Set.mem y (Ixp.Liveness.live_at live { FG.block = "join"; pos = 0 }));
+  checkb "x dead at join" false
+    (Ident.Set.mem x (Ixp.Liveness.live_at live { FG.block = "join"; pos = 0 }));
+  (* interference: x interferes with nothing after its last use...
+     x and y never simultaneously live (y defined at x's last use) *)
+  let inter = Ixp.Liveness.interferences live in
+  checkb "x/y no interference" false
+    (List.exists
+       (fun (a, b) ->
+         (Ident.equal a x && Ident.equal b y)
+         || (Ident.equal a y && Ident.equal b x))
+       inter)
+
+let test_copies_cross_edges () =
+  let g, x, _y, _z = diamond_graph () in
+  let live = Ixp.Liveness.compute g in
+  let copies = Ixp.Liveness.copies live in
+  (* x is carried from entry exit into both arm entries *)
+  let carried_to label =
+    List.exists
+      (fun (p1, p2, v) ->
+        Ident.equal v x
+        && p1.FG.block = "entry"
+        && p2.FG.block = label && p2.FG.pos = 0)
+      copies
+  in
+  checkb "x carried to a" true (carried_to "a");
+  checkb "x carried to b" true (carried_to "b")
+
+let test_frequency_loop () =
+  (* entry -> loop; loop -> loop | exit: loop block should be hotter *)
+  let g = FG.create () in
+  let i = mk_var "i" in
+  ignore
+    (FG.add_block g ~label:"entry"
+       ~insns:[ Insn.Imm { dst = i; value = 0 } ]
+       ~term:(Insn.Jump "loop"));
+  ignore
+    (FG.add_block g ~label:"loop"
+       ~insns:[ Insn.Alu { dst = i; op = Insn.Add; x = i; y = Insn.Lit 1 } ]
+       ~term:
+         (Insn.Branch
+            { cond = Insn.Lt; x = i; y = Insn.Lit 10; ifso = "loop"; ifnot = "exit" }));
+  ignore (FG.add_block g ~label:"exit" ~insns:[] ~term:Insn.Halt);
+  let freq = Ixp.Frequency.compute g in
+  checkb "loop hotter than entry" true
+    (Ixp.Frequency.block_frequency freq "loop"
+    > Ixp.Frequency.block_frequency freq "entry");
+  checkb "exit cooler than loop" true
+    (Ixp.Frequency.block_frequency freq "exit"
+    < Ixp.Frequency.block_frequency freq "loop")
+
+let test_dempster_shafer () =
+  let ds = Ixp.Frequency.dempster_shafer in
+  Alcotest.(check (float 1e-9)) "neutral element" 0.7 (ds 0.5 0.7);
+  checkb "reinforcement" true (ds 0.7 0.7 > 0.7);
+  checkb "conflict dampens" true (ds 0.7 0.3 = ds 0.3 0.7)
+
+(* ---------------- checker ---------------- *)
+
+let reg b n = Reg.make b n
+
+let physical_block insns term =
+  let g = FG.create () in
+  ignore (FG.add_block g ~label:"entry" ~insns ~term);
+  g
+
+let test_checker_accepts_legal () =
+  let g =
+    physical_block
+      [
+        Insn.Read
+          {
+            space = Insn.Sram;
+            dsts = [| reg Bank.L 0; reg Bank.L 1 |];
+            addr = { Insn.base = Insn.Lit 100; disp = 0 };
+          };
+        Insn.Alu
+          { dst = reg Bank.A 0; op = Insn.Add; x = reg Bank.L 0; y = Insn.Reg (reg Bank.B 1) };
+        Insn.Move { dst = reg Bank.S 3; src = reg Bank.A 0 };
+        Insn.Write
+          {
+            space = Insn.Sram;
+            srcs = [| reg Bank.S 3 |];
+            addr = { Insn.base = Insn.Lit 200; disp = 0 };
+          };
+      ]
+      Insn.Halt
+  in
+  checki "no violations" 0 (List.length (Ixp.Checker.check g))
+
+let test_checker_rejects_illegal () =
+  let violations insns =
+    List.length (Ixp.Checker.check (physical_block insns Insn.Halt))
+  in
+  (* two operands from the same bank *)
+  checkb "same-bank operands" true
+    (violations
+       [
+         Insn.Alu
+           { dst = reg Bank.A 0; op = Insn.Add; x = reg Bank.A 1; y = Insn.Reg (reg Bank.A 2) };
+       ]
+    > 0);
+  (* one from L and one from LD: same group *)
+  checkb "L+LD operands" true
+    (violations
+       [
+         Insn.Alu
+           { dst = reg Bank.B 0; op = Insn.Add; x = reg Bank.L 1; y = Insn.Reg (reg Bank.LD 2) };
+       ]
+    > 0);
+  (* aggregate not adjacent *)
+  checkb "non-adjacent aggregate" true
+    (violations
+       [
+         Insn.Read
+           {
+             space = Insn.Sram;
+             dsts = [| reg Bank.L 0; reg Bank.L 2 |];
+             addr = { Insn.base = Insn.Lit 0; disp = 0 };
+           };
+       ]
+    > 0);
+  (* read into the wrong bank *)
+  checkb "read into S" true
+    (violations
+       [
+         Insn.Read
+           {
+             space = Insn.Sram;
+             dsts = [| reg Bank.S 0 |];
+             addr = { Insn.base = Insn.Lit 0; disp = 0 };
+           };
+       ]
+    > 0);
+  (* move S -> A has no datapath *)
+  checkb "S->A move" true
+    (violations [ Insn.Move { dst = reg Bank.A 0; src = reg Bank.S 0 } ] > 0);
+  (* hash with mismatched numbers *)
+  checkb "hash reg numbers" true
+    (violations [ Insn.Hash { dst = reg Bank.L 1; src = reg Bank.S 2 } ] > 0);
+  (* clone must not survive *)
+  checkb "clone survives" true
+    (violations [ Insn.Clone { dsts = [| reg Bank.A 0 |]; src = reg Bank.A 1 } ] > 0)
+
+(* ---------------- simulator ---------------- *)
+
+let test_simulator_basics () =
+  let a0 = reg Bank.A 0 and b0 = reg Bank.B 0 and s0 = reg Bank.S 0 in
+  let g =
+    physical_block
+      [
+        Insn.Imm { dst = a0; value = 40 };
+        Insn.Imm { dst = b0; value = 2 };
+        Insn.Alu { dst = a0; op = Insn.Add; x = a0; y = Insn.Reg b0 };
+        Insn.Move { dst = s0; src = a0 };
+        Insn.Write
+          { space = Insn.Scratch; srcs = [| s0 |]; addr = { Insn.base = Insn.Lit 64; disp = 0 } };
+      ]
+      Insn.Halt
+  in
+  let sim = Ixp.Simulator.create g in
+  let cycles = Ixp.Simulator.run_single sim in
+  checkb "some cycles" true (cycles > 0);
+  checki "result" 42
+    (Ixp.Memory.peek (Ixp.Simulator.shared_memory sim) Insn.Scratch 16)
+
+let test_simulator_branch_loop () =
+  (* sum 1..5 via a loop *)
+  let a0 = reg Bank.A 0 (* acc *) and a1 = reg Bank.A 1 (* i *) in
+  let s0 = reg Bank.S 0 in
+  let g = FG.create () in
+  ignore
+    (FG.add_block g ~label:"entry"
+       ~insns:[ Insn.Imm { dst = a0; value = 0 }; Insn.Imm { dst = a1; value = 1 } ]
+       ~term:(Insn.Jump "loop"));
+  ignore
+    (FG.add_block g ~label:"loop"
+       ~insns:
+         [
+           Insn.Alu { dst = a0; op = Insn.Add; x = a0; y = Insn.Reg a1 };
+           Insn.Alu { dst = a1; op = Insn.Add; x = a1; y = Insn.Lit 1 };
+         ]
+       ~term:
+         (Insn.Branch
+            { cond = Insn.Le; x = a1; y = Insn.Lit 5; ifso = "loop"; ifnot = "out" }));
+  ignore
+    (FG.add_block g ~label:"out"
+       ~insns:
+         [
+           Insn.Move { dst = s0; src = a0 };
+           Insn.Write
+             { space = Insn.Scratch; srcs = [| s0 |]; addr = { Insn.base = Insn.Lit 0; disp = 0 } };
+         ]
+       ~term:Insn.Halt);
+  let sim = Ixp.Simulator.create g in
+  ignore (Ixp.Simulator.run_single sim);
+  checki "sum 1..5" 15 (Ixp.Memory.peek (Ixp.Simulator.shared_memory sim) Insn.Scratch 0)
+
+let test_simulator_multithread_throughput () =
+  (* memory-bound single-packet program: multithreading should raise
+     packets/cycle by hiding SDRAM latency *)
+  let ld = [| reg Bank.LD 0; reg Bank.LD 1 |] in
+  let g =
+    physical_block
+      [
+        Insn.Read
+          { space = Insn.Sdram; dsts = ld; addr = { Insn.base = Insn.Lit 0; disp = 0 } };
+        Insn.Read
+          { space = Insn.Sdram; dsts = ld; addr = { Insn.base = Insn.Lit 8; disp = 0 } };
+        Insn.Read
+          { space = Insn.Sdram; dsts = ld; addr = { Insn.base = Insn.Lit 16; disp = 0 } };
+      ]
+      Insn.Halt
+  in
+  let run threads =
+    let sim = Ixp.Simulator.create ~threads g in
+    let budget = 40 in
+    let source ~thread:_ ~packets_done =
+      if packets_done < budget / threads then Some [| 1; 2 |] else None
+    in
+    let cycles = Ixp.Simulator.run_packets sim source in
+    float_of_int (Ixp.Simulator.packets_done sim) /. float_of_int cycles
+  in
+  let t1 = run 1 and t4 = run 4 in
+  checkb "4 threads hide latency" true (t4 > t1 *. 1.5)
+
+let suites =
+  [
+    ( "ixp.machine",
+      [
+        Alcotest.test_case "bank datapaths" `Quick test_bank_datapaths;
+        Alcotest.test_case "move costs" `Quick test_move_costs;
+        Alcotest.test_case "memory alignment" `Quick test_memory_alignment;
+        Alcotest.test_case "bit_test_set" `Quick test_memory_bit_test_set;
+        Alcotest.test_case "hash deterministic" `Quick test_memory_hash_deterministic;
+      ] );
+    ( "ixp.analysis",
+      [
+        Alcotest.test_case "liveness diamond" `Quick test_liveness_diamond;
+        Alcotest.test_case "copies cross edges" `Quick test_copies_cross_edges;
+        Alcotest.test_case "frequency loop" `Quick test_frequency_loop;
+        Alcotest.test_case "dempster-shafer" `Quick test_dempster_shafer;
+      ] );
+    ( "ixp.checker",
+      [
+        Alcotest.test_case "accepts legal" `Quick test_checker_accepts_legal;
+        Alcotest.test_case "rejects illegal" `Quick test_checker_rejects_illegal;
+      ] );
+    ( "ixp.simulator",
+      [
+        Alcotest.test_case "basics" `Quick test_simulator_basics;
+        Alcotest.test_case "branch loop" `Quick test_simulator_branch_loop;
+        Alcotest.test_case "multithread throughput" `Quick
+          test_simulator_multithread_throughput;
+      ] );
+  ]

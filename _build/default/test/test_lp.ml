@@ -1,0 +1,567 @@
+(* Tests for the LP substrate: bigint/rational arithmetic, the two simplex
+   implementations (exact dense reference vs production revised dual), the
+   presolver, and branch & bound. *)
+
+open Lp
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Bigint                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bigint_basic () =
+  let open Bigint in
+  checks "to_string" "0" (to_string zero);
+  checks "of_int round trip" "123456789" (to_string (of_int 123456789));
+  checks "negative" "-42" (to_string (of_int (-42)));
+  checks "add" "300" (to_string (add (of_int 100) (of_int 200)));
+  checks "sub crossing zero" "-50" (to_string (sub (of_int 100) (of_int 150)));
+  checks "mul" "-600" (to_string (mul (of_int 30) (of_int (-20))));
+  checki "compare" (-1) (compare (of_int 3) (of_int 5));
+  checki "to_int" 77 (to_int_exn (of_int 77))
+
+let test_bigint_large () =
+  let open Bigint in
+  (* (2^100 + 1) * (2^100 - 1) = 2^200 - 1 *)
+  let p100 =
+    let two = of_int 2 in
+    let rec go acc n = if n = 0 then acc else go (mul acc two) (n - 1) in
+    go one 100
+  in
+  let a = add p100 one and b = sub p100 one in
+  let prod = mul a b in
+  let p200 = mul p100 p100 in
+  checkb "2^200-1" true (equal prod (sub p200 one));
+  (* division round trip *)
+  let q, r = divmod p200 a in
+  checkb "divmod identity" true (equal p200 (add (mul q a) r));
+  checkb "remainder small" true (compare (abs r) (abs a) < 0)
+
+let test_bigint_string_roundtrip () =
+  let open Bigint in
+  let s = "123456789012345678901234567890123456789" in
+  checks "roundtrip" s (to_string (of_string s));
+  checks "negative roundtrip" ("-" ^ s) (to_string (of_string ("-" ^ s)))
+
+let test_bigint_extremes () =
+  let open Bigint in
+  checks "min_int" (string_of_int min_int) (to_string (of_int min_int));
+  checks "max_int" (string_of_int max_int) (to_string (of_int max_int));
+  checks "min+max" "-1" (to_string (add (of_int min_int) (of_int max_int)));
+  checkb "min_int no native roundtrip overflow" true
+    (match to_int_opt (of_int max_int) with Some v -> v = max_int | None -> false)
+
+let test_bigint_gcd () =
+  let open Bigint in
+  checks "gcd" "6" (to_string (gcd (of_int 54) (of_int 24)));
+  checks "gcd with zero" "7" (to_string (gcd zero (of_int 7)));
+  checks "gcd negatives" "4" (to_string (gcd (of_int (-12)) (of_int 8)))
+
+let bigint_qcheck =
+  let gen = QCheck.int_range (-1_000_000) 1_000_000 in
+  [
+    QCheck.Test.make ~name:"bigint add/sub agree with int" ~count:500
+      (QCheck.pair gen gen) (fun (a, b) ->
+        let open Bigint in
+        to_int_exn (add (of_int a) (of_int b)) = a + b
+        && to_int_exn (sub (of_int a) (of_int b)) = a - b);
+    QCheck.Test.make ~name:"bigint mul agrees with int" ~count:500
+      (QCheck.pair gen gen) (fun (a, b) ->
+        Bigint.(to_int_exn (mul (of_int a) (of_int b))) = a * b);
+    QCheck.Test.make ~name:"bigint divmod agrees with int" ~count:500
+      (QCheck.pair gen (QCheck.int_range 1 100_000)) (fun (a, b) ->
+        let q, r = Bigint.(divmod (of_int a) (of_int b)) in
+        Bigint.to_int_exn q = a / b && Bigint.to_int_exn r = a mod b);
+    QCheck.Test.make ~name:"bigint mul assoc (large)" ~count:200
+      (QCheck.triple gen gen gen) (fun (a, b, c) ->
+        let open Bigint in
+        let big x = mul (of_int x) (of_int 1_000_000_007) in
+        equal (mul (big a) (mul (big b) (big c)))
+          (mul (mul (big a) (big b)) (big c)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Rat                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_rat_basic () =
+  let open Rat in
+  checks "normalization" "1/2" (to_string (of_ints 2 4));
+  checks "negative denominator" "-1/3" (to_string (of_ints 1 (-3)));
+  checks "add" "5/6" (to_string (add (of_ints 1 2) (of_ints 1 3)));
+  checks "mul" "1/3" (to_string (mul (of_ints 2 3) (of_ints 1 2)));
+  checks "div" "3/2" (to_string (div (of_ints 1 2) (of_ints 1 3)));
+  checkb "compare" true (compare (of_ints 1 3) (of_ints 1 2) < 0);
+  checkb "floor" true (Bigint.equal (floor (of_ints (-7) 2)) (Bigint.of_int (-4)));
+  checkb "ceil" true (Bigint.equal (ceil (of_ints 7 2)) (Bigint.of_int 4))
+
+let test_rat_of_float () =
+  let open Rat in
+  checks "exact small int" "42" (to_string (of_float 42.));
+  checks "half" "1/2" (to_string (of_float 0.5));
+  checkb "roundtrip 0.1" true (Float.abs (to_float (of_float 0.1) -. 0.1) < 1e-15)
+
+let rat_qcheck =
+  let gen =
+    QCheck.map
+      (fun (a, b) -> Rat.of_ints a (if b = 0 then 1 else b))
+      (QCheck.pair (QCheck.int_range (-1000) 1000) (QCheck.int_range (-50) 50))
+  in
+  let gen = QCheck.make ~print:Rat.to_string (QCheck.gen gen) in
+  [
+    QCheck.Test.make ~name:"rat field laws: distributivity" ~count:300
+      (QCheck.triple gen gen gen) (fun (a, b, c) ->
+        Rat.(equal (mul a (add b c)) (add (mul a b) (mul a c))));
+    QCheck.Test.make ~name:"rat add commutative + inverse" ~count:300
+      (QCheck.pair gen gen) (fun (a, b) ->
+        Rat.(equal (add a b) (add b a)) && Rat.(is_zero (sub (add a b) (add b a))));
+    QCheck.Test.make ~name:"rat mul inverse" ~count:300 gen (fun a ->
+        Rat.is_zero a || Rat.(equal one (mul a (inv a))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Simplex solvers                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A classic small LP:
+     min -3x - 5y  s.t.  x <= 4; 2y <= 12; 3x + 2y <= 18; x,y >= 0
+   Optimum at (2, 6) with objective -36. *)
+let mk_classic () =
+  let p = Problem.create () in
+  let x = Problem.add_var p ~lo:0. ~hi:infinity ~obj:(-3.) "x" in
+  let y = Problem.add_var p ~lo:0. ~hi:infinity ~obj:(-5.) "y" in
+  Problem.add_row p Problem.Le 4. [ (x, 1.) ];
+  Problem.add_row p Problem.Le 12. [ (y, 2.) ];
+  Problem.add_row p Problem.Le 18. [ (x, 3.); (y, 2.) ];
+  p
+
+let test_dense_exact_classic () =
+  let module S = Dense_simplex.Exact in
+  let r = S.solve (mk_classic ()) in
+  checkb "optimal" true (r.S.status = S.Optimal);
+  checks "objective" "-36" (Rat.to_string r.S.objective);
+  checks "x" "2" (Rat.to_string r.S.solution.(0));
+  checks "y" "6" (Rat.to_string r.S.solution.(1))
+
+let test_dense_float_classic () =
+  let module S = Dense_simplex.Approx in
+  let r = S.solve (mk_classic ()) in
+  checkb "optimal" true (r.S.status = S.Optimal);
+  check (Alcotest.float 1e-9) "objective" (-36.) r.S.objective
+
+let test_dense_infeasible () =
+  let module S = Dense_simplex.Exact in
+  let p = Problem.create () in
+  let x = Problem.add_var p ~lo:0. ~hi:infinity "x" in
+  Problem.add_row p Problem.Ge 3. [ (x, 1.) ];
+  Problem.add_row p Problem.Le 1. [ (x, 1.) ];
+  let r = S.solve p in
+  checkb "infeasible" true (r.S.status = S.Infeasible)
+
+let test_dense_unbounded () =
+  let module S = Dense_simplex.Exact in
+  let p = Problem.create () in
+  let x = Problem.add_var p ~lo:0. ~hi:infinity ~obj:(-1.) "x" in
+  Problem.add_row p Problem.Ge 0. [ (x, 1.) ];
+  let r = S.solve p in
+  checkb "unbounded" true (r.S.status = S.Unbounded)
+
+let test_revised_classic_bounded () =
+  (* Same classic LP but with explicit large bounds so the dual solver's
+     initial placement is dual-feasible. *)
+  let p = Problem.create () in
+  let x = Problem.add_var p ~lo:0. ~hi:100. ~obj:(-3.) "x" in
+  let y = Problem.add_var p ~lo:0. ~hi:100. ~obj:(-5.) "y" in
+  Problem.add_row p Problem.Le 4. [ (x, 1.) ];
+  Problem.add_row p Problem.Le 12. [ (y, 2.) ];
+  Problem.add_row p Problem.Le 18. [ (x, 3.); (y, 2.) ];
+  let s = Revised.create p in
+  checkb "optimal" true (Revised.solve s = Revised.Optimal);
+  check (Alcotest.float 1e-7) "objective" (-36.) (Revised.objective s);
+  let sol = Revised.primal s in
+  check (Alcotest.float 1e-7) "x" 2. sol.(0);
+  check (Alcotest.float 1e-7) "y" 6. sol.(1)
+
+let test_revised_infeasible () =
+  let p = Problem.create () in
+  let x = Problem.add_var p ~lo:0. ~hi:1. "x" in
+  let y = Problem.add_var p ~lo:0. ~hi:1. "y" in
+  Problem.add_row p Problem.Eq 3. [ (x, 1.); (y, 1.) ];
+  let s = Revised.create p in
+  checkb "infeasible" true (Revised.solve s = Revised.Infeasible)
+
+let test_revised_equality_system () =
+  (* min x + 2y  s.t. x + y = 1, x - y = 0  ->  x = y = 1/2, obj 3/2 *)
+  let p = Problem.create () in
+  let x = Problem.add_var p ~lo:0. ~hi:1. ~obj:1. "x" in
+  let y = Problem.add_var p ~lo:0. ~hi:1. ~obj:2. "y" in
+  Problem.add_row p Problem.Eq 1. [ (x, 1.); (y, 1.) ];
+  Problem.add_row p Problem.Eq 0. [ (x, 1.); (y, -1.) ];
+  let s = Revised.create p in
+  checkb "optimal" true (Revised.solve s = Revised.Optimal);
+  check (Alcotest.float 1e-7) "objective" 1.5 (Revised.objective s)
+
+let test_revised_warm_restart () =
+  (* Solve, then tighten a bound and re-solve; expect consistent results. *)
+  let p = Problem.create () in
+  let x = Problem.add_var p ~lo:0. ~hi:1. ~obj:1. "x" in
+  let y = Problem.add_var p ~lo:0. ~hi:1. ~obj:3. "y" in
+  Problem.add_row p Problem.Ge 1. [ (x, 1.); (y, 1.) ];
+  let s = Revised.create p in
+  checkb "optimal 1" true (Revised.solve s = Revised.Optimal);
+  check (Alcotest.float 1e-7) "first solve picks cheap x" 1. (Revised.objective s);
+  Revised.set_bounds s x ~lo:0. ~hi:0.25;
+  checkb "optimal 2" true (Revised.solve s = Revised.Optimal);
+  check (Alcotest.float 1e-7) "after tightening" (0.25 +. (3. *. 0.75))
+    (Revised.objective s);
+  Revised.set_bounds s x ~lo:0. ~hi:1.;
+  checkb "optimal 3" true (Revised.solve s = Revised.Optimal);
+  check (Alcotest.float 1e-7) "after relaxing back" 1. (Revised.objective s)
+
+(* Random bounded LPs: production revised solver must agree with the exact
+   dense reference on both status and optimal objective. *)
+let random_lp_gen =
+  let open QCheck.Gen in
+  let nv = 2 -- 5 and nr = 1 -- 5 in
+  let coef = map float_of_int (-3 -- 3) in
+  let* n = nv in
+  let* m = nr in
+  let* costs = list_size (return n) (map float_of_int (-5 -- 5)) in
+  let* rows =
+    list_size (return m)
+      (let* terms = list_size (return n) coef in
+       let* rhs = map float_of_int (-4 -- 8) in
+       let* sense = oneofl [ Problem.Le; Problem.Ge; Problem.Eq ] in
+       return (sense, rhs, terms))
+  in
+  return (n, costs, rows)
+
+let print_random_lp (n, costs, rows) =
+  Fmt.str "n=%d costs=%a rows=%a" n
+    Fmt.(Dump.list float)
+    costs
+    Fmt.(
+      Dump.list
+        (Dump.pair
+           (fun ppf s ->
+             Fmt.string ppf
+               (match s with Problem.Le -> "<=" | Ge -> ">=" | Eq -> "="))
+           (Dump.pair float (Dump.list float))))
+    (List.map (fun (s, r, t) -> (s, (r, t))) rows)
+
+let build_random_lp (n, costs, rows) =
+  let p = Problem.create () in
+  List.iteri
+    (fun i c ->
+      ignore (Problem.add_var p ~lo:0. ~hi:4. ~obj:c (Printf.sprintf "x%d" i)))
+    costs;
+  ignore n;
+  List.iter
+    (fun (sense, rhs, terms) ->
+      Problem.add_row p sense rhs (List.mapi (fun i c -> (i, c)) terms))
+    rows;
+  p
+
+let simplex_cross_check =
+  QCheck.Test.make ~name:"revised dual simplex agrees with exact reference"
+    ~count:300
+    (QCheck.make ~print:print_random_lp random_lp_gen)
+    (fun spec ->
+      let p = build_random_lp spec in
+      let module E = Dense_simplex.Exact in
+      let exact = E.solve p in
+      let s = Revised.create p in
+      match (exact.E.status, Revised.solve s) with
+      | E.Optimal, Revised.Optimal ->
+          Float.abs (Rat.to_float exact.E.objective -. Revised.objective s)
+          < 1e-5
+      | E.Infeasible, Revised.Infeasible -> true
+      | E.Unbounded, _ ->
+          true (* cannot happen: all variables bounded *)
+      | _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Presolve                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_presolve_fixed_and_singleton () =
+  let p = Problem.create () in
+  let x = Problem.add_var p ~lo:2. ~hi:2. ~obj:1. "x" in
+  let y = Problem.add_var p ~lo:0. ~hi:10. ~obj:1. "y" in
+  Problem.add_row p Problem.Ge 5. [ (y, 1.) ];
+  Problem.add_row p Problem.Le 9. [ (x, 1.); (y, 1.) ];
+  match Presolve.run p with
+  | Presolve.Infeasible_detected -> Alcotest.fail "unexpected infeasible"
+  | Presolve.Reduced (r, info) ->
+      checkb "x eliminated" true (Problem.num_vars r <= 1);
+      (* postsolve round trip: solve tiny remainder by hand: y in [5,7] *)
+      let sol =
+        if Problem.num_vars r = 0 then Presolve.postsolve info [||]
+        else Presolve.postsolve info [| 5. |]
+      in
+      check (Alcotest.float 1e-9) "x value" 2. sol.(x);
+      check (Alcotest.float 1e-9) "y value" 5. sol.(y)
+
+let test_presolve_alias_chain () =
+  (* x0 = x1 = x2 = x3 chained by equalities; only one survivor. *)
+  let p = Problem.create () in
+  let vs =
+    Array.init 4 (fun i ->
+        Problem.add_binary p ~obj:(float_of_int (i + 1)) (Printf.sprintf "x%d" i))
+  in
+  for i = 0 to 2 do
+    Problem.add_row p Problem.Eq 0. [ (vs.(i), 1.); (vs.(i + 1), -1.) ]
+  done;
+  Problem.add_row p Problem.Ge 1. [ (vs.(0), 1.) ];
+  match Presolve.run p with
+  | Presolve.Infeasible_detected -> Alcotest.fail "unexpected infeasible"
+  | Presolve.Reduced (r, info) ->
+      checki "all aliased away" 0 (Problem.num_vars r);
+      let sol = Presolve.postsolve info [||] in
+      Array.iter (fun v -> check (Alcotest.float 1e-9) "all ones" 1. sol.(v)) vs
+
+let test_presolve_complement () =
+  (* x + y = 1 one-place constraint: y eliminated as 1 - x. *)
+  let p = Problem.create () in
+  let x = Problem.add_binary p ~obj:1. "x" in
+  let y = Problem.add_binary p ~obj:5. "y" in
+  Problem.add_row p Problem.Eq 1. [ (x, 1.); (y, 1.) ];
+  match Presolve.run p with
+  | Presolve.Infeasible_detected -> Alcotest.fail "unexpected infeasible"
+  | Presolve.Reduced (r, info) ->
+      checki "one var left" 1 (Problem.num_vars r);
+      (* Which of x/y is kept is an implementation detail; the complement
+         relation must hold either way. *)
+      let sol = Presolve.postsolve info [| 1. |] in
+      check (Alcotest.float 1e-9) "sum is one" 1. (sol.(x) +. sol.(y));
+      let sol0 = Presolve.postsolve info [| 0. |] in
+      check (Alcotest.float 1e-9) "sum is one (0 case)" 1. (sol0.(x) +. sol0.(y))
+
+let test_presolve_detects_infeasible () =
+  let p = Problem.create () in
+  let x = Problem.add_binary p "x" in
+  Problem.add_row p Problem.Ge 2. [ (x, 1.) ];
+  (match Presolve.run p with
+  | Presolve.Infeasible_detected -> ()
+  | Presolve.Reduced _ -> Alcotest.fail "should detect infeasibility")
+
+let presolve_preserves_optimum =
+  QCheck.Test.make ~name:"presolve preserves LP optimum" ~count:200
+    (QCheck.make ~print:print_random_lp random_lp_gen)
+    (fun spec ->
+      let p = build_random_lp spec in
+      let module E = Dense_simplex.Exact in
+      let before = E.solve p in
+      match Presolve.run p with
+      | Presolve.Infeasible_detected -> before.E.status = E.Infeasible
+      | Presolve.Reduced (r, info) -> (
+          let after = E.solve r in
+          match (before.E.status, after.E.status) with
+          | E.Optimal, E.Optimal ->
+              (* objective values agree, and postsolve yields feasible pt *)
+              let reduced_sol = Array.map Rat.to_float after.E.solution in
+              let full = Presolve.postsolve info reduced_sol in
+              Float.abs
+                (Rat.to_float before.E.objective
+                -. Problem.objective_value p full)
+              < 1e-6
+              && Problem.check_feasible ~eps:1e-6 p full
+          | E.Infeasible, E.Infeasible -> true
+          | E.Optimal, E.Infeasible | E.Infeasible, E.Optimal -> false
+          | _ -> true))
+
+(* ------------------------------------------------------------------ *)
+(* Branch & bound / MIP                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_bb_knapsack () =
+  (* max 10a + 6b + 4c st a+b+c<=2 (binaries)  == min negated *)
+  let p = Problem.create () in
+  let a = Problem.add_binary p ~obj:(-10.) "a" in
+  let b = Problem.add_binary p ~obj:(-6.) "b" in
+  let c = Problem.add_binary p ~obj:(-4.) "c" in
+  Problem.add_row p Problem.Le 2. [ (a, 1.); (b, 1.); (c, 1.) ];
+  let r = Mip.solve p in
+  checkb "optimal" true (r.Mip.status = Mip.Optimal);
+  check (Alcotest.float 1e-6) "objective" (-16.) r.Mip.objective;
+  check (Alcotest.float 1e-6) "a" 1. r.Mip.solution.(a);
+  check (Alcotest.float 1e-6) "b" 1. r.Mip.solution.(b);
+  check (Alcotest.float 1e-6) "c" 0. r.Mip.solution.(c)
+
+let test_bb_assignment () =
+  (* 3x3 assignment problem with distinct costs; optimum is a permutation. *)
+  let costs = [| [| 4.; 2.; 8. |]; [| 4.; 3.; 7. |]; [| 3.; 1.; 6. |] |] in
+  let p = Problem.create () in
+  let v = Array.make_matrix 3 3 0 in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      v.(i).(j) <-
+        Problem.add_binary p ~obj:costs.(i).(j) (Printf.sprintf "x%d%d" i j)
+    done
+  done;
+  for i = 0 to 2 do
+    Problem.add_row p Problem.Eq 1. (List.init 3 (fun j -> (v.(i).(j), 1.)));
+    Problem.add_row p Problem.Eq 1. (List.init 3 (fun j -> (v.(j).(i), 1.)))
+  done;
+  let r = Mip.solve p in
+  checkb "optimal" true (r.Mip.status = Mip.Optimal);
+  (* optimal: row0->col1? enumerate: perms costs:
+     (0,1,2):4+3+6=13 (0,2,1):4+7+1=12 (1,0,2):2+4+6=12
+     (1,2,0):2+7+3=12 (2,0,1):8+4+1=13 (2,1,0):8+3+3=14; min = 12 *)
+  check (Alcotest.float 1e-6) "objective" 12. r.Mip.objective
+
+let test_bb_infeasible () =
+  let p = Problem.create () in
+  let a = Problem.add_binary p "a" in
+  let b = Problem.add_binary p "b" in
+  Problem.add_row p Problem.Eq 1. [ (a, 2.); (b, 2.) ];
+  let r = Mip.solve p in
+  checkb "infeasible" true (r.Mip.status = Mip.Infeasible)
+
+let test_bb_without_presolve () =
+  let p = Problem.create () in
+  let a = Problem.add_binary p ~obj:(-10.) "a" in
+  let b = Problem.add_binary p ~obj:(-6.) "b" in
+  Problem.add_row p Problem.Le 1. [ (a, 1.); (b, 1.) ];
+  let r = Mip.solve ~presolve:false p in
+  checkb "optimal" true (r.Mip.status = Mip.Optimal);
+  check (Alcotest.float 1e-6) "objective" (-10.) r.Mip.objective
+
+(* Brute force 0-1 enumeration as ground truth. *)
+let brute_force_binary p =
+  let n = Problem.num_vars p in
+  let best = ref None in
+  let x = Array.make n 0. in
+  let rec go i =
+    if i = n then begin
+      if Problem.check_feasible ~eps:1e-9 p x then begin
+        let obj = Problem.objective_value p x in
+        match !best with
+        | Some (b, _) when b <= obj -> ()
+        | _ -> best := Some (obj, Array.copy x)
+      end
+    end
+    else begin
+      x.(i) <- 0.;
+      go (i + 1);
+      x.(i) <- 1.;
+      go (i + 1)
+    end
+  in
+  go 0;
+  !best
+
+let random_binary_gen =
+  let open QCheck.Gen in
+  let* n = 2 -- 7 in
+  let* m = 1 -- 5 in
+  let* costs = list_size (return n) (map float_of_int (0 -- 9)) in
+  let* rows =
+    list_size (return m)
+      (let* terms = list_size (return n) (map float_of_int (-2 -- 2)) in
+       let* rhs = map float_of_int (-1 -- 3) in
+       let* sense = oneofl [ Problem.Le; Problem.Ge; Problem.Eq ] in
+       return (sense, rhs, terms))
+  in
+  return (n, costs, rows)
+
+let build_random_binary (n, costs, rows) =
+  let p = Problem.create () in
+  List.iteri
+    (fun i c -> ignore (Problem.add_binary p ~obj:c (Printf.sprintf "b%d" i)))
+    costs;
+  ignore n;
+  List.iter
+    (fun (sense, rhs, terms) ->
+      Problem.add_row p sense rhs (List.mapi (fun i c -> (i, c)) terms))
+    rows;
+  p
+
+let bb_matches_brute_force =
+  QCheck.Test.make ~name:"branch&bound matches brute force on 0-1 programs"
+    ~count:200
+    (QCheck.make ~print:print_random_lp random_binary_gen)
+    (fun spec ->
+      let p = build_random_binary spec in
+      let r = Mip.solve ~rel_gap:0. p in
+      match (brute_force_binary p, r.Mip.status) with
+      | None, Mip.Infeasible -> true
+      | Some (obj, _), Mip.Optimal ->
+          Float.abs (obj -. r.Mip.objective) < 1e-6
+          && Problem.check_feasible ~eps:1e-6 p r.Mip.solution
+      | None, Mip.Optimal -> false
+      | Some _, Mip.Infeasible -> false
+      | _, Mip.Limit -> false)
+
+(* ------------------------------------------------------------------ *)
+(* LP format                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* tiny substring helper *)
+let is_infix ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+let test_lp_format () =
+  let p = Problem.create () in
+  let x = Problem.add_binary p ~obj:2. "move[p1,v,A,B]" in
+  Problem.add_row p ~name:"one" Problem.Eq 1. [ (x, 1.) ];
+  let s = Lp_format.to_string p in
+  checkb "mentions sanitized var" true (is_infix ~affix:"move_p1_v_A_B" s)
+
+let suites =
+  [
+    ( "lp.bigint",
+      [
+        Alcotest.test_case "basic ops" `Quick test_bigint_basic;
+        Alcotest.test_case "large values" `Quick test_bigint_large;
+        Alcotest.test_case "string roundtrip" `Quick test_bigint_string_roundtrip;
+        Alcotest.test_case "native extremes" `Quick test_bigint_extremes;
+        Alcotest.test_case "gcd" `Quick test_bigint_gcd;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest bigint_qcheck );
+    ( "lp.rat",
+      [
+        Alcotest.test_case "basic ops" `Quick test_rat_basic;
+        Alcotest.test_case "of_float" `Quick test_rat_of_float;
+      ]
+      @ List.map QCheck_alcotest.to_alcotest rat_qcheck );
+    ( "lp.simplex",
+      [
+        Alcotest.test_case "dense exact classic" `Quick test_dense_exact_classic;
+        Alcotest.test_case "dense float classic" `Quick test_dense_float_classic;
+        Alcotest.test_case "dense infeasible" `Quick test_dense_infeasible;
+        Alcotest.test_case "dense unbounded" `Quick test_dense_unbounded;
+        Alcotest.test_case "revised classic" `Quick test_revised_classic_bounded;
+        Alcotest.test_case "revised infeasible" `Quick test_revised_infeasible;
+        Alcotest.test_case "revised equality system" `Quick
+          test_revised_equality_system;
+        Alcotest.test_case "revised warm restart" `Quick test_revised_warm_restart;
+        QCheck_alcotest.to_alcotest simplex_cross_check;
+      ] );
+    ( "lp.presolve",
+      [
+        Alcotest.test_case "fixed + singleton" `Quick
+          test_presolve_fixed_and_singleton;
+        Alcotest.test_case "alias chain" `Quick test_presolve_alias_chain;
+        Alcotest.test_case "complement x+y=1" `Quick test_presolve_complement;
+        Alcotest.test_case "detects infeasible" `Quick
+          test_presolve_detects_infeasible;
+        QCheck_alcotest.to_alcotest presolve_preserves_optimum;
+      ] );
+    ( "lp.mip",
+      [
+        Alcotest.test_case "knapsack" `Quick test_bb_knapsack;
+        Alcotest.test_case "assignment" `Quick test_bb_assignment;
+        Alcotest.test_case "infeasible" `Quick test_bb_infeasible;
+        Alcotest.test_case "no presolve" `Quick test_bb_without_presolve;
+        QCheck_alcotest.to_alcotest bb_matches_brute_force;
+      ] );
+    ( "lp.format",
+      [ Alcotest.test_case "writer sanitizes names" `Quick test_lp_format ] );
+  ]

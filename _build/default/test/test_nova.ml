@@ -1,0 +1,391 @@
+(* Tests for the Nova front end: lexer, parser, layouts, type checker,
+   static statistics. *)
+
+open Nova
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let parse src = Parser.parse_string ~file:"test.nova" src
+let typecheck ?entry src = Typecheck.check_program ?entry (parse src)
+
+let expect_error f =
+  match Support.Diag.protect f with
+  | Ok _ -> None
+  | Error d -> Some (Support.Diag.to_string d)
+
+(* ---------------- lexer ---------------- *)
+
+let test_lexer_tokens () =
+  let toks = Lexer.tokenize ~file:"t" "let x = 0x1F + 42; // comment\n y != z" in
+  let kinds = Array.to_list (Array.map (fun l -> l.Lexer.tok) toks) in
+  checkb "shape" true
+    (kinds
+    = [
+        Lexer.KW_let; Lexer.IDENT "x"; Lexer.EQUALS; Lexer.INT 31; Lexer.PLUS;
+        Lexer.INT 42; Lexer.SEMI; Lexer.IDENT "y"; Lexer.NEQ; Lexer.IDENT "z";
+        Lexer.EOF;
+      ])
+
+let test_lexer_operators () =
+  let toks = Lexer.tokenize ~file:"t" "<< >> >>> <- ## := == <= >= && || <u >=u" in
+  let kinds = Array.to_list (Array.map (fun l -> l.Lexer.tok) toks) in
+  checkb "operators" true
+    (kinds
+    = [
+        Lexer.SHL; Lexer.SHR; Lexer.ASR_OP; Lexer.LARROW; Lexer.HASHHASH;
+        Lexer.ASSIGN; Lexer.EQEQ; Lexer.LE; Lexer.GE; Lexer.ANDAND; Lexer.OROR;
+        Lexer.ULT; Lexer.UGE; Lexer.EOF;
+      ])
+
+let test_lexer_comments_and_position () =
+  let toks = Lexer.tokenize ~file:"t" "/* multi\nline */ x" in
+  checkb "comment skipped" true
+    (match toks.(0).Lexer.tok with Lexer.IDENT "x" -> true | _ -> false);
+  checki "line tracking" 2 (Support.Srcloc.start_line toks.(0).Lexer.loc)
+
+(* ---------------- parser ---------------- *)
+
+let test_parse_paper_example () =
+  (* the paper's §3.2 layout and unpack example, lightly adapted *)
+  let prog =
+    parse
+      {|
+layout ipv6_address = { a1 : 32, a2 : 32, a3 : 32, a4 : 32 };
+layout ipv6_header = {
+  verpri : overlay { whole : 8 | parts : { version : 4, priority : 4 } },
+  flow_label : 24,
+  payload_length : 16, next_header : 8, hop_limit : 8,
+  src_address : ipv6_address, dst_address : ipv6_address };
+
+fun main (a) : word {
+  let pdata : packed(ipv6_header) = sdram(a, 10);
+  let udata = unpack[ipv6_header](pdata);
+  if (udata.verpri.parts.version == 6 && udata.hop_limit > 0) { 1 } else { 0 }
+}
+|}
+  in
+  checki "decls" 3 (List.length prog.Ast.decls)
+
+let test_parse_layout_concat () =
+  let prog =
+    parse
+      {|
+layout lyt = { x : 16, y : 32, z : 8 };
+fun main (p0, p1, p2) : word {
+  let udata = unpack[lyt ## {40}]((p0, p1, p2));
+  udata.x
+}
+|}
+  in
+  checki "decls" 2 (List.length prog.Ast.decls)
+
+let test_parse_try_handle () =
+  let prog =
+    parse
+      {|
+fun main () : word {
+  try {
+    if (1 == 2) { raise X1 [b = 3, c = 4]; }
+    raise X2;
+    7
+  }
+  handle X1 [b, c] { b + c }
+  handle X2 () { 0 }
+}
+|}
+  in
+  checki "decls" 1 (List.length prog.Ast.decls)
+
+let test_parse_errors () =
+  checkb "unbalanced" true (expect_error (fun () -> parse "fun f ( {") <> None);
+  checkb "missing semi" true
+    (expect_error (fun () -> parse "fun f () { let x = 1 let y = 2; x }") <> None);
+  checkb "bad toplevel" true (expect_error (fun () -> parse "while (1) {}") <> None)
+
+(* ---------------- layouts ---------------- *)
+
+let resolve_layout src name =
+  let tprog = typecheck ~entry:"main" src in
+  match Hashtbl.find_opt tprog.Tast.layouts name with
+  | Some l -> l
+  | None -> Alcotest.fail ("layout not found: " ^ name)
+
+let layout_fixture =
+  {|
+layout addr = { a1 : 32, a2 : 32 };
+layout hdr = {
+  ver : 4, pri : 4, flow : 24,
+  len : 16, nh : 8, hl : 8,
+  src : addr
+};
+fun main () { () }
+|}
+
+let test_layout_sizes () =
+  let l = resolve_layout layout_fixture "hdr" in
+  checki "bit size" (32 + 32 + 64) (Layout.bit_size l);
+  checki "word size" 4 (Layout.word_size l)
+
+let test_layout_leaves () =
+  let l = resolve_layout layout_fixture "hdr" in
+  let leaves = Layout.leaves l in
+  checki "leaf count" 8 (List.length leaves);
+  let find path =
+    List.find (fun (lf : Layout.leaf) -> lf.Layout.path = path) leaves
+  in
+  let ver = find [ "ver" ] in
+  checki "ver offset" 0 ver.Layout.offset;
+  checki "ver width" 4 ver.Layout.width;
+  let a2 = find [ "src"; "a2" ] in
+  checki "a2 offset" 96 a2.Layout.offset
+
+let test_layout_overlay () =
+  let src =
+    {|
+layout h = { vp : overlay { whole : 8 | parts : { v : 4, p : 4 } }, rest : 24 };
+fun main () { () }
+|}
+  in
+  let l = resolve_layout src "h" in
+  checki "size ignores alternatives" 32 (Layout.bit_size l);
+  let leaves = Layout.leaves l in
+  (* whole, v, p, rest: all alternatives spread *)
+  checki "all alternatives" 4 (List.length leaves);
+  let overlays = Layout.overlays l in
+  checki "one overlay" 1 (List.length overlays)
+
+let test_layout_overlay_size_mismatch () =
+  checkb "mismatched alternatives rejected" true
+    (expect_error (fun () ->
+         typecheck
+           {|
+layout bad = { o : overlay { a : 8 | b : 16 } };
+fun main () { () }
+|})
+    <> None)
+
+let test_extract_insert_roundtrip () =
+  (* straddling field: 24 bits starting at offset 20 *)
+  let words = [| 0xAABBCCDD; 0x11223344 |] in
+  let get_word i = words.(i) in
+  let v = Layout.extract_value ~offset:20 ~width:24 ~get_word in
+  (* bits 20..43: low 12 of word0 = CDD, high 12 of word1 = 112 *)
+  checki "extract straddling" 0xCDD112 v;
+  let out = Array.copy words in
+  Layout.insert_value ~offset:20 ~width:24 ~get_word:(fun i -> out.(i))
+    ~set_word:(fun i v -> out.(i) <- v)
+    0xABCDEF;
+  let v' = Layout.extract_value ~offset:20 ~width:24 ~get_word:(fun i -> out.(i)) in
+  checki "insert roundtrip" 0xABCDEF v';
+  (* other bits untouched *)
+  checki "prefix preserved" (0xAABBCCDD lsr 12) (out.(0) lsr 12)
+
+let extract_qcheck =
+  QCheck.Test.make ~name:"layout extract/insert roundtrip" ~count:300
+    QCheck.(
+      triple (int_range 0 95) (int_range 1 32) (int_range 0 0xFFFF))
+    (fun (offset, width, v) ->
+      QCheck.assume (offset + width <= 128);
+      let v = v land Layout.mask_of_width width in
+      let words = Array.make 4 0x5A5A5A5A in
+      Layout.insert_value ~offset ~width
+        ~get_word:(fun i -> words.(i))
+        ~set_word:(fun i x -> words.(i) <- x)
+        v;
+      Layout.extract_value ~offset ~width ~get_word:(fun i -> words.(i)) = v)
+
+(* ---------------- type checker ---------------- *)
+
+let test_typecheck_rejects () =
+  let cases =
+    [
+      ("unbound variable", "fun main () : word { x }");
+      ("bad arity", "fun f (a, b) : word { a + b } fun main () : word { f(1) }");
+      ("branch mismatch", "fun main () : word { if (1 == 1) { 2 } else { () } }");
+      ( "condition not bool",
+        "fun main () : word { if (1 + 1) { 2 } else { 3 } }" );
+      ("assign to let", "fun main () : word { let x = 1; x := 2; x }");
+      ( "non-tail recursion",
+        "fun f (n : word) : word { 1 + f(n) } fun main () : word { f(0) }" );
+      ( "mutual non-tail recursion",
+        {|fun f (n : word) : word { g(n) + 1 }
+          fun g (n : word) : word { f(n) + 2 }
+          fun main () : word { f(0) }|} );
+      ("duplicate function", "fun f () {} fun f () {} fun main () {}");
+      ( "raise unknown exception",
+        "fun main () : word { try { raise Y; 1 } handle X () { 0 } }" );
+      ( "sdram odd count",
+        "fun main () : word { let (a, b, c) = sdram(0); a }" );
+      ("no entry", "fun helper () {}");
+      ( "word/bool confusion",
+        "fun main () : bool { let x = 1; x }" );
+    ]
+  in
+  List.iter
+    (fun (name, src) ->
+      checkb name true (expect_error (fun () -> typecheck src) <> None))
+    cases
+
+let test_typecheck_accepts () =
+  let cases =
+    [
+      ("tail recursion", "fun f (n : word) : word { if (n == 0) { 1 } else { f(n - 1) } } fun main () : word { f(5) }");
+      ("exceptions as arguments",
+       {|fun g (e : exn([b : word]), x : word) : word {
+           if (x == 0) { raise e [b = 1]; }
+           x
+         }
+         fun main () : word {
+           try { g(E, 0) } handle E [b] { b + 41 }
+         }|});
+      ("records and tuples",
+       {|fun main () : word {
+           let r = [x = 1, y = (2, 3)];
+           r.x + r.y.1
+         }|});
+      ("named call", "fun f [a, b] : word { a - b } fun main () : word { f[b = 1, a = 3] }");
+      ("bool vars", "fun main () : word { var going = true; while (going) { going := false; } 4 }");
+    ]
+  in
+  List.iter
+    (fun (name, src) ->
+      match expect_error (fun () -> typecheck src) with
+      | None -> ()
+      | Some e -> Alcotest.fail (name ^ ": " ^ e))
+    cases
+
+let test_typecheck_paper_trimming_example () =
+  (* paper §4.4: unused fields must type-check (their elimination is the
+     optimizer's job) *)
+  let src =
+    {|
+layout p = { a : 16, b : 32, c : 16 };
+fun f (p1 : packed(p), p2 : packed(p)) : word {
+  let u1 = unpack[p](p1);
+  let u2 = unpack[p](p2);
+  (if (u1.c > 10) { u1 } else { u2 }).b
+}
+fun main () : word { f((1, 2), (3, 4)) }
+|}
+  in
+  checkb "accepts" true (expect_error (fun () -> typecheck src) = None)
+
+let test_const_declarations () =
+  let src =
+    {|
+const BASE = 0x100;
+const SIZE = BASE + 64;
+const MASK = (1 << 12) - 1;
+fun main () : word { SIZE & MASK }
+|}
+  in
+  checkb "consts fold" true (expect_error (fun () -> typecheck src) = None);
+  (* and the folded value flows through compilation *)
+  let tprog = typecheck src in
+  ignore tprog
+
+let test_tuple_projection () =
+  let src =
+    {|
+fun pair () : (word, word) { (10, 32) }
+fun main () : word {
+  let p = pair();
+  p.0 + p.1
+}
+|}
+  in
+  checkb "projection accepted" true (expect_error (fun () -> typecheck src) = None)
+
+let test_operator_precedence_gotcha () =
+  (* like C, == binds tighter than &: this must be a type error *)
+  checkb "& vs == precedence" true
+    (expect_error (fun () ->
+         typecheck "fun main () : word { if (1 & 2 == 2) { 1 } else { 0 } }")
+    <> None)
+
+let test_unsigned_comparisons () =
+  let src =
+    "fun main () : word { if (0xFFFFFFFF >=u 1 && !(0xFFFFFFFF < 1 == false)) { 1 } else { 0 } }"
+  in
+  (* (0xFFFFFFFF < 1) is a signed comparison: -1 < 1 is true *)
+  ignore src;
+  checkb "unsigned ge" true
+    (expect_error (fun () ->
+         typecheck "fun main () : word { if (0xFFFFFFFF >=u 1) { 1 } else { 0 } }")
+    = None)
+
+(* ---------------- stats (Figure 5) ---------------- *)
+
+let test_stats () =
+  let src =
+    {|
+layout a = { x : 8 };
+layout b = { y : 8 };
+const N = 2;
+fun main () : word {
+  let u = unpack[a]((42));
+  let v = unpack[b]((43));
+  let p = pack[a] [x = 1];
+  try {
+    if (u.x == 0) { raise E1; }
+    if (v.y == 0) { raise E2 [k = 1]; }
+    p.0
+  }
+  handle E1 () { 1 }
+  handle E2 [k] { k }
+}
+|}
+  in
+  let stats = Stats.of_program ~source:src (parse src) in
+  checki "layouts" 2 stats.Stats.layout_specs;
+  checki "packs" 1 stats.Stats.packs;
+  checki "unpacks" 2 stats.Stats.unpacks;
+  checki "raises" 2 stats.Stats.raises;
+  checki "handles" 2 stats.Stats.handles;
+  checki "consts" 1 stats.Stats.consts;
+  checkb "lines counted" true (stats.Stats.lines > 15)
+
+let suites =
+  [
+    ( "nova.lexer",
+      [
+        Alcotest.test_case "tokens" `Quick test_lexer_tokens;
+        Alcotest.test_case "operators" `Quick test_lexer_operators;
+        Alcotest.test_case "comments/positions" `Quick
+          test_lexer_comments_and_position;
+      ] );
+    ( "nova.parser",
+      [
+        Alcotest.test_case "paper example" `Quick test_parse_paper_example;
+        Alcotest.test_case "layout concat" `Quick test_parse_layout_concat;
+        Alcotest.test_case "try/handle" `Quick test_parse_try_handle;
+        Alcotest.test_case "errors" `Quick test_parse_errors;
+      ] );
+    ( "nova.layout",
+      [
+        Alcotest.test_case "sizes" `Quick test_layout_sizes;
+        Alcotest.test_case "leaves" `Quick test_layout_leaves;
+        Alcotest.test_case "overlay" `Quick test_layout_overlay;
+        Alcotest.test_case "overlay mismatch" `Quick
+          test_layout_overlay_size_mismatch;
+        Alcotest.test_case "extract/insert" `Quick test_extract_insert_roundtrip;
+        QCheck_alcotest.to_alcotest extract_qcheck;
+      ] );
+    ( "nova.typecheck",
+      [
+        Alcotest.test_case "rejects" `Quick test_typecheck_rejects;
+        Alcotest.test_case "accepts" `Quick test_typecheck_accepts;
+        Alcotest.test_case "paper trimming example" `Quick
+          test_typecheck_paper_trimming_example;
+        Alcotest.test_case "const declarations" `Quick test_const_declarations;
+        Alcotest.test_case "tuple projection" `Quick test_tuple_projection;
+        Alcotest.test_case "precedence gotcha" `Quick
+          test_operator_precedence_gotcha;
+        Alcotest.test_case "unsigned comparisons" `Quick
+          test_unsigned_comparisons;
+      ] );
+    ( "nova.stats",
+      [ Alcotest.test_case "figure 5 counters" `Quick test_stats ] );
+  ]

@@ -1,0 +1,198 @@
+(* Differential testing: generate random well-typed Nova programs,
+   compile them through the full ILP pipeline, and require the cycle
+   simulator and the CPS interpreter to agree bit-for-bit on the result
+   and on memory effects. *)
+
+module Insn = Ixp.Insn
+
+(* --------------- a tiny generator of well-typed programs ----------- *)
+
+type genstate = {
+  mutable vars : string list; (* immutable word vars in scope *)
+  mutable muts : string list; (* mutable word vars *)
+  mutable fresh : int;
+  mutable store_addr : int; (* next free store slot (bytes) *)
+  buf : Buffer.t;
+  mutable indent : int;
+}
+
+let fresh st prefix =
+  st.fresh <- st.fresh + 1;
+  Printf.sprintf "%s%d" prefix st.fresh
+
+let line st fmt =
+  Printf.ksprintf
+    (fun s ->
+      Buffer.add_string st.buf (String.make st.indent ' ');
+      Buffer.add_string st.buf s;
+      Buffer.add_char st.buf '\n')
+    fmt
+
+open QCheck.Gen
+
+let pick_var st =
+  match st.vars @ st.muts with
+  | [] -> return "0"
+  | vs -> oneofl vs
+
+(* arithmetic expression over in-scope variables *)
+let rec gen_expr st depth =
+  if depth = 0 then
+    oneof [ pick_var st; map string_of_int (int_range 0 1000) ]
+  else
+    let* op = oneofl [ "+"; "-"; "&"; "|"; "^" ] in
+    let* a = gen_expr st (depth - 1) in
+    let* b = gen_expr st (depth - 1) in
+    let* shift = int_range 0 7 in
+    oneofl
+      [
+        Printf.sprintf "(%s %s %s)" a op b;
+        Printf.sprintf "((%s %s %s) >> %d)" a op b shift;
+        Printf.sprintf "((%s) << %d)" a shift;
+      ]
+
+let gen_stmt st =
+  let* kind = int_range 0 5 in
+  match kind with
+  | 0 ->
+      (* read an aggregate from SRAM *)
+      let* n = int_range 1 4 in
+      let* slot = int_range 0 7 in
+      let names = List.init n (fun _ -> fresh st "r") in
+      st.vars <- names @ st.vars;
+      if n = 1 then
+        line st "let %s = sram(%d, 1);" (List.hd names) (slot * 32)
+      else
+        line st "let (%s) = sram(%d, %d);" (String.concat ", " names)
+          (slot * 32) n;
+      return ()
+  | 1 ->
+      (* new immutable binding *)
+      let* e = gen_expr st 2 in
+      let x = fresh st "x" in
+      st.vars <- x :: st.vars;
+      line st "let %s = %s;" x e;
+      return ()
+  | 2 ->
+      (* new mutable *)
+      let* e = gen_expr st 1 in
+      let m = fresh st "m" in
+      st.muts <- m :: st.muts;
+      line st "var %s = %s;" m e;
+      return ()
+  | 3 when st.muts <> [] ->
+      let* m = oneofl st.muts in
+      let* e = gen_expr st 2 in
+      line st "%s := %s;" m e;
+      return ()
+  | 4 ->
+      (* store an aggregate *)
+      let* n = int_range 1 4 in
+      let* es =
+        flatten_l (List.init n (fun _ -> gen_expr st 1))
+      in
+      let addr = 512 + st.store_addr in
+      st.store_addr <- st.store_addr + (n * 4);
+      line st "sram(%d) <- (%s);" addr (String.concat ", " es);
+      return ()
+  | _ ->
+      (* bounded loop over a fresh counter *)
+      let* trips = int_range 1 4 in
+      let i = fresh st "i" in
+      let acc = fresh st "a" in
+      let* e = gen_expr st 1 in
+      line st "var %s = 0;" i;
+      line st "var %s = %s;" acc e;
+      line st "while (%s < %d) {" i trips;
+      st.indent <- st.indent + 2;
+      let* body = gen_expr st 1 in
+      line st "%s := %s + %s;" acc acc body;
+      line st "%s := %s + 1;" i i;
+      st.indent <- st.indent - 2;
+      line st "}";
+      st.muts <- acc :: st.muts;
+      return ()
+
+let gen_program =
+  let* n_stmts = int_range 3 9 in
+  let st =
+    {
+      vars = [];
+      muts = [];
+      fresh = 0;
+      store_addr = 0;
+      buf = Buffer.create 256;
+      indent = 2;
+    }
+  in
+  Buffer.add_string st.buf "fun main () : word {\n";
+  let* () =
+    let rec go k = if k = 0 then return () else gen_stmt st >>= fun () -> go (k - 1) in
+    go n_stmts
+  in
+  let* result = gen_expr st 2 in
+  line st "%s" result;
+  Buffer.add_string st.buf "}\n";
+  return (Buffer.contents st.buf)
+
+(* --------------- the differential property ------------------------- *)
+
+let sram_image = Array.init 64 (fun i -> (i * 0x01010101) land 0xFFFFFFFF)
+
+let compiles_and_agrees src =
+  match
+    Support.Diag.protect (fun () ->
+        Regalloc.Driver.compile ~file:"rand.nova" src)
+  with
+  | Error d -> QCheck.Test.fail_reportf "compile error: %s" (Support.Diag.to_string d)
+  | Ok c ->
+      let interp_result, ist =
+        Regalloc.Driver.interpret
+          ~init:(fun st ->
+            Array.iteri
+              (fun i v -> Ixp.Memory.poke (Cps.Interp.memory st) Insn.Sram i v)
+              sram_image)
+          c
+      in
+      let _, sim_results, sim =
+        Regalloc.Driver.simulate
+          ~init:(fun sim ->
+            Array.iteri
+              (fun i v ->
+                Ixp.Memory.poke (Ixp.Simulator.shared_memory sim) Insn.Sram i v)
+              sram_image)
+          c
+      in
+      let result_ok =
+        match interp_result with
+        | [ v ] -> v = sim_results.(0)
+        | _ -> false
+      in
+      (* compare the written SRAM region word by word *)
+      let imem = Cps.Interp.memory ist in
+      let smem = Ixp.Simulator.shared_memory sim in
+      let mem_ok = ref true in
+      for w = 128 to 192 do
+        if
+          Ixp.Memory.peek imem Insn.Sram w <> Ixp.Memory.peek smem Insn.Sram w
+        then mem_ok := false
+      done;
+      if not result_ok then
+        QCheck.Test.fail_reportf "result mismatch on:\n%s" src;
+      if not !mem_ok then QCheck.Test.fail_reportf "memory mismatch on:\n%s" src;
+      true
+
+let random_program_test =
+  QCheck.Test.make ~name:"random programs: simulator = interpreter" ~count:40
+    (QCheck.make ~print:(fun s -> s) gen_program)
+    compiles_and_agrees
+
+let suites =
+  [
+    ( "random",
+      [
+        (let t = QCheck_alcotest.to_alcotest random_program_test in
+         let name, _speed, fn = t in
+         (name, `Slow, fn));
+      ] );
+  ]

@@ -1,0 +1,414 @@
+(* Integration tests for the ILP register allocator: model generation,
+   the §9 SSA/SSU impossibility examples, solution validity, emission,
+   and end-to-end simulator-vs-interpreter equivalence. *)
+
+module Insn = Ixp.Insn
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let compile ?(options = Regalloc.Driver.default_options) src =
+  Regalloc.Driver.compile ~options ~file:"test.nova" src
+
+(* run compiled code on the simulator and the CPS interpreter; both must
+   agree on the result words *)
+let check_equivalence ?(init_sram = [||]) ?(label = "equivalence") src =
+  let c = compile src in
+  let interp_result, _ =
+    Regalloc.Driver.interpret
+      ~init:(fun st ->
+        Array.iteri
+          (fun i v -> Ixp.Memory.poke (Cps.Interp.memory st) Insn.Sram (25 + i) v)
+          init_sram)
+      c
+  in
+  let _, sim_results, _ =
+    Regalloc.Driver.simulate
+      ~init:(fun sim ->
+        Array.iteri
+          (fun i v ->
+            Ixp.Memory.poke (Ixp.Simulator.shared_memory sim) Insn.Sram (25 + i) v)
+          init_sram)
+      c
+  in
+  List.iteri
+    (fun i v -> checki (Printf.sprintf "%s[%d]" label i) v sim_results.(i))
+    interp_result;
+  c
+
+(* ---------------- whole-pipeline equivalence ---------------- *)
+
+let test_alloc_arith () =
+  ignore (check_equivalence "fun main () : word { (3 + 4) * 5 - 6 }")
+
+let test_alloc_loop_and_memory () =
+  let c =
+    check_equivalence ~init_sram:[| 10; 20; 30; 40 |]
+      {|
+fun main () : word {
+  let (a, b, c, d) = sram(100);
+  var acc = 0;
+  var i = 0;
+  while (i < 3) {
+    acc := acc + a + b - c;
+    i := i + 1;
+  }
+  sram(200) <- (acc, d);
+  acc + d
+}
+|}
+  in
+  checki "no spills" 0 c.Regalloc.Driver.stats.Regalloc.Driver.spills_inserted
+
+let test_alloc_aggregate_pressure () =
+  (* two 4-word reads whose values overlap: the first read's values must
+     vacate the transfer bank (the paper's §2.1 mini-IXP example) *)
+  ignore
+    (check_equivalence
+       ~init_sram:[| 1; 2; 3; 4; 5; 6; 7; 8; 9; 10; 11; 12 |]
+       {|
+fun main () : word {
+  let (u, v, w, x) = sram(100);
+  let (e, f, g, h) = sram(116);
+  let (i, j, k, l) = sram(132);
+  sram(200) <- (u, e, i, x);
+  sram(216) <- (v, f, j, w);
+  (u + e + i) * 1000 + (g + h + k + l)
+}
+|})
+
+let test_alloc_write_conflict_needs_clone () =
+  (* same temporary at two different positions of two stores: impossible
+     without cloning (§9's write-side example) *)
+  ignore
+    (check_equivalence ~init_sram:[| 7; 8; 9; 10 |]
+       {|
+fun main () : word {
+  let (x, a, b) = sram(100);
+  let (c, _d, _e) = sram(112);
+  sram(200) <- (x, a, b, c);
+  sram(216) <- (a, x, b, c);
+  x
+}
+|})
+
+let test_alloc_hash_same_reg () =
+  ignore
+    (check_equivalence ~init_sram:[| 0xBEEF |]
+       {|
+fun main () : word {
+  let v = sram(100, 1);
+  let h = hash(v);
+  h & 0xFFFF
+}
+|})
+
+let test_alloc_exceptions_and_control () =
+  ignore
+    (check_equivalence ~init_sram:[| 42 |]
+       {|
+fun f (e : exn([v : word]), x : word) : word {
+  if (x > 100) { raise e [v = x]; }
+  x + 1
+}
+fun main () : word {
+  let a = sram(100, 1);
+  try { f(Big, a) + f(Big2, a * 10) }
+  handle Big [v] { v }
+  handle Big2 [v] { v - 1 }
+}
+|})
+
+(* ---------------- machine validity ---------------- *)
+
+let test_checker_runs_on_output () =
+  let c =
+    compile
+      {|
+fun main () : word {
+  let (a, b) = sram(100);
+  sdram(0) <- (a, b);
+  a ^ b
+}
+|}
+  in
+  checki "no checker violations" 0
+    (List.length (Ixp.Checker.check c.Regalloc.Driver.physical))
+
+let test_assignment_validates () =
+  let c =
+    compile
+      {|
+fun main () : word {
+  let (a, b, c, d) = sram(64);
+  let s = a + b;
+  let t = c + d;
+  sram(128) <- (s, t);
+  s * t
+}
+|}
+  in
+  checkb "assignment valid" true
+    (Regalloc.Assignment.validate c.Regalloc.Driver.assignment = [])
+
+(* ---------------- §9: SSA makes colorings consistent ---------------- *)
+
+let test_ssa_makes_coloring_feasible () =
+  (* The paper's §9 example: (a,b,X,Y) <- sram(..); (Y,X,u,v) <- sram(..)
+     has no consistent coloring pre-SSA.  Our pipeline is SSA by
+     construction, so the Nova equivalent (rebinding names) compiles. *)
+  ignore
+    (check_equivalence ~init_sram:(Array.init 8 (fun i -> i * 3))
+       {|
+fun main () : word {
+  let (a, b, x, y) = sram(100);
+  let (y2, x2, u, v) = sram(116);
+  (a + b + x + y) * 10000 + (y2 + x2 + u + v)
+}
+|})
+
+(* ---------------- baseline allocator ---------------- *)
+
+let test_baseline_allocates_and_agrees () =
+  let options =
+    {
+      Regalloc.Driver.default_options with
+      allocator = Regalloc.Driver.Baseline_allocator;
+    }
+  in
+  let src =
+    {|
+fun main () : word {
+  let (a, b, c) = sram(100);
+  let s = a + b;
+  sram(200) <- (s, c);
+  s - c
+}
+|}
+  in
+  let c = compile ~options src in
+  checki "baseline passes the machine checker" 0
+    (List.length (Ixp.Checker.check c.Regalloc.Driver.physical));
+  let interp_result, _ =
+    Regalloc.Driver.interpret
+      ~init:(fun st ->
+        Array.iteri
+          (fun i v -> Ixp.Memory.poke (Cps.Interp.memory st) Insn.Sram (25 + i) v)
+          [| 5; 6; 7 |])
+      c
+  in
+  let _, sim_results, _ =
+    Regalloc.Driver.simulate
+      ~init:(fun sim ->
+        Array.iteri
+          (fun i v ->
+            Ixp.Memory.poke (Ixp.Simulator.shared_memory sim) Insn.Sram (25 + i) v)
+          [| 5; 6; 7 |])
+      c
+  in
+  List.iteri (fun i v -> checki "baseline result" v sim_results.(i)) interp_result
+
+let test_ilp_beats_baseline () =
+  let src =
+    {|
+fun main () : word {
+  let (a, b, c, d) = sram(100);
+  var acc = 0;
+  var i = 0;
+  while (i < 10) {
+    acc := acc + a + b + c + d;
+    i := i + 1;
+  }
+  acc
+}
+|}
+  in
+  let ilp = compile src in
+  let base =
+    compile
+      ~options:
+        {
+          Regalloc.Driver.default_options with
+          allocator = Regalloc.Driver.Baseline_allocator;
+        }
+      src
+  in
+  checkb "ILP cost <= baseline cost" true
+    (ilp.Regalloc.Driver.stats.Regalloc.Driver.weighted_move_cost
+    <= base.Regalloc.Driver.stats.Regalloc.Driver.weighted_move_cost +. 1e-6)
+
+(* ---------------- model statistics ---------------- *)
+
+let test_model_stats () =
+  let front =
+    Regalloc.Driver.front_end ~file:"t.nova"
+      {|
+fun main () : word {
+  let (a, b, c, d) = sram(100);
+  let (e, f) = sdram(0);
+  sram(200) <- (a, b);
+  sdram(8) <- (c & e, d & f);
+  0
+}
+|}
+  in
+  let mg = Regalloc.Modelgen.build front.Regalloc.Driver.f_graph in
+  let c = Regalloc.Modelgen.coloring_stats mg in
+  checki "DefL members" 4 c.Regalloc.Modelgen.def_l;
+  checki "DefLD members" 2 c.Regalloc.Modelgen.def_ld;
+  (* 2 from the sram store + 1 from the scratch write of main's result *)
+  checki "UseS members" 3 c.Regalloc.Modelgen.use_s;
+  checki "UseSD members" 2 c.Regalloc.Modelgen.use_sd
+
+let test_spill_fallback () =
+  (* enormous register pressure: 20 values live across a loop forces the
+     two-phase driver into the spill-enabled model or heavy B moves; the
+     result must still validate and agree. *)
+  let src =
+    {|
+fun main () : word {
+  let (a1, a2, a3, a4, a5, a6, a7, a8) = sram(0, 8);
+  let (b1, b2, b3, b4, b5, b6, b7, b8) = sram(32, 8);
+  let (c1, c2, c3, c4, c5, c6, c7, c8) = sram(64, 8);
+  let (d1, d2, d3, d4, d5, d6, d7, d8) = sram(96, 8);
+  var acc = 0;
+  var i = 0;
+  while (i < 2) {
+    acc := acc + a1 + a2 + a3 + a4 + a5 + a6 + a7 + a8;
+    acc := acc + b1 + b2 + b3 + b4 + b5 + b6 + b7 + b8;
+    acc := acc + c1 + c2 + c3 + c4 + c5 + c6 + c7 + c8;
+    acc := acc + d1 + d2 + d3 + d4 + d5 + d6 + d7 + d8;
+    i := i + 1;
+  }
+  acc
+}
+|}
+  in
+  let c = compile src in
+  checki "machine-checked" 0
+    (List.length (Ixp.Checker.check c.Regalloc.Driver.physical));
+  let init st =
+    for i = 0 to 31 do
+      Ixp.Memory.poke (Cps.Interp.memory st) Insn.Sram i (i * 7)
+    done
+  in
+  let interp_result, _ = Regalloc.Driver.interpret ~init c in
+  let _, sim_results, _ =
+    Regalloc.Driver.simulate
+      ~init:(fun sim ->
+        for i = 0 to 31 do
+          Ixp.Memory.poke (Ixp.Simulator.shared_memory sim) Insn.Sram i (i * 7)
+        done)
+      c
+  in
+  List.iteri (fun i v -> checki "high-pressure result" v sim_results.(i))
+    interp_result
+
+let test_fifo_and_csr_path () =
+  (* the receive/transmit harness instructions: rfifo -> sdram -> tfifo,
+     with csr reads and a voluntary thread swap *)
+  let src =
+    {|
+fun main () : word {
+  let me = csr(ctx);
+  let (w0, w1, w2, w3) = rfifo(0, 4);
+  sdram(64) <- (w0, w1, w2, w3);
+  ctx_arb();
+  let (r0, r1) = sdram(64);
+  tfifo(0) <- (r0 ^ me, r1);
+  csr(status) <- r0;
+  r0 + r1
+}
+|}
+  in
+  let c = compile src in
+  checki "machine-legal" 0
+    (List.length (Ixp.Checker.check c.Regalloc.Driver.physical));
+  let packet = [| 0xAA; 0xBB; 0xCC; 0xDD |] in
+  let sim = Ixp.Simulator.create c.Regalloc.Driver.physical in
+  Ixp.Simulator.set_rfifo sim ~thread:0 packet;
+  ignore (Ixp.Simulator.run_single sim);
+  let out = Ixp.Simulator.read_tfifo sim ~thread:0 in
+  checki "tfifo words" 2 (Array.length out);
+  checki "tfifo[0]" 0xAA out.(0);
+  checki "tfifo[1]" 0xBB out.(1);
+  (* interpreter agrees on the result *)
+  let interp_result, _ =
+    Regalloc.Driver.interpret
+      ~init:(fun st -> st.Cps.Interp.rfifo <- packet)
+      c
+  in
+  checkb "result agrees" true (interp_result = [ 0xAA + 0xBB ])
+
+(* ---------------- §12 rematerialization ---------------- *)
+
+let test_rematerialization () =
+  let src =
+    {|
+fun main () : word {
+  var acc = 0;
+  var i = 0;
+  while (i < 6) {
+    acc := (acc + 0xDEAD01) ^ (i * 0xBEEF02);
+    i := i + 1;
+  }
+  acc
+}
+|}
+  in
+  let plain = compile src in
+  let remat =
+    compile
+      ~options:
+        { Regalloc.Driver.default_options with rematerialize = true }
+      src
+  in
+  (* identical semantics *)
+  let run c =
+    let _, results, _ = Regalloc.Driver.simulate c in
+    results.(0)
+  in
+  checki "same result" (run plain) (run remat);
+  checki "remat passes the checker" 0
+    (List.length (Ixp.Checker.check remat.Regalloc.Driver.physical));
+  (* the rematerialized version must not be slower: the constants stay
+     in registers across the loop instead of being re-materialized *)
+  let cycles c =
+    let sim = Ixp.Simulator.create c.Regalloc.Driver.physical in
+    Ixp.Simulator.run_single sim
+  in
+  checkb "remat not slower" true (cycles remat <= cycles plain)
+
+let suites =
+  [
+    ( "regalloc.pipeline",
+      [
+        Alcotest.test_case "arith" `Quick test_alloc_arith;
+        Alcotest.test_case "loop + memory" `Quick test_alloc_loop_and_memory;
+        Alcotest.test_case "aggregate pressure" `Quick
+          test_alloc_aggregate_pressure;
+        Alcotest.test_case "write conflicts (clones)" `Quick
+          test_alloc_write_conflict_needs_clone;
+        Alcotest.test_case "hash same-reg" `Quick test_alloc_hash_same_reg;
+        Alcotest.test_case "exceptions" `Quick test_alloc_exceptions_and_control;
+        Alcotest.test_case "ssa coloring feasible" `Quick
+          test_ssa_makes_coloring_feasible;
+        Alcotest.test_case "high pressure" `Slow test_spill_fallback;
+      ] );
+    ( "regalloc.validity",
+      [
+        Alcotest.test_case "checker clean" `Quick test_checker_runs_on_output;
+        Alcotest.test_case "assignment valid" `Quick test_assignment_validates;
+        Alcotest.test_case "model stats" `Quick test_model_stats;
+      ] );
+    ( "regalloc.hardware",
+      [ Alcotest.test_case "fifo + csr + ctx_arb" `Quick test_fifo_and_csr_path ] );
+    ( "regalloc.remat",
+      [ Alcotest.test_case "constants via bank C" `Quick test_rematerialization ] );
+    ( "regalloc.baseline",
+      [
+        Alcotest.test_case "baseline valid + agrees" `Quick
+          test_baseline_allocates_and_agrees;
+        Alcotest.test_case "ilp beats baseline" `Quick test_ilp_beats_baseline;
+      ] );
+  ]

@@ -1,0 +1,88 @@
+(* Tests for the support library: idents, bitsets, union-find, vec. *)
+
+open Support
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let test_ident_freshness () =
+  let a = Ident.fresh "x" and b = Ident.fresh "x" in
+  checkb "distinct stamps" false (Ident.equal a b);
+  checkb "same base" true (Ident.base a = Ident.base b);
+  let c = Ident.clone a in
+  checkb "clone distinct" false (Ident.equal a c)
+
+let test_ident_collections () =
+  let xs = List.init 100 (fun i -> Ident.fresh (Printf.sprintf "v%d" i)) in
+  let set = Ident.Set.of_list xs in
+  checki "set size" 100 (Ident.Set.cardinal set);
+  let map =
+    List.fold_left (fun m (i, x) -> Ident.Map.add x i m) Ident.Map.empty
+      (List.mapi (fun i x -> (i, x)) xs)
+  in
+  checki "map lookup" 42 (Ident.Map.find (List.nth xs 42) map)
+
+let test_bitset () =
+  let b = Bitset.create 130 in
+  Bitset.add b 0;
+  Bitset.add b 64;
+  Bitset.add b 129;
+  checkb "mem 0" true (Bitset.mem b 0);
+  checkb "mem 64" true (Bitset.mem b 64);
+  checkb "mem 129" true (Bitset.mem b 129);
+  checkb "not mem 1" false (Bitset.mem b 1);
+  checki "cardinal" 3 (Bitset.cardinal b);
+  Bitset.remove b 64;
+  checkb "removed" false (Bitset.mem b 64);
+  let c = Bitset.create 130 in
+  Bitset.add c 5;
+  checkb "union changes" true (Bitset.union_into ~dst:b ~src:c);
+  checkb "union no change" false (Bitset.union_into ~dst:b ~src:c);
+  checkb "after union" true (Bitset.mem b 5)
+
+let test_union_find () =
+  let uf = Union_find.create 10 in
+  ignore (Union_find.union uf 0 1);
+  ignore (Union_find.union uf 1 2);
+  ignore (Union_find.union uf 5 6);
+  checkb "0~2" true (Union_find.equiv uf 0 2);
+  checkb "5~6" true (Union_find.equiv uf 5 6);
+  checkb "0!~5" false (Union_find.equiv uf 0 5);
+  checki "classes" 7 (List.length (Union_find.classes uf))
+
+let test_vec () =
+  let v = Vec.create () in
+  for i = 0 to 99 do
+    Vec.push v i
+  done;
+  checki "length" 100 (Vec.length v);
+  checki "get" 57 (Vec.get v 57);
+  checki "pop" 99 (Vec.pop v);
+  checki "after pop" 99 (Vec.length v);
+  Vec.set v 0 1000;
+  checki "set" 1000 (Vec.get v 0);
+  checki "fold" (1000 + (98 * 99 / 2) - 0) (Vec.fold_left ( + ) 0 v);
+  let l = Vec.to_list v in
+  checki "to_list length" 99 (List.length l)
+
+let bitset_qcheck =
+  QCheck.Test.make ~name:"bitset models a set of small ints" ~count:200
+    QCheck.(small_list (int_range 0 63))
+    (fun xs ->
+      let b = Bitset.create 64 in
+      List.iter (Bitset.add b) xs;
+      let expected = List.sort_uniq compare xs in
+      Bitset.elements b = expected)
+
+let suites =
+  [
+    ( "support",
+      [
+        Alcotest.test_case "ident freshness" `Quick test_ident_freshness;
+        Alcotest.test_case "ident collections" `Quick test_ident_collections;
+        Alcotest.test_case "bitset" `Quick test_bitset;
+        Alcotest.test_case "union find" `Quick test_union_find;
+        Alcotest.test_case "vec" `Quick test_vec;
+        QCheck_alcotest.to_alcotest bitset_qcheck;
+      ] );
+  ]

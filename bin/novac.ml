@@ -56,7 +56,27 @@ let compile_cmd =
   let time_limit =
     Arg.(value & opt float 300. & info [ "time-limit" ] ~doc:"MIP time limit (s)")
   in
-  let run file allocator dump entry_args time_limit =
+  let no_validate =
+    Arg.(
+      value & flag
+      & info [ "no-validate" ]
+          ~doc:"Skip the post-allocation assignment and machine-legality checks")
+  in
+  let verify_each =
+    Arg.(
+      value & flag
+      & info [ "verify-each" ]
+          ~doc:
+            "Re-verify IR invariants (scoping, SSA, SSU, aggregate widths) and \
+             diff interpreter semantics after every middle-end pass (default)")
+  in
+  let no_verify_each =
+    Arg.(
+      value & flag
+      & info [ "no-verify-each" ] ~doc:"Disable the per-pass IR verification")
+  in
+  let run file allocator dump entry_args time_limit no_validate verify_each
+      no_verify_each =
     handle_errors (fun () ->
         let source = read_file file in
         let options =
@@ -68,6 +88,8 @@ let compile_cmd =
               | `Baseline -> Regalloc.Driver.Baseline_allocator);
             entry_args;
             time_limit;
+            validate = not no_validate;
+            verify_each = verify_each || not no_verify_each;
           }
         in
         let compiled = Regalloc.Driver.compile ~options ~file source in
@@ -97,7 +119,9 @@ let compile_cmd =
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a Nova program to IXP assembly")
-    Term.(const run $ file $ allocator $ dump $ entry_args $ time_limit)
+    Term.(
+      const run $ file $ allocator $ dump $ entry_args $ time_limit
+      $ no_validate $ verify_each $ no_verify_each)
 
 (* ---------------- stats ---------------- *)
 

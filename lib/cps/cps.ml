@@ -7,3 +7,4 @@ module Deproc = Deproc
 module Ssu = Ssu
 module Interp = Interp
 module Isel = Isel
+module Verify = Verify

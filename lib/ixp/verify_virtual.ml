@@ -1,0 +1,203 @@
+(* Static verifier for virtual-register flowgraphs: the last line of
+   defense before model generation.
+
+   [Modelgen] assumes the program handed to it is well-formed in ways the
+   type system cannot express: the entry block starts from nothing (no
+   temporary is live-in), every use of a temporary is dominated by a
+   definition, every aggregate transfer has a machine-legal width with
+   pairwise-distinct members (the members must land in *adjacent*
+   registers, which two occurrences of one temporary cannot), and every
+   branch targets an existing block.  A violation of any of these makes
+   the ILP model trivially infeasible -- or worse, silently feasible with
+   wrong semantics -- so the driver re-checks them here whenever
+   [verify_each] is on.
+
+   Violations mirror [Checker]'s shape: block label, instruction
+   position, message. *)
+
+open Support
+
+type violation = { block : string; pos : int; message : string }
+
+let pp_violation ppf v = Fmt.pf ppf "%s.%d: %s" v.block v.pos v.message
+
+(* ------------------------------------------------------------------ *)
+(* Definite assignment: forward must-be-defined dataflow               *)
+(* ------------------------------------------------------------------ *)
+
+(* defined_in(entry) = {}; defined_in(b) = intersection over predecessors
+   of defined_out(pred); defined_out(b) = defined_in(b) + defs(b).
+   Initialized to "everything" (top) for non-entry blocks so the
+   intersection converges downward. *)
+let definitely_defined (g : Ident.t Flowgraph.t) =
+  let top = Liveness.all_temps g in
+  let entry_label = (Flowgraph.entry g).Flowgraph.label in
+  let defined_in = Hashtbl.create 16 in
+  Flowgraph.iter_blocks
+    (fun b ->
+      Hashtbl.replace defined_in b.Flowgraph.label
+        (if b.Flowgraph.label = entry_label then Ident.Set.empty else top))
+    g;
+  let block_defs b =
+    Array.fold_left
+      (fun acc i ->
+        List.fold_left (fun acc d -> Ident.Set.add d acc) acc (Insn.defs i))
+      Ident.Set.empty b.Flowgraph.insns
+  in
+  let preds = Flowgraph.predecessors g in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Flowgraph.iter_blocks
+      (fun b ->
+        let label = b.Flowgraph.label in
+        if label <> entry_label then begin
+          let inn =
+            match Option.value ~default:[] (Hashtbl.find_opt preds label) with
+            | [] -> Ident.Set.empty (* unreachable: nothing is defined *)
+            | p :: ps ->
+                let out_of l =
+                  Ident.Set.union
+                    (Hashtbl.find defined_in l)
+                    (block_defs (Flowgraph.block g l))
+                in
+                List.fold_left
+                  (fun acc l -> Ident.Set.inter acc (out_of l))
+                  (out_of p) ps
+          in
+          if not (Ident.Set.equal inn (Hashtbl.find defined_in label)) then begin
+            changed := true;
+            Hashtbl.replace defined_in label inn
+          end
+        end)
+      g
+  done;
+  defined_in
+
+(* ------------------------------------------------------------------ *)
+(* Per-instruction structural checks                                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_members add ~what (regs : Ident.t array) space =
+  let add fmt = Fmt.kstr add fmt in
+  let n = Array.length regs in
+  if not (Insn.legal_aggregate space n) then
+    add "%s: illegal %s aggregate width %d" what (Insn.space_to_string space) n;
+  Array.iteri
+    (fun k r ->
+      for j = k + 1 to n - 1 do
+        if Ident.equal r regs.(j) then
+          add
+            "%s: temporary %a appears at positions %d and %d (members must \
+             be distinct to land in adjacent registers)"
+            what Ident.pp r k j
+      done)
+    regs
+
+let check_insn add (insn : Ident.t Insn.t) =
+  let addf fmt = Fmt.kstr add fmt in
+  match insn with
+  | Insn.Read { space; dsts; _ } -> check_members add ~what:"read" dsts space
+  | Insn.Write { space; srcs; _ } -> check_members add ~what:"write" srcs space
+  | Insn.Rfifo_read { dsts; _ } ->
+      check_members add ~what:"rfifo read" dsts Insn.Sdram
+  | Insn.Tfifo_write { srcs; _ } ->
+      check_members add ~what:"tfifo write" srcs Insn.Sdram
+  | Insn.Clone { dsts; src } ->
+      if Array.length dsts = 0 then addf "clone with no destinations";
+      Array.iter
+        (fun d ->
+          if Ident.equal d src then
+            addf "clone destination %a shadows its source" Ident.pp d)
+        dsts
+  | Insn.Spill _ | Insn.Reload _ | Insn.Move _ ->
+      addf "allocator-inserted instruction in a virtual program"
+  | Insn.Alu _ | Insn.Alu1 _ | Insn.Imm _ | Insn.Hash _ | Insn.Bit_test_set _
+  | Insn.Csr_read _ | Insn.Csr_write _ | Insn.Ctx_arb | Insn.Nop ->
+      ()
+
+(* ------------------------------------------------------------------ *)
+(* Whole-graph check                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let check (g : Ident.t Flowgraph.t) : violation list =
+  (* branch targets first: liveness and definite-assignment both walk the
+     successor relation and cannot run over a graph with dangling edges *)
+  let target_violations = ref [] in
+  Flowgraph.iter_blocks
+    (fun b ->
+      let exit_pos = Array.length b.Flowgraph.insns in
+      List.iter
+        (fun target ->
+          match Flowgraph.block g target with
+          | (_ : Ident.t Flowgraph.block) -> ()
+          | exception _ ->
+              target_violations :=
+                {
+                  block = b.Flowgraph.label;
+                  pos = exit_pos;
+                  message = "branch to unknown block " ^ target;
+                }
+                :: !target_violations)
+        (Insn.term_targets b.Flowgraph.term))
+    g;
+  if !target_violations <> [] then List.rev !target_violations
+  else begin
+  let violations = ref [] in
+  let entry = Flowgraph.entry g in
+  let live = Liveness.compute g in
+  (* nothing may be live-in at the entry block: the program starts from
+     an empty register file *)
+  Ident.Set.iter
+    (fun v ->
+      violations :=
+        {
+          block = entry.Flowgraph.label;
+          pos = 0;
+          message =
+            Fmt.str
+              "temporary %a is live-in at the entry block (some path uses \
+               it before any definition)"
+              Ident.pp v;
+        }
+        :: !violations)
+    (Liveness.block_live_in live entry.Flowgraph.label);
+  let defined_in = definitely_defined g in
+  Flowgraph.iter_blocks
+    (fun b ->
+      let label = b.Flowgraph.label in
+      let add pos message = violations := { block = label; pos; message } :: !violations in
+      let defined = ref (Hashtbl.find defined_in label) in
+      Array.iteri
+        (fun pos insn ->
+          check_insn (add pos) insn;
+          List.iter
+            (fun u ->
+              if not (Ident.Set.mem u !defined) then
+                add pos
+                  (Fmt.str "use of %a is not dominated by a definition"
+                     Ident.pp u))
+            (Insn.uses insn);
+          List.iter
+            (fun d -> defined := Ident.Set.add d !defined)
+            (Insn.defs insn))
+        b.Flowgraph.insns;
+      let exit_pos = Array.length b.Flowgraph.insns in
+      List.iter
+        (fun u ->
+          if not (Ident.Set.mem u !defined) then
+            add exit_pos
+              (Fmt.str "use of %a is not dominated by a definition" Ident.pp
+                 u))
+        (Insn.term_uses b.Flowgraph.term))
+    g;
+  List.rev !violations
+  end
+
+let check_exn ?(pass = "isel") program =
+  match check program with
+  | [] -> ()
+  | vs ->
+      Support.Diag.verify_failed ~pass "%a"
+        Fmt.(list ~sep:cut pp_violation)
+        vs

@@ -18,6 +18,7 @@ type options = {
   entry : string;
   entry_args : int list;
   validate : bool; (* run Assignment.validate and Checker *)
+  verify_each : bool; (* re-verify IR invariants after every CPS pass *)
   rematerialize : bool; (* §12: constants through the virtual bank C *)
 }
 
@@ -30,6 +31,7 @@ let default_options =
     entry = "main";
     entry_args = [];
     validate = true;
+    verify_each = true;
     rematerialize = false;
   }
 
@@ -70,7 +72,7 @@ type front = {
 }
 
 let front_end ?(entry = "main") ?(entry_args = []) ?(rematerialize = false)
-    ~file source =
+    ?(verify_each = false) ~file source =
   let prog = Nova.Parser.parse_string ~file source in
   let source_stats = Nova.Stats.of_program ~source prog in
   let tprog = Nova.Typecheck.check_program ~entry prog in
@@ -79,14 +81,32 @@ let front_end ?(entry = "main") ?(entry_args = []) ?(rematerialize = false)
   (match Cps.Ir.check_ssa term with
   | Ok () -> ()
   | Error e -> Diag.ice "CPS conversion broke SSA: %s" e);
-  let term = Cps.Contract.simplify term in
-  let term = Cps.Deproc.run term in
-  let term = Cps.Ssu.run term in
+  (* [verify_each]: after every middle-end pass, re-check the structural
+     invariants the ILP model assumes and diff the interpreter's verdict
+     against the pass's input, attributing any breakage to the pass that
+     introduced it. *)
+  let verify ~pass ~stage t =
+    if verify_each then Cps.Verify.check_exn ~pass ~stage t
+  in
+  let differential ~pass before after =
+    if verify_each then Cps.Verify.differential_exn ~pass before after
+  in
+  verify ~pass:"cps-convert" ~stage:Cps.Verify.After_convert term;
+  let contracted = Cps.Contract.simplify term in
+  verify ~pass:"contract" ~stage:Cps.Verify.After_contract contracted;
+  differential ~pass:"contract" term contracted;
+  let deprocd = Cps.Deproc.run contracted in
+  verify ~pass:"deproc" ~stage:Cps.Verify.After_deproc deprocd;
+  differential ~pass:"deproc" contracted deprocd;
+  let term = Cps.Ssu.run deprocd in
   (match Cps.Ir.check_ssa term with
   | Ok () -> ()
   | Error e -> Diag.ice "SSU broke SSA: %s" e);
+  verify ~pass:"ssu" ~stage:Cps.Verify.After_ssu term;
+  differential ~pass:"ssu" deprocd term;
   let graph = Cps.Isel.run term in
   let graph = if rematerialize then Cps.Isel.share_constants graph else graph in
+  if verify_each then Ixp.Verify_virtual.check_exn ~pass:"isel" graph;
   {
     f_tprog = tprog;
     f_source = source_stats;
@@ -200,7 +220,8 @@ let allocate (options : options) (front : front) : compiled =
 let compile ?(options = default_options) ~file source =
   let front =
     front_end ~entry:options.entry ~entry_args:options.entry_args
-      ~rematerialize:options.rematerialize ~file source
+      ~rematerialize:options.rematerialize ~verify_each:options.verify_each
+      ~file source
   in
   allocate options front
 

@@ -29,6 +29,21 @@ let error ?(loc = Srcloc.dummy) fmt =
 
 let errorf ?loc fmt = error ?loc fmt
 
+(* Pass-by-pass verification failure: an invariant the back end relies
+   on no longer holds, and [pass] is the pipeline stage that introduced
+   the breakage.  A species of internal compiler error, but tagged with
+   the offending pass so regressions are attributable at a glance. *)
+let verify_failed ~pass fmt =
+  Fmt.kstr
+    (fun message ->
+      raise
+        (Compile_error
+           { severity = Error; loc = Srcloc.dummy;
+             message =
+               Fmt.str "internal compiler error: verification failed after pass '%s': %s"
+                 pass message }))
+    fmt
+
 (* Internal compiler error: a bug in this compiler, not in user code. *)
 let ice fmt =
   Fmt.kstr

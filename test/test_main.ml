@@ -2,4 +2,5 @@ let () =
   Alcotest.run "nova_ixp"
     (Test_support.suites @ Test_lp.suites @ Test_ampl.suites @ Test_ixp.suites
    @ Test_nova.suites @ Test_cps.suites @ Test_regalloc.suites
-   @ Test_workloads.suites @ Test_emit.suites @ Test_paper.suites @ Test_random.suites @ Test_misc.suites)
+   @ Test_verify.suites @ Test_workloads.suites @ Test_emit.suites
+   @ Test_paper.suites @ Test_random.suites @ Test_misc.suites)

@@ -1,0 +1,476 @@
+(* Negative tests for the pass-by-pass verifiers: hand-construct illegal
+   CPS terms, virtual flowgraphs and physical programs, and assert that
+   each violation class is caught with a diagnostic naming the offending
+   pass.  A verifier that accepts garbage is worse than none -- it
+   launders broken IR into an "infeasible model" error much later. *)
+
+open Support
+module V = Cps.Verify
+module Ir = Cps.Ir
+module FG = Ixp.Flowgraph
+module Insn = Ixp.Insn
+module Bank = Ixp.Bank
+module Reg = Ixp.Reg
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let contains hay needle =
+  let n = String.length hay and m = String.length needle in
+  let rec go i = i + m <= n && (String.sub hay i m = needle || go (i + 1)) in
+  go 0
+
+(* any error mentioning [needle]? *)
+let errors_mention needle errs = List.exists (fun e -> contains e needle) errs
+
+let v base = Ident.fresh base
+
+(* ---------------- CPS structural checks ---------------- *)
+
+let to_cps src =
+  let prog = Nova.Parser.parse_string ~file:"t.nova" src in
+  let tprog = Nova.Typecheck.check_program prog in
+  Cps.Convert.convert_program ~entry_args:[] tprog
+
+let test_accepts_pipeline_output () =
+  let term =
+    to_cps
+      {|
+fun main () : word {
+  var acc = 0;
+  var i = 1;
+  while (i <= 8) { acc := acc + i; i := i + 1; }
+  acc
+}
+|}
+  in
+  let contracted = Cps.Contract.simplify term in
+  let deprocd = Cps.Deproc.run contracted in
+  let ssud = Cps.Ssu.run deprocd in
+  checki "convert clean" 0 (List.length (V.check ~stage:V.After_convert term));
+  checki "contract clean" 0
+    (List.length (V.check ~stage:V.After_contract contracted));
+  checki "deproc clean" 0 (List.length (V.check ~stage:V.After_deproc deprocd));
+  checki "ssu clean" 0 (List.length (V.check ~stage:V.After_ssu ssud))
+
+let test_duplicate_binder () =
+  let x = v "x" in
+  let t =
+    Ir.Prim (x, Ir.Mov, [ Ir.Int 1 ],
+      Ir.Prim (x, Ir.Mov, [ Ir.Int 2 ], Ir.Halt [ Ir.Var x ]))
+  in
+  checkb "duplicate binder caught" true
+    (errors_mention "duplicate binder" (V.check ~stage:V.After_convert t))
+
+let test_use_out_of_scope () =
+  let x = v "x" and ghost = v "ghost" in
+  let t = Ir.Prim (x, Ir.Mov, [ Ir.Var ghost ], Ir.Halt [ Ir.Var x ]) in
+  checkb "unbound use caught" true
+    (errors_mention "not in scope" (V.check ~stage:V.After_convert t))
+
+let test_prim_arity () =
+  let x = v "x" in
+  let t = Ir.Prim (x, Ir.Add, [ Ir.Int 1 ], Ir.Halt []) in
+  checkb "bad arity caught" true
+    (errors_mention "arity" (V.check ~stage:V.After_convert t))
+
+let test_illegal_sdram_width () =
+  let d = v "d" in
+  (* a 1-word SDRAM read: the machine transfers quadwords, so widths must
+     be even *)
+  let t = Ir.MemRead (Nova.Ast.Sdram, Ir.Int 0, [| d |], Ir.Halt []) in
+  checkb "odd sdram width caught" true
+    (errors_mention "not machine-legal" (V.check ~stage:V.After_convert t))
+
+let test_clone_before_ssu () =
+  let x = v "x" and c = v "c" in
+  let t =
+    Ir.Prim (x, Ir.Mov, [ Ir.Int 1 ],
+      Ir.Clone ([| c |], x, Ir.Halt [ Ir.Var c ]))
+  in
+  checkb "premature clone caught" true
+    (errors_mention "before the SSU pass" (V.check ~stage:V.After_contract t));
+  (* the same term is fine once SSU has run: the clone sits directly
+     after its source's definition *)
+  checkb "well-placed clone ok post-ssu" false
+    (errors_mention "clone" (V.check ~stage:V.After_ssu t))
+
+let test_misplaced_clone () =
+  let x = v "x" and y = v "y" and c = v "c" in
+  let t =
+    Ir.Prim (x, Ir.Mov, [ Ir.Int 1 ],
+      Ir.Prim (y, Ir.Mov, [ Ir.Int 2 ],
+        Ir.Clone ([| c |], x, Ir.Halt [ Ir.Var c; Ir.Var y ])))
+  in
+  checkb "misplaced clone caught" true
+    (errors_mention "not placed directly after"
+       (V.check ~stage:V.After_ssu t))
+
+let test_second_write_side_use () =
+  let x = v "x" in
+  let t =
+    Ir.Prim (x, Ir.Mov, [ Ir.Int 7 ],
+      Ir.MemWrite (Nova.Ast.Sram, Ir.Int 100, [| Ir.Var x |],
+        Ir.MemWrite (Nova.Ast.Sram, Ir.Int 101, [| Ir.Var x |], Ir.Halt [])))
+  in
+  (* legal before SSU, an invariant violation after *)
+  checki "pre-ssu ok" 0 (List.length (V.check ~stage:V.After_contract t));
+  checkb "double write-side use caught" true
+    (errors_mention "write-side uses" (V.check ~stage:V.After_ssu t))
+
+let test_write_then_read_use () =
+  let x = v "x" in
+  let t =
+    Ir.Prim (x, Ir.Mov, [ Ir.Int 7 ],
+      Ir.MemWrite (Nova.Ast.Sram, Ir.Int 100, [| Ir.Var x |],
+        Ir.Halt [ Ir.Var x ]))
+  in
+  checkb "store + other use caught" true
+    (errors_mention "other use" (V.check ~stage:V.After_ssu t))
+
+let test_func_survives_deproc () =
+  let f = v "f" and r = v "r" in
+  let t =
+    Ir.Fix
+      ( [ { Ir.name = f; params = [ r ]; kind = Ir.Func;
+            body = Ir.Halt [ Ir.Var r ] } ],
+        Ir.App (Ir.Var f, [ Ir.Int 1 ]) )
+  in
+  checki "func ok pre-deproc" 0
+    (List.length (V.check ~stage:V.After_contract t));
+  checkb "leftover Func caught" true
+    (errors_mention "de-proceduralization" (V.check ~stage:V.After_deproc t))
+
+let test_unknown_app_target_post_deproc () =
+  let k = v "k" and f = v "f" in
+  let t =
+    Ir.Fix
+      ( [ { Ir.name = f; params = [ k ]; kind = Ir.Cont;
+            body = Ir.App (Ir.Var k, []) } ],
+        Ir.Halt [] )
+  in
+  (* applying a parameter is fine before deproc, illegal after: every
+     jump must target a Fix-bound block *)
+  checki "param app ok pre-deproc" 0
+    (List.length (V.check ~stage:V.After_contract t));
+  checkb "non-block app head caught" true
+    (errors_mention "not a Fix-bound block" (V.check ~stage:V.After_deproc t))
+
+let test_check_exn_names_pass () =
+  let x = v "x" in
+  let t =
+    Ir.Prim (x, Ir.Mov, [ Ir.Int 1 ],
+      Ir.Prim (x, Ir.Mov, [ Ir.Int 2 ], Ir.Halt []))
+  in
+  match V.check_exn ~pass:"ssu" ~stage:V.After_ssu t with
+  | () -> Alcotest.fail "expected a verification failure"
+  | exception Diag.Compile_error d ->
+      let msg = d.Diag.message in
+      checkb "names the pass" true (contains msg "after pass 'ssu'");
+      checkb "names the violation" true (contains msg "duplicate binder")
+
+(* ---------------- differential semantics ---------------- *)
+
+let test_differential_accepts_equal () =
+  let t = Ir.Halt [ Ir.Int 42 ] in
+  checkb "identical terms ok" true
+    (V.differential ~pass:"contract" t t = Ok ())
+
+let test_differential_catches_result_change () =
+  let before = Ir.Halt [ Ir.Int 1 ] and after = Ir.Halt [ Ir.Int 2 ] in
+  match V.differential ~pass:"contract" before after with
+  | Ok () -> Alcotest.fail "expected a mismatch"
+  | Error msg ->
+      checkb "names the pass" true (contains msg "'contract'");
+      checkb "describes the change" true
+        (contains msg "changed the observable result")
+
+let test_differential_catches_tfifo_change () =
+  let x = v "x" in
+  let emit n k =
+    Ir.Prim (x, Ir.Mov, [ Ir.Int n ],
+      Ir.TfifoWrite (Ir.Int 0, [| Ir.Var x |], k))
+  in
+  ignore (emit 0 (Ir.Halt []));
+  let before =
+    Ir.TfifoWrite (Ir.Int 0, [| Ir.Int 1 |], Ir.Halt [ Ir.Int 0 ])
+  in
+  let after =
+    Ir.TfifoWrite (Ir.Int 0, [| Ir.Int 9 |], Ir.Halt [ Ir.Int 0 ])
+  in
+  match V.differential ~pass:"ssu" before after with
+  | Ok () -> Alcotest.fail "expected a mismatch"
+  | Error msg ->
+      checkb "describes the change" true (contains msg "transmit-FIFO")
+
+let test_differential_exn_raises () =
+  match
+    V.differential_exn ~pass:"deproc" (Ir.Halt [ Ir.Int 1 ])
+      (Ir.Halt [ Ir.Int 2 ])
+  with
+  | () -> Alcotest.fail "expected a verification failure"
+  | exception Diag.Compile_error d ->
+      checkb "names the pass" true
+        (contains d.Diag.message "after pass 'deproc'")
+
+(* ---------------- virtual-program verifier ---------------- *)
+
+let vgraph blocks =
+  let g = FG.create () in
+  List.iter
+    (fun (label, insns, term) -> ignore (FG.add_block g ~label ~insns ~term))
+    blocks;
+  g
+
+let lit_addr n = { Insn.base = Insn.Lit n; disp = 0 }
+
+let test_virtual_accepts_legal () =
+  let t0 = v "t0" and t1 = v "t1" in
+  let g =
+    vgraph
+      [
+        ( "entry",
+          [
+            Insn.Imm { dst = t0; value = 1 };
+            Insn.Alu { dst = t1; op = Insn.Add; x = t0; y = Insn.Reg t0 };
+            Insn.Write
+              { space = Insn.Sram; srcs = [| t1 |]; addr = lit_addr 100 };
+          ],
+          Insn.Halt );
+      ]
+  in
+  checki "no violations" 0 (List.length (Ixp.Verify_virtual.check g))
+
+let test_virtual_catches_undefined_use () =
+  let t0 = v "t0" and t1 = v "t1" in
+  let g =
+    vgraph
+      [
+        ( "entry",
+          [ Insn.Alu { dst = t1; op = Insn.Add; x = t0; y = Insn.Lit 1 } ],
+          Insn.Halt );
+      ]
+  in
+  let vs = List.map Ixp.Verify_virtual.(fun x -> x.message)
+      (Ixp.Verify_virtual.check g)
+  in
+  checkb "live-in at entry" true (errors_mention "live-in at the entry" vs);
+  checkb "use not dominated" true (errors_mention "not dominated" vs)
+
+let test_virtual_catches_join_path () =
+  (* defined on one path into the join but not the other: must-defined
+     analysis has to intersect, not union *)
+  let t0 = v "t0" and c = v "c" in
+  let g =
+    vgraph
+      [
+        ( "entry",
+          [ Insn.Imm { dst = c; value = 0 } ],
+          Insn.Branch
+            { cond = Insn.Eq; x = c; y = Insn.Lit 0; ifso = "def";
+              ifnot = "skip" } );
+        ("def", [ Insn.Imm { dst = t0; value = 1 } ], Insn.Jump "join");
+        ("skip", [], Insn.Jump "join");
+        ( "join",
+          [
+            Insn.Write
+              { space = Insn.Sram; srcs = [| t0 |]; addr = lit_addr 100 };
+          ],
+          Insn.Halt );
+      ]
+  in
+  let vs = List.map Ixp.Verify_virtual.(fun x -> x.message)
+      (Ixp.Verify_virtual.check g)
+  in
+  checkb "maybe-undefined use caught" true (errors_mention "not dominated" vs)
+
+let test_virtual_catches_bad_widths () =
+  let a = v "a" and b = v "b" and c = v "c" in
+  let g =
+    vgraph
+      [
+        ( "entry",
+          [
+            Insn.Read
+              { space = Insn.Sdram; dsts = [| a; b; c |]; addr = lit_addr 0 };
+          ],
+          Insn.Halt );
+      ]
+  in
+  let vs = List.map Ixp.Verify_virtual.(fun x -> x.message)
+      (Ixp.Verify_virtual.check g)
+  in
+  checkb "odd sdram width caught" true (errors_mention "aggregate width" vs)
+
+let test_virtual_catches_duplicate_members () =
+  let t0 = v "t0" in
+  let g =
+    vgraph
+      [
+        ( "entry",
+          [
+            Insn.Imm { dst = t0; value = 1 };
+            Insn.Write
+              { space = Insn.Sram; srcs = [| t0; t0 |]; addr = lit_addr 0 };
+          ],
+          Insn.Halt );
+      ]
+  in
+  let vs = List.map Ixp.Verify_virtual.(fun x -> x.message)
+      (Ixp.Verify_virtual.check g)
+  in
+  checkb "duplicate member caught" true (errors_mention "distinct" vs)
+
+let test_virtual_rejects_allocator_insns () =
+  let t0 = v "t0" in
+  let g =
+    vgraph
+      [
+        ( "entry",
+          [ Insn.Imm { dst = t0; value = 1 }; Insn.Spill { slot = 0; src = t0 } ],
+          Insn.Halt );
+      ]
+  in
+  let vs = List.map Ixp.Verify_virtual.(fun x -> x.message)
+      (Ixp.Verify_virtual.check g)
+  in
+  checkb "allocator insn caught" true (errors_mention "allocator-inserted" vs)
+
+let test_virtual_catches_unknown_target () =
+  let g = vgraph [ ("entry", [], Insn.Jump "nowhere") ] in
+  let vs = List.map Ixp.Verify_virtual.(fun x -> x.message)
+      (Ixp.Verify_virtual.check g)
+  in
+  checkb "unknown branch target caught" true
+    (errors_mention "unknown block" vs)
+
+let test_virtual_exn_names_pass () =
+  let g = vgraph [ ("entry", [], Insn.Jump "nowhere") ] in
+  match Ixp.Verify_virtual.check_exn ~pass:"isel" g with
+  | () -> Alcotest.fail "expected a verification failure"
+  | exception Diag.Compile_error d ->
+      checkb "names the pass" true
+        (contains d.Diag.message "after pass 'isel'")
+
+(* ---------------- physical checker violation classes ---------------- *)
+
+let reg b n = Reg.make b n
+
+let pblock insns =
+  let g = FG.create () in
+  ignore (FG.add_block g ~label:"entry" ~insns ~term:Insn.Halt);
+  g
+
+let violations insns = List.length (Ixp.Checker.check (pblock insns))
+
+let test_checker_bank_group_clash () =
+  checkb "A+A operands rejected" true
+    (violations
+       [
+         Insn.Alu
+           { dst = reg Bank.B 0; op = Insn.Add; x = reg Bank.A 0;
+             y = Insn.Reg (reg Bank.A 1) };
+       ]
+    > 0)
+
+let test_checker_non_adjacent_aggregate () =
+  checkb "gap in aggregate rejected" true
+    (violations
+       [
+         Insn.Read
+           { space = Insn.Sram; dsts = [| reg Bank.L 0; reg Bank.L 2 |];
+             addr = lit_addr 0 };
+       ]
+    > 0)
+
+let test_checker_illegal_move () =
+  (* the SRAM write-transfer bank cannot feed the ALU, so S -> A has no
+     datapath *)
+  checkb "S->A move rejected" true
+    (violations [ Insn.Move { dst = reg Bank.A 0; src = reg Bank.S 0 } ] > 0);
+  checkb "A->S move accepted" true
+    (violations [ Insn.Move { dst = reg Bank.S 0; src = reg Bank.A 0 } ] = 0)
+
+(* ---------------- driver integration ---------------- *)
+
+let test_driver_verifies_each_pass () =
+  (* front_end with verify_each on must accept a well-formed program... *)
+  let src =
+    {|
+fun main () : word {
+  let (a, b) = sram(100);
+  sram(200) <- (a + 1, b);
+  a + b
+}
+|}
+  in
+  let front =
+    Regalloc.Driver.front_end ~verify_each:true ~file:"t.nova" src
+  in
+  checkb "graph produced" true
+    (Ixp.Flowgraph.num_blocks front.Regalloc.Driver.f_graph > 0)
+
+let suites =
+  [
+    ( "verify.cps",
+      [
+        Alcotest.test_case "accepts pipeline output" `Quick
+          test_accepts_pipeline_output;
+        Alcotest.test_case "duplicate binder" `Quick test_duplicate_binder;
+        Alcotest.test_case "use out of scope" `Quick test_use_out_of_scope;
+        Alcotest.test_case "prim arity" `Quick test_prim_arity;
+        Alcotest.test_case "illegal sdram width" `Quick
+          test_illegal_sdram_width;
+        Alcotest.test_case "clone before ssu" `Quick test_clone_before_ssu;
+        Alcotest.test_case "misplaced clone" `Quick test_misplaced_clone;
+        Alcotest.test_case "second write-side use" `Quick
+          test_second_write_side_use;
+        Alcotest.test_case "store plus other use" `Quick
+          test_write_then_read_use;
+        Alcotest.test_case "func survives deproc" `Quick
+          test_func_survives_deproc;
+        Alcotest.test_case "unknown app target" `Quick
+          test_unknown_app_target_post_deproc;
+        Alcotest.test_case "check_exn names pass" `Quick
+          test_check_exn_names_pass;
+      ] );
+    ( "verify.differential",
+      [
+        Alcotest.test_case "accepts equal" `Quick
+          test_differential_accepts_equal;
+        Alcotest.test_case "catches result change" `Quick
+          test_differential_catches_result_change;
+        Alcotest.test_case "catches tfifo change" `Quick
+          test_differential_catches_tfifo_change;
+        Alcotest.test_case "exn names pass" `Quick test_differential_exn_raises;
+      ] );
+    ( "verify.virtual",
+      [
+        Alcotest.test_case "accepts legal" `Quick test_virtual_accepts_legal;
+        Alcotest.test_case "undefined use" `Quick
+          test_virtual_catches_undefined_use;
+        Alcotest.test_case "one-sided join def" `Quick
+          test_virtual_catches_join_path;
+        Alcotest.test_case "bad widths" `Quick test_virtual_catches_bad_widths;
+        Alcotest.test_case "duplicate members" `Quick
+          test_virtual_catches_duplicate_members;
+        Alcotest.test_case "allocator insns" `Quick
+          test_virtual_rejects_allocator_insns;
+        Alcotest.test_case "unknown target" `Quick
+          test_virtual_catches_unknown_target;
+        Alcotest.test_case "exn names pass" `Quick test_virtual_exn_names_pass;
+      ] );
+    ( "verify.checker",
+      [
+        Alcotest.test_case "bank-group clash" `Quick
+          test_checker_bank_group_clash;
+        Alcotest.test_case "non-adjacent aggregate" `Quick
+          test_checker_non_adjacent_aggregate;
+        Alcotest.test_case "illegal move" `Quick test_checker_illegal_move;
+      ] );
+    ( "verify.driver",
+      [
+        Alcotest.test_case "verify-each front end" `Quick
+          test_driver_verifies_each_pass;
+      ] );
+  ]

@@ -12,6 +12,12 @@ type workload = {
   paper_fig7 : (float * float * int * int * int * int * int) option;
   init_sim : Ixp.Simulator.t -> payload_len:int -> unit;
   init_interp : Cps.Interp.state -> payload_len:int -> unit;
+  (* chip-level harness: payload sizes the workload accepts (block
+     size), table setup into the chip's shared memory, and the
+     per-packet header+payload image for a context's SDRAM buffer *)
+  size_align : int;
+  init_chip_tables : Ixp.Memory.t -> unit;
+  write_packet : (int -> int -> unit) -> payload_len:int -> unit;
 }
 
 let poke_scratch mem w v = Ixp.Memory.poke mem Ixp.Insn.Scratch w v
@@ -40,6 +46,14 @@ let aes =
           (Workloads.Aes.init_payload
              (fun w v -> Ixp.Memory.poke mem Ixp.Insn.Sdram w v)
              ~payload_len));
+    size_align = 16;
+    init_chip_tables =
+      (fun mem ->
+        Workloads.Aes.init_tables (fun w v ->
+            Ixp.Memory.poke mem Ixp.Insn.Sram w v));
+    write_packet =
+      (fun load ~payload_len ->
+        ignore (Workloads.Aes.init_payload load ~payload_len));
   }
 
 let kasumi =
@@ -70,6 +84,15 @@ let kasumi =
           (Workloads.Kasumi.init_payload
              (fun w v -> Ixp.Memory.poke mem Ixp.Insn.Sdram w v)
              ~payload_len));
+    size_align = 8;
+    init_chip_tables =
+      (fun mem ->
+        Workloads.Kasumi.init_tables
+          ~load_sram:(fun w v -> Ixp.Memory.poke mem Ixp.Insn.Sram w v)
+          ~load_scratch:(fun w v -> poke_scratch mem w v));
+    write_packet =
+      (fun load ~payload_len ->
+        ignore (Workloads.Kasumi.init_payload load ~payload_len));
   }
 
 let nat =
@@ -96,6 +119,14 @@ let nat =
           (Workloads.Nat.init_payload
              (fun w v -> Ixp.Memory.poke mem Ixp.Insn.Sdram w v)
              ~payload_len));
+    size_align = 4;
+    init_chip_tables =
+      (fun mem ->
+        Workloads.Nat.init_tables (fun w v ->
+            Ixp.Memory.poke mem Ixp.Insn.Sram w v));
+    write_packet =
+      (fun load ~payload_len ->
+        ignore (Workloads.Nat.init_payload load ~payload_len));
   }
 
 let all = [ aes; kasumi; nat ]
@@ -104,15 +135,18 @@ let all = [ aes; kasumi; nat ]
 let cache : (string, Regalloc.Driver.compiled) Hashtbl.t = Hashtbl.create 8
 
 let compile ?(allocator = Regalloc.Driver.Ilp_allocator)
-    ?(objective = Regalloc.Ilp.Minimize_moves) (w : workload) =
+    ?(objective = Regalloc.Ilp.Minimize_moves) ?(time_limit = 900.)
+    ?(node_limit = Regalloc.Driver.default_options.Regalloc.Driver.node_limit)
+    (w : workload) =
   let key =
-    Printf.sprintf "%s/%s/%s" w.name
+    Printf.sprintf "%s/%s/%s/%.0f/%d" w.name
       (match allocator with
       | Regalloc.Driver.Ilp_allocator -> "ilp"
       | Regalloc.Driver.Baseline_allocator -> "base")
       (match objective with
       | Regalloc.Ilp.Minimize_moves -> "moves"
       | Regalloc.Ilp.Spill_feasibility -> "spill")
+      time_limit node_limit
   in
   match Hashtbl.find_opt cache key with
   | Some c -> c
@@ -122,7 +156,8 @@ let compile ?(allocator = Regalloc.Driver.Ilp_allocator)
           Regalloc.Driver.default_options with
           allocator;
           objective;
-          time_limit = 900.;
+          time_limit;
+          node_limit;
         }
       in
       let c =
@@ -130,6 +165,41 @@ let compile ?(allocator = Regalloc.Driver.Ilp_allocator)
       in
       Hashtbl.replace cache key c;
       c
+
+(* Chip-level forwarding-rate run: instantiate the chip on the compiled
+   program, load the workload's tables into the shared memory, and drive
+   it from the packet generator.  Packets are delivered by writing the
+   workload's header+payload image into the receiving context's SDRAM
+   buffer (the kernels read the packet from SDRAM, not the RFIFO). *)
+let chip_run (w : workload) (c : Regalloc.Driver.compiled) ~engines ~threads
+    ~offered ~packets ~seed ~profile =
+  let config =
+    { Ixp.Chip.default_config with Ixp.Chip.engines; threads }
+  in
+  let chip = Ixp.Chip.create ~config c.Regalloc.Driver.physical in
+  w.init_chip_tables (Ixp.Chip.shared_memory chip);
+  let gen =
+    Ixp.Pktgen.create
+      {
+        Ixp.Pktgen.default_config with
+        Ixp.Pktgen.profile;
+        offered_mpps = offered;
+        seed;
+        count = packets;
+        size_align = w.size_align;
+      }
+  in
+  let deliver chip ~engine ~thread (pkt : Ixp.Pktgen.packet) =
+    let sim = Ixp.Chip.engine chip engine in
+    let sd = Ixp.Simulator.sdram_of_thread sim ~thread in
+    let payload_len =
+      max w.size_align (pkt.Ixp.Pktgen.size / w.size_align * w.size_align)
+    in
+    w.write_packet
+      (fun word v -> Ixp.Memory.poke sd Ixp.Insn.Sdram word v)
+      ~payload_len
+  in
+  Ixp.Chip.run ~deliver chip gen
 
 let front_cache : (string, Regalloc.Driver.front) Hashtbl.t = Hashtbl.create 8
 

@@ -54,7 +54,22 @@ let compile_cmd =
       & info [ "args" ] ~doc:"Comma-separated integer arguments for main")
   in
   let time_limit =
-    Arg.(value & opt float 300. & info [ "time-limit" ] ~doc:"MIP time limit (s)")
+    Arg.(
+      value
+      & opt float 300.
+      & info
+          [ "time-limit"; "solver-time-limit" ]
+          ~doc:"Branch&bound wall-clock budget in seconds")
+  in
+  let node_limit =
+    Arg.(
+      value
+      & opt int 500_000
+      & info [ "solver-node-limit" ]
+          ~doc:
+            "Branch&bound node budget (deterministic); when hit, the best \
+             incumbent is emitted, or the baseline allocation if no \
+             incumbent was found")
   in
   let no_validate =
     Arg.(
@@ -75,8 +90,8 @@ let compile_cmd =
       value & flag
       & info [ "no-verify-each" ] ~doc:"Disable the per-pass IR verification")
   in
-  let run file allocator dump entry_args time_limit no_validate verify_each
-      no_verify_each =
+  let run file allocator dump entry_args time_limit node_limit no_validate
+      verify_each no_verify_each =
     handle_errors (fun () ->
         let source = read_file file in
         let options =
@@ -88,6 +103,7 @@ let compile_cmd =
               | `Baseline -> Regalloc.Driver.Baseline_allocator);
             entry_args;
             time_limit;
+            node_limit;
             validate = not no_validate;
             verify_each = verify_each || not no_verify_each;
           }
@@ -109,19 +125,29 @@ let compile_cmd =
           stats.Regalloc.Driver.virtual_insns
           stats.Regalloc.Driver.moves_inserted
           stats.Regalloc.Driver.spills_inserted;
-        match stats.Regalloc.Driver.mip with
+        (match stats.Regalloc.Driver.mip with
         | Some m ->
             Fmt.epr "; ILP %dx%d -> %dx%d, root %.2fs, total %.2fs, %d nodes@."
               m.Lp.Mip.vars_before m.Lp.Mip.rows_before m.Lp.Mip.vars_after
               m.Lp.Mip.rows_after m.Lp.Mip.root_time m.Lp.Mip.total_time
               m.Lp.Mip.nodes
-        | None -> ())
+        | None -> ());
+        match stats.Regalloc.Driver.solver_outcome with
+        | Regalloc.Driver.Outcome_incumbent | Regalloc.Driver.Outcome_fallback
+          ->
+            Fmt.epr "; solver budget hit (%.0fs / %d nodes): emitted %s@."
+              time_limit node_limit
+              (Regalloc.Driver.solver_outcome_to_string
+                 stats.Regalloc.Driver.solver_outcome)
+        | Regalloc.Driver.Outcome_optimal | Regalloc.Driver.Outcome_heuristic
+          ->
+            ())
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a Nova program to IXP assembly")
     Term.(
       const run $ file $ allocator $ dump $ entry_args $ time_limit
-      $ no_validate $ verify_each $ no_verify_each)
+      $ node_limit $ no_validate $ verify_each $ no_verify_each)
 
 (* ---------------- stats ---------------- *)
 

@@ -1,11 +1,23 @@
 (* novarun: compile a Nova program and execute it on the simulated
-   IXP1200 micro-engine.
+   IXP1200.
 
-     novarun FILE [--args 1,2] [--threads N] [--sram ADDR=V,...]
-             [--sdram ADDR=V,...] [--trace]
+   Two modes:
 
-   Prints the result words from the scratch result area, the cycle count,
-   and (optionally) a full instruction trace. *)
+   - single-run (default): one micro-engine, one thread, one invocation
+     of main(); prints the result words from the scratch result area and
+     the cycle count.
+
+       novarun FILE [--args 1,2] [--sram ADDR=V,...] [--sdram ADDR=V,...]
+               [--trace]
+
+   - chip mode (--engines N): the full chip model -- N engines x
+     --threads hardware contexts behind the shared memory bus, driven by
+     the synthetic packet generator at a target offered load; prints the
+     line-rate throughput report (achieved Mpps / Mbit/s, drops,
+     per-engine utilization, latency percentiles).
+
+       novarun FILE --engines 6 --threads 4 --profile fixed:64 \
+               --offered-load 1.5 --packets 1000 --seed 7 *)
 
 open Cmdliner
 
@@ -25,6 +37,15 @@ let poke_conv =
     | _ -> Error (`Msg ("bad poke: " ^ s))
   in
   let print ppf (a, v) = Format.fprintf ppf "%d=%d" a v in
+  Arg.conv (parse, print)
+
+let profile_conv =
+  let parse s =
+    match Ixp.Pktgen.profile_of_string s with
+    | Ok p -> Ok p
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf p = Format.pp_print_string ppf (Ixp.Pktgen.profile_to_string p) in
   Arg.conv (parse, print)
 
 let run_cmd =
@@ -47,13 +68,77 @@ let run_cmd =
       & opt (enum [ ("ilp", `Ilp); ("baseline", `Baseline) ]) `Ilp
       & info [ "allocator"; "a" ] ~doc:"Register allocator")
   in
-  let run file entry_args sram sdram trace allocator =
+  let engines =
+    Arg.(
+      value & opt int 0
+      & info [ "engines" ]
+          ~doc:
+            "Run on the chip model with this many micro-engines (0 = \
+             single-run mode)")
+  in
+  let threads =
+    Arg.(
+      value & opt int 4
+      & info [ "threads" ] ~doc:"Hardware contexts per engine (chip mode)")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt profile_conv (Ixp.Pktgen.Fixed 64)
+      & info [ "profile" ]
+          ~doc:"Traffic profile: fixed:BYTES, imix, or burst:BYTES:LEN")
+  in
+  let offered_load =
+    Arg.(
+      value & opt float 1.0
+      & info [ "offered-load" ]
+          ~doc:"Offered load in Mpps; 0 or negative = saturation")
+  in
+  let packets =
+    Arg.(
+      value & opt int 256
+      & info [ "packets" ] ~doc:"Packets to generate (chip mode)")
+  in
+  let seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Packet-generator seed")
+  in
+  let ports =
+    Arg.(value & opt int 1 & info [ "ports" ] ~doc:"Input ports (chip mode)")
+  in
+  let rx_capacity =
+    Arg.(
+      value & opt int 32
+      & info [ "rx-capacity" ] ~doc:"Receive-ring capacity per port (packets)")
+  in
+  let no_contention =
+    Arg.(
+      value & flag
+      & info [ "no-contention" ]
+          ~doc:"Disable the shared memory-bus arbiter (unloaded latencies)")
+  in
+  let time_limit =
+    Arg.(
+      value & opt float 300.
+      & info
+          [ "time-limit"; "solver-time-limit" ]
+          ~doc:"Branch&bound wall-clock budget in seconds")
+  in
+  let node_limit =
+    Arg.(
+      value & opt int 500_000
+      & info [ "solver-node-limit" ] ~doc:"Branch&bound node budget")
+  in
+  let run file entry_args sram sdram trace allocator engines threads profile
+      offered_load packets seed ports rx_capacity no_contention time_limit
+      node_limit =
     try
       let source = read_file file in
       let options =
         {
           Regalloc.Driver.default_options with
           entry_args;
+          time_limit;
+          node_limit;
           allocator =
             (match allocator with
             | `Ilp -> Regalloc.Driver.Ilp_allocator
@@ -61,22 +146,71 @@ let run_cmd =
         }
       in
       let compiled = Regalloc.Driver.compile ~options ~file source in
-      let sim =
-        Ixp.Simulator.create ~trace compiled.Regalloc.Driver.physical
-      in
-      let mem = Ixp.Simulator.shared_memory sim in
-      List.iter (fun (a, v) -> Ixp.Memory.write mem Ixp.Insn.Sram a [| v |]) sram;
-      let sd = Ixp.Simulator.sdram_of_thread sim ~thread:0 in
-      List.iter (fun (a, v) -> Ixp.Memory.write sd Ixp.Insn.Sdram a [| v; 0 |]) sdram;
-      let cycles = Ixp.Simulator.run_single sim in
-      let base = Cps.Isel.result_addr_bytes Ixp.Memory.default_config / 4 in
-      Fmt.pr "cycles: %d (%.2f us at 233 MHz)@." cycles
-        (float_of_int cycles /. 233.);
-      Fmt.pr "results:";
-      for i = 0 to 3 do
-        Fmt.pr " 0x%08X" (Ixp.Memory.peek mem Ixp.Insn.Scratch (base + i))
-      done;
-      Fmt.pr "@."
+      (match compiled.Regalloc.Driver.stats.Regalloc.Driver.solver_outcome with
+      | Regalloc.Driver.Outcome_incumbent | Regalloc.Driver.Outcome_fallback ->
+          Fmt.epr "solver budget hit: emitted %s@."
+            (Regalloc.Driver.solver_outcome_to_string
+               compiled.Regalloc.Driver.stats.Regalloc.Driver.solver_outcome)
+      | _ -> ());
+      if engines > 0 then begin
+        (* chip mode: line-rate run against the packet generator *)
+        let config =
+          {
+            Ixp.Chip.default_config with
+            Ixp.Chip.engines;
+            threads;
+            contention = not no_contention;
+            rx_capacity;
+            trace;
+          }
+        in
+        let chip = Ixp.Chip.create ~config compiled.Regalloc.Driver.physical in
+        let mem = Ixp.Chip.shared_memory chip in
+        List.iter (fun (a, v) -> Ixp.Memory.write mem Ixp.Insn.Sram a [| v |]) sram;
+        for e = 0 to engines - 1 do
+          for t = 0 to threads - 1 do
+            let sd = Ixp.Simulator.sdram_of_thread (Ixp.Chip.engine chip e) ~thread:t in
+            List.iter
+              (fun (a, v) -> Ixp.Memory.write sd Ixp.Insn.Sdram a [| v; 0 |])
+              sdram
+          done
+        done;
+        let gen =
+          Ixp.Pktgen.create
+            {
+              Ixp.Pktgen.default_config with
+              Ixp.Pktgen.profile;
+              offered_mpps = offered_load;
+              seed;
+              count = packets;
+              ports;
+            }
+        in
+        let report = Ixp.Chip.run chip gen in
+        Fmt.pr "chip: %d engines x %d threads, profile %s, offered %.3f Mpps, seed %d@."
+          engines threads
+          (Ixp.Pktgen.profile_to_string profile)
+          offered_load seed;
+        Fmt.pr "%a" Ixp.Chip.pp_report report
+      end
+      else begin
+        let sim =
+          Ixp.Simulator.create ~trace compiled.Regalloc.Driver.physical
+        in
+        let mem = Ixp.Simulator.shared_memory sim in
+        List.iter (fun (a, v) -> Ixp.Memory.write mem Ixp.Insn.Sram a [| v |]) sram;
+        let sd = Ixp.Simulator.sdram_of_thread sim ~thread:0 in
+        List.iter (fun (a, v) -> Ixp.Memory.write sd Ixp.Insn.Sdram a [| v; 0 |]) sdram;
+        let cycles = Ixp.Simulator.run_single sim in
+        let base = Cps.Isel.result_addr_bytes Ixp.Memory.default_config / 4 in
+        Fmt.pr "cycles: %d (%.2f us at 233 MHz)@." cycles
+          (float_of_int cycles /. 233.);
+        Fmt.pr "results:";
+        for i = 0 to 3 do
+          Fmt.pr " 0x%08X" (Ixp.Memory.peek mem Ixp.Insn.Scratch (base + i))
+        done;
+        Fmt.pr "@."
+      end
     with
     | Support.Diag.Compile_error d ->
         Fmt.epr "%a@." Support.Diag.pp d;
@@ -87,6 +221,9 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "novarun" ~doc:"Compile and simulate a Nova program")
-    Term.(const run $ file $ entry_args $ sram $ sdram $ trace $ allocator)
+    Term.(
+      const run $ file $ entry_args $ sram $ sdram $ trace $ allocator
+      $ engines $ threads $ profile $ offered_load $ packets $ seed $ ports
+      $ rx_capacity $ no_contention $ time_limit $ node_limit)
 
 let () = exit (Cmd.eval run_cmd)

@@ -7,11 +7,27 @@
 
 let () =
   let payload_len = 64 in
-  Fmt.pr "compiling AES-128 (%d-byte payloads)...@." payload_len;
+  (* a stated solver budget: the search stops at the node limit and the
+     best incumbent (or the baseline allocation) is emitted, so the
+     example terminates in bounded time instead of chasing the
+     optimality certificate *)
+  let options =
+    {
+      Regalloc.Driver.default_options with
+      time_limit = 120.;
+      node_limit = 20_000;
+    }
+  in
+  Fmt.pr "compiling AES-128 (%d-byte payloads, budget %.0fs / %d nodes)...@."
+    payload_len options.Regalloc.Driver.time_limit
+    options.Regalloc.Driver.node_limit;
   let compiled =
-    Regalloc.Driver.compile ~file:"aes.nova" Workloads.Aes.source
+    Regalloc.Driver.compile ~options ~file:"aes.nova" Workloads.Aes.source
   in
   let stats = compiled.Regalloc.Driver.stats in
+  Fmt.pr "allocation: %s@."
+    (Regalloc.Driver.solver_outcome_to_string
+       stats.Regalloc.Driver.solver_outcome);
   Fmt.pr "source: %d lines, %d layouts, %d unpacks@."
     stats.Regalloc.Driver.source.Nova.Stats.lines
     stats.Regalloc.Driver.source.Nova.Stats.layout_specs

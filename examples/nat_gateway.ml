@@ -6,11 +6,23 @@
 
 let () =
   let payload_len = 96 in
-  Fmt.pr "compiling the NAT fast path...@.";
+  (* stated solver budget; see aes_pipeline.ml *)
+  let options =
+    {
+      Regalloc.Driver.default_options with
+      time_limit = 120.;
+      node_limit = 20_000;
+    }
+  in
+  Fmt.pr "compiling the NAT fast path (budget %.0fs / %d nodes)...@."
+    options.Regalloc.Driver.time_limit options.Regalloc.Driver.node_limit;
   let compiled =
-    Regalloc.Driver.compile ~file:"nat.nova" Workloads.Nat.source
+    Regalloc.Driver.compile ~options ~file:"nat.nova" Workloads.Nat.source
   in
   let stats = compiled.Regalloc.Driver.stats in
+  Fmt.pr "allocation: %s@."
+    (Regalloc.Driver.solver_outcome_to_string
+       stats.Regalloc.Driver.solver_outcome);
   Fmt.pr "source: %d lines, %d layouts, pack=%d unpack=%d raise=%d handle=%d@."
     stats.Regalloc.Driver.source.Nova.Stats.lines
     stats.Regalloc.Driver.source.Nova.Stats.layout_specs

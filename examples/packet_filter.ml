@@ -24,7 +24,9 @@ const SEEN_BITS = 0x200;   // SRAM bitmap of source buckets seen
 
 fun main () : word {
   try {
-    let (h0, h1, h2, h3, h4) = sdram(0, 6);
+    // SDRAM transfers are 2-word aligned, so the 5-word IPv4 header
+    // arrives as 6 words; the trailing word is payload and unused here.
+    let (h0, h1, h2, h3, h4, _pad) = sdram(0, 6);
     let u = unpack[ipv4]((h0, h1, h2, h3, h4));
     if (u.vi.parts.version != 4) { raise Slow [why = 1]; }
     if (u.ttl == 0) { raise Slow [why = 2]; }

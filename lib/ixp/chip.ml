@@ -1,0 +1,391 @@
+(* Chip-level IXP1200 model: N micro-engines behind a shared memory bus,
+   fed by chip-level receive FIFO rings and drained through a transmit
+   ring.
+
+   The single-engine [Simulator] models one micro-engine faithfully;
+   this module instantiates several of them over one shared SRAM/scratch
+   image and one bus arbiter ([Memory.bus]), and adds the parts of the
+   chip that the paper's evaluation (§12) exercised with real hardware:
+   packets arriving at line rate on input ports, bounded receive rings
+   that drop on overflow, and per-packet latency from wire arrival to
+   completion.
+
+   The run loop is event-driven and fully deterministic: each engine
+   keeps its own clock (they run in parallel on real silicon); the chip
+   always advances the globally earliest event, which is either the next
+   generated packet arrival or the engine whose next runnable thread has
+   the smallest timestamp.  Ties break toward arrivals, then lower
+   engine/thread ids, so a given program, traffic profile and seed
+   reproduce bit-identical cycle counts, drops and latency traces. *)
+
+open Support
+
+type config = {
+  engines : int;
+  threads : int; (* hardware contexts per engine *)
+  clock_mhz : float;
+  mem_config : Memory.config;
+  contention : bool; (* false = no bus arbiter: unloaded latencies *)
+  rx_capacity : int; (* packets per input-port receive ring *)
+  tx_capacity : int; (* words buffered in the transmit ring *)
+  tx_drain_per_cycle : float; (* words the transmit port drains per cycle *)
+  trace : bool;
+}
+
+let default_config =
+  {
+    engines = 6;
+    threads = 4;
+    clock_mhz = 233.0;
+    mem_config = Memory.default_config;
+    contention = true;
+    rx_capacity = 32;
+    tx_capacity = 1024;
+    tx_drain_per_cycle = 1.0;
+    trace = false;
+  }
+
+type port_state = {
+  rx : (Pktgen.packet * int) Queue.t; (* packet, arrival cycle *)
+  mutable rx_received : int; (* packets that reached this port *)
+  mutable rx_dropped : int; (* ring overflow drops *)
+}
+
+type t = {
+  config : config;
+  program : Reg.t Flowgraph.t;
+  shared : Memory.t;
+  bus : Memory.bus option;
+  engines : Simulator.t array;
+  mutable ports : port_state array; (* sized on [run] from the generator *)
+  in_flight : (Pktgen.packet * int) option array array; (* [engine].[thread] *)
+  latencies : int Vec.t;
+  mutable completed : int;
+  mutable bytes_completed : int;
+  mutable generated : int;
+  mutable tx_words : int; (* words offered to the transmit ring *)
+  mutable tx_dropped_words : int; (* ring-overflow words *)
+  mutable tx_drained : int; (* words already on the wire *)
+  mutable horizon : int; (* timestamp of the latest event seen *)
+  mutable rr_port : int; (* round-robin refill cursor *)
+}
+
+let create ?(config = default_config) program =
+  let shared = Memory.create ~config:config.mem_config () in
+  let bus = if config.contention then Some (Memory.bus_create ()) else None in
+  let engines =
+    Array.init config.engines (fun e ->
+        Simulator.create ~threads:config.threads ~clock_mhz:config.clock_mhz
+          ~config:config.mem_config ~trace:config.trace ~shared ?bus
+          ~engine_id:e program)
+  in
+  (* all contexts start idle, waiting for a packet *)
+  Array.iter
+    (fun sim ->
+      Array.iter
+        (fun th -> th.Simulator.halted <- true)
+        sim.Simulator.threads)
+    engines;
+  {
+    config;
+    program;
+    shared;
+    bus;
+    engines;
+    ports = [||];
+    in_flight = Array.make_matrix config.engines config.threads None;
+    latencies = Vec.create ();
+    completed = 0;
+    bytes_completed = 0;
+    generated = 0;
+    tx_words = 0;
+    tx_dropped_words = 0;
+    tx_drained = 0;
+    horizon = 0;
+    rr_port = 0;
+  }
+
+let shared_memory t = t.shared
+let engine t e = t.engines.(e)
+
+(* A packet is handed to a context by writing its payload into the
+   context's receive FIFO and the head of its private SDRAM packet
+   buffer; workloads that expect a particular SDRAM image install their
+   own [deliver]. *)
+type deliver = t -> engine:int -> thread:int -> Pktgen.packet -> unit
+
+let default_deliver chip ~engine ~thread (pkt : Pktgen.packet) =
+  let sim = chip.engines.(engine) in
+  Simulator.set_rfifo sim ~thread pkt.Pktgen.payload;
+  let sdram = Simulator.sdram_of_thread sim ~thread in
+  Memory.load_words sdram Insn.Sdram ~word_offset:0 pkt.Pktgen.payload
+
+(* ------------------------------------------------------------------ *)
+(* Event-driven run loop                                               *)
+(* ------------------------------------------------------------------ *)
+
+let no_event = max_int
+
+(* Earliest cycle at which [sim] can execute its next instruction, or
+   [no_event] when every context is idle. *)
+let engine_next_time sim =
+  let best = ref no_event in
+  Array.iter
+    (fun th ->
+      if not th.Simulator.halted then
+        best := min !best th.Simulator.ready_at)
+    sim.Simulator.threads;
+  if !best = no_event then no_event else max sim.Simulator.clock !best
+
+(* Deterministic choice of an idle context: engine with the smallest
+   local clock (it has been idle longest), then lowest ids. *)
+let find_idle chip =
+  let best = ref None in
+  Array.iteri
+    (fun e sim ->
+      Array.iteri
+        (fun i th ->
+          if th.Simulator.halted then
+            match !best with
+            | Some (_, be, _) when chip.engines.(be).Simulator.clock
+                                   <= sim.Simulator.clock -> ()
+            | _ -> best := Some (sim, e, i))
+        sim.Simulator.threads)
+    chip.engines;
+  !best
+
+let start_packet chip ~deliver sim e i (pkt : Pktgen.packet) ~arrival ~at =
+  let th = sim.Simulator.threads.(i) in
+  th.Simulator.block <- (Flowgraph.entry chip.program).Flowgraph.label;
+  th.Simulator.pc <- 0;
+  th.Simulator.halted <- false;
+  th.Simulator.ready_at <- max at sim.Simulator.clock;
+  Vec.clear th.Simulator.tfifo;
+  deliver chip ~engine:e ~thread:i pkt;
+  chip.in_flight.(e).(i) <- Some (pkt, arrival)
+
+(* Move a completed context's transmit FIFO into the chip transmit ring,
+   modelling a port that drains [tx_drain_per_cycle] words per cycle:
+   words beyond the ring capacity at the completion instant are dropped
+   and counted. *)
+let flush_tfifo chip sim i ~now =
+  let th = sim.Simulator.threads.(i) in
+  let n = Vec.length th.Simulator.tfifo in
+  if n > 0 then begin
+    let drained =
+      int_of_float (float_of_int now *. chip.config.tx_drain_per_cycle)
+    in
+    chip.tx_drained <- max chip.tx_drained (min drained chip.tx_words);
+    let level = chip.tx_words - chip.tx_drained in
+    let accepted = max 0 (min n (chip.config.tx_capacity - level)) in
+    chip.tx_words <- chip.tx_words + accepted;
+    chip.tx_dropped_words <- chip.tx_dropped_words + (n - accepted);
+    Vec.clear th.Simulator.tfifo
+  end
+
+(* Pop the next queued packet across ports, round-robin, arrival order
+   within a port. *)
+let pop_rx chip =
+  let nports = Array.length chip.ports in
+  let rec go tries =
+    if tries >= nports then None
+    else begin
+      let p = chip.ports.(chip.rr_port) in
+      chip.rr_port <- (chip.rr_port + 1) mod nports;
+      if Queue.is_empty p.rx then go (tries + 1) else Some (Queue.pop p.rx)
+    end
+  in
+  if nports = 0 then None else go 0
+
+let complete_packet chip sim e i ~deliver =
+  let now = sim.Simulator.clock in
+  chip.horizon <- max chip.horizon now;
+  (match chip.in_flight.(e).(i) with
+  | Some (pkt, arrival) ->
+      chip.completed <- chip.completed + 1;
+      chip.bytes_completed <- chip.bytes_completed + pkt.Pktgen.size;
+      Vec.push chip.latencies (now - arrival);
+      chip.in_flight.(e).(i) <- None
+  | None -> ());
+  flush_tfifo chip sim i ~now;
+  match pop_rx chip with
+  | Some (pkt, arrival) ->
+      start_packet chip ~deliver sim e i pkt ~arrival ~at:now
+  | None -> ()
+
+type report = {
+  r_config : config;
+  cycles : int; (* makespan: latest event on the chip *)
+  generated : int;
+  completed : int;
+  bytes_completed : int;
+  rx_received : int array; (* per port *)
+  rx_dropped : int array;
+  tx_words : int;
+  tx_dropped_words : int;
+  engine_busy : int array;
+  engine_cycles : int array;
+  latencies : int array; (* sorted ascending *)
+  bus : (string * Memory.channel_stats) list;
+}
+
+exception Chip_stuck of string
+
+let run ?(deliver = default_deliver) ?(fuel = 50_000_000) chip gen =
+  let nports = max 1 gen.Pktgen.config.Pktgen.ports in
+  chip.ports <-
+    Array.init nports (fun _ ->
+        { rx = Queue.create (); rx_received = 0; rx_dropped = 0 });
+  let pending = ref (Pktgen.next gen) in
+  let budget = ref fuel in
+  let queued_packets () =
+    Array.exists (fun p -> not (Queue.is_empty p.rx)) chip.ports
+  in
+  let any_active () =
+    Array.exists
+      (fun sim ->
+        Array.exists
+          (fun th -> not th.Simulator.halted)
+          sim.Simulator.threads)
+      chip.engines
+  in
+  while !pending <> None || queued_packets () || any_active () do
+    decr budget;
+    if !budget < 0 then raise (Chip_stuck "chip run: fuel exhausted");
+    (* earliest engine event *)
+    let best_e = ref (-1) and t_step = ref no_event in
+    Array.iteri
+      (fun e sim ->
+        let t = engine_next_time sim in
+        if t < !t_step then begin
+          t_step := t;
+          best_e := e
+        end)
+      chip.engines;
+    let t_arr =
+      match !pending with Some p -> p.Pktgen.arrival | None -> no_event
+    in
+    if t_arr = no_event && !t_step = no_event then
+      (* queued packets but no pending arrival and no runnable context:
+         unreachable if the idle-implies-empty-rings invariant holds *)
+      raise (Chip_stuck "chip run: queued packets with no runnable context");
+    if t_arr <= !t_step then begin
+      (* arrival event: hand the packet to an idle context if one
+         exists (the receive rings are necessarily empty then), else
+         queue it, else drop it *)
+      let pkt = Option.get !pending in
+      pending := Pktgen.next gen;
+      chip.generated <- chip.generated + 1;
+      chip.horizon <- max chip.horizon t_arr;
+      let port = chip.ports.(pkt.Pktgen.port) in
+      port.rx_received <- port.rx_received + 1;
+      match find_idle chip with
+      | Some (sim, e, i) ->
+          start_packet chip ~deliver sim e i pkt ~arrival:t_arr ~at:t_arr
+      | None ->
+          if Queue.length port.rx < chip.config.rx_capacity then
+            Queue.push (pkt, t_arr) port.rx
+          else port.rx_dropped <- port.rx_dropped + 1
+    end
+    else begin
+      (* step event: run the earliest context to its next yield *)
+      let sim = chip.engines.(!best_e) in
+      let best_i = ref (-1) in
+      Array.iteri
+        (fun i th ->
+          if not th.Simulator.halted then
+            if
+              !best_i < 0
+              || th.Simulator.ready_at
+                 < sim.Simulator.threads.(!best_i).Simulator.ready_at
+            then best_i := i)
+        sim.Simulator.threads;
+      let th = sim.Simulator.threads.(!best_i) in
+      if th.Simulator.ready_at > sim.Simulator.clock then
+        sim.Simulator.clock <- th.Simulator.ready_at;
+      Simulator.step_thread sim th ~fuel:1_000_000;
+      chip.horizon <- max chip.horizon sim.Simulator.clock;
+      if th.Simulator.halted then
+        complete_packet chip sim !best_e !best_i ~deliver
+    end
+  done;
+  let latencies = Vec.to_array chip.latencies in
+  Array.sort compare latencies;
+  {
+    r_config = chip.config;
+    cycles = chip.horizon;
+    generated = chip.generated;
+    completed = chip.completed;
+    bytes_completed = chip.bytes_completed;
+    rx_received = Array.map (fun (p : port_state) -> p.rx_received) chip.ports;
+    rx_dropped = Array.map (fun (p : port_state) -> p.rx_dropped) chip.ports;
+    tx_words = chip.tx_words;
+    tx_dropped_words = chip.tx_dropped_words;
+    engine_busy = Array.map Simulator.busy_cycles chip.engines;
+    engine_cycles = Array.map Simulator.cycles chip.engines;
+    latencies;
+    bus = (match chip.bus with None -> [] | Some b -> Memory.bus_stats b);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Report derivations                                                  *)
+(* ------------------------------------------------------------------ *)
+
+let seconds r cycles =
+  float_of_int cycles /. (r.r_config.clock_mhz *. 1e6)
+
+(* Achieved forwarding rate in million packets per second. *)
+let achieved_mpps r =
+  if r.cycles = 0 then 0.
+  else float_of_int r.completed /. seconds r r.cycles /. 1e6
+
+(* Achieved payload rate in Mbit/s. *)
+let achieved_mbps r =
+  if r.cycles = 0 then 0.
+  else float_of_int (r.bytes_completed * 8) /. seconds r r.cycles /. 1e6
+
+let dropped r = Array.fold_left ( + ) 0 r.rx_dropped
+
+let drop_rate r =
+  if r.generated = 0 then 0.
+  else float_of_int (dropped r) /. float_of_int r.generated
+
+(* Mean utilization of engine [e]: issue cycles over the makespan. *)
+let utilization r e =
+  if r.cycles = 0 then 0.
+  else float_of_int r.engine_busy.(e) /. float_of_int r.cycles
+
+let latency_percentile r q =
+  let n = Array.length r.latencies in
+  if n = 0 then 0
+  else begin
+    let k = int_of_float (ceil (q *. float_of_int n)) - 1 in
+    r.latencies.(max 0 (min (n - 1) k))
+  end
+
+let pp_report ppf r =
+  Fmt.pf ppf "cycles: %d (%.2f us at %.0f MHz)@." r.cycles
+    (seconds r r.cycles *. 1e6)
+    r.r_config.clock_mhz;
+  Fmt.pf ppf "packets: %d generated, %d completed, %d dropped (%.1f%%)@."
+    r.generated r.completed (dropped r)
+    (100. *. drop_rate r);
+  Fmt.pf ppf "achieved: %.3f Mpps, %.1f Mbit/s payload@." (achieved_mpps r)
+    (achieved_mbps r);
+  Fmt.pf ppf "tx ring: %d words sent, %d dropped@." r.tx_words
+    r.tx_dropped_words;
+  Array.iteri
+    (fun e busy ->
+      Fmt.pf ppf "engine %d: %d busy cycles (%.1f%% utilization)@." e busy
+        (100. *. utilization r e))
+    r.engine_busy;
+  if Array.length r.latencies > 0 then
+    Fmt.pf ppf "latency cycles: p50 %d, p90 %d, p99 %d, max %d@."
+      (latency_percentile r 0.50) (latency_percentile r 0.90)
+      (latency_percentile r 0.99)
+      r.latencies.(Array.length r.latencies - 1);
+  List.iter
+    (fun (name, s) ->
+      Fmt.pf ppf "bus %-7s: %d requests, %d busy cycles, %d stall cycles@."
+        name s.Memory.chan_requests s.Memory.chan_busy s.Memory.chan_stall)
+    r.bus

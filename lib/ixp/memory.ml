@@ -127,3 +127,89 @@ let spill_addr t slot =
 
 let spill_store t slot v = t.scratch.(spill_addr t slot) <- v land word_mask
 let spill_load t slot = t.scratch.(spill_addr t slot)
+
+(* ------------------------------------------------------------------ *)
+(* Memory-bus arbiter                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* The IXP1200's micro-engines share the SRAM, SDRAM and scratchpad
+   units through a common command bus; under load, requests queue at the
+   unit and the requester sees the queueing delay on top of the unloaded
+   latency.  We model each unit as a single-server channel: a request
+   issued at [now] starts service at [max now free_at], occupies the
+   unit for [occupancy] cycles (the unit's initiation interval, smaller
+   than the full latency because the units are pipelined), and completes
+   [latency] cycles after service starts.  The single-engine simulator
+   runs without a bus and sees only the unloaded latencies; the chip
+   model layers one bus over all engines. *)
+
+type channel = {
+  occupancy : int; (* cycles between back-to-back request starts *)
+  mutable free_at : int; (* cycle at which the unit can start a request *)
+  mutable requests : int;
+  mutable busy_cycles : int;
+  mutable stall_cycles : int; (* total queueing delay dealt to requesters *)
+}
+
+type bus = {
+  sram_chan : channel;
+  sdram_chan : channel;
+  scratch_chan : channel;
+  fifo_chan : channel; (* receive/transmit FIFO bus *)
+}
+
+let channel_create occupancy =
+  { occupancy; free_at = 0; requests = 0; busy_cycles = 0; stall_cycles = 0 }
+
+(* Default initiation intervals, roughly latency/4: the units are
+   pipelined but an aggregate transfer holds the data bus for several
+   cycles. *)
+let bus_create ?(sram_occupancy = 5) ?(sdram_occupancy = 8)
+    ?(scratch_occupancy = 3) ?(fifo_occupancy = 3) () =
+  {
+    sram_chan = channel_create sram_occupancy;
+    sdram_chan = channel_create sdram_occupancy;
+    scratch_chan = channel_create scratch_occupancy;
+    fifo_chan = channel_create fifo_occupancy;
+  }
+
+let bus_channel bus = function
+  | Insn.Sram -> bus.sram_chan
+  | Insn.Sdram -> bus.sdram_chan
+  | Insn.Scratch -> bus.scratch_chan
+
+(* Issue a request on [chan] at cycle [now] with unloaded latency
+   [latency]; returns the effective latency including any queueing
+   stall.  Deterministic: depends only on the arrival order of
+   requests. *)
+let channel_request chan ~now ~latency =
+  let start = max now chan.free_at in
+  let stall = start - now in
+  chan.free_at <- start + chan.occupancy;
+  chan.requests <- chan.requests + 1;
+  chan.busy_cycles <- chan.busy_cycles + chan.occupancy;
+  chan.stall_cycles <- chan.stall_cycles + stall;
+  stall + latency
+
+let bus_request bus space ~now ~latency =
+  channel_request (bus_channel bus space) ~now ~latency
+
+let bus_fifo_request bus ~now ~latency =
+  channel_request bus.fifo_chan ~now ~latency
+
+type channel_stats = { chan_requests : int; chan_busy : int; chan_stall : int }
+
+let channel_stats c =
+  {
+    chan_requests = c.requests;
+    chan_busy = c.busy_cycles;
+    chan_stall = c.stall_cycles;
+  }
+
+let bus_stats bus =
+  [
+    ("sram", channel_stats bus.sram_chan);
+    ("sdram", channel_stats bus.sdram_chan);
+    ("scratch", channel_stats bus.scratch_chan);
+    ("fifo", channel_stats bus.fifo_chan);
+  ]

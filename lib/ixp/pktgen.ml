@@ -1,0 +1,167 @@
+(* Synthetic packet generator for the chip-level simulation.
+
+   Replaces the hardware packet generator of the paper's evaluation
+   (§12): a seeded, fully deterministic source of packets with
+   configurable traffic profiles.  Given the same configuration and seed
+   it produces a bit-identical packet trace, which is what makes the
+   chip-level throughput numbers reproducible.
+
+   Offered load is expressed in packets per second against the
+   micro-engine clock; arrivals are scheduled in whole cycles with the
+   fractional residue carried forward so the long-run rate is exact.
+   [offered_mpps <= 0] means saturation: every packet arrives at cycle 0
+   (back-to-back line rate, limited only by the chip). *)
+
+type profile =
+  | Fixed of int (* every payload has this many bytes *)
+  | Imix (* classic 7:4:1 mix of small/medium/large payloads *)
+  | Bursty of { size : int; burst : int }
+      (* [burst] back-to-back packets, then a gap sized to keep the
+         configured average offered load *)
+
+let profile_to_string = function
+  | Fixed n -> Printf.sprintf "fixed:%d" n
+  | Imix -> "imix"
+  | Bursty { size; burst } -> Printf.sprintf "burst:%d:%d" size burst
+
+(* "fixed:64" | "imix" | "burst:64:8" *)
+let profile_of_string s =
+  match String.split_on_char ':' s with
+  | [ "imix" ] -> Ok Imix
+  | [ "fixed"; n ] -> (
+      match int_of_string_opt n with
+      | Some n when n > 0 -> Ok (Fixed n)
+      | _ -> Error (Printf.sprintf "bad fixed size in %S" s))
+  | [ "burst"; n; b ] -> (
+      match (int_of_string_opt n, int_of_string_opt b) with
+      | Some n, Some b when n > 0 && b > 0 -> Ok (Bursty { size = n; burst = b })
+      | _ -> Error (Printf.sprintf "bad burst profile %S" s))
+  | _ -> Error (Printf.sprintf "unknown traffic profile %S" s)
+
+type config = {
+  profile : profile;
+  offered_mpps : float; (* packets per microsecond; <= 0 = saturation *)
+  clock_mhz : float;
+  seed : int;
+  count : int; (* total packets to generate *)
+  ports : int; (* round-robin across input ports *)
+  size_align : int; (* round payload sizes up to this multiple *)
+}
+
+let default_config =
+  {
+    profile = Fixed 64;
+    offered_mpps = 1.0;
+    clock_mhz = 233.0;
+    seed = 1;
+    count = 64;
+    ports = 1;
+    size_align = 4;
+  }
+
+type packet = {
+  seq : int;
+  port : int;
+  arrival : int; (* cycle at which the packet hits the receive ring *)
+  size : int; (* payload bytes *)
+  payload : int array; (* size/4 words of seeded content *)
+}
+
+type t = {
+  config : config;
+  mutable state : int; (* PRNG state *)
+  mutable emitted : int;
+  mutable next_arrival : float; (* fractional cycle accumulator *)
+}
+
+(* xorshift-style 32-bit PRNG over masked OCaml ints; identical on every
+   platform, no dependence on the global Random state. *)
+let mask = 0xFFFFFFFF
+
+let prng_next g =
+  let x = g.state in
+  let x = x lxor (x lsl 13) land mask in
+  let x = x lxor (x lsr 17) in
+  let x = x lxor (x lsl 5) land mask in
+  let x = if x = 0 then 0x9E3779B9 else x in
+  g.state <- x;
+  x
+
+let create config =
+  {
+    config;
+    (* avoid the all-zero fixed point; fold the seed through one round *)
+    state = (config.seed * 0x9E3779B1 land mask) lor 1;
+    emitted = 0;
+    next_arrival = 0.;
+  }
+
+(* Mean inter-arrival gap in cycles for the configured offered load. *)
+let interarrival_cycles config =
+  if config.offered_mpps <= 0. then 0.
+  else config.clock_mhz /. config.offered_mpps
+
+let round_up n align = if align <= 1 then n else (n + align - 1) / align * align
+
+(* IMIX in the classic 7:4:1 proportions, scaled to payload sizes that
+   every workload accepts (the real mix is 40/576/1500-byte frames). *)
+let imix_size g =
+  let r = prng_next g mod 12 in
+  if r < 7 then 64 else if r < 11 then 576 else 1504
+
+let size_of g =
+  let c = g.config in
+  let raw =
+    match c.profile with
+    | Fixed n -> n
+    | Bursty { size; _ } -> size
+    | Imix -> imix_size g
+  in
+  round_up raw c.size_align
+
+let arrival_of g =
+  let c = g.config in
+  let gap = interarrival_cycles c in
+  match c.profile with
+  | Fixed _ | Imix ->
+      let a = g.next_arrival in
+      g.next_arrival <- a +. gap;
+      int_of_float a
+  | Bursty { burst; _ } ->
+      (* packets inside a burst are back-to-back; the burst boundary
+         jumps ahead to keep the long-run average at the offered load *)
+      let a = g.next_arrival in
+      if (g.emitted + 1) mod burst = 0 then
+        g.next_arrival <- a +. (gap *. float_of_int burst)
+      else g.next_arrival <- a;
+      int_of_float a
+
+let next g =
+  if g.emitted >= g.config.count then None
+  else begin
+    let seq = g.emitted in
+    let size = size_of g in
+    let arrival = arrival_of g in
+    let words = (size + 3) / 4 in
+    let payload = Array.init words (fun _ -> prng_next g) in
+    g.emitted <- g.emitted + 1;
+    Some { seq; port = seq mod g.config.ports; arrival; size; payload }
+  end
+
+(* Materialize the whole trace (determinism tests, offline inspection). *)
+let trace config =
+  let g = create config in
+  let rec go acc =
+    match next g with None -> List.rev acc | Some p -> go (p :: acc)
+  in
+  go []
+
+(* Offered load actually encoded in a trace, in packets per second
+   relative to the configured clock (useful when rounding to whole
+   cycles makes the realized load differ from the request). *)
+let offered_pps config =
+  if config.offered_mpps <= 0. then infinity
+  else config.offered_mpps *. 1e6
+
+let pp_packet ppf p =
+  Fmt.pf ppf "#%d port%d @%d %dB" p.seq p.port p.arrival p.size

@@ -35,8 +35,11 @@ type thread_state = {
 type t = {
   program : Reg.t Flowgraph.t;
   shared : Memory.t; (* SRAM + scratch live here *)
+  bus : Memory.bus option; (* chip-level arbiter; None = unloaded latencies *)
+  engine_id : int; (* position on the chip; 0 when standalone *)
   threads : thread_state array;
   mutable clock : int;
+  mutable busy : int; (* cycles spent issuing (vs stalled/idle) *)
   clock_mhz : float;
   trace : bool;
 }
@@ -46,8 +49,10 @@ exception Stuck of string
 let word_mask = Memory.word_mask
 
 let create ?(threads = 1) ?(clock_mhz = 233.0) ?(config = Memory.default_config)
-    ?(trace = false) program =
-  let shared = Memory.create ~config () in
+    ?(trace = false) ?shared ?bus ?(engine_id = 0) program =
+  let shared =
+    match shared with Some m -> m | None -> Memory.create ~config ()
+  in
   let mk id =
     {
       id;
@@ -71,8 +76,11 @@ let create ?(threads = 1) ?(clock_mhz = 233.0) ?(config = Memory.default_config)
   {
     program;
     shared;
+    bus;
+    engine_id;
     threads = Array.init threads mk;
     clock = 0;
+    busy = 0;
     clock_mhz;
     trace;
   }
@@ -134,6 +142,21 @@ let memory_for t th = function
   | Insn.Sram | Insn.Scratch -> t.shared
   | Insn.Sdram -> th.sdram
 
+(* Effective latency of a memory reference: the unloaded latency plus
+   any queueing stall dealt by the chip-level bus arbiter.  SDRAM data
+   images are per-thread (correctness isolation) but SDRAM *bandwidth*
+   is chip-shared, so SDRAM references arbitrate too. *)
+let mem_latency t space ~base =
+  match t.bus with
+  | None -> base
+  | Some bus -> Memory.bus_request bus space ~now:t.clock ~latency:base
+
+let fifo_latency t =
+  let base = t.shared.Memory.config.Memory.fifo_latency in
+  match t.bus with
+  | None -> base
+  | Some bus -> Memory.bus_fifo_request bus ~now:t.clock ~latency:base
+
 (* Hook invoked when a thread halts: supply the next inbound packet, or
    none to retire the thread. *)
 type packet_source = thread:int -> packets_done:int -> int array option
@@ -171,28 +194,29 @@ let exec_insn t th insn =
         Memory.read mem space (addr_value th addr) ~count:(Array.length dsts)
       in
       Array.iteri (fun k d -> set th d values.(k)) dsts;
-      Memory.latency mem space
+      mem_latency t space ~base:(Memory.latency mem space)
   | Insn.Write { space; srcs; addr } ->
       let mem = memory_for t th space in
       Memory.write mem space (addr_value th addr) (Array.map (get th) srcs);
-      Memory.latency mem space
+      mem_latency t space ~base:(Memory.latency mem space)
   | Insn.Hash { dst; src } ->
       set th dst (Memory.hash (get th src));
       t.shared.Memory.config.Memory.hash_latency
   | Insn.Bit_test_set { dst; src; addr } ->
       set th dst (Memory.bit_test_set t.shared (addr_value th addr) (get th src));
-      Memory.latency t.shared Insn.Sram
+      mem_latency t Insn.Sram ~base:(Memory.latency t.shared Insn.Sram)
   | Insn.Clone _ -> raise (Stuck "clone pseudo-instruction reached simulator")
   | Insn.Spill { slot; src } ->
       Memory.spill_store t.shared slot (get th src);
-      Memory.latency t.shared Insn.Scratch
+      mem_latency t Insn.Scratch ~base:(Memory.latency t.shared Insn.Scratch)
   | Insn.Reload { slot; dst } ->
       set th dst (Memory.spill_load t.shared slot);
-      Memory.latency t.shared Insn.Scratch
+      mem_latency t Insn.Scratch ~base:(Memory.latency t.shared Insn.Scratch)
   | Insn.Csr_read { dst; csr } ->
       let v =
         match csr with
         | "ctx" -> th.id
+        | "engine" -> t.engine_id
         | "cycle" -> t.clock land word_mask
         | _ -> 0
       in
@@ -207,11 +231,11 @@ let exec_insn t th insn =
           let v = if idx < Array.length th.rfifo then th.rfifo.(idx) else 0 in
           set th d v)
         dsts;
-      t.shared.Memory.config.Memory.fifo_latency
+      fifo_latency t
   | Insn.Tfifo_write { srcs; addr } ->
       ignore (addr_value th addr);
       Array.iter (fun s -> Vec.push th.tfifo (get th s)) srcs;
-      t.shared.Memory.config.Memory.fifo_latency
+      fifo_latency t
   | Insn.Ctx_arb -> 1
   | Insn.Nop -> 1
 
@@ -230,6 +254,7 @@ let step_thread t th ~fuel =
       th.pc <- th.pc + 1;
       let lat = exec_insn t th insn in
       t.clock <- t.clock + min lat 2;
+      t.busy <- t.busy + min lat 2;
       (* issue cost: memory ops occupy the pipe briefly; the remaining
          latency is hidden by switching threads *)
       if lat > 2 then begin
@@ -246,12 +271,15 @@ let step_thread t th ~fuel =
       | Insn.Jump l ->
           th.block <- l;
           th.pc <- 0;
-          t.clock <- t.clock + 1
+          t.clock <- t.clock + 1;
+          t.busy <- t.busy + 1
       | Insn.Branch { cond; x; y; ifso; ifnot } ->
           let taken = cond_eval cond (get th x) (operand_value th y) in
           th.block <- (if taken then ifso else ifnot);
           th.pc <- 0;
-          t.clock <- t.clock + if taken then 3 else 1
+          let c = if taken then 3 else 1 in
+          t.clock <- t.clock + c;
+          t.busy <- t.busy + c
       | Insn.Halt ->
           th.halted <- true;
           th.packets_done <- th.packets_done + 1)
@@ -309,6 +337,7 @@ let run_packets ?(fuel = 100_000_000) t (source : packet_source) =
   t.clock
 
 let cycles t = t.clock
+let busy_cycles t = t.busy
 let packets_done t =
   Array.fold_left (fun acc th -> acc + th.packets_done) 0 t.threads
 

@@ -42,8 +42,8 @@ let default_stats =
     simplex_iterations = 0;
   }
 
-let solve ?(presolve = true) ?(time_limit = 600.) ?(rel_gap = 1e-4)
-    (p : Problem.t) =
+let solve ?(presolve = true) ?(time_limit = 600.) ?(node_limit = 500_000)
+    ?(rel_gap = 1e-4) (p : Problem.t) =
   let t0 = Sys.time () in
   let before = Problem.stats p in
   let finish status objective solution ~root_time ~root_obj ~nodes ~iters
@@ -85,7 +85,7 @@ let solve ?(presolve = true) ?(time_limit = 600.) ?(rel_gap = 1e-4)
             ~root_obj:objective ~nodes:0 ~iters:0 ~after_stats
         end
         else begin
-          let r = Branch_bound.solve ~time_limit ~rel_gap reduced in
+          let r = Branch_bound.solve ~time_limit ~node_limit ~rel_gap reduced in
           let status =
             match r.Branch_bound.status with
             | Branch_bound.Optimal -> Optimal
@@ -105,7 +105,7 @@ let solve ?(presolve = true) ?(time_limit = 600.) ?(rel_gap = 1e-4)
         end
   end
   else begin
-    let r = Branch_bound.solve ~time_limit ~rel_gap p in
+    let r = Branch_bound.solve ~time_limit ~node_limit ~rel_gap p in
     let status =
       match r.Branch_bound.status with
       | Branch_bound.Optimal -> Optimal

@@ -13,8 +13,12 @@ type allocator = Ilp_allocator | Baseline_allocator
 type options = {
   allocator : allocator;
   objective : Ilp.objective_mode;
-  time_limit : float;
+  time_limit : float; (* branch&bound wall-clock budget, seconds *)
+  node_limit : int; (* branch&bound node budget (deterministic) *)
   rel_gap : float;
+  limit_fallback : bool;
+      (* when the solver exhausts its budget without an incumbent, emit
+         the baseline heuristic allocation instead of failing *)
   entry : string;
   entry_args : int list;
   validate : bool; (* run Assignment.validate and Checker *)
@@ -27,13 +31,30 @@ let default_options =
     allocator = Ilp_allocator;
     objective = Ilp.Minimize_moves;
     time_limit = 300.;
+    node_limit = 500_000;
     rel_gap = 1e-4;
+    limit_fallback = true;
     entry = "main";
     entry_args = [];
     validate = true;
     verify_each = true;
     rematerialize = false;
   }
+
+(* How the emitted allocation was obtained -- in particular, whether a
+   solver budget cut the search short and what was emitted instead of a
+   proven-optimal solution. *)
+type solver_outcome =
+  | Outcome_heuristic (* baseline allocator was requested *)
+  | Outcome_optimal (* ILP solved to (gap-)optimality *)
+  | Outcome_incumbent (* budget hit; best incumbent emitted *)
+  | Outcome_fallback (* budget hit with no incumbent; baseline emitted *)
+
+let solver_outcome_to_string = function
+  | Outcome_heuristic -> "heuristic"
+  | Outcome_optimal -> "optimal"
+  | Outcome_incumbent -> "incumbent (budget hit)"
+  | Outcome_fallback -> "baseline fallback (budget hit)"
 
 type stats = {
   source : Nova.Stats.t;
@@ -43,6 +64,7 @@ type stats = {
   virtual_insns : int;
   coloring : Modelgen.coloring_stats;
   mip : Lp.Mip.stats option; (* None for the baseline *)
+  solver_outcome : solver_outcome;
   moves_inserted : int;
   spills_inserted : int;
   weighted_move_cost : float;
@@ -118,42 +140,58 @@ let front_end ?(entry = "main") ?(entry_args = []) ?(rematerialize = false)
 let allocate (options : options) (front : front) : compiled =
   let solve_ilp mg =
     let ilp = Ilp.build ~objective_mode:options.objective mg in
-    Ilp.solve ~time_limit:options.time_limit ~rel_gap:options.rel_gap ilp
+    Ilp.solve ~time_limit:options.time_limit ~node_limit:options.node_limit
+      ~rel_gap:options.rel_gap ilp
   in
-  let mg, assignment, mip_stats =
+  (* When branch&bound hits its budget with a feasible incumbent in
+     hand, that incumbent is used: it is a valid (machine-checked)
+     allocation, merely without the optimality certificate.  The
+     [solver_outcome] in the stats records that the budget bit. *)
+  let of_solution mg sol =
+    let outcome =
+      match sol.Ilp.result.Lp.Mip.status with
+      | Lp.Mip.Limit -> Outcome_incumbent
+      | _ -> Outcome_optimal
+    in
+    (mg, Assignment.of_ilp sol, Some sol.Ilp.result.Lp.Mip.stats, outcome)
+  in
+  (* No incumbent within the budget: either emit the baseline heuristic
+     allocation (recording the fallback) or fail loudly. *)
+  let limit_fallback () =
+    if options.limit_fallback then begin
+      let mg = Modelgen.build front.f_graph in
+      (mg, Baseline.build mg, None, Outcome_fallback)
+    end
+    else raise (Allocation_failed "MIP solver hit its limit")
+  in
+  let mg, assignment, mip_stats, outcome =
     match options.allocator with
     | Baseline_allocator ->
         let mg = Modelgen.build front.f_graph in
-        (mg, Baseline.build mg, None)
+        (mg, Baseline.build mg, None, Outcome_heuristic)
     | Ilp_allocator when options.rematerialize -> (
         let mg =
           Modelgen.build ~allow_spill:false ~rematerialize:true front.f_graph
         in
         match solve_ilp mg with
-        | Ok sol -> (mg, Assignment.of_ilp sol, Some sol.Ilp.result.Lp.Mip.stats)
-        | Error `Limit -> raise (Allocation_failed "MIP solver hit its limit")
+        | Ok sol -> of_solution mg sol
+        | Error `Limit -> limit_fallback ()
         | Error `Infeasible ->
             raise (Allocation_failed "remat model infeasible"))
     | Ilp_allocator -> (
         (* spill-free model first (paper §11): much smaller; fall back to
-           the full model with scratch enabled only when infeasible.
-           When branch&bound hits its budget with a feasible incumbent in
-           hand, that incumbent is used: it is a valid (machine-checked)
-           allocation, merely without the optimality certificate -- the
-           achieved gap is visible in the MIP stats. *)
+           the full model with scratch enabled only when infeasible *)
         let mg = Modelgen.build ~allow_spill:false front.f_graph in
         match solve_ilp mg with
-        | Ok sol -> (mg, Assignment.of_ilp sol, Some sol.Ilp.result.Lp.Mip.stats)
-        | Error `Limit -> raise (Allocation_failed "MIP solver hit its limit")
+        | Ok sol -> of_solution mg sol
+        | Error `Limit -> limit_fallback ()
         | Error `Infeasible -> (
             let mg = Modelgen.build ~allow_spill:true front.f_graph in
             match solve_ilp mg with
-            | Ok sol ->
-                (mg, Assignment.of_ilp sol, Some sol.Ilp.result.Lp.Mip.stats)
+            | Ok sol -> of_solution mg sol
             | Error `Infeasible ->
                 raise (Allocation_failed "ILP model is infeasible")
-            | Error `Limit ->
-                raise (Allocation_failed "MIP solver hit its limit")))
+            | Error `Limit -> limit_fallback ()))
   in
   if options.validate then begin
     match Assignment.validate assignment with
@@ -177,9 +215,10 @@ let allocate (options : options) (front : front) : compiled =
                 vs))
   end;
   let weighted =
-    match options.allocator with
-    | Baseline_allocator -> snd (Baseline.move_cost assignment)
-    | Ilp_allocator ->
+    match outcome with
+    | Outcome_heuristic | Outcome_fallback ->
+        snd (Baseline.move_cost assignment)
+    | Outcome_optimal | Outcome_incumbent ->
         (* recompute from the assignment for comparability *)
         let total = ref 0. in
         Array.iteri
@@ -211,6 +250,7 @@ let allocate (options : options) (front : front) : compiled =
         virtual_insns = Ixp.Flowgraph.num_insns front.f_graph;
         coloring = Modelgen.coloring_stats mg;
         mip = mip_stats;
+        solver_outcome = outcome;
         moves_inserted = emitted.Emit.moves_inserted;
         spills_inserted = emitted.Emit.spills_inserted;
         weighted_move_cost = weighted;

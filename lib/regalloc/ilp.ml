@@ -742,8 +742,11 @@ type solution = {
   ilp : t;
 }
 
-let solve ?(time_limit = 300.) ?(rel_gap = 1e-4) (ilp : t) =
-  let result = Lp.Mip.solve ~time_limit ~rel_gap ilp.instance.M.problem in
+let solve ?(time_limit = 300.) ?(node_limit = 500_000) ?(rel_gap = 1e-4)
+    (ilp : t) =
+  let result =
+    Lp.Mip.solve ~time_limit ~node_limit ~rel_gap ilp.instance.M.problem
+  in
   match result.Lp.Mip.status with
   | Lp.Mip.Infeasible -> Error `Infeasible
   | Lp.Mip.Optimal -> Ok { assignment = result.Lp.Mip.solution; result; ilp }

@@ -3,4 +3,5 @@ let () =
     (Test_support.suites @ Test_lp.suites @ Test_ampl.suites @ Test_ixp.suites
    @ Test_nova.suites @ Test_cps.suites @ Test_regalloc.suites
    @ Test_verify.suites @ Test_workloads.suites @ Test_emit.suites
-   @ Test_paper.suites @ Test_random.suites @ Test_misc.suites)
+   @ Test_paper.suites @ Test_random.suites @ Test_chip.suites
+   @ Test_misc.suites)

@@ -8,6 +8,8 @@
      dune exec bench/main.exe -- throughput   Mbit/s payload sweep
      dune exec bench/main.exe -- rates        chip-level forwarding rates
      dune exec bench/main.exe -- rates-smoke  fast variant for CI
+     dune exec bench/main.exe -- solver       MIP engine perf (BENCH_solver.json)
+     dune exec bench/main.exe -- solver-smoke CI gate with a hard time ceiling
      dune exec bench/main.exe -- ablation     spill-feasibility objective
      dune exec bench/main.exe -- baseline     ILP vs heuristic allocator
      dune exec bench/main.exe -- pruning      §8 model-size reductions
@@ -333,6 +335,181 @@ let remat () =
   Fmt.pr
     "(the paper §12 describes this virtual constant bank C as designed but      unimplemented; here it is completed end to end)@."
 
+(* ---------------- solver benchmark ---------------- *)
+
+(* Root-LP and integer solve times on the paper models under the example
+   budgets (120 s / 20k nodes), plus seeded random 0-1 instances.
+   Writes BENCH_solver.json with the measured numbers next to the seed
+   revision's baseline (dense explicit inverse, depth-first dive, no
+   cuts, no heuristic) so the perf trajectory is recorded. *)
+
+type solver_row = {
+  sb_name : string;
+  sb_status : string;
+  sb_obj : float;
+  sb_bound : float;
+  sb_root : float;
+  sb_total : float;
+  sb_nodes : int;
+  sb_iters : int;
+  sb_cuts : int;
+  sb_heur : int;
+}
+
+(* measured at the seed revision with the same budgets *)
+let solver_seed_baseline =
+  [
+    ("Kasumi", ("optimal", 0.09, 0.10, 0.19, 1, 534));
+    ("AES", ("limit", 0.18, 4.44, 122.14, 989, 11896));
+    ("NAT", ("limit", 4.16, 56.15, 124.78, 125, 4033));
+  ]
+
+let solver_status_string = function
+  | Lp.Mip.Optimal -> "optimal"
+  | Lp.Mip.Infeasible -> "infeasible"
+  | Lp.Mip.Limit -> "limit"
+
+let solve_workload_model ?(time_limit = 120.) ?(node_limit = 20_000) w =
+  let f = front w in
+  let mg = Regalloc.Modelgen.build ~allow_spill:false f.Regalloc.Driver.f_graph in
+  let ilp = Regalloc.Ilp.build mg in
+  let p = ilp.Regalloc.Ilp.instance.Ampl.Model.problem in
+  let r = Lp.Mip.solve ~time_limit ~node_limit p in
+  let s = r.Lp.Mip.stats in
+  {
+    sb_name = w.name;
+    sb_status = solver_status_string r.Lp.Mip.status;
+    sb_obj = r.Lp.Mip.objective;
+    sb_bound = s.Lp.Mip.best_bound;
+    sb_root = s.Lp.Mip.root_time;
+    sb_total = s.Lp.Mip.total_time;
+    sb_nodes = s.Lp.Mip.nodes;
+    sb_iters = s.Lp.Mip.simplex_iterations;
+    sb_cuts = s.Lp.Mip.cuts_added;
+    sb_heur = s.Lp.Mip.heuristic_incumbents;
+  }
+
+(* seeded random set-packing/covering mixes, all solved to optimality *)
+let solver_random_instance seed =
+  let st = Random.State.make [| seed |] in
+  let p = Lp.Problem.create () in
+  let n = 40 in
+  let vars =
+    Array.init n (fun i ->
+        Lp.Problem.add_binary p
+          ~obj:(-.float_of_int (1 + Random.State.int st 9))
+          (Printf.sprintf "x%d" i))
+  in
+  for _ = 1 to 60 do
+    let k = 3 + Random.State.int st 5 in
+    let picked = Hashtbl.create 8 in
+    for _ = 1 to k do
+      Hashtbl.replace picked (Random.State.int st n) ()
+    done;
+    let terms = Hashtbl.fold (fun j () acc -> (vars.(j), 1.) :: acc) picked [] in
+    Lp.Problem.add_row p Lp.Problem.Le
+      (float_of_int (1 + Random.State.int st 2))
+      terms
+  done;
+  p
+
+let solve_random_instance seed =
+  let p = solver_random_instance seed in
+  let r = Lp.Mip.solve ~time_limit:60. ~node_limit:100_000 p in
+  let s = r.Lp.Mip.stats in
+  {
+    sb_name = Printf.sprintf "rand-%d" seed;
+    sb_status = solver_status_string r.Lp.Mip.status;
+    sb_obj = r.Lp.Mip.objective;
+    sb_bound = s.Lp.Mip.best_bound;
+    sb_root = s.Lp.Mip.root_time;
+    sb_total = s.Lp.Mip.total_time;
+    sb_nodes = s.Lp.Mip.nodes;
+    sb_iters = s.Lp.Mip.simplex_iterations;
+    sb_cuts = s.Lp.Mip.cuts_added;
+    sb_heur = s.Lp.Mip.heuristic_incumbents;
+  }
+
+let pp_solver_row r =
+  Fmt.pr "%-8s | %-8s | %10.4f %10.4f | %7.2f %7.2f | %6d %7d | %4d %4d@."
+    r.sb_name r.sb_status r.sb_obj r.sb_bound r.sb_root r.sb_total r.sb_nodes
+    r.sb_iters r.sb_cuts r.sb_heur
+
+let solver_json_row buf r =
+  Buffer.add_string buf
+    (Printf.sprintf
+       "    { \"name\": %S, \"status\": %S, \"objective\": %.6f, \
+        \"best_bound\": %.6f, \"root_s\": %.3f, \"total_s\": %.3f, \
+        \"nodes\": %d, \"iterations\": %d, \"cuts\": %d, \
+        \"heuristic_incumbents\": %d }"
+       r.sb_name r.sb_status r.sb_obj r.sb_bound r.sb_root r.sb_total
+       r.sb_nodes r.sb_iters r.sb_cuts r.sb_heur)
+
+let write_solver_json rows =
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf "{\n  \"baseline_seed\": [\n";
+  List.iteri
+    (fun i (name, (status, obj, root, total, nodes, iters)) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"name\": %S, \"status\": %S, \"objective\": %.6f, \
+            \"root_s\": %.3f, \"total_s\": %.3f, \"nodes\": %d, \
+            \"iterations\": %d }"
+           name status obj root total nodes iters))
+    solver_seed_baseline;
+  Buffer.add_string buf "\n  ],\n  \"current\": [\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      solver_json_row buf r)
+    rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  let oc = open_out "BENCH_solver.json" in
+  output_string oc (Buffer.contents buf);
+  close_out oc;
+  Fmt.pr "wrote BENCH_solver.json@."
+
+let solver_header () =
+  Fmt.pr "%-8s | %-8s | %10s %10s | %7s %7s | %6s %7s | %4s %4s@." "" "status"
+    "objective" "bound" "root(s)" "tot(s)" "nodes" "iters" "cuts" "heur"
+
+let solver () =
+  rule "Solver: root-LP + integer solve times (120 s / 20k node budgets)";
+  solver_header ();
+  let rows = List.map solve_workload_model [ kasumi; aes; nat ] in
+  List.iter pp_solver_row rows;
+  let rand_rows = List.map solve_random_instance [ 1; 2; 3 ] in
+  List.iter pp_solver_row rand_rows;
+  List.iter
+    (fun (name, (status, obj, root, total, nodes, iters)) ->
+      Fmt.pr
+        "%-8s | %-8s | %10.4f %10s | %7.2f %7.2f | %6d %7d   (seed baseline)@."
+        name status obj "-" root total nodes iters)
+    solver_seed_baseline;
+  write_solver_json (rows @ rand_rows)
+
+(* CI gate: small models under a hard wall-clock ceiling, so a basis or
+   pricing regression fails the build rather than just getting slower. *)
+let solver_smoke () =
+  rule "Solver smoke: Kasumi + random instances under a hard ceiling";
+  let ceiling = 60. in
+  let t0 = Unix.gettimeofday () in
+  solver_header ();
+  let rows =
+    solve_workload_model ~time_limit:50. kasumi
+    :: List.map solve_random_instance [ 1; 2 ]
+  in
+  List.iter pp_solver_row rows;
+  let wall = Unix.gettimeofday () -. t0 in
+  let all_optimal = List.for_all (fun r -> r.sb_status = "optimal") rows in
+  Fmt.pr "smoke wall time: %.2fs (ceiling %.0fs), all optimal: %b@." wall
+    ceiling all_optimal;
+  if wall > ceiling || not all_optimal then begin
+    Fmt.epr "solver-smoke FAILED@.";
+    exit 1
+  end
+
 (* ---------------- end-to-end correctness gate ---------------- *)
 
 let verify () =
@@ -462,6 +639,8 @@ let () =
   | "throughput" -> throughput ()
   | "rates" -> rates ~full:true ()
   | "rates-smoke" -> rates ~full:false ()
+  | "solver" -> solver ()
+  | "solver-smoke" -> solver_smoke ()
   | "ablation" -> ablation ()
   | "baseline" -> baseline ()
   | "pruning" -> pruning ()
@@ -481,7 +660,7 @@ let () =
   | other ->
       Fmt.epr
         "unknown experiment %s (try \
-         figure5/figure6/figure7/throughput/rates/rates-smoke/ablation/\
-         baseline/pruning/verify/time/all)@."
+         figure5/figure6/figure7/throughput/rates/rates-smoke/solver/\
+         solver-smoke/ablation/baseline/pruning/verify/time/all)@."
         other;
       exit 1

@@ -71,6 +71,15 @@ let compile_cmd =
              incumbent is emitted, or the baseline allocation if no \
              incumbent was found")
   in
+  let rel_gap =
+    Arg.(
+      value
+      & opt float 1e-4
+      & info [ "solver-rel-gap" ]
+          ~doc:
+            "Branch&bound relative optimality gap: stop once the incumbent \
+             is proven within this fraction of the optimum")
+  in
   let no_validate =
     Arg.(
       value & flag
@@ -90,8 +99,8 @@ let compile_cmd =
       value & flag
       & info [ "no-verify-each" ] ~doc:"Disable the per-pass IR verification")
   in
-  let run file allocator dump entry_args time_limit node_limit no_validate
-      verify_each no_verify_each =
+  let run file allocator dump entry_args time_limit node_limit rel_gap
+      no_validate verify_each no_verify_each =
     handle_errors (fun () ->
         let source = read_file file in
         let options =
@@ -104,6 +113,7 @@ let compile_cmd =
             entry_args;
             time_limit;
             node_limit;
+            rel_gap;
             validate = not no_validate;
             verify_each = verify_each || not no_verify_each;
           }
@@ -127,10 +137,13 @@ let compile_cmd =
           stats.Regalloc.Driver.spills_inserted;
         (match stats.Regalloc.Driver.mip with
         | Some m ->
-            Fmt.epr "; ILP %dx%d -> %dx%d, root %.2fs, total %.2fs, %d nodes@."
+            Fmt.epr
+              "; ILP %dx%d -> %dx%d, root %.2fs, total %.2fs, %d nodes, %d \
+               pivots, %d cuts/%d rounds, %d heuristic incumbents@."
               m.Lp.Mip.vars_before m.Lp.Mip.rows_before m.Lp.Mip.vars_after
               m.Lp.Mip.rows_after m.Lp.Mip.root_time m.Lp.Mip.total_time
-              m.Lp.Mip.nodes
+              m.Lp.Mip.nodes m.Lp.Mip.simplex_iterations m.Lp.Mip.cuts_added
+              m.Lp.Mip.cut_rounds m.Lp.Mip.heuristic_incumbents
         | None -> ());
         match stats.Regalloc.Driver.solver_outcome with
         | Regalloc.Driver.Outcome_incumbent | Regalloc.Driver.Outcome_fallback
@@ -147,7 +160,7 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a Nova program to IXP assembly")
     Term.(
       const run $ file $ allocator $ dump $ entry_args $ time_limit
-      $ node_limit $ no_validate $ verify_each $ no_verify_each)
+      $ node_limit $ rel_gap $ no_validate $ verify_each $ no_verify_each)
 
 (* ---------------- stats ---------------- *)
 

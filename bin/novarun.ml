@@ -128,9 +128,17 @@ let run_cmd =
       value & opt int 500_000
       & info [ "solver-node-limit" ] ~doc:"Branch&bound node budget")
   in
+  let rel_gap =
+    Arg.(
+      value & opt float 1e-4
+      & info [ "solver-rel-gap" ]
+          ~doc:
+            "Branch&bound relative optimality gap: stop once the incumbent \
+             is proven within this fraction of the optimum")
+  in
   let run file entry_args sram sdram trace allocator engines threads profile
       offered_load packets seed ports rx_capacity no_contention time_limit
-      node_limit =
+      node_limit rel_gap =
     try
       let source = read_file file in
       let options =
@@ -139,6 +147,7 @@ let run_cmd =
           entry_args;
           time_limit;
           node_limit;
+          rel_gap;
           allocator =
             (match allocator with
             | `Ilp -> Regalloc.Driver.Ilp_allocator
@@ -152,6 +161,12 @@ let run_cmd =
             (Regalloc.Driver.solver_outcome_to_string
                compiled.Regalloc.Driver.stats.Regalloc.Driver.solver_outcome)
       | _ -> ());
+      (match compiled.Regalloc.Driver.stats.Regalloc.Driver.mip with
+      | Some m ->
+          Fmt.epr "solver: root %.2fs, total %.2fs, %d nodes, %d pivots, %d cuts@."
+            m.Lp.Mip.root_time m.Lp.Mip.total_time m.Lp.Mip.nodes
+            m.Lp.Mip.simplex_iterations m.Lp.Mip.cuts_added
+      | None -> ());
       if engines > 0 then begin
         (* chip mode: line-rate run against the packet generator *)
         let config =
@@ -224,6 +239,6 @@ let run_cmd =
     Term.(
       const run $ file $ entry_args $ sram $ sdram $ trace $ allocator
       $ engines $ threads $ profile $ offered_load $ packets $ seed $ ports
-      $ rx_capacity $ no_contention $ time_limit $ node_limit)
+      $ rx_capacity $ no_contention $ time_limit $ node_limit $ rel_gap)
 
 let () = exit (Cmd.eval run_cmd)

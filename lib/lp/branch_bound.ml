@@ -1,11 +1,31 @@
 (* Branch and bound for 0-1 (and general-integer) programs over the
    revised dual simplex.
 
-   A single solver state is threaded through a depth-first search; each
-   node only changes variable bounds, which keeps the current basis dual
-   feasible, so child re-solves take few pivots.  The first child explored
-   fixes the branching variable toward its fractional value (diving), which
-   finds integral incumbents quickly on the register-allocation models. *)
+   A single solver state is threaded through the whole search; nodes only
+   change variable bounds, which keeps the current basis dual feasible,
+   so child re-solves are warm-started (the solver only re-examines the
+   variables whose bounds actually changed between two nodes).
+
+   Search order is dive-with-best-first-fallback: from each node the
+   child with the better pseudocost estimate is explored immediately
+   (keeping the warm-start chain intact and finding incumbents fast,
+   like the old pure depth-first dive), while the other child is parked
+   on a best-bound priority queue.  Whenever the chain dies (pruned or
+   infeasible), the open node with the smallest LP bound is popped, so
+   the proven global lower bound rises as fast as possible and the
+   optimality gap actually closes instead of the search rat-holing in
+   one subtree.
+
+   Branching variables are chosen by pseudocosts: per-variable running
+   averages of (LP objective degradation) / (distance branched), learned
+   from every solved child.  Until a variable has history its estimate
+   falls back to the global average, then to its objective coefficient
+   (which preserves the old heuristic of branching on real decision
+   variables before the symmetric color variables).
+
+   A rounding/diving primal heuristic (see [Heuristic]) runs at the root
+   and periodically at nodes so pruning starts before the dive reaches a
+   leaf.  All time accounting is wall clock via [Clock]. *)
 
 type status = Optimal | Infeasible | Limit
 
@@ -18,124 +38,296 @@ type result = {
   root_time : float; (* seconds to solve the root relaxation *)
   total_time : float;
   simplex_iterations : int;
+  best_bound : float; (* proven lower bound on the optimum at exit *)
+  heuristic_incumbents : int; (* incumbents found by the diving heuristic *)
 }
 
 let int_tol = 1e-6
 
-let fractional_var (p : Problem.t) x =
-  (* Most fractional integer-constrained variable, preferring variables
-     with a real objective coefficient: those encode actual decisions
-     (moves), whereas zero/epsilon-cost variables (register colors) are
-     largely symmetric and should be branched last. *)
-  let best = ref (-1) in
-  let best_key = ref (-1, int_tol) in
-  Array.iteri
-    (fun j v ->
-      if Problem.var_integer p j then begin
-        let f = Float.abs (v -. Float.round v) in
-        if f > int_tol then begin
-          let costly = if Float.abs (Problem.var_obj p j) > 1e-5 then 1 else 0 in
-          if (costly, f) > !best_key then begin
-            best := j;
-            best_key := (costly, f)
-          end
-        end
-      end)
-    x;
-  !best
+(* An open node: the bound fixings along its path (each variable at most
+   once), the parent's LP objective (a valid lower bound), and the
+   branching step that created it (for pseudocost learning). *)
+type node = {
+  nb : float; (* parent LP bound *)
+  fixings : (int * float * float) list; (* var, lo, hi *)
+  depth : int;
+  bvar : int; (* variable branched on to create this node; -1 at root *)
+  bfrac : float; (* fractional part of bvar at the parent *)
+  bup : bool; (* up child? *)
+}
 
-exception Gap_closed
+(* Minimal binary min-heap on [nb] (best-bound order). *)
+module Heap = struct
+  type t = { mutable a : node array; mutable len : int }
+
+  let dummy =
+    { nb = 0.; fixings = []; depth = 0; bvar = -1; bfrac = 0.; bup = false }
+
+  let create () = { a = Array.make 64 dummy; len = 0 }
+  let size h = h.len
+
+  let push h x =
+    if h.len = Array.length h.a then begin
+      let a = Array.make (2 * h.len) dummy in
+      Array.blit h.a 0 a 0 h.len;
+      h.a <- a
+    end;
+    h.a.(h.len) <- x;
+    h.len <- h.len + 1;
+    let i = ref (h.len - 1) in
+    while !i > 0 && h.a.((!i - 1) / 2).nb > h.a.(!i).nb do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let min_bound h = if h.len = 0 then infinity else h.a.(0).nb
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.len <- h.len - 1;
+      h.a.(0) <- h.a.(h.len);
+      h.a.(h.len) <- dummy;
+      let i = ref 0 in
+      let continue_ = ref true in
+      while !continue_ do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let s = ref !i in
+        if l < h.len && h.a.(l).nb < h.a.(!s).nb then s := l;
+        if r < h.len && h.a.(r).nb < h.a.(!s).nb then s := r;
+        if !s = !i then continue_ := false
+        else begin
+          let tmp = h.a.(!s) in
+          h.a.(!s) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !s
+        end
+      done;
+      Some top
+    end
+end
 
 let solve ?(time_limit = 600.) ?(node_limit = 500_000) ?(rel_gap = 1e-4)
-    (p : Problem.t) =
-  let t0 = Sys.time () in
+    ?(use_heuristic = true) ?(heur_period = 128) (p : Problem.t) =
+  let t0 = Clock.now () in
+  let n = Problem.num_vars p in
   let solver = Revised.create p in
+  let orig_lo = Array.init n (Problem.var_lo p) in
+  let orig_hi = Array.init n (Problem.var_hi p) in
+  (* pseudocost state *)
+  let pc_sum_dn = Array.make n 0. and pc_cnt_dn = Array.make n 0 in
+  let pc_sum_up = Array.make n 0. and pc_cnt_up = Array.make n 0 in
+  let g_sum_dn = ref 0. and g_cnt_dn = ref 0 in
+  let g_sum_up = ref 0. and g_cnt_up = ref 0 in
+  let pc_est up v =
+    let sum, cnt, gsum, gcnt =
+      if up then (pc_sum_up.(v), pc_cnt_up.(v), !g_sum_up, !g_cnt_up)
+      else (pc_sum_dn.(v), pc_cnt_dn.(v), !g_sum_dn, !g_cnt_dn)
+    in
+    if cnt > 0 then sum /. float_of_int cnt
+    else if gcnt > 0 then gsum /. float_of_int gcnt
+    else Float.abs (Problem.var_obj p v) +. 1e-6
+  in
+  let pc_learn (nd : node) obj =
+    if nd.bvar >= 0 then begin
+      let gain = Float.max 0. (obj -. nd.nb) in
+      let dist = if nd.bup then 1. -. nd.bfrac else nd.bfrac in
+      let rate = gain /. Float.max dist 1e-6 in
+      if nd.bup then begin
+        pc_sum_up.(nd.bvar) <- pc_sum_up.(nd.bvar) +. rate;
+        pc_cnt_up.(nd.bvar) <- pc_cnt_up.(nd.bvar) + 1;
+        g_sum_up := !g_sum_up +. rate;
+        incr g_cnt_up
+      end
+      else begin
+        pc_sum_dn.(nd.bvar) <- pc_sum_dn.(nd.bvar) +. rate;
+        pc_cnt_dn.(nd.bvar) <- pc_cnt_dn.(nd.bvar) + 1;
+        g_sum_dn := !g_sum_dn +. rate;
+        incr g_cnt_dn
+      end
+    end
+  in
+  (* Pseudocost product-score branching variable, or -1 if integral. *)
+  let select_branch x =
+    let best = ref (-1) in
+    let best_score = ref neg_infinity in
+    for j = 0 to n - 1 do
+      if Problem.var_integer p j then begin
+        let f = x.(j) -. floor x.(j) in
+        if f > int_tol && f < 1. -. int_tol then begin
+          let dn = pc_est false j *. f in
+          let up = pc_est true j *. (1. -. f) in
+          let score = Float.max dn 1e-8 *. Float.max up 1e-8 in
+          if score > !best_score then begin
+            best := j;
+            best_score := score
+          end
+        end
+      end
+    done;
+    !best
+  in
+  (* Bound activation: undo the previous node's fixings, apply the new
+     ones.  A variable appearing in both with the same bounds produces no
+     net change, so the solver's incremental restart does no work for the
+     shared prefix of the two paths. *)
+  let applied = ref [] in
+  let activate fixings =
+    List.iter
+      (fun (v, _, _) ->
+        Revised.set_bounds solver v ~lo:orig_lo.(v) ~hi:orig_hi.(v))
+      !applied;
+    List.iter (fun (v, l, h) -> Revised.set_bounds solver v ~lo:l ~hi:h)
+      fixings;
+    applied := fixings
+  in
   let nodes = ref 0 in
   let incumbent = ref None in
   let incumbent_obj = ref infinity in
+  let heur_found = ref 0 in
   let limit_hit = ref false in
-  let orig_lo = Array.init (Problem.num_vars p) (Problem.var_lo p) in
-  let orig_hi = Array.init (Problem.num_vars p) (Problem.var_hi p) in
   let root_objective = ref nan in
   let root_time = ref 0. in
-  let rec node depth =
-    if Sys.time () -. t0 > time_limit || !nodes >= node_limit then
-      limit_hit := true
-    else begin
-      incr nodes;
-      match Revised.solve solver with
-      | Revised.Iteration_limit -> limit_hit := true
-      | Revised.Infeasible -> ()
-      | Revised.Optimal ->
-          let obj = Revised.objective solver in
-          if depth = 0 then begin
-            root_objective := obj;
-            root_time := Sys.time () -. t0
-          end;
-          (* Prune against incumbent (with relative gap). *)
-          let cutoff =
-            if !incumbent = None then infinity
-            else !incumbent_obj -. (rel_gap *. Float.abs !incumbent_obj) -. 1e-9
-          in
-          if obj < cutoff then begin
-            let x = Revised.primal solver in
-            match fractional_var p x with
-            | -1 ->
-                (* Integral: new incumbent.  If it is within the gap of
-                   the root relaxation -- a lower bound on the optimum --
-                   optimality is proven and the search can stop. *)
-                incumbent := Some (Array.copy x);
-                incumbent_obj := obj;
-                if
-                  Float.is_finite !root_objective
-                  && obj
-                     <= !root_objective
-                        +. (rel_gap *. Float.abs obj)
-                        +. 1e-9
-                then raise Gap_closed
-            | v ->
-                let f = x.(v) in
-                let lo = floor f and hi = ceil f in
-                (* two children; explore the nearer-integer side first *)
-                let children =
-                  if f -. lo < hi -. f then
-                    [ (orig_lo.(v), lo); (hi, orig_hi.(v)) ]
-                  else [ (hi, orig_hi.(v)); (orig_lo.(v), lo) ]
-                in
-                List.iter
-                  (fun (l, h) ->
-                    if l <= h +. 1e-9 && not !limit_hit then begin
-                      Revised.set_bounds solver v ~lo:l ~hi:h;
-                      node (depth + 1);
-                      Revised.set_bounds solver v ~lo:orig_lo.(v)
-                        ~hi:orig_hi.(v)
-                    end)
-                  children
-          end
-    end
+  (* The gap is taken relative to max(1, |incumbent|): the regalloc
+     objectives carry 1e-7-scale symmetry-breaking perturbations, so a
+     near-zero objective would otherwise keep the search alive chasing
+     perturbation noise the gap can never close.  rel_gap = 0 remains an
+     exact proof. *)
+  let cutoff () =
+    if !incumbent = None then infinity
+    else
+      !incumbent_obj
+      -. (rel_gap *. Float.max 1. (Float.abs !incumbent_obj))
+      -. 1e-9
   in
-  (try node 0 with Gap_closed -> ());
-  let total_time = Sys.time () -. t0 in
+  let heap = Heap.create () in
+  let next = ref (Some
+    { nb = neg_infinity; fixings = []; depth = 0; bvar = -1; bfrac = 0.;
+      bup = false }) in
+  let lb_at_exit = ref neg_infinity in
+  let running = ref true in
+  while !running do
+    let nd =
+      match !next with
+      | Some nd ->
+          next := None;
+          Some nd
+      | None -> Heap.pop heap
+    in
+    match nd with
+    | None -> running := false (* tree exhausted: proof complete *)
+    | Some nd ->
+        if nd.nb >= cutoff () then () (* prune unexplored *)
+        else if Clock.since t0 > time_limit || !nodes >= node_limit then begin
+          limit_hit := true;
+          running := false;
+          lb_at_exit := Float.min nd.nb (Heap.min_bound heap)
+        end
+        else begin
+          activate nd.fixings;
+          incr nodes;
+          match Revised.solve solver with
+          | Revised.Iteration_limit ->
+              limit_hit := true;
+              running := false;
+              lb_at_exit := Float.min nd.nb (Heap.min_bound heap)
+          | Revised.Infeasible -> ()
+          | Revised.Optimal ->
+              let obj = Revised.objective solver in
+              if nd.depth = 0 then begin
+                root_objective := obj;
+                root_time := Clock.since t0
+              end;
+              pc_learn nd obj;
+              if obj < cutoff () then begin
+                let x = Revised.primal solver in
+                match select_branch x with
+                | -1 ->
+                    incumbent := Some (Array.copy x);
+                    incumbent_obj := obj
+                | v ->
+                    (* Periodic primal heuristic (always at the root). *)
+                    if
+                      use_heuristic
+                      && (nd.depth = 0 || !nodes mod heur_period = 0)
+                    then begin
+                      match
+                        Heuristic.dive ~cutoff:(cutoff ())
+                          ~deadline:(t0 +. time_limit) solver p
+                      with
+                      | Some (hobj, hx) when hobj < !incumbent_obj ->
+                          incumbent := Some hx;
+                          incumbent_obj := hobj;
+                          incr heur_found
+                      | _ -> ()
+                    end;
+                    let f = x.(v) -. floor x.(v) in
+                    let cl, ch = Revised.bounds solver v in
+                    let base =
+                      List.filter (fun (w, _, _) -> w <> v) nd.fixings
+                    in
+                    let mk_child l h up =
+                      if l > h +. 1e-9 then None
+                      else
+                        Some
+                          {
+                            nb = obj;
+                            fixings = (v, l, h) :: base;
+                            depth = nd.depth + 1;
+                            bvar = v;
+                            bfrac = f;
+                            bup = up;
+                          }
+                    in
+                    let down = mk_child cl (floor x.(v)) false in
+                    let up = mk_child (ceil x.(v)) ch true in
+                    let est_down = obj +. (pc_est false v *. f) in
+                    let est_up = obj +. (pc_est true v *. (1. -. f)) in
+                    let dive_first, park =
+                      if est_down <= est_up then (down, up) else (up, down)
+                    in
+                    (match park with
+                    | Some nd' -> Heap.push heap nd'
+                    | None -> ());
+                    next := dive_first
+              end
+        end
+  done;
+  let total_time = Clock.since t0 in
+  let simplex_iterations = Revised.iterations solver in
   match !incumbent with
   | Some x ->
+      let status = if !limit_hit then Limit else Optimal in
+      let best_bound =
+        if !limit_hit then Float.min !lb_at_exit !incumbent_obj
+        else !incumbent_obj
+      in
       {
-        status = (if !limit_hit then Limit else Optimal);
+        status;
         objective = !incumbent_obj;
         solution = x;
         nodes = !nodes;
         root_objective = !root_objective;
         root_time = !root_time;
         total_time;
-        simplex_iterations = Revised.iterations solver;
+        simplex_iterations;
+        best_bound;
+        heuristic_incumbents = !heur_found;
       }
   | None ->
       {
         status = (if !limit_hit then Limit else Infeasible);
         objective = infinity;
-        solution = Array.make (Problem.num_vars p) 0.;
+        solution = Array.make n 0.;
         nodes = !nodes;
         root_objective = !root_objective;
         root_time = !root_time;
         total_time;
-        simplex_iterations = Revised.iterations solver;
+        simplex_iterations;
+        best_bound = (if !limit_hit then !lb_at_exit else infinity);
+        heuristic_incumbents = !heur_found;
       }

@@ -1,0 +1,368 @@
+(* Root cutting planes for the 0-1 allocation models: knapsack cover
+   cuts and clique cuts separated from the rows of the problem, plus
+   Chvatal-Gomory rhs rounding.
+
+   The register-allocation MIPs are dominated by set-packing structure:
+   per-bank capacity rows (at most K live values per bank), per-color
+   exclusivity rows, and conflict rows.  Their LP relaxations fracture
+   exactly where several binaries share such a row, and the classic
+   remedies are
+
+     cover cuts:  for a knapsack row  sum a_j x_j <= b  (a_j > 0 after
+       complementing), any subset C with  sum_C a_j > b  admits
+       sum_C x_j <= |C| - 1;
+
+     clique cuts: if every pair in a set Q of literals conflicts
+       (a_i + a_j > b in some row), then  sum_Q x <= 1 -- strictly
+       stronger than the pairwise rows it came from;
+
+     rhs rounding: an all-integer row with fractional rhs tightens to
+       floor(rhs) (u = 1 Chvatal-Gomory cut).
+
+   Cuts are separated against the fractional LP optimum and only
+   violated ones are returned, most violated first.  Everything works on
+   *literals* (a variable or its complement, id = 2v or 2v+1) so rows
+   with negative coefficients separate just as well. *)
+
+type cut = {
+  cname : string;
+  crhs : float;
+  cterms : (int * float) list; (* always a <=-row *)
+  cviolation : float; (* violation at the separating LP point *)
+}
+
+let eps = 1e-6
+let min_violation = 1e-4
+
+(* --- literal helpers ------------------------------------------------- *)
+
+let lit_pos v = 2 * v
+let lit_neg v = (2 * v) + 1
+let lit_var l = l / 2
+let lit_is_neg l = l land 1 = 1
+let lit_value x l = if lit_is_neg l then 1. -. x.(lit_var l) else x.(lit_var l)
+
+(* A normalized row: sum a_j lit_j <= b with all a_j > 0, binaries only.
+   Returns None if the row involves a non-binary variable. *)
+let normalize (p : Problem.t) terms rhs =
+  let ok = ref true in
+  let b = ref rhs in
+  let lits =
+    List.filter_map
+      (fun (v, a) ->
+        if
+          (not (Problem.var_integer p v))
+          || Problem.var_lo p v < -.eps
+          || Problem.var_hi p v > 1. +. eps
+        then begin
+          ok := false;
+          None
+        end
+        else if a > eps then Some (lit_pos v, a)
+        else if a < -.eps then begin
+          (* a*x = -a*(1-x) + a: complement the literal *)
+          b := !b -. a;
+          Some (lit_neg v, -.a)
+        end
+        else None)
+      terms
+  in
+  if !ok then Some (lits, !b) else None
+
+(* Translate a <=-cut over literals back to variable space. *)
+let of_literals name lits rhs violation =
+  let b = ref rhs in
+  let terms =
+    List.map
+      (fun (l, a) ->
+        if lit_is_neg l then begin
+          (* a*(1-x) <= ... contributes -a*x and shifts the rhs *)
+          b := !b -. a;
+          (lit_var l, -.a)
+        end
+        else (lit_var l, a))
+      lits
+  in
+  { cname = name; crhs = !b; cterms = terms; cviolation = violation }
+
+(* --- cover cuts ------------------------------------------------------ *)
+
+let cover_cut p x terms rhs idx =
+  match normalize p terms rhs with
+  | None -> None
+  | Some (lits, b) ->
+      if List.length lits < 2 || b < -.eps then None
+      else begin
+        let total = List.fold_left (fun s (_, a) -> s +. a) 0. lits in
+        if total <= b +. eps then None (* row can never bind *)
+        else begin
+          (* Uniform-coefficient rows are pure set packing: any cover cut
+             sum_C x <= |C|-1 is dominated by the row itself. *)
+          let amin, amax =
+            List.fold_left
+              (fun (mn, mx) (_, a) -> (Float.min mn a, Float.max mx a))
+              (infinity, 0.) lits
+          in
+          if amax -. amin < eps then None
+          else begin
+            (* Greedy min-weight cover, cheapest (1 - x) per unit first. *)
+            let order =
+              List.sort
+                (fun (l1, a1) (l2, a2) ->
+                  compare
+                    ((1. -. lit_value x l1) /. a1)
+                    ((1. -. lit_value x l2) /. a2))
+                lits
+            in
+            let cover = ref [] in
+            let weight = ref 0. in
+            (try
+               List.iter
+                 (fun (l, a) ->
+                   if !weight > b +. eps then raise Exit;
+                   cover := (l, a) :: !cover;
+                   weight := !weight +. a)
+                 order
+             with Exit -> ());
+            if !weight <= b +. eps then None
+            else begin
+              (* Minimalize: drop big items while the cover survives. *)
+              let items =
+                List.sort (fun (_, a1) (_, a2) -> compare a2 a1) !cover
+              in
+              let kept =
+                List.filter
+                  (fun (_, a) ->
+                    if !weight -. a > b +. eps then begin
+                      weight := !weight -. a;
+                      false
+                    end
+                    else true)
+                  items
+              in
+              let size = List.length kept in
+              if size < 2 then None
+              else begin
+                let lhs =
+                  List.fold_left (fun s (l, _) -> s +. lit_value x l) 0. kept
+                in
+                let violation = lhs -. float_of_int (size - 1) in
+                if violation < min_violation then None
+                else
+                  Some
+                    (of_literals
+                       (Printf.sprintf "cover_r%d" idx)
+                       (List.map (fun (l, _) -> (l, 1.)) kept)
+                       (float_of_int (size - 1))
+                       violation)
+              end
+            end
+          end
+        end
+      end
+
+(* --- clique cuts ----------------------------------------------------- *)
+
+(* Conflict graph over literals: an edge (l1, l2) means x_{l1} + x_{l2}
+   <= 1 is valid.  Built from short normalized rows: literals i, j
+   conflict when a_i + a_j > b. *)
+let max_conflict_row = 48
+
+let build_conflicts p rows =
+  let adj : (int, (int, unit) Hashtbl.t) Hashtbl.t = Hashtbl.create 256 in
+  let add_edge l1 l2 =
+    let nb l =
+      match Hashtbl.find_opt adj l with
+      | Some s -> s
+      | None ->
+          let s = Hashtbl.create 8 in
+          Hashtbl.add adj l s;
+          s
+    in
+    Hashtbl.replace (nb l1) l2 ();
+    Hashtbl.replace (nb l2) l1 ()
+  in
+  List.iter
+    (fun (terms, rhs) ->
+      match normalize p terms rhs with
+      | None -> None |> ignore
+      | Some (lits, b) ->
+          if List.length lits >= 2 && List.length lits <= max_conflict_row
+          then begin
+            let arr = Array.of_list lits in
+            Array.sort (fun (_, a1) (_, a2) -> compare a2 a1) arr;
+            let len = Array.length arr in
+            (try
+               for i = 0 to len - 2 do
+                 let _, ai = arr.(i) in
+                 (* descending coefficients: once a pair fits, the rest
+                    of the inner loop fits too *)
+                 let stop = ref false in
+                 for j = i + 1 to len - 1 do
+                   if not !stop then begin
+                     let _, aj = arr.(j) in
+                     if ai +. aj > b +. eps then
+                       add_edge (fst arr.(i)) (fst arr.(j))
+                     else stop := true
+                   end
+                 done;
+                 if ai +. snd arr.(i + 1) <= b +. eps then raise Exit
+               done
+             with Exit -> ())
+          end)
+    rows;
+  adj
+
+let clique_cuts p x rows ~max_cuts =
+  let adj = build_conflicts p rows in
+  if Hashtbl.length adj = 0 then []
+  else begin
+    (* Fractional literals make promising clique seeds. *)
+    let seeds =
+      Hashtbl.fold
+        (fun l _ acc -> if lit_value x l > 0.3 then l :: acc else acc)
+        adj []
+    in
+    let seeds =
+      List.sort (fun a b -> compare (lit_value x b) (lit_value x a)) seeds
+    in
+    let seen = Hashtbl.create 16 in
+    let cuts = ref [] in
+    let ncuts = ref 0 in
+    List.iter
+      (fun seed ->
+        if !ncuts < max_cuts then begin
+          let clique = ref [ seed ] in
+          let adjacent_to_all l =
+            match Hashtbl.find_opt adj l with
+            | None -> false
+            | Some nb -> List.for_all (fun c -> Hashtbl.mem nb c) !clique
+          in
+          (* grow greedily by descending fractional value *)
+          (match Hashtbl.find_opt adj seed with
+          | None -> ()
+          | Some nb ->
+              let cands =
+                Hashtbl.fold (fun l _ acc -> l :: acc) nb []
+                |> List.sort (fun a b ->
+                       compare (lit_value x b) (lit_value x a))
+              in
+              List.iter
+                (fun l ->
+                  let v = lit_var l in
+                  if
+                    (not (List.exists (fun c -> lit_var c = v) !clique))
+                    && adjacent_to_all l
+                  then clique := l :: !clique)
+                cands);
+          if List.length !clique >= 3 then begin
+            let lhs =
+              List.fold_left (fun s l -> s +. lit_value x l) 0. !clique
+            in
+            let violation = lhs -. 1. in
+            if violation >= min_violation then begin
+              let key =
+                List.sort compare !clique
+                |> List.map string_of_int |> String.concat ","
+              in
+              if not (Hashtbl.mem seen key) then begin
+                Hashtbl.add seen key ();
+                incr ncuts;
+                cuts :=
+                  of_literals
+                    (Printf.sprintf "clique_%d" !ncuts)
+                    (List.map (fun l -> (l, 1.)) !clique)
+                    1. violation
+                  :: !cuts
+              end
+            end
+          end
+        end)
+      seeds;
+    !cuts
+  end
+
+(* --- Chvatal-Gomory rhs rounding ------------------------------------- *)
+
+let rounding_cut p x terms rhs idx =
+  let frac = rhs -. floor rhs in
+  if frac < eps || frac > 1. -. eps then None
+  else if
+    List.for_all
+      (fun (v, a) ->
+        Problem.var_integer p v
+        && Float.abs (a -. Float.round a) < eps)
+      terms
+    && terms <> []
+  then begin
+    let b' = floor rhs in
+    let lhs = List.fold_left (fun s (v, a) -> s +. (a *. x.(v))) 0. terms in
+    let violation = lhs -. b' in
+    if violation < min_violation then None
+    else
+      Some
+        {
+          cname = Printf.sprintf "cground_r%d" idx;
+          crhs = b';
+          cterms = terms;
+          cviolation = violation;
+        }
+  end
+  else None
+
+(* --- driver ---------------------------------------------------------- *)
+
+(* [generate p x] separates cuts violated by the LP point [x].  Returns
+   at most [max_cuts] cuts, most violated first.  Every returned cut is
+   a <=-row valid for all integral solutions of [p]. *)
+let generate ?(max_cuts = 200) (p : Problem.t) (x : float array) =
+  (* Collect every row as one or two <=-rows. *)
+  let le_rows = ref [] in
+  let idx = ref 0 in
+  Problem.iter_rows
+    (fun r ->
+      incr idx;
+      let i = !idx in
+      (match r.Problem.sense with
+      | Problem.Le -> le_rows := (i, r.terms, r.rhs) :: !le_rows
+      | Problem.Ge ->
+          le_rows :=
+            (i, List.map (fun (v, a) -> (v, -.a)) r.terms, -.r.rhs)
+            :: !le_rows
+      | Problem.Eq ->
+          le_rows := (i, r.terms, r.rhs) :: !le_rows;
+          le_rows :=
+            (-i, List.map (fun (v, a) -> (v, -.a)) r.terms, -.r.rhs)
+            :: !le_rows))
+    p;
+  let le_rows = !le_rows in
+  let covers =
+    List.filter_map (fun (i, terms, rhs) -> cover_cut p x terms rhs i) le_rows
+  in
+  let roundings =
+    List.filter_map
+      (fun (i, terms, rhs) -> rounding_cut p x terms rhs i)
+      le_rows
+  in
+  let cliques =
+    clique_cuts p x
+      (List.map (fun (_, terms, rhs) -> (terms, rhs)) le_rows)
+      ~max_cuts
+  in
+  let all = covers @ roundings @ cliques in
+  let all =
+    List.sort (fun c1 c2 -> compare c2.cviolation c1.cviolation) all
+  in
+  let rec take k = function
+    | [] -> []
+    | _ when k = 0 -> []
+    | c :: rest -> c :: take (k - 1) rest
+  in
+  take max_cuts all
+
+(* Append the cuts to [p] as ordinary rows. *)
+let apply (p : Problem.t) cuts =
+  List.iter
+    (fun c -> Problem.add_row p ~name:c.cname Problem.Le c.crhs c.cterms)
+    cuts;
+  List.length cuts

@@ -154,24 +154,51 @@ module Make (F : Field.S) = struct
       !obj_const,
       contradiction )
 
-  (* One phase of the simplex method with Bland's anticycling rule on the
-     extended tableau [t] (nrows x (ncols+1), last column = b), with basis
-     array [basis] and cost row [cost] (ncols+1 wide, last entry = -z). *)
+  (* Consecutive degenerate pivots tolerated under Dantzig pricing before
+     falling back to Bland's rule. *)
+  let bland_trigger = 64
+
+  (* One phase of the simplex method on the extended tableau [t]
+     (nrows x (ncols+1), last column = b), with basis array [basis] and
+     cost row [cost] (ncols+1 wide, last entry = -z).
+
+     Pricing is Dantzig's rule -- enter the most negative reduced cost --
+     which needs far fewer iterations than Bland's smallest-index rule on
+     anything nontrivial.  Dantzig alone can cycle on degenerate bases,
+     so a streak of [bland_trigger] consecutive degenerate pivots flips
+     pricing to Bland's rule, whose finiteness guarantee breaks the
+     cycle; the first nondegenerate step switches back.  Termination:
+     every nondegenerate pivot strictly decreases the objective (and
+     there are finitely many bases), and every all-degenerate stretch
+     either ends within [bland_trigger] pivots or continues under Bland's
+     rule, which provably terminates. *)
   let run_phase t basis cost nrows ncols ~max_enter =
+    let degen_streak = ref 0 in
     let rec iterate () =
-      (* Bland: entering = smallest index with negative reduced cost.
-         Artificial columns (j >= max_enter) are never allowed to enter:
+      (* Artificial columns (j >= max_enter) are never allowed to enter:
          they start basic and once driven out must stay out, regardless of
          what pivoting does to their reduced costs. *)
       let entering = ref (-1) in
-      (try
-         for j = 0 to max_enter - 1 do
-           if F.compare cost.(j) F.zero < 0 then begin
-             entering := j;
-             raise Exit
-           end
-         done
-       with Exit -> ());
+      if !degen_streak >= bland_trigger then (
+        (* Bland: smallest index with negative reduced cost. *)
+        try
+          for j = 0 to max_enter - 1 do
+            if F.compare cost.(j) F.zero < 0 then begin
+              entering := j;
+              raise Exit
+            end
+          done
+        with Exit -> ())
+      else begin
+        (* Dantzig: most negative reduced cost, smallest index on ties. *)
+        let bestc = ref F.zero in
+        for j = 0 to max_enter - 1 do
+          if F.compare cost.(j) !bestc < 0 then begin
+            entering := j;
+            bestc := cost.(j)
+          end
+        done
+      end;
       if !entering < 0 then `Optimal
       else begin
         let e = !entering in
@@ -194,6 +221,7 @@ module Make (F : Field.S) = struct
         if !leave < 0 then `Unbounded
         else begin
           let l = !leave in
+          if F.is_zero !best then incr degen_streak else degen_streak := 0;
           (* Pivot on (l, e). *)
           let piv = t.(l).(e) in
           for j = 0 to ncols do

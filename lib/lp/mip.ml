@@ -1,8 +1,16 @@
-(* High-level MIP entry point: presolve, branch and bound, postsolve.
+(* High-level MIP entry point: presolve, root cuts, branch and bound,
+   postsolve.
 
    This is the interface the register allocator talks to; it reports the
    statistics that Figure 7 of the paper tabulates (model size, root-LP
-   and integer solve times). *)
+   and integer solve times).
+
+   Root cutting planes: after presolve, a few rounds of cover/clique
+   separation (see [Cuts]) run against the fractional root optimum and
+   the violated cuts are appended to the reduced problem as ordinary
+   rows, so branch and bound starts from a tighter relaxation.  All
+   budgets are wall-clock seconds ([Clock]); the cut rounds spend from
+   the same [time_limit] as the search. *)
 
 type status = Optimal | Infeasible | Limit
 
@@ -18,6 +26,10 @@ type stats = {
   root_objective : float;
   nodes : int;
   simplex_iterations : int;
+  cut_rounds : int; (* root separation rounds run *)
+  cuts_added : int; (* violated cuts appended before branching *)
+  best_bound : float; (* proven lower bound at exit *)
+  heuristic_incumbents : int; (* incumbents found by the diving heuristic *)
 }
 
 type result = {
@@ -40,15 +52,54 @@ let default_stats =
     root_objective = nan;
     nodes = 0;
     simplex_iterations = 0;
+    cut_rounds = 0;
+    cuts_added = 0;
+    best_bound = nan;
+    heuristic_incumbents = 0;
   }
 
-let solve ?(presolve = true) ?(time_limit = 600.) ?(node_limit = 500_000)
-    ?(rel_gap = 1e-4) (p : Problem.t) =
-  let t0 = Sys.time () in
+let int_tol = 1e-6
+
+(* Separate and append root cuts until no violated cut is found, the
+   round budget runs out, or the root comes back integral.  Returns
+   (rounds run, cuts added).  Each round re-solves the root LP from
+   scratch; with the sparse basis this costs well under a second even on
+   the largest allocation models. *)
+let root_cut_pass ?(max_rounds = 3) ~deadline (p : Problem.t) =
+  let n = Problem.num_vars p in
+  let rounds = ref 0 in
+  let added = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !rounds < max_rounds && Clock.now () < deadline do
+    incr rounds;
+    let solver = Revised.create p in
+    match Revised.solve solver with
+    | Revised.Infeasible | Revised.Iteration_limit -> continue_ := false
+    | Revised.Optimal ->
+        let x = Revised.primal solver in
+        let fractional = ref false in
+        for j = 0 to n - 1 do
+          if Problem.var_integer p j then begin
+            let f = Float.abs (x.(j) -. Float.round x.(j)) in
+            if f > int_tol then fractional := true
+          end
+        done;
+        if not !fractional then continue_ := false
+        else begin
+          let cuts = Cuts.generate p x in
+          if cuts = [] then continue_ := false
+          else added := !added + Cuts.apply p cuts
+        end
+  done;
+  (!rounds, !added)
+
+let solve ?(presolve = true) ?(cuts = true) ?(time_limit = 600.)
+    ?(node_limit = 500_000) ?(rel_gap = 1e-4) (p : Problem.t) =
+  let t0 = Clock.now () in
   let before = Problem.stats p in
   let finish status objective solution ~root_time ~root_obj ~nodes ~iters
-      ~after_stats =
-    let total_time = Sys.time () -. t0 in
+      ~cut_rounds ~cuts_added ~best_bound ~heur ~after_stats =
+    let total_time = Clock.since t0 in
     {
       status;
       objective;
@@ -66,15 +117,50 @@ let solve ?(presolve = true) ?(time_limit = 600.) ?(node_limit = 500_000)
           root_objective = root_obj;
           nodes;
           simplex_iterations = iters;
+          cut_rounds;
+          cuts_added;
+          best_bound;
+          heuristic_incumbents = heur;
         };
     }
+  in
+  let branch_and_bound sub ~after_stats ~postsolve_fn =
+    let cut_rounds, cuts_added =
+      if cuts then
+        root_cut_pass ~deadline:(t0 +. (0.25 *. time_limit)) sub
+      else (0, 0)
+    in
+    let remaining = Float.max 1. (time_limit -. Clock.since t0) in
+    let r =
+      Branch_bound.solve ~time_limit:remaining ~node_limit ~rel_gap sub
+    in
+    let status =
+      match r.Branch_bound.status with
+      | Branch_bound.Optimal -> Optimal
+      | Branch_bound.Infeasible -> Infeasible
+      | Branch_bound.Limit -> Limit
+    in
+    let solution, objective =
+      if status = Infeasible then
+        (Array.make (Problem.num_vars p) 0., infinity)
+      else begin
+        let s = postsolve_fn r.Branch_bound.solution in
+        (s, Problem.objective_value p s)
+      end
+    in
+    finish status objective solution ~root_time:r.Branch_bound.root_time
+      ~root_obj:r.Branch_bound.root_objective ~nodes:r.Branch_bound.nodes
+      ~iters:r.Branch_bound.simplex_iterations ~cut_rounds ~cuts_added
+      ~best_bound:r.Branch_bound.best_bound
+      ~heur:r.Branch_bound.heuristic_incumbents ~after_stats
   in
   let empty_solution = Array.make (Problem.num_vars p) 0. in
   if presolve then begin
     match Presolve.run p with
     | Presolve.Infeasible_detected ->
         finish Infeasible infinity empty_solution ~root_time:0. ~root_obj:nan
-          ~nodes:0 ~iters:0 ~after_stats:(Problem.stats p)
+          ~nodes:0 ~iters:0 ~cut_rounds:0 ~cuts_added:0 ~best_bound:infinity
+          ~heur:0 ~after_stats:(Problem.stats p)
     | Presolve.Reduced (reduced, info) ->
         let after_stats = Problem.stats reduced in
         if Problem.num_vars reduced = 0 then begin
@@ -82,41 +168,16 @@ let solve ?(presolve = true) ?(time_limit = 600.) ?(node_limit = 500_000)
           let solution = Presolve.postsolve info [||] in
           let objective = Problem.objective_value p solution in
           finish Optimal objective solution ~root_time:0.
-            ~root_obj:objective ~nodes:0 ~iters:0 ~after_stats
+            ~root_obj:objective ~nodes:0 ~iters:0 ~cut_rounds:0 ~cuts_added:0
+            ~best_bound:objective ~heur:0 ~after_stats
         end
-        else begin
-          let r = Branch_bound.solve ~time_limit ~node_limit ~rel_gap reduced in
-          let status =
-            match r.Branch_bound.status with
-            | Branch_bound.Optimal -> Optimal
-            | Branch_bound.Infeasible -> Infeasible
-            | Branch_bound.Limit -> Limit
-          in
-          let solution, objective =
-            if status = Infeasible then (empty_solution, infinity)
-            else begin
-              let s = Presolve.postsolve info r.Branch_bound.solution in
-              (s, Problem.objective_value p s)
-            end
-          in
-          finish status objective solution ~root_time:r.Branch_bound.root_time
-            ~root_obj:r.Branch_bound.root_objective ~nodes:r.Branch_bound.nodes
-            ~iters:r.Branch_bound.simplex_iterations ~after_stats
-        end
+        else
+          branch_and_bound reduced ~after_stats
+            ~postsolve_fn:(Presolve.postsolve info)
   end
-  else begin
-    let r = Branch_bound.solve ~time_limit ~node_limit ~rel_gap p in
-    let status =
-      match r.Branch_bound.status with
-      | Branch_bound.Optimal -> Optimal
-      | Branch_bound.Infeasible -> Infeasible
-      | Branch_bound.Limit -> Limit
-    in
-    finish status r.Branch_bound.objective r.Branch_bound.solution
-      ~root_time:r.Branch_bound.root_time ~root_obj:r.Branch_bound.root_objective
-      ~nodes:r.Branch_bound.nodes ~iters:r.Branch_bound.simplex_iterations
-      ~after_stats:(Problem.stats p)
-  end
+  else
+    branch_and_bound p ~after_stats:(Problem.stats p)
+      ~postsolve_fn:(fun s -> s)
 
 (* Solve the LP relaxation only (used for root-relaxation statistics). *)
 let solve_relaxation (p : Problem.t) =

@@ -1,5 +1,5 @@
-(* Production LP solver: bounded-variable revised dual simplex with a
-   dense explicit basis inverse and sparse columns.
+(* Production LP solver: bounded-variable revised dual simplex on a
+   sparse LU-factored basis (see [Sparse_lu]) with sparse columns.
 
    Why dual simplex: the register-allocation MIPs have nonnegative move
    costs, so the all-slack basis with every structural variable at a
@@ -7,6 +7,13 @@
    needed.  Branch and bound only ever changes variable bounds, which
    preserves dual feasibility of the current basis, so node re-solves are
    warm-started for free.
+
+   Warm restarts after bound changes are fully incremental: duals do not
+   depend on bound values at all, so a bound change on a nonbasic
+   variable only requires (a) re-checking which bound that one variable
+   should sit at (using the maintained reduced cost) and (b) shifting
+   x_B by one FTRAN column per net value change.  No global dual rescan
+   ever happens between branch-and-bound nodes.
 
    Internal form: every row [a_i x (sense) b_i] becomes [a_i x + s_i = b_i]
    with slack bounds
@@ -27,18 +34,21 @@ type t = {
   hi : float array;
   cols : (int * float) array array; (* sparse column per variable *)
   rhs : float array; (* length m *)
-  binv : float array array; (* m x m dense basis inverse *)
+  mutable lu : Sparse_lu.t; (* factored basis *)
   basis : int array; (* length m: variable in basis position i *)
   in_basis : int array; (* var -> basis position, or -1 *)
   at_upper : bool array; (* nonbasic status; meaningful when not basic *)
   xb : float array; (* values of basic variables *)
   dvals : float array; (* reduced costs, maintained incrementally *)
   mutable dvals_fresh : bool;
-  mutable dirty : bool; (* xb / dual status must be refreshed *)
+  mutable xb_fresh : bool;
   (* cheap-restart queue: (nonbasic var, its value before the bound
-     change); the basis and duals are unaffected by bound changes, and
-     x_B shifts by one FTRAN column per changed variable *)
+     change); the basis and duals are unaffected by bound changes, so
+     only these variables need their placement re-checked and x_B
+     shifted by one FTRAN column each *)
   mutable bound_deltas : (int * float) list;
+  rho : float array; (* workspace: BTRAN pivot row, length m *)
+  wcol : float array; (* workspace: FTRAN entering column, length m *)
   mutable iters : int;
   mutable total_iters : int;
   mutable factorizations : int;
@@ -94,7 +104,6 @@ let create (p : Problem.t) =
   for i = 0 to m - 1 do
     cols.(n + i) <- [| (i, 1.0) |]
   done;
-  let binv = Array.init m (fun i -> Array.init m (fun k -> if i = k then 1. else 0.)) in
   let basis = Array.init m (fun i -> n + i) in
   let in_basis = Array.make nm (-1) in
   for i = 0 to m - 1 do
@@ -106,13 +115,17 @@ let create (p : Problem.t) =
     if cost.(j) < 0. then at_upper.(j) <- true
     else if not (Float.is_finite lo.(j)) then at_upper.(j) <- true
   done;
+  (* All-slack basis: the identity factors trivially. *)
+  let lu = Sparse_lu.factorize m (fun i -> cols.(basis.(i))) in
   {
-    n; m; cost; lo; hi; cols; rhs; binv; basis; in_basis; at_upper;
+    n; m; cost; lo; hi; cols; rhs; lu; basis; in_basis; at_upper;
     xb = Array.make m 0.;
     dvals = Array.make nm 0.;
     dvals_fresh = false;
-    dirty = true;
+    xb_fresh = false;
     bound_deltas = [];
+    rho = Array.make m 0.;
+    wcol = Array.make m 0.;
     iters = 0;
     total_iters = 0;
     factorizations = 0;
@@ -120,176 +133,109 @@ let create (p : Problem.t) =
 
 let nonbasic_value t j = if t.at_upper.(j) then t.hi.(j) else t.lo.(j)
 
+let refactorize t =
+  t.factorizations <- t.factorizations + 1;
+  match Sparse_lu.factorize t.m (fun i -> t.cols.(t.basis.(i))) with
+  | lu -> t.lu <- lu
+  | exception Sparse_lu.Singular -> failwith "Revised.refactorize: singular basis"
+
 (* Recompute x_B = Binv (b - N x_N) from scratch. *)
 let recompute_xb t =
-  let v = Array.copy t.rhs in
+  Array.blit t.rhs 0 t.xb 0 t.m;
   for j = 0 to t.n + t.m - 1 do
     if t.in_basis.(j) < 0 then begin
       let xj = nonbasic_value t j in
       if xj <> 0. then
-        Array.iter (fun (i, c) -> v.(i) <- v.(i) -. (c *. xj)) t.cols.(j)
+        Array.iter (fun (i, c) -> t.xb.(i) <- t.xb.(i) -. (c *. xj)) t.cols.(j)
     end
   done;
-  for i = 0 to t.m - 1 do
-    let row = t.binv.(i) in
-    let acc = ref 0. in
-    for k = 0 to t.m - 1 do
-      acc := !acc +. (row.(k) *. v.(k))
-    done;
-    t.xb.(i) <- !acc
-  done
+  Sparse_lu.ftran t.lu t.xb;
+  t.xb_fresh <- true
 
-(* Dual values y = c_B' Binv and reduced costs for all variables. *)
-let compute_duals t =
+(* Dual values and reduced costs for all variables, from one BTRAN. *)
+let refresh_dvals t =
   let y = Array.make t.m 0. in
   for i = 0 to t.m - 1 do
-    let cb = t.cost.(t.basis.(i)) in
-    if cb <> 0. then begin
-      let row = t.binv.(i) in
-      for k = 0 to t.m - 1 do
-        y.(k) <- y.(k) +. (cb *. row.(k))
-      done
-    end
+    y.(i) <- t.cost.(t.basis.(i))
   done;
-  y
-
-let reduced_cost t y j =
-  let d = ref t.cost.(j) in
-  Array.iter (fun (i, c) -> d := !d -. (y.(i) *. c)) t.cols.(j);
-  !d
-
-let refresh_dvals t =
-  let y = compute_duals t in
+  Sparse_lu.btran t.lu y;
   for j = 0 to t.n + t.m - 1 do
-    t.dvals.(j) <- (if t.in_basis.(j) >= 0 then 0. else reduced_cost t y j)
+    if t.in_basis.(j) >= 0 then t.dvals.(j) <- 0.
+    else begin
+      let d = ref t.cost.(j) in
+      Array.iter (fun (i, c) -> d := !d -. (y.(i) *. c)) t.cols.(j);
+      t.dvals.(j) <- !d
+    end
   done;
   t.dvals_fresh <- true
 
-(* Restore dual feasibility of nonbasic placements by bound flips (used
-   after arbitrary bound changes from branch and bound). *)
-let restore_dual_feasibility t =
-  let y = compute_duals t in
-  t.dvals_fresh <- false;
-  for j = 0 to t.n + t.m - 1 do
-    if t.in_basis.(j) < 0 then begin
-      let d = reduced_cost t y j in
-      if (not t.at_upper.(j)) && d < -.dual_tol && Float.is_finite t.hi.(j) then
-        t.at_upper.(j) <- true
+(* Re-check which bound a single nonbasic variable should sit at, after
+   its bounds changed.  Duals are untouched by bound changes, so the
+   maintained reduced cost decides; an infinite current side forces a
+   move regardless of the sign. *)
+let fix_placement t j =
+  if t.in_basis.(j) < 0 then begin
+    let d = t.dvals.(j) in
+    if t.at_upper.(j) && not (Float.is_finite t.hi.(j)) then
+      t.at_upper.(j) <- false
+    else if (not t.at_upper.(j)) && not (Float.is_finite t.lo.(j)) then
+      t.at_upper.(j) <- true
+    else if t.lo.(j) < t.hi.(j) -. 1e-15 then begin
+      if (not t.at_upper.(j)) && d < -.dual_tol && Float.is_finite t.hi.(j)
+      then t.at_upper.(j) <- true
       else if t.at_upper.(j) && d > dual_tol && Float.is_finite t.lo.(j) then
         t.at_upper.(j) <- false
-      else if (not (Float.is_finite t.lo.(j))) && not t.at_upper.(j) then
-        t.at_upper.(j) <- true
-      else if (not (Float.is_finite t.hi.(j))) && t.at_upper.(j) then
-        t.at_upper.(j) <- false
     end
-  done
+  end
 
-(* FTRAN: w = Binv * A_q for a sparse column q. *)
-let ftran t q =
-  let w = Array.make t.m 0. in
-  Array.iter
-    (fun (i, c) ->
-      if c <> 0. then
-        for k = 0 to t.m - 1 do
-          Array.unsafe_set w k
-            (Array.unsafe_get w k
-            +. (Array.unsafe_get (Array.unsafe_get t.binv k) i *. c))
-        done)
-    t.cols.(q);
-  w
-
-(* Rebuild Binv from scratch with Gauss-Jordan for numerical hygiene. *)
-let refactorize t =
-  t.factorizations <- t.factorizations + 1;
-  let m = t.m in
-  (* aug = [B | I] column-built from basis columns. *)
-  let b = Array.make_matrix m m 0. in
-  for i = 0 to m - 1 do
-    Array.iter (fun (r, c) -> b.(r).(i) <- c) t.cols.(t.basis.(i))
-  done;
-  let inv = Array.init m (fun i -> Array.init m (fun k -> if i = k then 1. else 0.)) in
-  for col = 0 to m - 1 do
-    (* partial pivot *)
-    let piv = ref col in
-    for r = col + 1 to m - 1 do
-      if Float.abs b.(r).(col) > Float.abs b.(!piv).(col) then piv := r
-    done;
-    if Float.abs b.(!piv).(col) < 1e-12 then
-      failwith "Revised.refactorize: singular basis";
-    if !piv <> col then begin
-      let tmp = b.(col) in
-      b.(col) <- b.(!piv);
-      b.(!piv) <- tmp;
-      let tmp = inv.(col) in
-      inv.(col) <- inv.(!piv);
-      inv.(!piv) <- tmp
-    end;
-    let p = b.(col).(col) in
-    for k = 0 to m - 1 do
-      b.(col).(k) <- b.(col).(k) /. p;
-      inv.(col).(k) <- inv.(col).(k) /. p
-    done;
-    for r = 0 to m - 1 do
-      if r <> col && b.(r).(col) <> 0. then begin
-        let f = b.(r).(col) in
-        for k = 0 to m - 1 do
-          b.(r).(k) <- b.(r).(k) -. (f *. b.(col).(k));
-          inv.(r).(k) <- inv.(r).(k) -. (f *. inv.(col).(k))
-        done
-      end
-    done
-  done;
-  for i = 0 to m - 1 do
-    Array.blit inv.(i) 0 t.binv.(i) 0 m
-  done
+(* FTRAN of the sparse column of variable [q] into the [wcol] workspace. *)
+let ftran_col t q =
+  Array.fill t.wcol 0 t.m 0.;
+  Array.iter (fun (i, c) -> t.wcol.(i) <- c) t.cols.(q);
+  Sparse_lu.ftran t.lu t.wcol
 
 let set_bounds t j ~lo ~hi =
   if j < 0 || j >= t.n then invalid_arg "Revised.set_bounds";
-  (* Tightenings (branch-and-bound dives) restart incrementally: the
-     basis and reduced costs are untouched, a nonbasic variable stays on
-     its side with its value merely clamped, and x_B shifts by one FTRAN
-     column.  Widenings (backtracks) may make the current side
-     dual-infeasible, so they schedule the full refresh. *)
-  let widening = lo < t.lo.(j) || hi > t.hi.(j) in
-  if widening then t.dirty <- true;
-  if not t.dirty then begin
-    (* only the OLDEST record per variable matters: several changes
-       between two solves must not double-count the shift *)
-    if
-      t.in_basis.(j) < 0
-      && not (List.exists (fun (k, _) -> k = j) t.bound_deltas)
-    then t.bound_deltas <- (j, nonbasic_value t j) :: t.bound_deltas
-  end;
+  (* Record the pre-change value once per variable: several changes
+     between two solves must not double-count the x_B shift, and only
+     the OLDEST value matters. *)
+  if
+    t.in_basis.(j) < 0
+    && not (List.exists (fun (k, _) -> k = j) t.bound_deltas)
+  then t.bound_deltas <- (j, nonbasic_value t j) :: t.bound_deltas;
   t.lo.(j) <- lo;
   t.hi.(j) <- hi
+
+let bounds t j =
+  if j < 0 || j >= t.n then invalid_arg "Revised.bounds";
+  (t.lo.(j), t.hi.(j))
 
 exception Done of status
 
 let solve ?(max_iters = 200_000) t =
-  if t.dirty then begin
-    restore_dual_feasibility t;
-    recompute_xb t;
-    t.dirty <- false;
-    t.bound_deltas <- []
-  end
-  else if t.bound_deltas <> [] then begin
-    (* incremental restart: shift x_B by the changed nonbasic values *)
+  if not t.dvals_fresh then refresh_dvals t;
+  (* Incremental restart: re-place the variables whose bounds changed,
+     then shift x_B by the net value changes (one FTRAN each). *)
+  if t.xb_fresh then
     List.iter
       (fun (j, old_value) ->
         if t.in_basis.(j) < 0 then begin
+          fix_placement t j;
           let new_value = nonbasic_value t j in
           let delta = new_value -. old_value in
           if Float.abs delta > 1e-13 then begin
-            let w = ftran t j in
+            ftran_col t j;
             for i = 0 to t.m - 1 do
-              t.xb.(i) <- t.xb.(i) -. (delta *. w.(i))
+              t.xb.(i) <- t.xb.(i) -. (delta *. t.wcol.(i))
             done
           end
         end)
-      t.bound_deltas;
-    t.bound_deltas <- []
+      t.bound_deltas
+  else begin
+    List.iter (fun (j, _) -> fix_placement t j) t.bound_deltas;
+    recompute_xb t
   end;
-  if not t.dvals_fresh then refresh_dvals t;
+  t.bound_deltas <- [];
   t.iters <- 0;
   let nm = t.n + t.m in
   let alphas = Array.make nm 0. in
@@ -298,7 +244,7 @@ let solve ?(max_iters = 200_000) t =
        if t.iters >= max_iters then raise (Done Iteration_limit);
        t.iters <- t.iters + 1;
        t.total_iters <- t.total_iters + 1;
-       if t.total_iters mod 2000 = 0 then begin
+       if Sparse_lu.should_refactorize t.lu then begin
          refactorize t;
          recompute_xb t;
          refresh_dvals t
@@ -323,8 +269,11 @@ let solve ?(max_iters = 200_000) t =
        done;
        if !r < 0 then raise (Done Optimal);
        let r = !r and sigma = !sigma in
-       (* Pivot row of Binv. *)
-       let rho = t.binv.(r) in
+       (* Pivot row of Binv: rho = e_r' Binv via one sparse BTRAN. *)
+       let rho = t.rho in
+       Array.fill rho 0 t.m 0.;
+       rho.(r) <- 1.0;
+       Sparse_lu.btran t.lu rho;
        (* Ratio test over nonbasic columns, using the maintained reduced
           costs; alphas are cached for the incremental dual update. *)
        let best_j = ref (-1) in
@@ -362,53 +311,50 @@ let solve ?(max_iters = 200_000) t =
        done;
        if !best_j < 0 then raise (Done Infeasible);
        let q = !best_j in
-       (* incremental dual update: d_j -= (d_q / alpha_q) * alpha_j *)
-       let theta = t.dvals.(q) /. alphas.(q) in
-       if theta <> 0. then
-         for j = 0 to nm - 1 do
-           if t.in_basis.(j) < 0 && j <> q then
-             Array.unsafe_set t.dvals j
-               (Array.unsafe_get t.dvals j -. (theta *. Array.unsafe_get alphas j))
-         done;
        (* Full entering column. *)
-       let w = ftran t q in
-       let wr = w.(r) in
-       let leaving = t.basis.(r) in
-       let target =
-         if sigma > 0. then t.hi.(leaving) else t.lo.(leaving)
-       in
-       let step = (t.xb.(r) -. target) /. wr in
-       (* Update basic values. *)
-       for i = 0 to t.m - 1 do
-         t.xb.(i) <- t.xb.(i) -. (step *. w.(i))
-       done;
-       let entering_old = nonbasic_value t q in
-       (* Update Binv: pivot row r on w. *)
-       let inv_wr = 1.0 /. wr in
-       let br = t.binv.(r) in
-       for k = 0 to t.m - 1 do
-         Array.unsafe_set br k (Array.unsafe_get br k *. inv_wr)
-       done;
-       for i = 0 to t.m - 1 do
-         if i <> r then begin
-           let wi = Array.unsafe_get w i in
-           if Float.abs wi > 1e-13 then begin
-             let bi = Array.unsafe_get t.binv i in
-             for k = 0 to t.m - 1 do
-               Array.unsafe_set bi k
-                 (Array.unsafe_get bi k -. (wi *. Array.unsafe_get br k))
-             done
-           end
-         end
-       done;
-       (* Swap basis membership. *)
-       t.basis.(r) <- q;
-       t.in_basis.(q) <- r;
-       t.in_basis.(leaving) <- -1;
-       t.at_upper.(leaving) <- sigma > 0.;
-       t.xb.(r) <- entering_old +. step;
-       t.dvals.(leaving) <- -.theta;
-       t.dvals.(q) <- 0.
+       ftran_col t q;
+       let w = t.wcol in
+       if Float.abs w.(r) < pivot_tol then begin
+         (* The FTRAN image disagrees with the BTRAN-side alpha: the
+            factors have drifted.  Refactorize and redo the iteration. *)
+         if Sparse_lu.n_etas t.lu = 0 then
+           failwith "Revised.solve: numerically singular pivot";
+         refactorize t;
+         recompute_xb t;
+         refresh_dvals t
+       end
+       else begin
+         (* incremental dual update: d_j -= (d_q / alpha_q) * alpha_j *)
+         let theta = t.dvals.(q) /. alphas.(q) in
+         if theta <> 0. then
+           for j = 0 to nm - 1 do
+             if t.in_basis.(j) < 0 && j <> q then
+               Array.unsafe_set t.dvals j
+                 (Array.unsafe_get t.dvals j
+                 -. (theta *. Array.unsafe_get alphas j))
+           done;
+         let wr = w.(r) in
+         let leaving = t.basis.(r) in
+         let target =
+           if sigma > 0. then t.hi.(leaving) else t.lo.(leaving)
+         in
+         let step = (t.xb.(r) -. target) /. wr in
+         (* Update basic values. *)
+         for i = 0 to t.m - 1 do
+           t.xb.(i) <- t.xb.(i) -. (step *. w.(i))
+         done;
+         let entering_old = nonbasic_value t q in
+         (* Absorb the basis change as a product-form eta. *)
+         Sparse_lu.update t.lu ~r ~w;
+         (* Swap basis membership. *)
+         t.basis.(r) <- q;
+         t.in_basis.(q) <- r;
+         t.in_basis.(leaving) <- -1;
+         t.at_upper.(leaving) <- sigma > 0.;
+         t.xb.(r) <- entering_old +. step;
+         t.dvals.(leaving) <- -.theta;
+         t.dvals.(q) <- 0.
+       end
      done;
      assert false
    with Done s ->

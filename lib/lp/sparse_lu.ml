@@ -1,0 +1,370 @@
+(* Sparse LU factorization of a simplex basis, with product-form eta
+   updates between refactorizations.
+
+   The revised simplex needs four operations against the basis matrix B
+   (whose columns are the sparse constraint columns of the basic
+   variables):
+
+     FTRAN:  solve B x = b        (entering column, x_B recomputation)
+     BTRAN:  solve B' y = c       (dual values, pivot rows of Binv)
+     UPDATE: replace column r of B by a new column a_q
+     REFACTORIZE: rebuild the factors from the current basis
+
+   The previous implementation kept a dense m x m explicit inverse:
+   O(m^2) memory and per-pivot update, O(m^3) refactorization -- hopeless
+   on the thousand-row register-allocation models.  Here B is factored as
+
+     E B = U        (Gaussian elimination, Markowitz-ordered pivoting)
+
+   where E is the product of the recorded elementary row operations
+   (stored column-wise per elimination step, [lmat]) and U is the sparse
+   upper-triangular matrix of pivot rows (stored row-wise per step,
+   [umat], with entries indexed by *elimination step* of their column).
+   Slack columns are unit vectors, and the structural columns of the
+   allocation models are short, so the greedy singleton-first Markowitz
+   order dissolves almost the whole basis with no fill-in; only a small
+   "bump" needs real elimination.
+
+   Column replacements are absorbed as product-form etas: replacing
+   column r by a_q multiplies B on the right by the eta matrix E_r that
+   is the identity except for column r = w, where w = B^-1 a_q (the
+   FTRAN of the entering column, which the simplex iteration has already
+   computed).  FTRAN applies the eta file oldest-to-newest after the LU
+   solve; BTRAN applies it newest-to-oldest before the LU solve.  The
+   caller refactorizes periodically to keep the eta file short (the
+   classic Forrest-Tomlin trade: cheap O(nnz) updates between
+   refactorizations, a sparse refactorization every few dozen pivots). *)
+
+exception Singular
+
+type eta = {
+  e_r : int; (* basis position whose column was replaced *)
+  e_wr : float; (* w_r, the pivot element of the replacement *)
+  e_entries : (int * float) array; (* (i, w_i) for i <> r, |w_i| > drop *)
+}
+
+type t = {
+  m : int;
+  pr : int array; (* elimination step -> pivot row *)
+  pc : int array; (* elimination step -> pivot column (basis position) *)
+  pivots : float array; (* elimination step -> pivot value *)
+  lmat : (int * float) array array; (* step -> (row, multiplier) list *)
+  umat : (int * float) array array; (* step -> (later step, value) list *)
+  lu_nnz : int;
+  etas : eta Support.Vec.t;
+  mutable eta_nnz : int;
+  ws : float array; (* step-space workspace, length m *)
+  ws2 : float array; (* row-space workspace, length m *)
+}
+
+let drop_tol = 1e-13
+let abs_pivot_tol = 1e-11
+let rel_pivot_tol = 0.1 (* threshold pivoting within the chosen column *)
+
+(* [factorize m column] factors the m x m matrix whose [j]-th column is
+   the sparse vector [column j] (a (row, value) array).  Raises
+   [Singular] when no acceptable pivot remains. *)
+let factorize m column =
+  (* Active submatrix: per-column hashtables row -> value, plus a
+     row -> column-set index and entry counts, all maintained under
+     elimination. *)
+  let acols =
+    Array.init m (fun j ->
+        let tbl = Hashtbl.create 8 in
+        Array.iter
+          (fun (i, v) ->
+            if v <> 0. then
+              match Hashtbl.find_opt tbl i with
+              | Some prev -> Hashtbl.replace tbl i (prev +. v)
+              | None -> Hashtbl.replace tbl i v)
+          (column j);
+        tbl)
+  in
+  let rowcols = Array.init m (fun _ -> Hashtbl.create 8) in
+  Array.iteri
+    (fun j tbl -> Hashtbl.iter (fun i _ -> Hashtbl.replace rowcols.(i) j ()) tbl)
+    acols;
+  let colcnt = Array.map Hashtbl.length acols in
+  let rowcnt = Array.map Hashtbl.length rowcols in
+  let col_active = Array.make m true in
+  (* Columns bucketed by current entry count; stale entries (count since
+     changed) are discarded lazily when a bucket is scanned. *)
+  let buckets = Array.make (m + 1) [] in
+  let push_bucket j =
+    let c = colcnt.(j) in
+    if c >= 0 && c <= m then buckets.(c) <- j :: buckets.(c)
+  in
+  for j = 0 to m - 1 do
+    push_bucket j
+  done;
+  (* Best (threshold-acceptable) pivot entry within column [j]:
+     (row, value, rowcount), preferring short rows then large values. *)
+  let best_in_col j =
+    let tbl = acols.(j) in
+    let colmax = Hashtbl.fold (fun _ v acc -> Float.max (Float.abs v) acc) tbl 0. in
+    if colmax < abs_pivot_tol then None
+    else begin
+      let thresh = rel_pivot_tol *. colmax in
+      let bi = ref (-1) and bv = ref 0. and bc = ref max_int in
+      Hashtbl.iter
+        (fun i v ->
+          let av = Float.abs v in
+          if av >= thresh then
+            if
+              rowcnt.(i) < !bc
+              || (rowcnt.(i) = !bc && av > Float.abs !bv)
+            then begin
+              bi := i;
+              bv := v;
+              bc := rowcnt.(i)
+            end)
+        tbl;
+      if !bi < 0 then None else Some (!bi, !bv, !bc)
+    end
+  in
+  (* Markowitz pivot selection: scan buckets in increasing column count,
+     stop at the first zero-cost candidate or after a handful of
+     candidates (partial pricing of pivots, GLPK-style). *)
+  let select () =
+    let best = ref None in
+    let ncand = ref 0 in
+    let stop = ref false in
+    let cnt = ref 1 in
+    while (not !stop) && !cnt <= m do
+      let lst = buckets.(!cnt) in
+      if lst <> [] then begin
+        buckets.(!cnt) <- [];
+        let keep = ref [] in
+        List.iter
+          (fun j ->
+            if col_active.(j) && colcnt.(j) = !cnt then begin
+              keep := j :: !keep;
+              if not !stop then
+                match best_in_col j with
+                | None -> ()
+                | Some (i, v, rc) ->
+                    let cost = (!cnt - 1) * (rc - 1) in
+                    (match !best with
+                    | Some (c0, _, _, _) when c0 <= cost -> ()
+                    | _ -> best := Some (cost, j, i, v));
+                    incr ncand;
+                    if cost = 0 || !ncand >= 4 then stop := true
+            end)
+          lst;
+        buckets.(!cnt) <- !keep
+      end;
+      if !best <> None then stop := true;
+      incr cnt
+    done;
+    !best
+  in
+  let pr = Array.make m (-1) in
+  let pc = Array.make m (-1) in
+  let pivots = Array.make m 0. in
+  let lmat = Array.make m [||] in
+  let umat_cols = Array.make m [] in
+  for k = 0 to m - 1 do
+    match select () with
+    | None -> raise Singular
+    | Some (_cost, j, i, piv) ->
+        pr.(k) <- i;
+        pc.(k) <- j;
+        pivots.(k) <- piv;
+        let tbl_j = acols.(j) in
+        let mults =
+          Hashtbl.fold
+            (fun r v acc -> if r = i then acc else (r, v /. piv) :: acc)
+            tbl_j []
+        in
+        lmat.(k) <- Array.of_list mults;
+        let urow =
+          Hashtbl.fold
+            (fun j' () acc ->
+              if j' = j then acc
+              else
+                match Hashtbl.find_opt acols.(j') i with
+                | Some u -> (j', u) :: acc
+                | None -> acc)
+            rowcols.(i) []
+        in
+        umat_cols.(k) <- urow;
+        (* retire the pivot column from the row index *)
+        Hashtbl.iter
+          (fun r _ ->
+            if r <> i then begin
+              Hashtbl.remove rowcols.(r) j;
+              rowcnt.(r) <- rowcnt.(r) - 1
+            end)
+          tbl_j;
+        col_active.(j) <- false;
+        (* eliminate the pivot row from every other active column *)
+        List.iter
+          (fun (j', u) ->
+            let tbl = acols.(j') in
+            Hashtbl.remove tbl i;
+            colcnt.(j') <- colcnt.(j') - 1;
+            List.iter
+              (fun (r, mu) ->
+                let delta = -.(mu *. u) in
+                match Hashtbl.find_opt tbl r with
+                | Some old ->
+                    let nv = old +. delta in
+                    if Float.abs nv <= drop_tol then begin
+                      Hashtbl.remove tbl r;
+                      colcnt.(j') <- colcnt.(j') - 1;
+                      Hashtbl.remove rowcols.(r) j';
+                      rowcnt.(r) <- rowcnt.(r) - 1
+                    end
+                    else Hashtbl.replace tbl r nv
+                | None ->
+                    if Float.abs delta > drop_tol then begin
+                      Hashtbl.replace tbl r delta;
+                      colcnt.(j') <- colcnt.(j') + 1;
+                      Hashtbl.replace rowcols.(r) j' ();
+                      rowcnt.(r) <- rowcnt.(r) + 1
+                    end)
+              mults;
+            push_bucket j')
+          urow;
+        Hashtbl.reset rowcols.(i);
+        Hashtbl.reset tbl_j
+  done;
+  (* Remap U entries from column ids to elimination steps, so back
+     substitution indexes the step-space solution vector directly. *)
+  let pos_of_col = Array.make m (-1) in
+  for k = 0 to m - 1 do
+    pos_of_col.(pc.(k)) <- k
+  done;
+  let umat =
+    Array.map
+      (fun l -> Array.of_list (List.map (fun (j', u) -> (pos_of_col.(j'), u)) l))
+      umat_cols
+  in
+  let lu_nnz =
+    let s = ref m in
+    Array.iter (fun a -> s := !s + Array.length a) lmat;
+    Array.iter (fun a -> s := !s + Array.length a) umat;
+    !s
+  in
+  {
+    m;
+    pr;
+    pc;
+    pivots;
+    lmat;
+    umat;
+    lu_nnz;
+    etas = Support.Vec.create ();
+    eta_nnz = 0;
+    ws = Array.make m 0.;
+    ws2 = Array.make m 0.;
+  }
+
+let n_etas t = Support.Vec.length t.etas
+
+(* FTRAN: overwrite the dense row-space vector [b] with x = B^-1 b, in
+   basis-position space. *)
+let ftran t b =
+  let m = t.m in
+  (* forward elimination: b := E b *)
+  for k = 0 to m - 1 do
+    let tv = Array.unsafe_get b t.pr.(k) in
+    if tv <> 0. then begin
+      let lm = t.lmat.(k) in
+      for idx = 0 to Array.length lm - 1 do
+        let r, mu = Array.unsafe_get lm idx in
+        Array.unsafe_set b r (Array.unsafe_get b r -. (mu *. tv))
+      done
+    end
+  done;
+  (* back substitution: U xs = b, xs indexed by elimination step *)
+  let xs = t.ws in
+  for k = m - 1 downto 0 do
+    let s = ref b.(t.pr.(k)) in
+    let um = t.umat.(k) in
+    for idx = 0 to Array.length um - 1 do
+      let l, u = Array.unsafe_get um idx in
+      s := !s -. (u *. Array.unsafe_get xs l)
+    done;
+    xs.(k) <- !s /. t.pivots.(k)
+  done;
+  (* scatter into basis-position space *)
+  for k = 0 to m - 1 do
+    b.(t.pc.(k)) <- xs.(k)
+  done;
+  (* eta file, oldest to newest *)
+  Support.Vec.iter
+    (fun e ->
+      let xr = b.(e.e_r) /. e.e_wr in
+      b.(e.e_r) <- xr;
+      if xr <> 0. then
+        Array.iter
+          (fun (i, wi) -> b.(i) <- b.(i) -. (wi *. xr))
+          e.e_entries)
+    t.etas
+
+(* BTRAN: overwrite the dense basis-position-space vector [c] with the
+   row-space solution y of y' B = c'. *)
+let btran t c =
+  let m = t.m in
+  (* eta file, newest to oldest: z_r = (c_r - sum_{i<>r} c_i w_i) / w_r *)
+  for idx = Support.Vec.length t.etas - 1 downto 0 do
+    let e = Support.Vec.get t.etas idx in
+    let s = ref 0. in
+    Array.iter (fun (i, wi) -> s := !s +. (c.(i) *. wi)) e.e_entries;
+    c.(e.e_r) <- (c.(e.e_r) -. !s) /. e.e_wr
+  done;
+  (* U' v = c (forward over steps, scatter style) *)
+  let accs = t.ws and v = t.ws2 in
+  for k = 0 to m - 1 do
+    accs.(k) <- c.(t.pc.(k))
+  done;
+  for k = 0 to m - 1 do
+    let vk = accs.(k) /. t.pivots.(k) in
+    v.(t.pr.(k)) <- vk;
+    if vk <> 0. then begin
+      let um = t.umat.(k) in
+      for idx = 0 to Array.length um - 1 do
+        let l, u = Array.unsafe_get um idx in
+        Array.unsafe_set accs l (Array.unsafe_get accs l -. (u *. vk))
+      done
+    end
+  done;
+  (* y = v E (apply the recorded row operations transposed, in reverse) *)
+  for k = m - 1 downto 0 do
+    let lm = t.lmat.(k) in
+    if Array.length lm > 0 then begin
+      let s = ref 0. in
+      for idx = 0 to Array.length lm - 1 do
+        let r, mu = Array.unsafe_get lm idx in
+        s := !s +. (mu *. Array.unsafe_get v r)
+      done;
+      v.(t.pr.(k)) <- v.(t.pr.(k)) -. !s
+    end
+  done;
+  Array.blit v 0 c 0 m
+
+(* Record the replacement of basis position [r] by the column whose
+   FTRAN image is [w] (dense, position space).  [w] must be the image
+   under the *current* factorization, i.e. computed before this call. *)
+let update t ~r ~w =
+  let wr = w.(r) in
+  if Float.abs wr < abs_pivot_tol then raise Singular;
+  let entries = ref [] in
+  let nnz = ref 0 in
+  for i = 0 to t.m - 1 do
+    if i <> r && Float.abs w.(i) > drop_tol then begin
+      entries := (i, w.(i)) :: !entries;
+      incr nnz
+    end
+  done;
+  Support.Vec.push t.etas
+    { e_r = r; e_wr = wr; e_entries = Array.of_list !entries };
+  t.eta_nnz <- t.eta_nnz + !nnz + 1
+
+(* Heuristic refactorization trigger: the eta file has grown past the
+   point where replaying it costs more than a fresh factorization. *)
+let should_refactorize ?(max_etas = 100) t =
+  n_etas t >= max_etas || t.eta_nnz > 2 * (t.lu_nnz + t.m)
+
+let nnz t = t.lu_nnz + t.eta_nnz

@@ -498,6 +498,298 @@ let bb_matches_brute_force =
       | _, Mip.Limit -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Sparse LU kernel                                                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Random sparse well-conditioned matrices: a shuffled permutation
+   diagonal (entries in [1,3]) plus a little off-diagonal noise.  FTRAN
+   and BTRAN must invert a dense multiply, both on the base factors and
+   after product-form eta updates. *)
+let test_sparse_lu_roundtrip () =
+  let st = Random.State.make [| 42 |] in
+  for _case = 1 to 25 do
+    let m = 1 + Random.State.int st 12 in
+    let perm = Array.init m (fun i -> i) in
+    for i = m - 1 downto 1 do
+      let j = Random.State.int st (i + 1) in
+      let tmp = perm.(i) in
+      perm.(i) <- perm.(j);
+      perm.(j) <- tmp
+    done;
+    let dense = Array.make_matrix m m 0. in
+    for j = 0 to m - 1 do
+      dense.(perm.(j)).(j) <- 1. +. Random.State.float st 2.;
+      if m > 1 && Random.State.bool st then begin
+        let r = Random.State.int st m in
+        dense.(r).(j) <- dense.(r).(j) +. Random.State.float st 1. -. 0.5
+      end
+    done;
+    let col_of j =
+      let entries = ref [] in
+      for i = m - 1 downto 0 do
+        if dense.(i).(j) <> 0. then entries := (i, dense.(i).(j)) :: !entries
+      done;
+      Array.of_list !entries
+    in
+    let lu = Sparse_lu.factorize m col_of in
+    let mat_vec x =
+      Array.init m (fun i ->
+          let s = ref 0. in
+          for j = 0 to m - 1 do
+            s := !s +. (dense.(i).(j) *. x.(j))
+          done;
+          !s)
+    in
+    let mat_tvec y =
+      Array.init m (fun j ->
+          let s = ref 0. in
+          for i = 0 to m - 1 do
+            s := !s +. (dense.(i).(j) *. y.(i))
+          done;
+          !s)
+    in
+    let check_roundtrip tag =
+      let x_true = Array.init m (fun _ -> Random.State.float st 4. -. 2.) in
+      let b = mat_vec x_true in
+      Sparse_lu.ftran lu b;
+      Array.iteri
+        (fun i v ->
+          if Float.abs (v -. x_true.(i)) > 1e-6 then
+            Alcotest.failf "%s ftran drift %g at %d (m=%d)" tag
+              (Float.abs (v -. x_true.(i)))
+              i m)
+        b;
+      let y_true = Array.init m (fun _ -> Random.State.float st 4. -. 2.) in
+      let c = mat_tvec y_true in
+      Sparse_lu.btran lu c;
+      Array.iteri
+        (fun i v ->
+          if Float.abs (v -. y_true.(i)) > 1e-6 then
+            Alcotest.failf "%s btran drift %g at %d (m=%d)" tag
+              (Float.abs (v -. y_true.(i)))
+              i m)
+        c
+    in
+    check_roundtrip "base";
+    (* a few eta updates: replace random columns with fresh ones *)
+    for _u = 1 to 3 do
+      let r = Random.State.int st m in
+      let newcol =
+        Array.init m (fun i ->
+            if i = r then 1.5 +. Random.State.float st 1.
+            else if Random.State.int st 4 = 0 then
+              Random.State.float st 1. -. 0.5
+            else 0.)
+      in
+      let w = Array.copy newcol in
+      Sparse_lu.ftran lu w;
+      (* the random replacement can make B singular; the kernel must
+         refuse it, and skipping keeps the reference matrix in sync *)
+      match Sparse_lu.update lu ~r ~w with
+      | () ->
+          for i = 0 to m - 1 do
+            dense.(i).(r) <- newcol.(i)
+          done;
+          check_roundtrip "eta"
+      | exception Sparse_lu.Singular -> ()
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Seeded float-vs-rational cross-check (larger LPs)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Bigger than the QCheck instances above: enough rows and pivots to
+   exercise the sparse factors, eta file, and the incremental dual
+   updates; deterministic seed so failures reproduce. *)
+let seeded_lp st =
+  let n = 8 + Random.State.int st 11 in
+  let m = 6 + Random.State.int st 9 in
+  let p = Problem.create () in
+  for i = 0 to n - 1 do
+    let hi = float_of_int (1 + Random.State.int st 6) in
+    let obj = float_of_int (Random.State.int st 11 - 5) in
+    ignore (Problem.add_var p ~lo:0. ~hi ~obj (Printf.sprintf "x%d" i))
+  done;
+  for _ = 1 to m do
+    let terms =
+      List.init n (fun j ->
+          if Random.State.int st 10 < 4 then
+            (j, float_of_int (Random.State.int st 7 - 3))
+          else (j, 0.))
+      |> List.filter (fun (_, c) -> c <> 0.)
+    in
+    let sense =
+      match Random.State.int st 20 with
+      | 0 | 1 -> Problem.Eq
+      | 2 | 3 | 4 -> Problem.Ge
+      | _ -> Problem.Le
+    in
+    (* keep the origin feasible for most inequality rows so a healthy
+       fraction of instances is solvable; Eq rows supply infeasibles *)
+    let rhs =
+      match sense with
+      | Problem.Le -> float_of_int (Random.State.int st 13)
+      | Problem.Ge -> float_of_int (-Random.State.int st 7)
+      | Problem.Eq -> float_of_int (Random.State.int st 3)
+    in
+    if terms <> [] then Problem.add_row p sense rhs terms
+  done;
+  p
+
+let test_revised_vs_exact_seeded () =
+  let st = Random.State.make [| 0x5eed |] in
+  let module E = Dense_simplex.Exact in
+  let optimal = ref 0 in
+  for case = 1 to 100 do
+    let p = seeded_lp st in
+    let exact = E.solve p in
+    let s = Revised.create p in
+    let rs = Revised.solve s in
+    match (exact.E.status, rs) with
+    | E.Optimal, Revised.Optimal ->
+        incr optimal;
+        let diff =
+          Float.abs (Rat.to_float exact.E.objective -. Revised.objective s)
+        in
+        if diff > 1e-5 then
+          Alcotest.failf "case %d: objective mismatch by %g" case diff
+    | E.Infeasible, Revised.Infeasible -> ()
+    | E.Unbounded, _ -> () (* cannot happen: all variables bounded *)
+    | _, _ -> Alcotest.failf "case %d: status mismatch" case
+  done;
+  (* the generator must actually produce solvable instances *)
+  checkb "enough optimal cases" true (!optimal > 30)
+
+(* Warm-restart chains: random bound tightenings/relaxations re-solved
+   incrementally must agree with a cold solver given identical bounds.
+   This exercises exactly the delta path branch and bound relies on. *)
+let test_revised_warm_chain_seeded () =
+  let st = Random.State.make [| 0xa11e5 |] in
+  for _case = 1 to 10 do
+    let p = seeded_lp st in
+    let n = Problem.num_vars p in
+    let s = Revised.create p in
+    ignore (Revised.solve s);
+    for _step = 1 to 25 do
+      let j = Random.State.int st n in
+      let lo0 = Problem.var_lo p j and hi0 = Problem.var_hi p j in
+      (match Random.State.int st 3 with
+      | 0 ->
+          let v = float_of_int (Random.State.int st (int_of_float hi0 + 1)) in
+          Revised.set_bounds s j ~lo:v ~hi:v
+      | 1 -> Revised.set_bounds s j ~lo:lo0 ~hi:hi0
+      | _ ->
+          let mid = float_of_int (Random.State.int st (int_of_float hi0 + 1)) in
+          Revised.set_bounds s j ~lo:lo0 ~hi:mid);
+      let fresh = Revised.create p in
+      for k = 0 to n - 1 do
+        let l, h = Revised.bounds s k in
+        Revised.set_bounds fresh k ~lo:l ~hi:h
+      done;
+      match (Revised.solve s, Revised.solve fresh) with
+      | Revised.Optimal, Revised.Optimal ->
+          let d = Float.abs (Revised.objective s -. Revised.objective fresh) in
+          if d > 1e-6 then
+            Alcotest.failf "warm vs fresh objective drift %g" d
+      | Revised.Infeasible, Revised.Infeasible -> ()
+      | _, _ -> Alcotest.fail "warm vs fresh status mismatch"
+    done
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Cuts and the primal heuristic                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* Every generated cut must (a) be violated by the fractional LP point
+   it was separated from and (b) hold for every feasible 0-1 point. *)
+let cuts_are_valid =
+  QCheck.Test.make ~name:"root cuts are valid and violated at the LP point"
+    ~count:200
+    (QCheck.make ~print:print_random_lp random_binary_gen)
+    (fun spec ->
+      let p = build_random_binary spec in
+      let s = Revised.create p in
+      match Revised.solve s with
+      | Revised.Infeasible | Revised.Iteration_limit -> true
+      | Revised.Optimal ->
+          let x = Revised.primal s in
+          let cuts = Cuts.generate p x in
+          let n = Problem.num_vars p in
+          let cut_ok (c : Cuts.cut) =
+            let lhs_at z =
+              List.fold_left
+                (fun acc (v, a) -> acc +. (a *. z.(v)))
+                0. c.Cuts.cterms
+            in
+            (* violated at the separating point *)
+            lhs_at x > c.Cuts.crhs +. 1e-7
+            &&
+            (* valid for every feasible integral point *)
+            let ok = ref true in
+            let z = Array.make n 0. in
+            let rec go i =
+              if i = n then begin
+                if Problem.check_feasible ~eps:1e-9 p z then
+                  if lhs_at z > c.Cuts.crhs +. 1e-6 then ok := false
+              end
+              else begin
+                z.(i) <- 0.;
+                go (i + 1);
+                z.(i) <- 1.;
+                go (i + 1)
+              end
+            in
+            go 0;
+            !ok
+          in
+          List.for_all cut_ok cuts)
+
+(* The diving heuristic must return feasible integral solutions and
+   restore every bound it touched. *)
+let heuristic_is_sound =
+  QCheck.Test.make ~name:"diving heuristic is feasible and restores bounds"
+    ~count:200
+    (QCheck.make ~print:print_random_lp random_binary_gen)
+    (fun spec ->
+      let p = build_random_binary spec in
+      let n = Problem.num_vars p in
+      let s = Revised.create p in
+      match Revised.solve s with
+      | Revised.Infeasible | Revised.Iteration_limit -> true
+      | Revised.Optimal ->
+          let r = Heuristic.dive s p in
+          let bounds_ok = ref true in
+          for j = 0 to n - 1 do
+            let l, h = Revised.bounds s j in
+            if l <> Problem.var_lo p j || h <> Problem.var_hi p j then
+              bounds_ok := false
+          done;
+          !bounds_ok
+          &&
+          (match r with
+          | None -> true
+          | Some (obj, x) ->
+              Problem.check_feasible ~eps:1e-6 p x
+              && Array.for_all
+                   (fun v -> Float.abs (v -. Float.round v) < 1e-9)
+                   x
+              && Float.abs (obj -. Problem.objective_value p x) < 1e-6))
+
+(* With rel_gap 0 the solver must report a best bound equal to the
+   optimum it proves. *)
+let test_bb_best_bound () =
+  let p = Problem.create () in
+  let a = Problem.add_binary p ~obj:(-10.) "a" in
+  let b = Problem.add_binary p ~obj:(-6.) "b" in
+  let c = Problem.add_binary p ~obj:(-4.) "c" in
+  Problem.add_row p Problem.Le 2. [ (a, 1.); (b, 1.); (c, 1.) ];
+  let r = Mip.solve ~rel_gap:0. p in
+  checkb "optimal" true (r.Mip.status = Mip.Optimal);
+  check (Alcotest.float 1e-6) "best bound meets objective" r.Mip.objective
+    r.Mip.stats.Mip.best_bound
+
+(* ------------------------------------------------------------------ *)
 (* LP format                                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -542,6 +834,11 @@ let suites =
         Alcotest.test_case "revised equality system" `Quick
           test_revised_equality_system;
         Alcotest.test_case "revised warm restart" `Quick test_revised_warm_restart;
+        Alcotest.test_case "sparse LU roundtrip" `Quick test_sparse_lu_roundtrip;
+        Alcotest.test_case "revised vs exact (seeded, large)" `Quick
+          test_revised_vs_exact_seeded;
+        Alcotest.test_case "warm-restart chains match cold solves" `Quick
+          test_revised_warm_chain_seeded;
         QCheck_alcotest.to_alcotest simplex_cross_check;
       ] );
     ( "lp.presolve",
@@ -560,7 +857,10 @@ let suites =
         Alcotest.test_case "assignment" `Quick test_bb_assignment;
         Alcotest.test_case "infeasible" `Quick test_bb_infeasible;
         Alcotest.test_case "no presolve" `Quick test_bb_without_presolve;
+        Alcotest.test_case "best bound at optimality" `Quick test_bb_best_bound;
         QCheck_alcotest.to_alcotest bb_matches_brute_force;
+        QCheck_alcotest.to_alcotest cuts_are_valid;
+        QCheck_alcotest.to_alcotest heuristic_is_sound;
       ] );
     ( "lp.format",
       [ Alcotest.test_case "writer sanitizes names" `Quick test_lp_format ] );

@@ -10,6 +10,8 @@
      dune exec bench/main.exe -- rates-smoke  fast variant for CI
      dune exec bench/main.exe -- solver       MIP engine perf (BENCH_solver.json)
      dune exec bench/main.exe -- solver-smoke CI gate with a hard time ceiling
+     dune exec bench/main.exe -- pipeline     per-stage wall times (BENCH_pipeline.json)
+     dune exec bench/main.exe -- pipeline-gate CI regression gate vs that baseline
      dune exec bench/main.exe -- ablation     spill-feasibility objective
      dune exec bench/main.exe -- baseline     ILP vs heuristic allocator
      dune exec bench/main.exe -- pruning      §8 model-size reductions
@@ -510,6 +512,248 @@ let solver_smoke () =
     exit 1
   end
 
+(* ---------------- pipeline bench + CI regression gate ---------------- *)
+
+(* Per-stage wall times for the full compile pipeline on the three paper
+   workloads, measured through the [Support.Trace] spans the pipeline
+   itself emits.  The solver runs under a node budget (deterministic,
+   unlike a wall-clock cutoff), so node/iteration counts reproduce
+   exactly and stage times are comparable across runs of the same code.
+
+     pipeline       writes BENCH_pipeline.json (the checked-in baseline)
+                    and a Perfetto trace per workload
+     pipeline-gate  re-measures and fails (exit 1) if any stage slowed
+                    down by more than the tolerance versus the baseline,
+                    or if a deterministic counter drifted *)
+
+let pipeline_node_limit = 128
+
+type pipe_row = {
+  pl_name : string;
+  pl_stages : (string * float) list; (* span name -> inclusive seconds *)
+  pl_nodes : int;
+  pl_iters : int;
+  pl_moves : int;
+  pl_outcome : string;
+}
+
+let measure_pipeline (w : workload) =
+  Support.Metrics.reset ();
+  Support.Trace.enable ();
+  let options =
+    {
+      Regalloc.Driver.default_options with
+      time_limit = 1e9;
+      node_limit = pipeline_node_limit;
+    }
+  in
+  let c = Regalloc.Driver.compile ~options ~file:(w.name ^ ".nova") w.source in
+  Support.Trace.disable ();
+  let trace_file =
+    Printf.sprintf "trace_pipeline_%s.json" (String.lowercase_ascii w.name)
+  in
+  Support.Trace.write trace_file;
+  let s = c.Regalloc.Driver.stats in
+  let nodes, iters =
+    match s.Regalloc.Driver.mip with
+    | Some m -> (m.Lp.Mip.nodes, m.Lp.Mip.simplex_iterations)
+    | None -> (0, 0)
+  in
+  let outcome =
+    match s.Regalloc.Driver.solver_outcome with
+    | Regalloc.Driver.Outcome_optimal -> "optimal"
+    | Regalloc.Driver.Outcome_incumbent -> "incumbent"
+    | Regalloc.Driver.Outcome_fallback -> "fallback"
+    | Regalloc.Driver.Outcome_heuristic -> "heuristic"
+  in
+  {
+    pl_name = w.name;
+    pl_stages = Support.Trace.span_totals ();
+    pl_nodes = nodes;
+    pl_iters = iters;
+    pl_moves = s.Regalloc.Driver.moves_inserted;
+    pl_outcome = outcome;
+  }
+
+(* The stages a healthy pipeline must show a span for (the acceptance
+   surface of the trace layer; "compile"/"front-end"/"allocate"/"solve"
+   are roll-ups of these). *)
+let pipeline_required_stages =
+  [
+    "parse"; "typecheck"; "cps-convert"; "contract"; "deproc"; "ssu"; "isel";
+    "modelgen"; "ilp-build"; "presolve"; "root-cuts"; "root-lp";
+    "branch-and-bound"; "emit";
+  ]
+
+let pp_pipe_row r =
+  Fmt.pr "%-8s | %-9s | %6d nodes %7d iters %4d moves@." r.pl_name
+    r.pl_outcome r.pl_nodes r.pl_iters r.pl_moves;
+  List.iter
+    (fun (stage, secs) ->
+      if List.mem stage pipeline_required_stages then
+        Fmt.pr "         |   %-18s %9.4f s@." stage secs)
+    r.pl_stages
+
+let pipeline_json rows =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "{\n  \"node_limit\": %d,\n  \"workloads\": [\n"
+       pipeline_node_limit);
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf
+        (Printf.sprintf
+           "    { \"name\": %S, \"outcome\": %S, \"nodes\": %d, \
+            \"iterations\": %d, \"moves\": %d,\n      \"stages\": { "
+           r.pl_name r.pl_outcome r.pl_nodes r.pl_iters r.pl_moves);
+      List.iteri
+        (fun j (stage, secs) ->
+          if j > 0 then Buffer.add_string buf ", ";
+          Buffer.add_string buf (Printf.sprintf "%S: %.4f" stage secs))
+        r.pl_stages;
+      Buffer.add_string buf " } }")
+    rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let pipeline_workloads = [ kasumi; aes; nat ]
+
+let missing_stages r =
+  List.filter
+    (fun s -> not (List.mem_assoc s r.pl_stages))
+    pipeline_required_stages
+
+let pipeline () =
+  rule
+    (Printf.sprintf "Pipeline: per-stage wall times (node budget %d)"
+       pipeline_node_limit);
+  let rows = List.map measure_pipeline pipeline_workloads in
+  List.iter pp_pipe_row rows;
+  let missing =
+    List.concat_map
+      (fun r -> List.map (fun s -> r.pl_name ^ "/" ^ s) (missing_stages r))
+      rows
+  in
+  if missing <> [] then begin
+    Fmt.epr "pipeline: missing stage spans: %s@." (String.concat ", " missing);
+    exit 1
+  end;
+  let oc = open_out "BENCH_pipeline.json" in
+  output_string oc (pipeline_json rows);
+  close_out oc;
+  Fmt.pr "wrote BENCH_pipeline.json (and trace_pipeline_*.json)@."
+
+(* Gate tolerances.  Stage times are wall clock on shared CI runners, so
+   the time gate is deliberately loose (3x + 100 ms): it catches a pass
+   or solver stage going superlinearly wrong, not a 20%% wobble.  Node /
+   iteration counts are deterministic under the node budget and get a
+   tight relative band (they drift only if the search itself changed). *)
+let gate_time_factor = 3.0
+let gate_time_slack = 0.1
+let gate_count_rel = 0.25
+let gate_count_abs = 8
+
+let pipeline_gate () =
+  rule "Pipeline gate: stage times vs checked-in BENCH_pipeline.json";
+  let baseline =
+    let ic = open_in_bin "BENCH_pipeline.json" in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Support.Json.parse text with
+    | Ok v -> v
+    | Error msg ->
+        Fmt.epr "pipeline-gate: cannot parse BENCH_pipeline.json: %s@." msg;
+        exit 1
+  in
+  let json_workloads =
+    match Option.bind (Support.Json.member "workloads" baseline)
+            Support.Json.to_list
+    with
+    | Some ws -> ws
+    | None ->
+        Fmt.epr "pipeline-gate: baseline has no \"workloads\" array@.";
+        exit 1
+  in
+  let rows = List.map measure_pipeline pipeline_workloads in
+  let oc = open_out "BENCH_pipeline.current.json" in
+  output_string oc (pipeline_json rows);
+  close_out oc;
+  let failures = ref [] in
+  let fail fmt = Printf.ksprintf (fun s -> failures := s :: !failures) fmt in
+  let get_int w key =
+    Option.bind (Support.Json.member key w) Support.Json.to_int
+  in
+  let get_str w key =
+    Option.bind (Support.Json.member key w) Support.Json.to_string
+  in
+  List.iter
+    (fun w ->
+      let name = Option.value ~default:"?" (get_str w "name") in
+      match List.find_opt (fun r -> r.pl_name = name) rows with
+      | None -> fail "%s: in baseline but not measured" name
+      | Some r ->
+          List.iter
+            (fun s -> fail "%s/%s: stage span missing from this run" name s)
+            (missing_stages r);
+          (match get_str w "outcome" with
+          | Some o when o <> r.pl_outcome ->
+              fail "%s: solver outcome %s, baseline %s" name r.pl_outcome o
+          | _ -> ());
+          let check_count key measured =
+            match get_int w key with
+            | None -> ()
+            | Some base ->
+                let tol =
+                  max gate_count_abs
+                    (int_of_float (gate_count_rel *. float_of_int base))
+                in
+                if abs (measured - base) > tol then
+                  fail "%s: %s %d vs baseline %d (tolerance %d)" name key
+                    measured base tol
+          in
+          check_count "nodes" r.pl_nodes;
+          check_count "iterations" r.pl_iters;
+          check_count "moves" r.pl_moves;
+          (match Support.Json.member "stages" w with
+          | Some (Support.Json.Obj stages) ->
+              List.iter
+                (fun (stage, v) ->
+                  match
+                    (Support.Json.to_float v, List.assoc_opt stage r.pl_stages)
+                  with
+                  | Some base, Some measured ->
+                      let limit =
+                        (gate_time_factor *. base) +. gate_time_slack
+                      in
+                      let verdict =
+                        if measured > limit then begin
+                          fail "%s/%s: %.3fs vs baseline %.3fs (limit %.3fs)"
+                            name stage measured base limit;
+                          "FAIL"
+                        end
+                        else "ok"
+                      in
+                      if List.mem stage pipeline_required_stages then
+                        Fmt.pr "%-8s %-18s %9.4f s (baseline %9.4f s)  %s@."
+                          name stage measured base verdict
+                  | Some _, None ->
+                      fail "%s/%s: baseline stage absent from this run" name
+                        stage
+                  | None, _ -> ())
+                stages
+          | _ -> fail "%s: baseline row has no stages object" name))
+    json_workloads;
+  match !failures with
+  | [] -> Fmt.pr "pipeline-gate PASSED@."
+  | fs ->
+      List.iter (fun f -> Fmt.epr "pipeline-gate: %s@." f) (List.rev fs);
+      Fmt.epr "pipeline-gate FAILED (%d)@." (List.length fs);
+      exit 1
+
 (* ---------------- end-to-end correctness gate ---------------- *)
 
 let verify () =
@@ -641,6 +885,8 @@ let () =
   | "rates-smoke" -> rates ~full:false ()
   | "solver" -> solver ()
   | "solver-smoke" -> solver_smoke ()
+  | "pipeline" -> pipeline ()
+  | "pipeline-gate" -> pipeline_gate ()
   | "ablation" -> ablation ()
   | "baseline" -> baseline ()
   | "pruning" -> pruning ()
@@ -661,6 +907,7 @@ let () =
       Fmt.epr
         "unknown experiment %s (try \
          figure5/figure6/figure7/throughput/rates/rates-smoke/solver/\
-         solver-smoke/ablation/baseline/pruning/verify/time/all)@."
+         solver-smoke/pipeline/pipeline-gate/ablation/baseline/pruning/\
+         verify/time/all)@."
         other;
       exit 1

@@ -99,10 +99,44 @@ let compile_cmd =
       value & flag
       & info [ "no-verify-each" ] ~doc:"Disable the per-pass IR verification")
   in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Record a timed span for every pipeline stage (front end, each \
+             CPS pass, model generation, presolve, root LP, branch&bound, \
+             emit) and write Chrome trace-event JSON to $(docv); open it in \
+             Perfetto or chrome://tracing")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Dump the process-wide metrics registry (solver node counts, LU \
+             refactorizations, cuts, model sizes) to stderr after \
+             compilation")
+  in
   let run file allocator dump entry_args time_limit node_limit rel_gap
-      no_validate verify_each no_verify_each =
+      no_validate verify_each no_verify_each trace_out metrics =
     handle_errors (fun () ->
         let source = read_file file in
+        if trace_out <> None then Support.Trace.enable ();
+        (* the trace is written even when compilation dies: the partial
+           timeline is what identifies the stage that failed *)
+        let finally () =
+          (match trace_out with
+          | Some path ->
+              Support.Trace.disable ();
+              Support.Trace.write path;
+              Fmt.epr "; wrote trace (%d events) to %s@."
+                (Support.Trace.num_events ()) path
+          | None -> ());
+          if metrics then Fmt.epr "%s@." (Support.Metrics.dump ())
+        in
+        Fun.protect ~finally @@ fun () ->
         let options =
           {
             Regalloc.Driver.default_options with
@@ -160,7 +194,8 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a Nova program to IXP assembly")
     Term.(
       const run $ file $ allocator $ dump $ entry_args $ time_limit
-      $ node_limit $ rel_gap $ no_validate $ verify_each $ no_verify_each)
+      $ node_limit $ rel_gap $ no_validate $ verify_each $ no_verify_each
+      $ trace_out $ metrics)
 
 (* ---------------- stats ---------------- *)
 

@@ -62,6 +62,24 @@ let run_cmd =
     Arg.(value & opt (list ~sep:',' poke_conv) [] & info [ "sdram" ] ~doc:"SDRAM byte-addr=value pokes")
   in
   let trace = Arg.(value & flag & info [ "trace" ] ~doc:"Trace every instruction") in
+  let trace_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Record timed spans for every compile stage and (in chip mode) \
+             per-engine context-occupancy spans, and write Chrome \
+             trace-event JSON to $(docv)")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:
+            "Dump the process-wide metrics registry (solver counters, bus \
+             stall totals) to stderr at exit")
+  in
   let allocator =
     Arg.(
       value
@@ -136,10 +154,22 @@ let run_cmd =
             "Branch&bound relative optimality gap: stop once the incumbent \
              is proven within this fraction of the optimum")
   in
-  let run file entry_args sram sdram trace allocator engines threads profile
-      offered_load packets seed ports rx_capacity no_contention time_limit
-      node_limit rel_gap =
+  let run file entry_args sram sdram trace trace_out metrics allocator engines
+      threads profile offered_load packets seed ports rx_capacity
+      no_contention time_limit node_limit rel_gap =
     try
+      if trace_out <> None then Support.Trace.enable ();
+      let finally () =
+        (match trace_out with
+        | Some path ->
+            Support.Trace.disable ();
+            Support.Trace.write path;
+            Fmt.epr "wrote trace (%d events) to %s@."
+              (Support.Trace.num_events ()) path
+        | None -> ());
+        if metrics then Fmt.epr "%s@." (Support.Metrics.dump ())
+      in
+      Fun.protect ~finally @@ fun () ->
       let source = read_file file in
       let options =
         {
@@ -237,8 +267,9 @@ let run_cmd =
   Cmd.v
     (Cmd.info "novarun" ~doc:"Compile and simulate a Nova program")
     Term.(
-      const run $ file $ entry_args $ sram $ sdram $ trace $ allocator
-      $ engines $ threads $ profile $ offered_load $ packets $ seed $ ports
-      $ rx_capacity $ no_contention $ time_limit $ node_limit $ rel_gap)
+      const run $ file $ entry_args $ sram $ sdram $ trace $ trace_out
+      $ metrics $ allocator $ engines $ threads $ profile $ offered_load
+      $ packets $ seed $ ports $ rx_capacity $ no_contention $ time_limit
+      $ node_limit $ rel_gap)
 
 let () = exit (Cmd.eval run_cmd)

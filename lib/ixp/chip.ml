@@ -232,6 +232,10 @@ type report = {
 exception Chip_stuck of string
 
 let run ?(deliver = default_deliver) ?(fuel = 50_000_000) chip gen =
+  let m_rx_dropped = Metrics.counter "chip.rx.dropped" in
+  let ctx_names =
+    Array.init chip.config.threads (fun i -> "ctx" ^ string_of_int i)
+  in
   let nports = max 1 gen.Pktgen.config.Pktgen.ports in
   chip.ports <-
     Array.init nports (fun _ ->
@@ -285,7 +289,13 @@ let run ?(deliver = default_deliver) ?(fuel = 50_000_000) chip gen =
       | None ->
           if Queue.length port.rx < chip.config.rx_capacity then
             Queue.push (pkt, t_arr) port.rx
-          else port.rx_dropped <- port.rx_dropped + 1
+          else begin
+            port.rx_dropped <- port.rx_dropped + 1;
+            Metrics.incr m_rx_dropped;
+            if Trace.is_enabled () then
+              Trace.instant "rx-drop" ~tid:(-1)
+                ~args:[ ("port", Trace.Int pkt.Pktgen.port) ]
+          end
     end
     else begin
       (* step event: run the earliest context to its next yield *)
@@ -303,14 +313,51 @@ let run ?(deliver = default_deliver) ?(fuel = 50_000_000) chip gen =
       let th = sim.Simulator.threads.(!best_i) in
       if th.Simulator.ready_at > sim.Simulator.clock then
         sim.Simulator.clock <- th.Simulator.ready_at;
+      let step_start = sim.Simulator.clock in
       Simulator.step_thread sim th ~fuel:1_000_000;
       chip.horizon <- max chip.horizon sim.Simulator.clock;
+      (* Context-occupancy span: one complete event per contiguous run of
+         context [best_i] on engine [best_e] (ended by a context swap on a
+         memory reference, or by the packet completing).  Timebase: one
+         simulated cycle is exported as one microsecond, so Perfetto's
+         ruler reads directly in cycles; tid = engine id. *)
+      if Trace.is_enabled () then
+        Trace.complete ~cat:"engine" ~tid:!best_e
+          ~ts_us:(float_of_int step_start)
+          ~dur_us:(float_of_int (sim.Simulator.clock - step_start))
+          ctx_names.(!best_i);
       if th.Simulator.halted then
         complete_packet chip sim !best_e !best_i ~deliver
     end
   done;
   let latencies = Vec.to_array chip.latencies in
   Array.sort compare latencies;
+  (* Per-channel bus counters: mirrored into the metrics registry (and a
+     trace counter series) so `--metrics` shows where memory time went
+     without parsing the report. *)
+  (match chip.bus with
+  | None -> ()
+  | Some b ->
+      List.iter
+        (fun (name, s) ->
+          let g field v =
+            Metrics.set
+              (Metrics.gauge (Printf.sprintf "chip.bus.%s.%s" name field))
+              (float_of_int v)
+          in
+          g "requests" s.Memory.chan_requests;
+          g "busy" s.Memory.chan_busy;
+          g "stall" s.Memory.chan_stall;
+          if Trace.is_enabled () then
+            Trace.counter ("bus." ^ name)
+              [
+                ("busy", float_of_int s.Memory.chan_busy);
+                ("stall", float_of_int s.Memory.chan_stall);
+              ])
+        (Memory.bus_stats b));
+  Metrics.set
+    (Metrics.gauge "chip.completed")
+    (float_of_int chip.completed);
   {
     r_config = chip.config;
     cycles = chip.horizon;

@@ -114,6 +114,11 @@ end
 let solve ?(time_limit = 600.) ?(node_limit = 500_000) ?(rel_gap = 1e-4)
     ?(use_heuristic = true) ?(heur_period = 128) (p : Problem.t) =
   let t0 = Clock.now () in
+  (* Observability: resolved once per solve, bumped per node (a field
+     store, so the search loop pays nothing measurable). *)
+  let m_nodes = Support.Metrics.counter "lp.bb.nodes" in
+  let m_incumbents = Support.Metrics.counter "lp.bb.incumbents" in
+  let m_heur = Support.Metrics.counter "lp.bb.heuristic_incumbents" in
   let n = Problem.num_vars p in
   let solver = Revised.create p in
   let orig_lo = Array.init n (Problem.var_lo p) in
@@ -230,7 +235,23 @@ let solve ?(time_limit = 600.) ?(node_limit = 500_000) ?(rel_gap = 1e-4)
         else begin
           activate nd.fixings;
           incr nodes;
-          match Revised.solve solver with
+          Support.Metrics.incr m_nodes;
+          if Support.Trace.is_enabled () && !nodes land 255 = 0 then
+            Support.Trace.counter "bb"
+              [
+                ("nodes", float_of_int !nodes);
+                ("open", float_of_int (Heap.size heap));
+                ("incumbent", !incumbent_obj);
+              ];
+          let lp_result =
+            (* the root relaxation is a pipeline stage of its own in the
+               paper's Figure 7; give it a dedicated span *)
+            if nd.depth = 0 then
+              Support.Trace.with_span "root-lp" (fun () ->
+                  Revised.solve solver)
+            else Revised.solve solver
+          in
+          match lp_result with
           | Revised.Iteration_limit ->
               limit_hit := true;
               running := false;
@@ -248,7 +269,15 @@ let solve ?(time_limit = 600.) ?(node_limit = 500_000) ?(rel_gap = 1e-4)
                 match select_branch x with
                 | -1 ->
                     incumbent := Some (Array.copy x);
-                    incumbent_obj := obj
+                    incumbent_obj := obj;
+                    Support.Metrics.incr m_incumbents;
+                    if Support.Trace.is_enabled () then
+                      Support.Trace.instant "incumbent"
+                        ~args:
+                          [
+                            ("objective", Support.Trace.Float obj);
+                            ("node", Support.Trace.Int !nodes);
+                          ]
                 | v ->
                     (* Periodic primal heuristic (always at the root). *)
                     if
@@ -262,7 +291,16 @@ let solve ?(time_limit = 600.) ?(node_limit = 500_000) ?(rel_gap = 1e-4)
                       | Some (hobj, hx) when hobj < !incumbent_obj ->
                           incumbent := Some hx;
                           incumbent_obj := hobj;
-                          incr heur_found
+                          incr heur_found;
+                          Support.Metrics.incr m_incumbents;
+                          Support.Metrics.incr m_heur;
+                          if Support.Trace.is_enabled () then
+                            Support.Trace.instant "heuristic-incumbent"
+                              ~args:
+                                [
+                                  ("objective", Support.Trace.Float hobj);
+                                  ("node", Support.Trace.Int !nodes);
+                                ]
                       | _ -> ()
                     end;
                     let f = x.(v) -. floor x.(v) in

@@ -1,4 +1,4 @@
-(* Single wall-clock time source for every solver budget.
+(* Single time source for every solver budget.
 
    Before this module existed, [Mip.solve] and [Branch_bound.solve]
    metered their [time_limit] with [Sys.time] (process CPU seconds) while
@@ -8,12 +8,13 @@
    All solver timing now goes through [now], and budgets are therefore
    wall-clock seconds end to end.
 
-   [Unix.gettimeofday] is the best portable time source available in this
-   dependency set; solver runs are short enough (seconds to minutes) that
-   NTP slews are irrelevant, and budget checks tolerate the theoretical
-   non-monotonicity by clamping elapsed time at zero. *)
+   [now] reads the monotonic clock ([Support.Monotonic]), not
+   [Unix.gettimeofday]: a wall-clock step (NTP jump, manual adjustment)
+   mid-solve would otherwise blow a budget instantly or extend it
+   indefinitely.  The origin is arbitrary, so [now] values are only
+   meaningful as differences. *)
 
-let now () = Unix.gettimeofday ()
+let now () = Support.Monotonic.now_s ()
 
 (* Elapsed seconds since [t0], never negative. *)
 let since t0 = Float.max 0. (now () -. t0)

@@ -127,12 +127,15 @@ let solve ?(presolve = true) ?(cuts = true) ?(time_limit = 600.)
   let branch_and_bound sub ~after_stats ~postsolve_fn =
     let cut_rounds, cuts_added =
       if cuts then
-        root_cut_pass ~deadline:(t0 +. (0.25 *. time_limit)) sub
+        Support.Trace.with_span "root-cuts" (fun () ->
+            root_cut_pass ~deadline:(t0 +. (0.25 *. time_limit)) sub)
       else (0, 0)
     in
+    Support.Metrics.add (Support.Metrics.counter "lp.cuts.added") cuts_added;
     let remaining = Float.max 1. (time_limit -. Clock.since t0) in
     let r =
-      Branch_bound.solve ~time_limit:remaining ~node_limit ~rel_gap sub
+      Support.Trace.with_span "branch-and-bound" (fun () ->
+          Branch_bound.solve ~time_limit:remaining ~node_limit ~rel_gap sub)
     in
     let status =
       match r.Branch_bound.status with
@@ -156,7 +159,7 @@ let solve ?(presolve = true) ?(cuts = true) ?(time_limit = 600.)
   in
   let empty_solution = Array.make (Problem.num_vars p) 0. in
   if presolve then begin
-    match Presolve.run p with
+    match Support.Trace.with_span "presolve" (fun () -> Presolve.run p) with
     | Presolve.Infeasible_detected ->
         finish Infeasible infinity empty_solution ~root_time:0. ~root_obj:nan
           ~nodes:0 ~iters:0 ~cut_rounds:0 ~cuts_added:0 ~best_bound:infinity

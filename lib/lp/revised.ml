@@ -133,8 +133,13 @@ let create (p : Problem.t) =
 
 let nonbasic_value t j = if t.at_upper.(j) then t.hi.(j) else t.lo.(j)
 
+(* Resolved once at module initialization; [Metrics.reset] keeps the
+   handle valid. *)
+let m_refactorizations = Support.Metrics.counter "lp.lu.refactorizations"
+
 let refactorize t =
   t.factorizations <- t.factorizations + 1;
+  Support.Metrics.incr m_refactorizations;
   match Sparse_lu.factorize t.m (fun i -> t.cols.(t.basis.(i))) with
   | lu -> t.lu <- lu
   | exception Sparse_lu.Singular -> failwith "Revised.refactorize: singular basis"

@@ -610,9 +610,12 @@ let program p =
   { decls = go [] }
 
 let parse_string ~file src =
-  let toks = Lexer.tokenize ~file src in
-  let p = make toks in
-  program p
+  Support.Trace.with_span "parse"
+    ~args:[ ("file", Support.Trace.Str file) ]
+    (fun () ->
+      let toks = Lexer.tokenize ~file src in
+      let p = make toks in
+      program p)
 
 let parse_expr_string ~file src =
   let toks = Lexer.tokenize ~file src in

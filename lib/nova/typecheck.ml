@@ -769,7 +769,8 @@ let sccs_of_edges nodes edges =
 (* Programs                                                            *)
 (* ------------------------------------------------------------------ *)
 
-let check_program ?(entry = "main") (prog : Ast.program) : Tast.tprogram =
+let check_program_untraced ?(entry = "main") (prog : Ast.program) :
+    Tast.tprogram =
   call_edges := [];
   let layouts = Layout.create_env () in
   let globals = Hashtbl.create 16 in
@@ -864,3 +865,7 @@ let check_program ?(entry = "main") (prog : Ast.program) : Tast.tprogram =
   if not (List.exists (fun (f : Tast.tfun) -> f.Tast.f_name = entry) funs) then
     Diag.error "program has no entry function '%s'" entry;
   { Tast.funs; entry; layouts }
+
+let check_program ?entry (prog : Ast.program) : Tast.tprogram =
+  Support.Trace.with_span "typecheck" (fun () ->
+      check_program_untraced ?entry prog)

@@ -95,10 +95,14 @@ type front = {
 
 let front_end ?(entry = "main") ?(entry_args = []) ?(rematerialize = false)
     ?(verify_each = false) ~file source =
+  Trace.with_span "front-end" ~args:[ ("file", Trace.Str file) ] @@ fun () ->
   let prog = Nova.Parser.parse_string ~file source in
   let source_stats = Nova.Stats.of_program ~source prog in
   let tprog = Nova.Typecheck.check_program ~entry prog in
-  let term = Cps.Convert.convert_program ~entry_args tprog in
+  let term =
+    Trace.with_span "cps-convert" (fun () ->
+        Cps.Convert.convert_program ~entry_args tprog)
+  in
   let size_initial = Cps.Ir.size term in
   (match Cps.Ir.check_ssa term with
   | Ok () -> ()
@@ -108,27 +112,34 @@ let front_end ?(entry = "main") ?(entry_args = []) ?(rematerialize = false)
      against the pass's input, attributing any breakage to the pass that
      introduced it. *)
   let verify ~pass ~stage t =
-    if verify_each then Cps.Verify.check_exn ~pass ~stage t
+    if verify_each then
+      Trace.with_span "verify" ~args:[ ("pass", Trace.Str pass) ] (fun () ->
+          Cps.Verify.check_exn ~pass ~stage t)
   in
   let differential ~pass before after =
-    if verify_each then Cps.Verify.differential_exn ~pass before after
+    if verify_each then
+      Trace.with_span "verify-differential"
+        ~args:[ ("pass", Trace.Str pass) ]
+        (fun () -> Cps.Verify.differential_exn ~pass before after)
   in
   verify ~pass:"cps-convert" ~stage:Cps.Verify.After_convert term;
-  let contracted = Cps.Contract.simplify term in
+  let contracted = Trace.with_span "contract" (fun () -> Cps.Contract.simplify term) in
   verify ~pass:"contract" ~stage:Cps.Verify.After_contract contracted;
   differential ~pass:"contract" term contracted;
-  let deprocd = Cps.Deproc.run contracted in
+  let deprocd = Trace.with_span "deproc" (fun () -> Cps.Deproc.run contracted) in
   verify ~pass:"deproc" ~stage:Cps.Verify.After_deproc deprocd;
   differential ~pass:"deproc" contracted deprocd;
-  let term = Cps.Ssu.run deprocd in
+  let term = Trace.with_span "ssu" (fun () -> Cps.Ssu.run deprocd) in
   (match Cps.Ir.check_ssa term with
   | Ok () -> ()
   | Error e -> Diag.ice "SSU broke SSA: %s" e);
   verify ~pass:"ssu" ~stage:Cps.Verify.After_ssu term;
   differential ~pass:"ssu" deprocd term;
-  let graph = Cps.Isel.run term in
+  let graph = Trace.with_span "isel" (fun () -> Cps.Isel.run term) in
   let graph = if rematerialize then Cps.Isel.share_constants graph else graph in
-  if verify_each then Ixp.Verify_virtual.check_exn ~pass:"isel" graph;
+  if verify_each then
+    Trace.with_span "verify" ~args:[ ("pass", Trace.Str "isel") ] (fun () ->
+        Ixp.Verify_virtual.check_exn ~pass:"isel" graph);
   {
     f_tprog = tprog;
     f_source = source_stats;
@@ -138,10 +149,15 @@ let front_end ?(entry = "main") ?(entry_args = []) ?(rematerialize = false)
   }
 
 let allocate (options : options) (front : front) : compiled =
+  Trace.with_span "allocate" @@ fun () ->
   let solve_ilp mg =
-    let ilp = Ilp.build ~objective_mode:options.objective mg in
-    Ilp.solve ~time_limit:options.time_limit ~node_limit:options.node_limit
-      ~rel_gap:options.rel_gap ilp
+    let ilp =
+      Trace.with_span "ilp-build" (fun () ->
+          Ilp.build ~objective_mode:options.objective mg)
+    in
+    Trace.with_span "solve" (fun () ->
+        Ilp.solve ~time_limit:options.time_limit ~node_limit:options.node_limit
+          ~rel_gap:options.rel_gap ilp)
   in
   (* When branch&bound hits its budget with a feasible incumbent in
      hand, that incumbent is used: it is a valid (machine-checked)
@@ -194,7 +210,8 @@ let allocate (options : options) (front : front) : compiled =
             | Error `Limit -> limit_fallback ()))
   in
   if options.validate then begin
-    match Assignment.validate assignment with
+    match Trace.with_span "validate" (fun () -> Assignment.validate assignment)
+    with
     | [] -> ()
     | errs ->
         raise
@@ -203,9 +220,12 @@ let allocate (options : options) (front : front) : compiled =
                 Fmt.(list ~sep:cut string)
                 errs))
   end;
-  let emitted = Emit.run assignment in
+  let emitted = Trace.with_span "emit" (fun () -> Emit.run assignment) in
   if options.validate then begin
-    match Ixp.Checker.check emitted.Emit.physical with
+    match
+      Trace.with_span "machine-check" (fun () ->
+          Ixp.Checker.check emitted.Emit.physical)
+    with
     | [] -> ()
     | vs ->
         raise
@@ -258,6 +278,7 @@ let allocate (options : options) (front : front) : compiled =
   }
 
 let compile ?(options = default_options) ~file source =
+  Trace.with_span "compile" ~args:[ ("file", Trace.Str file) ] @@ fun () ->
   let front =
     front_end ~entry:options.entry ~entry_args:options.entry_args
       ~rematerialize:options.rematerialize ~verify_each:options.verify_each

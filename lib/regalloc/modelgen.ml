@@ -144,6 +144,13 @@ let imm_cost value = if value land 0xFFFFFFFF < 0x10000 then 1.0 else 2.0
 
 let build ?(allow_spill = false) ?(rematerialize = false)
     (graph : Ident.t FG.t) : t =
+  Trace.with_span "modelgen"
+    ~args:
+      [
+        ("allow_spill", Trace.Bool allow_spill);
+        ("rematerialize", Trace.Bool rematerialize);
+      ]
+  @@ fun () ->
   let live = Ixp.Liveness.compute graph in
   let freq = Ixp.Frequency.compute graph in
   let points = Array.of_list (FG.points graph) in
@@ -459,6 +466,8 @@ let build ?(allow_spill = false) ?(rematerialize = false)
   let weights =
     Array.map (fun p -> max 1e-4 (Ixp.Frequency.point_frequency freq p)) points
   in
+  Metrics.set (Metrics.gauge "modelgen.points") (float_of_int (Array.length points));
+  Metrics.set (Metrics.gauge "modelgen.temps") (float_of_int (Array.length temps));
   {
     graph;
     live;

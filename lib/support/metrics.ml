@@ -1,0 +1,118 @@
+(* Process-wide metrics registry: named counters, gauges and histograms
+   with a text dump.
+
+   Unlike [Trace], which records a timeline, this module accumulates
+   totals; the two answer different questions ("when did the time go" vs
+   "how many times did X happen").  Lookup by name goes through a
+   hashtable, so hot paths should resolve their instrument once (at
+   module initialization or at the top of a solve) and then bump the
+   returned record directly -- an increment is a single mutable-field
+   store.  [reset] zeroes every registered instrument in place, keeping
+   previously resolved handles valid. *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  mutable h_count : int;
+  mutable h_sum : float;
+  mutable h_min : float;
+  mutable h_max : float;
+}
+
+type instrument =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+
+let kind_clash name =
+  invalid_arg
+    (Printf.sprintf "Metrics: %S already registered as another kind" name)
+
+let counter name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c
+  | Some _ -> kind_clash name
+  | None ->
+      let c = { c_name = name; c_value = 0 } in
+      Hashtbl.replace registry name (Counter c);
+      c
+
+let incr c = c.c_value <- c.c_value + 1
+let add c n = c.c_value <- c.c_value + n
+let counter_value c = c.c_value
+
+let gauge name =
+  match Hashtbl.find_opt registry name with
+  | Some (Gauge g) -> g
+  | Some _ -> kind_clash name
+  | None ->
+      let g = { g_name = name; g_value = 0. } in
+      Hashtbl.replace registry name (Gauge g);
+      g
+
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+
+let histogram name =
+  match Hashtbl.find_opt registry name with
+  | Some (Histogram h) -> h
+  | Some _ -> kind_clash name
+  | None ->
+      let h =
+        { h_name = name; h_count = 0; h_sum = 0.; h_min = infinity;
+          h_max = neg_infinity }
+      in
+      Hashtbl.replace registry name (Histogram h);
+      h
+
+let observe h v =
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- h.h_sum +. v;
+  if v < h.h_min then h.h_min <- v;
+  if v > h.h_max then h.h_max <- v
+
+let histogram_count h = h.h_count
+let histogram_sum h = h.h_sum
+
+let reset () =
+  Hashtbl.iter
+    (fun _ instrument ->
+      match instrument with
+      | Counter c -> c.c_value <- 0
+      | Gauge g -> g.g_value <- 0.
+      | Histogram h ->
+          h.h_count <- 0;
+          h.h_sum <- 0.;
+          h.h_min <- infinity;
+          h.h_max <- neg_infinity)
+    registry
+
+(* Every registered instrument as one text line, sorted by name:
+     counter   lp.bb.nodes 128
+     gauge     chip.bus.sram.stall 42
+     histogram span.solve count=3 sum=1.2 min=0.1 max=0.8 *)
+let dump () =
+  let lines =
+    Hashtbl.fold
+      (fun name instrument acc ->
+        let line =
+          match instrument with
+          | Counter c -> Printf.sprintf "counter   %s %d" name c.c_value
+          | Gauge g -> Printf.sprintf "gauge     %s %g" name g.g_value
+          | Histogram h ->
+              if h.h_count = 0 then
+                Printf.sprintf "histogram %s count=0" name
+              else
+                Printf.sprintf
+                  "histogram %s count=%d sum=%g min=%g max=%g mean=%g" name
+                  h.h_count h.h_sum h.h_min h.h_max
+                  (h.h_sum /. float_of_int h.h_count)
+        in
+        line :: acc)
+      registry []
+  in
+  String.concat "\n" (List.sort String.compare lines)

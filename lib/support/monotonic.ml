@@ -1,0 +1,15 @@
+(* Monotonic clock: nanoseconds from an arbitrary fixed origin.
+
+   Unlike [Unix.gettimeofday], this source never steps backwards (or
+   forwards) when the system clock is adjusted, so it is safe to meter
+   solver budgets and to timestamp trace events with it.  The origin is
+   unspecified (typically system boot); only differences are
+   meaningful. *)
+
+external now_ns : unit -> (int64[@unboxed])
+  = "nova_monotonic_now_ns_byte" "nova_monotonic_now_ns"
+[@@noalloc]
+
+(* Seconds as a float.  At nanosecond resolution a float keeps full
+   precision for ~104 days of uptime, far beyond any solver run. *)
+let now_s () = Int64.to_float (now_ns ()) /. 1e9

@@ -1,0 +1,49 @@
+/* Monotonic time source for Support.Monotonic.
+
+   CLOCK_MONOTONIC is immune to wall-clock steps (NTP jumps, manual
+   `date` changes), which matters because solver budgets and trace
+   timestamps must never go backwards or leap forwards.  The native
+   entry point is [@@noalloc] with an unboxed int64 result, so reading
+   the clock allocates nothing. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+
+#ifdef _WIN32
+#include <windows.h>
+
+int64_t nova_monotonic_now_ns(value unit)
+{
+  (void)unit;
+  LARGE_INTEGER freq, count;
+  QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&count);
+  return (int64_t)((double)count.QuadPart * 1e9 / (double)freq.QuadPart);
+}
+
+#else
+#include <time.h>
+#include <sys/time.h>
+
+int64_t nova_monotonic_now_ns(value unit)
+{
+  (void)unit;
+#ifdef CLOCK_MONOTONIC
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+#else
+  /* last-resort fallback: wall clock (non-monotonic, but universal) */
+  struct timeval tv;
+  gettimeofday(&tv, NULL);
+  return (int64_t)tv.tv_sec * 1000000000 + (int64_t)tv.tv_usec * 1000;
+#endif
+}
+
+#endif
+
+CAMLprim value nova_monotonic_now_ns_byte(value unit)
+{
+  return caml_copy_int64(nova_monotonic_now_ns(unit));
+}

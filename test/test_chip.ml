@@ -76,6 +76,27 @@ let test_bus_arbiter () =
   checki "sram request count" 3 sram.Ixp.Memory.chan_requests;
   checki "sram stall cycles" 5 sram.Ixp.Memory.chan_stall
 
+let test_bus_channel_stats () =
+  let bus = Ixp.Memory.bus_create ~sram_occupancy:5 () in
+  (* two same-cycle requests: the second waits the occupancy of the
+     first, and busy accumulates one occupancy per request *)
+  checki "first" 20 (Ixp.Memory.bus_request bus Ixp.Insn.Sram ~now:0 ~latency:20);
+  checki "second queues" 25
+    (Ixp.Memory.bus_request bus Ixp.Insn.Sram ~now:0 ~latency:20);
+  let stats = Ixp.Memory.bus_stats bus in
+  let sram = List.assoc "sram" stats in
+  checki "requests" 2 sram.Ixp.Memory.chan_requests;
+  checki "busy = 2 occupancies" 10 sram.Ixp.Memory.chan_busy;
+  checki "stall = 1 occupancy" 5 sram.Ixp.Memory.chan_stall;
+  (* every channel is reported, untouched ones as zeros *)
+  let names = List.map fst stats in
+  List.iter
+    (fun ch -> checkb ("stats has " ^ ch) true (List.mem ch names))
+    [ "sram"; "sdram"; "scratch"; "fifo" ];
+  let sdram = List.assoc "sdram" stats in
+  checki "untouched channel zero requests" 0 sdram.Ixp.Memory.chan_requests;
+  checki "untouched channel zero busy" 0 sdram.Ixp.Memory.chan_busy
+
 (* ---------------- chip run loop ---------------- *)
 
 (* A small idempotent kernel: reads SRAM, bumps a scratch counter.  It
@@ -180,6 +201,58 @@ let test_chip_scaling () =
   checkb "six engines beat one" true
     (Ixp.Chip.achieved_mpps r6 > Ixp.Chip.achieved_mpps r1)
 
+let test_chip_report_invariants () =
+  let r = run_chip ~engines:2 ~threads:2 ~offered:0. ~count:40 () in
+  checki "one latency per completed packet" r.Ixp.Chip.completed
+    (Array.length r.Ixp.Chip.latencies);
+  let sorted = Array.copy r.Ixp.Chip.latencies in
+  Array.sort compare sorted;
+  checkb "latencies sorted ascending" true (sorted = r.Ixp.Chip.latencies);
+  Array.iter
+    (fun l -> checkb "latency positive" true (l > 0))
+    r.Ixp.Chip.latencies;
+  for e = 0 to Array.length r.Ixp.Chip.engine_busy - 1 do
+    let u = Ixp.Chip.utilization r e in
+    checkb "utilization within [0,1]" true (u >= 0. && u <= 1.)
+  done;
+  checkb "percentiles ordered" true
+    (Ixp.Chip.latency_percentile r 0.50 <= Ixp.Chip.latency_percentile r 0.99);
+  (* the report carries the bus channel stats the kernel exercised *)
+  let sram = List.assoc "sram" r.Ixp.Chip.bus in
+  checkb "kernel hit the sram channel" true (sram.Ixp.Memory.chan_requests > 0);
+  checkb "saturated sram channel stalls" true (sram.Ixp.Memory.chan_stall > 0)
+
+let test_chip_traced_run () =
+  (* a traced chip run emits per-context occupancy spans and mirrors the
+     bus totals into the metrics registry *)
+  Support.Metrics.reset ();
+  Support.Trace.enable ();
+  let r = run_chip ~engines:2 ~threads:2 ~offered:0. ~count:20 () in
+  Support.Trace.disable ();
+  let totals = Support.Trace.span_totals () in
+  checkb "ctx0 spans recorded" true (List.mem_assoc "ctx0" totals);
+  (* chip trace events use the 1 cycle = 1 us timebase, so the summed
+     context occupancy cannot exceed engines * makespan *)
+  let ctx_total =
+    List.fold_left
+      (fun acc (n, s) ->
+        if String.length n >= 3 && String.sub n 0 3 = "ctx" then acc +. s
+        else acc)
+      0. totals
+  in
+  checkb "occupancy bounded by engines * makespan" true
+    (ctx_total *. 1e6 <= 2. *. float_of_int r.Ixp.Chip.cycles +. 1.);
+  let sram_requests =
+    Support.Metrics.gauge_value (Support.Metrics.gauge "chip.bus.sram.requests")
+  in
+  let stats = List.assoc "sram" r.Ixp.Chip.bus in
+  checkb "bus gauge mirrors report" true
+    (int_of_float sram_requests = stats.Ixp.Memory.chan_requests);
+  checkb "completed gauge" true
+    (int_of_float (Support.Metrics.gauge_value (Support.Metrics.gauge "chip.completed"))
+    = r.Ixp.Chip.completed);
+  Support.Trace.reset ()
+
 let suites =
   [
     ( "chip.pktgen",
@@ -187,7 +260,11 @@ let suites =
         Alcotest.test_case "determinism" `Quick test_pktgen_determinism;
         Alcotest.test_case "profiles" `Quick test_pktgen_profiles;
       ] );
-    ("chip.bus", [ Alcotest.test_case "arbiter" `Quick test_bus_arbiter ]);
+    ( "chip.bus",
+      [
+        Alcotest.test_case "arbiter" `Quick test_bus_arbiter;
+        Alcotest.test_case "channel stats" `Quick test_bus_channel_stats;
+      ] );
     ( "chip.run",
       [
         Alcotest.test_case "determinism" `Quick test_chip_determinism;
@@ -198,5 +275,8 @@ let suites =
         Alcotest.test_case "single-engine equivalence" `Quick
           test_chip_single_engine_matches_simulator;
         Alcotest.test_case "engine scaling" `Quick test_chip_scaling;
+        Alcotest.test_case "report invariants" `Quick
+          test_chip_report_invariants;
+        Alcotest.test_case "traced run" `Quick test_chip_traced_run;
       ] );
   ]

@@ -806,6 +806,30 @@ let test_lp_format () =
   let s = Lp_format.to_string p in
   checkb "mentions sanitized var" true (is_infix ~affix:"move_p1_v_A_B" s)
 
+(* ------------------------------------------------------------------ *)
+(* Clock                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* The solver budgets meter wall-clock time through [Clock]; it must be
+   monotonic (a wall-clock step must not blow or extend a budget). *)
+let test_clock () =
+  let t0 = Clock.now () in
+  let samples = Array.init 1000 (fun _ -> Clock.now ()) in
+  Array.iteri
+    (fun i t ->
+      if i > 0 then
+        checkb "monotone non-decreasing" true (t >= samples.(i - 1)))
+    samples;
+  checkb "since non-negative" true (Clock.since t0 >= 0.);
+  (* a t0 in the future (as after a backwards wall-clock step with a
+     non-monotonic source) must clamp to zero, not go negative *)
+  checkb "since clamps future origins" true
+    (Clock.since (Clock.now () +. 100.) = 0.);
+  (* the clock advances at all (spin briefly) *)
+  let rec spin n = if Clock.since t0 <= 0. && n > 0 then spin (n - 1) in
+  spin 10_000_000;
+  checkb "clock advances" true (Clock.since t0 > 0.)
+
 let suites =
   [
     ( "lp.bigint",
@@ -864,4 +888,6 @@ let suites =
       ] );
     ( "lp.format",
       [ Alcotest.test_case "writer sanitizes names" `Quick test_lp_format ] );
+    ( "lp.clock",
+      [ Alcotest.test_case "monotonic budget clock" `Quick test_clock ] );
   ]

@@ -64,7 +64,6 @@ let test_vec () =
   checki "fold" (1000 + (98 * 99 / 2) - 0) (Vec.fold_left ( + ) 0 v);
   let l = Vec.to_list v in
   checki "to_list length" 99 (List.length l)
-
 let bitset_qcheck =
   QCheck.Test.make ~name:"bitset models a set of small ints" ~count:200
     QCheck.(small_list (int_range 0 63))
@@ -73,6 +72,169 @@ let bitset_qcheck =
       List.iter (Bitset.add b) xs;
       let expected = List.sort_uniq compare xs in
       Bitset.elements b = expected)
+
+(* ---------------- monotonic clock ---------------- *)
+
+let test_monotonic () =
+  let a = Monotonic.now_ns () in
+  let b = Monotonic.now_ns () in
+  checkb "ns non-decreasing" true (Int64.compare b a >= 0);
+  let s0 = Monotonic.now_s () in
+  let s1 = Monotonic.now_s () in
+  checkb "s non-decreasing" true (s1 >= s0);
+  checkb "positive" true (Int64.compare a 0L > 0)
+
+(* ---------------- trace ---------------- *)
+
+(* Find every complete-span event in exported JSON as (name, ts, dur). *)
+let spans_of_json json =
+  let v =
+    match Json.parse json with
+    | Ok v -> v
+    | Error msg -> Alcotest.failf "trace JSON does not parse: %s" msg
+  in
+  let events =
+    match Option.bind (Json.member "traceEvents" v) Json.to_list with
+    | Some es -> es
+    | None -> Alcotest.fail "no traceEvents array"
+  in
+  List.filter_map
+    (fun e ->
+      let str k = Option.bind (Json.member k e) Json.to_string in
+      let num k = Option.bind (Json.member k e) Json.to_float in
+      match (str "ph", str "name", num "ts", num "dur") with
+      | Some "X", Some name, Some ts, Some dur -> Some (name, ts, dur)
+      | _ -> None)
+    events
+
+let test_trace_spans_balance () =
+  Trace.enable ();
+  Trace.with_span "outer" (fun () ->
+      Trace.with_span "inner" ~args:[ ("k", Trace.Int 3) ] (fun () -> ());
+      Trace.instant "tick";
+      Trace.counter "c" [ ("n", 1.0) ]);
+  Trace.disable ();
+  let spans = spans_of_json (Trace.to_json ()) in
+  checki "two complete spans" 2 (List.length spans);
+  let name, outer_ts, outer_dur =
+    List.find (fun (n, _, _) -> n = "outer") spans
+  in
+  let _, inner_ts, inner_dur =
+    List.find (fun (n, _, _) -> n = "inner") spans
+  in
+  checkb "outer named" true (name = "outer");
+  (* proper nesting: inner is contained in outer *)
+  checkb "inner starts after outer" true (inner_ts >= outer_ts);
+  checkb "inner ends before outer" true
+    (inner_ts +. inner_dur <= outer_ts +. outer_dur +. 1e-6);
+  let totals = Trace.span_totals () in
+  checkb "totals has outer" true (List.mem_assoc "outer" totals);
+  checkb "totals has inner" true (List.mem_assoc "inner" totals);
+  Trace.reset ()
+
+let test_trace_exception_closes_span () =
+  Trace.enable ();
+  (try Trace.with_span "boom" (fun () -> failwith "x") with Failure _ -> ());
+  Trace.disable ();
+  let spans = spans_of_json (Trace.to_json ()) in
+  checkb "span recorded despite raise" true
+    (List.exists (fun (n, _, _) -> n = "boom") spans);
+  Trace.reset ()
+
+let test_trace_escaping () =
+  Trace.enable ();
+  Trace.with_span "quote\"back\\slash\nnewline"
+    ~args:[ ("s", Trace.Str "tab\there") ]
+    (fun () -> ());
+  Trace.disable ();
+  let json = Trace.to_json () in
+  (match Json.parse json with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.failf "escaped JSON does not parse: %s" msg);
+  let spans = spans_of_json json in
+  checkb "escaped name round-trips" true
+    (List.exists (fun (n, _, _) -> n = "quote\"back\\slash\nnewline") spans);
+  Trace.reset ()
+
+let test_trace_disabled_no_alloc () =
+  Trace.reset ();
+  checkb "disabled" false (Trace.is_enabled ());
+  (* warm up so the closure itself is not counted *)
+  let f () = 7 in
+  ignore (Trace.with_span "off" f);
+  let before = Gc.minor_words () in
+  for _ = 1 to 1000 do
+    ignore (Trace.with_span "off" f)
+  done;
+  let words = Gc.minor_words () -. before in
+  (* a disabled span must be a bare bool test: no per-call allocation *)
+  checkb
+    (Printf.sprintf "no allocation when disabled (%.0f words)" words)
+    true (words < 64.);
+  checki "no events recorded" 0 (Trace.num_events ())
+
+(* ---------------- metrics ---------------- *)
+
+let test_metrics () =
+  Metrics.reset ();
+  let c = Metrics.counter "t.count" in
+  Metrics.incr c;
+  Metrics.incr c;
+  Metrics.add c 3;
+  checki "counter" 5 (Metrics.counter_value c);
+  checkb "same handle" true (c == Metrics.counter "t.count");
+  let g = Metrics.gauge "t.gauge" in
+  Metrics.set g 2.5;
+  checkb "gauge" true (Metrics.gauge_value g = 2.5);
+  let h = Metrics.histogram "t.hist" in
+  Metrics.observe h 1.0;
+  Metrics.observe h 3.0;
+  let contains ~sub s =
+    let ls = String.length s and lsub = String.length sub in
+    let rec go i = i + lsub <= ls && (String.sub s i lsub = sub || go (i + 1)) in
+    go 0
+  in
+  let dump = Metrics.dump () in
+  checkb "dump has counter" true (contains ~sub:"t.count" dump);
+  checkb "dump has histogram stats" true (contains ~sub:"count=2" dump);
+  checkb "kind clash rejected" true
+    (try
+       ignore (Metrics.gauge "t.count");
+       false
+     with Invalid_argument _ -> true);
+  Metrics.reset ();
+  checki "reset zeroes counter in place" 0 (Metrics.counter_value c)
+
+(* ---------------- json parser ---------------- *)
+
+let test_json_parser () =
+  let ok s = match Json.parse s with Ok v -> v | Error m -> Alcotest.fail m in
+  let bad s =
+    match Json.parse s with Ok _ -> Alcotest.failf "accepted %S" s | Error _ -> ()
+  in
+  (match
+     ok {| {"a": [1, 2.5, -3e2], "b": "x\nA", "c": true, "d": null} |}
+   with
+  | Json.Obj fields ->
+      checkb "member a" true
+        (match List.assoc "a" fields with
+        | Json.Arr [ Json.Num 1.; Json.Num 2.5; Json.Num -300. ] -> true
+        | _ -> false);
+      checkb "string escape" true (List.assoc "b" fields = Json.Str "x\nA");
+      checkb "bool" true (List.assoc "c" fields = Json.Bool true);
+      checkb "null" true (List.assoc "d" fields = Json.Null)
+  | _ -> Alcotest.fail "expected object");
+  let unicode = Printf.sprintf {| {"u": "%su0041%su00e9"} |} "\\" "\\" in
+  checkb "unicode escape" true
+    (Option.bind (Json.member "u" (ok unicode)) Json.to_string
+    = Some "A\xc3\xa9");
+  checkb "to_int" true
+    (Option.bind (Json.member "n" (ok {| {"n": 42} |})) Json.to_int = Some 42);
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\" 1}";
+  bad "tru";
+  bad "1 2"
 
 let suites =
   [
@@ -84,5 +246,18 @@ let suites =
         Alcotest.test_case "union find" `Quick test_union_find;
         Alcotest.test_case "vec" `Quick test_vec;
         QCheck_alcotest.to_alcotest bitset_qcheck;
+      ] );
+    ( "observability",
+      [
+        Alcotest.test_case "monotonic clock" `Quick test_monotonic;
+        Alcotest.test_case "trace spans balance" `Quick
+          test_trace_spans_balance;
+        Alcotest.test_case "trace survives exception" `Quick
+          test_trace_exception_closes_span;
+        Alcotest.test_case "trace escaping" `Quick test_trace_escaping;
+        Alcotest.test_case "disabled trace allocates nothing" `Quick
+          test_trace_disabled_no_alloc;
+        Alcotest.test_case "metrics registry" `Quick test_metrics;
+        Alcotest.test_case "json parser" `Quick test_json_parser;
       ] );
   ]

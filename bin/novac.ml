@@ -1,6 +1,7 @@
 (* novac: the Nova compiler command-line driver.
 
-     novac compile FILE [--allocator ilp|baseline] [--dump PHASE] ...
+     novac compile FILE [--allocator ilp|baseline] [--dump PHASE] [--lint] ...
+     novac lint (FILE | --workload aes|kasumi|nat) [--allow REGION] ...
      novac stats FILE
      novac model FILE [-o out.lp]
 
@@ -119,8 +120,17 @@ let compile_cmd =
              refactorizations, cuts, model sizes) to stderr after \
              compilation")
   in
+  let lint_flag =
+    Arg.(
+      value & flag
+      & info [ "lint" ]
+          ~doc:
+            "After compiling, run the static-analysis lint (cross-context \
+             races, machine-level validation, dead stores) and fail on \
+             errors; same as `novac lint` but without workload whitelists")
+  in
   let run file allocator dump entry_args time_limit node_limit rel_gap
-      no_validate verify_each no_verify_each trace_out metrics =
+      no_validate verify_each no_verify_each trace_out metrics lint_flag =
     handle_errors (fun () ->
         let source = read_file file in
         if trace_out <> None then Support.Trace.enable ();
@@ -179,7 +189,7 @@ let compile_cmd =
               m.Lp.Mip.nodes m.Lp.Mip.simplex_iterations m.Lp.Mip.cuts_added
               m.Lp.Mip.cut_rounds m.Lp.Mip.heuristic_incumbents
         | None -> ());
-        match stats.Regalloc.Driver.solver_outcome with
+        (match stats.Regalloc.Driver.solver_outcome with
         | Regalloc.Driver.Outcome_incumbent | Regalloc.Driver.Outcome_fallback
           ->
             Fmt.epr "; solver budget hit (%.0fs / %d nodes): emitted %s@."
@@ -188,14 +198,148 @@ let compile_cmd =
                  stats.Regalloc.Driver.solver_outcome)
         | Regalloc.Driver.Outcome_optimal | Regalloc.Driver.Outcome_heuristic
           ->
-            ())
+            ());
+        if lint_flag then begin
+          let report = Regalloc.Driver.lint compiled in
+          Fmt.epr "%a" Analysis.Lint.pp_report report;
+          if Analysis.Lint.errors report <> [] then exit 1
+        end)
   in
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a Nova program to IXP assembly")
     Term.(
       const run $ file $ allocator $ dump $ entry_args $ time_limit
       $ node_limit $ rel_gap $ no_validate $ verify_each $ no_verify_each
-      $ trace_out $ metrics)
+      $ trace_out $ metrics $ lint_flag)
+
+(* ---------------- lint ---------------- *)
+
+(* REGION syntax: SPACE:ADDR:WORDS[:NAME], e.g. sram:0x4000:256:my-table.
+   ADDR is a byte address; 0x-prefixed literals are accepted. *)
+let region_conv =
+  let parse s =
+    let bad () =
+      Error (`Msg (Printf.sprintf "bad region %S (want SPACE:ADDR:WORDS[:NAME], SPACE = sram|scratch)" s))
+    in
+    match String.split_on_char ':' s with
+    | space :: addr :: words :: rest -> (
+        let name = match rest with [] -> s | [ n ] -> n | _ -> "" in
+        if name = "" then bad ()
+        else
+          match
+            ( (match space with
+              | "sram" -> Some Ixp.Insn.Sram
+              | "scratch" -> Some Ixp.Insn.Scratch
+              | _ -> None),
+              int_of_string_opt addr,
+              int_of_string_opt words )
+          with
+          | Some space, Some base, Some words when words > 0 ->
+              Ok (name, space, base, words)
+          | _ -> bad ())
+    | _ -> bad ()
+  in
+  let print ppf (name, space, base, words) =
+    Fmt.pf ppf "%s:0x%x:%d:%s" (Ixp.Insn.space_to_string space) base words name
+  in
+  Arg.conv (parse, print)
+
+let lint_cmd =
+  let file =
+    Arg.(
+      value & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"Nova source file (or use --workload)")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some (enum [ ("aes", `Aes); ("kasumi", `Kasumi); ("nat", `Nat) ])) None
+      & info [ "workload"; "w" ]
+          ~doc:
+            "Lint a built-in paper workload with its table/result whitelist \
+             instead of a FILE")
+  in
+  let allocator =
+    Arg.(
+      value
+      & opt (enum [ ("ilp", `Ilp); ("baseline", `Baseline) ]) `Baseline
+      & info [ "allocator"; "a" ]
+          ~doc:
+            "Register allocator to lint the output of (default: baseline, \
+             which is fast; the CI lint job also covers ilp)")
+  in
+  let allow =
+    Arg.(
+      value & opt_all region_conv []
+      & info [ "allow" ] ~docv:"REGION"
+          ~doc:
+            "Whitelist a shared-write region (racy writes accepted by \
+             design): SPACE:ADDR:WORDS[:NAME]")
+  in
+  let allow_ro =
+    Arg.(
+      value & opt_all region_conv []
+      & info [ "allow-ro" ] ~docv:"REGION"
+          ~doc:
+            "Declare a read-only region (initialized by the control \
+             processor; engine writes into it are errors): \
+             SPACE:ADDR:WORDS[:NAME]")
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Exit nonzero on warnings too, not just errors")
+  in
+  let run file workload allocator allow allow_ro strict =
+    handle_errors (fun () ->
+        let name, source, wl_regions =
+          match (workload, file) with
+          | Some `Aes, None ->
+              ("<aes>", Workloads.Aes.source, Workloads.Aes.lint_regions)
+          | Some `Kasumi, None ->
+              ("<kasumi>", Workloads.Kasumi.source, Workloads.Kasumi.lint_regions)
+          | Some `Nat, None ->
+              ("<nat>", Workloads.Nat.source, Workloads.Nat.lint_regions)
+          | None, Some f -> (f, read_file f, [])
+          | Some _, Some _ ->
+              Fmt.epr "lint: give either FILE or --workload, not both@.";
+              exit 2
+          | None, None ->
+              Fmt.epr "lint: nothing to lint; give FILE or --workload@.";
+              exit 2
+        in
+        let mk policy (rname, space, base, words) =
+          Analysis.Race.region ~name:rname ~space ~base ~words policy
+        in
+        let regions =
+          wl_regions
+          @ List.map (mk Analysis.Race.Shared_write) allow
+          @ List.map (mk Analysis.Race.Read_only) allow_ro
+        in
+        let options =
+          {
+            Regalloc.Driver.default_options with
+            allocator =
+              (match allocator with
+              | `Ilp -> Regalloc.Driver.Ilp_allocator
+              | `Baseline -> Regalloc.Driver.Baseline_allocator);
+          }
+        in
+        let compiled = Regalloc.Driver.compile ~options ~file:name source in
+        let report = Regalloc.Driver.lint ~regions compiled in
+        Fmt.pr "%a" Analysis.Lint.pp_report report;
+        let errors = Analysis.Lint.errors report in
+        let warnings = Analysis.Lint.warnings report in
+        if errors <> [] || (strict && warnings <> []) then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static analysis of the compiled program: cross-context race \
+          detection, independent machine-level validation, dead-store and \
+          unreachable-code lint")
+    Term.(
+      const run $ file $ workload $ allocator $ allow $ allow_ro $ strict)
 
 (* ---------------- stats ---------------- *)
 
@@ -252,4 +396,5 @@ let () =
   let doc = "compiler for the Nova network-processor language" in
   exit
     (Cmd.eval
-       (Cmd.group (Cmd.info "novac" ~doc) [ compile_cmd; stats_cmd; model_cmd ]))
+       (Cmd.group (Cmd.info "novac" ~doc)
+          [ compile_cmd; lint_cmd; stats_cmd; model_cmd ]))

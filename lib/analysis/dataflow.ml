@@ -1,0 +1,253 @@
+(* Generic iterative dataflow over [Ixp.Flowgraph], polymorphic in the
+   register representation: the same solver runs on virtual-register
+   graphs (before allocation) and on emitted physical programs.
+
+   The framework is the classic join-semilattice worklist algorithm:
+
+     - a client supplies a lattice (bottom, join, equality, widening) and
+       per-instruction transfer functions;
+     - facts are attached to block boundaries and recomputed inside
+       blocks on demand, so memory is O(blocks), not O(points);
+     - loops terminate through [join]; lattices of unbounded height
+       (e.g. intervals) additionally get [widen] applied once a block has
+       been visited more than [widen_after] times.
+
+   The [at] label passed to [join]/[widen] names the receiving control
+   join (the block whose input is being merged).  Set-like lattices
+   ignore it; lattices that track value identity (the interval domain in
+   [Effects]) use it as a stable key for merged values, which is what
+   makes branch refinement sound across loop iterations. *)
+
+module FG = Ixp.Flowgraph
+module Insn = Ixp.Insn
+
+module type LATTICE = sig
+  type t
+
+  val bottom : t
+  val equal : t -> t -> bool
+
+  (* [join ~at old extra]: least upper bound, merged at control join [at]. *)
+  val join : at:string -> t -> t -> t
+
+  (* [widen ~at ~old next]: accelerate convergence; must over-approximate
+     [join ~at old next].  Lattices of finite height can use [join]. *)
+  val widen : at:string -> old:t -> t -> t
+end
+
+type direction = Forward | Backward
+
+module Make (L : LATTICE) = struct
+  type 'r spec = {
+    direction : direction;
+    boundary : L.t;
+        (* fact at the entry point (forward) or at [Halt] exits (backward) *)
+    transfer : block:string -> pos:int -> 'r Insn.t -> L.t -> L.t;
+        (* effect of one instruction, in the direction of the analysis:
+           forward maps the fact before the instruction to the fact after
+           it; backward maps the fact after to the fact before. *)
+    transfer_term : 'r Insn.terminator -> L.t -> L.t;
+        (* effect of the terminator itself (e.g. branch uses in a
+           backward liveness analysis) *)
+    refine_edge : 'r Insn.terminator -> succ:string -> L.t -> L.t;
+        (* forward only: refine the fact flowing along one control edge
+           with what taking that edge implies (branch conditions).
+           Identity for most clients. *)
+  }
+
+  let no_refine (_ : 'r Insn.terminator) ~succ:(_ : string) (fact : L.t) = fact
+
+  type solution = {
+    entry_facts : (string, L.t) Hashtbl.t;
+        (* fact at block point 0 (forward: input; backward: what holds
+           for the paths from the block's first instruction) *)
+    exit_facts : (string, L.t) Hashtbl.t;
+        (* fact at the block's exit point: forward, after the last
+           instruction (before the terminator); backward, including the
+           terminator's own transfer *)
+    iterations : int; (* block visits until the fixpoint *)
+  }
+
+  let get tbl label = Option.value ~default:L.bottom (Hashtbl.find_opt tbl label)
+
+  (* Apply the instruction transfers of [b] in solving order. *)
+  let through_block (spec : 'r spec) (b : 'r FG.block) fact =
+    let n = Array.length b.FG.insns in
+    match spec.direction with
+    | Forward ->
+        let acc = ref fact in
+        for k = 0 to n - 1 do
+          acc := spec.transfer ~block:b.FG.label ~pos:k b.FG.insns.(k) !acc
+        done;
+        !acc
+    | Backward ->
+        let acc = ref fact in
+        for k = n - 1 downto 0 do
+          acc := spec.transfer ~block:b.FG.label ~pos:k b.FG.insns.(k) !acc
+        done;
+        !acc
+
+  (* Widening points: targets of back edges.  By the white-path theorem
+     the first-discovered vertex of every cycle receives a back edge, so
+     widening only there still cuts every infinite ascending chain --
+     while facts at ordinary joins (e.g. a loop body refined by the loop
+     branch) are never widened, which would throw the refinement away. *)
+  let widen_points (g : 'r FG.t) : (string, unit) Hashtbl.t =
+    let heads = Hashtbl.create 8 in
+    let state = Hashtbl.create 16 in
+    let rec go label =
+      Hashtbl.replace state label `Active;
+      List.iter
+        (fun succ ->
+          match Hashtbl.find_opt state succ with
+          | Some `Active -> Hashtbl.replace heads succ ()
+          | Some `Done -> ()
+          | None -> go succ)
+        (Insn.term_targets (FG.block g label).FG.term);
+      Hashtbl.replace state label `Done
+    in
+    go (FG.entry g).FG.label;
+    heads
+
+  let solve ?(widen_after = 3) (spec : 'r spec) (g : 'r FG.t) : solution =
+    let entry_facts = Hashtbl.create 16 in
+    let exit_facts = Hashtbl.create 16 in
+    let visits = Hashtbl.create 16 in
+    let widen_heads = widen_points g in
+    (* termination backstop for blocks outside the entry's DFS (backward
+       analyses seed unreachable cycles too): widen anywhere after a
+       generous number of visits *)
+    let hard_cap = max 64 (widen_after * 16) in
+    let should_widen at v =
+      (Hashtbl.mem widen_heads at && v > widen_after) || v > hard_cap
+    in
+    let iterations = ref 0 in
+    let queue = Queue.create () in
+    let queued = Hashtbl.create 16 in
+    let push label =
+      if not (Hashtbl.mem queued label) then begin
+        Hashtbl.replace queued label ();
+        Queue.push label queue
+      end
+    in
+    (* [merge ~at contrib] folds one incoming contribution into the
+       stored fact of block [at] (input side of the solving direction)
+       and requeues [at] when it grew. *)
+    let input_side =
+      match spec.direction with
+      | Forward -> entry_facts
+      | Backward -> exit_facts
+    in
+    let merge ~at contrib =
+      let old = get input_side at in
+      let v = Hashtbl.find_opt visits at |> Option.value ~default:0 in
+      let joined = L.join ~at old contrib in
+      let next = if should_widen at v then L.widen ~at ~old joined else joined in
+      if not (L.equal old next) then begin
+        Hashtbl.replace input_side at next;
+        push at
+      end
+    in
+    (match spec.direction with
+    | Forward ->
+        Hashtbl.replace entry_facts (FG.entry g).FG.label spec.boundary;
+        push (FG.entry g).FG.label
+    | Backward ->
+        (* Seed every block: backward problems flow from Halt exits, and
+           infinite loops (no Halt-reachable exit) still need facts. *)
+        FG.iter_blocks
+          (fun b ->
+            (match b.FG.term with
+            | Insn.Halt ->
+                Hashtbl.replace exit_facts b.FG.label
+                  (spec.transfer_term b.FG.term spec.boundary)
+            | _ -> ());
+            push b.FG.label)
+          g);
+    let preds = lazy (FG.predecessors g) in
+    while not (Queue.is_empty queue) do
+      let label = Queue.pop queue in
+      Hashtbl.remove queued label;
+      incr iterations;
+      Hashtbl.replace visits label
+        (1 + (Hashtbl.find_opt visits label |> Option.value ~default:0));
+      let b = FG.block g label in
+      match spec.direction with
+      | Forward ->
+          let out = through_block spec b (get entry_facts label) in
+          Hashtbl.replace exit_facts label out;
+          let after_term = spec.transfer_term b.FG.term out in
+          List.iter
+            (fun succ ->
+              merge ~at:succ (spec.refine_edge b.FG.term ~succ after_term))
+            (Insn.term_targets b.FG.term)
+      | Backward ->
+          (* Exit fact: terminator transfer over the join of successor
+             entry facts (Halt exits were seeded above and have no
+             successors to join). *)
+          (match Insn.term_targets b.FG.term with
+          | [] -> ()
+          | succs ->
+              let joined =
+                List.fold_left
+                  (fun acc s -> L.join ~at:label acc (get entry_facts s))
+                  L.bottom succs
+              in
+              let ex = spec.transfer_term b.FG.term joined in
+              let old = get exit_facts label in
+              let v = Hashtbl.find_opt visits label |> Option.value ~default:0 in
+              let merged = L.join ~at:label old ex in
+              let next =
+                if should_widen label v then L.widen ~at:label ~old merged
+                else merged
+              in
+              Hashtbl.replace exit_facts label next);
+          let entry = through_block spec b (get exit_facts label) in
+          let old = get entry_facts label in
+          if not (L.equal old entry) then begin
+            Hashtbl.replace entry_facts label entry;
+            List.iter push
+              (Option.value ~default:[]
+                 (Hashtbl.find_opt (Lazy.force preds) label))
+          end
+    done;
+    { entry_facts; exit_facts; iterations = !iterations }
+
+  let entry_fact sol label = get sol.entry_facts label
+  let exit_fact sol label = get sol.exit_facts label
+
+  (* Facts at every point of [b]: index k is the fact at point (b, k).
+     For a forward solution index k holds before instruction k; for a
+     backward solution index k holds for the paths from instruction k
+     (i.e. liveness-style "after the point is reached"). *)
+  let point_facts (spec : 'r spec) sol (b : 'r FG.block) : L.t array =
+    let n = Array.length b.FG.insns in
+    let facts = Array.make (n + 1) L.bottom in
+    (match spec.direction with
+    | Forward ->
+        facts.(0) <- entry_fact sol b.FG.label;
+        for k = 0 to n - 1 do
+          facts.(k + 1) <-
+            spec.transfer ~block:b.FG.label ~pos:k b.FG.insns.(k) facts.(k)
+        done
+    | Backward ->
+        facts.(n) <- exit_fact sol b.FG.label;
+        for k = n - 1 downto 0 do
+          facts.(k) <-
+            spec.transfer ~block:b.FG.label ~pos:k b.FG.insns.(k) facts.(k + 1)
+        done);
+    facts
+end
+
+(* Blocks reachable from the entry; shared by clients that must not
+   report on dead code (and by the unreachable-code lint itself). *)
+let reachable_blocks (g : 'r FG.t) : (string, unit) Hashtbl.t =
+  let seen = Hashtbl.create 16 in
+  let rec go label =
+    if not (Hashtbl.mem seen label) then begin
+      Hashtbl.replace seen label ();
+      List.iter go (Insn.term_targets (FG.block g label).FG.term)
+    end
+  in
+  go (FG.entry g).FG.label;
+  seen

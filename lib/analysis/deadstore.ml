@@ -1,0 +1,66 @@
+(* Dead-store and unreachable-code lint over emitted physical programs:
+   the cheap exemplar client of the dataflow framework.  A definition is
+   dead when its destination is not live immediately after the
+   instruction; a pure instruction whose every definition is dead did
+   nothing.  Loads with all-dead destinations are reported separately
+   (they still cost memory latency but have no architectural effect). *)
+
+module FG = Ixp.Flowgraph
+module Insn = Ixp.Insn
+module Reg = Ixp.Reg
+
+type finding =
+  | Dead_store of { block : string; pos : int; reg : Reg.t }
+  | Dead_load of { block : string; pos : int }
+  | Unreachable of { block : string }
+
+let check (g : Reg.t FG.t) : finding list =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  let reachable = Dataflow.reachable_blocks g in
+  FG.iter_blocks
+    (fun b ->
+      if not (Hashtbl.mem reachable b.FG.label) then
+        add (Unreachable { block = b.FG.label }))
+    g;
+  let live = Live.solve g in
+  FG.iter_blocks
+    (fun b ->
+      if Hashtbl.mem reachable b.FG.label then begin
+        let facts = Live.point_live live b in
+        Array.iteri
+          (fun pos insn ->
+            let live_after = facts.(pos + 1) in
+            let dead d = not (Reg.Set.mem d live_after) in
+            match (insn : Reg.t Insn.t) with
+            (* pure register-to-register computations *)
+            | Insn.Alu { dst; _ } | Insn.Alu1 { dst; _ } | Insn.Imm { dst; _ }
+            | Insn.Move { dst; _ } ->
+                if dead dst then
+                  add (Dead_store { block = b.FG.label; pos; reg = dst })
+            (* loads: no architectural side effect, but never free *)
+            | Insn.Read { dsts; _ } | Insn.Rfifo_read { dsts; _ } ->
+                if Array.length dsts > 0 && Array.for_all dead dsts then
+                  add (Dead_load { block = b.FG.label; pos })
+            | Insn.Reload { dst; _ } ->
+                if dead dst then add (Dead_load { block = b.FG.label; pos })
+            (* stores, synchronization and CSR access have effects beyond
+               their register results; hash results are always in pairs
+               with their source constraint -- skip *)
+            | Insn.Write _ | Insn.Tfifo_write _ | Insn.Spill _ | Insn.Hash _
+            | Insn.Bit_test_set _ | Insn.Clone _ | Insn.Csr_read _
+            | Insn.Csr_write _ | Insn.Ctx_arb | Insn.Nop ->
+                ())
+          b.FG.insns
+      end)
+    g;
+  List.rev !findings
+
+let pp_finding ppf = function
+  | Dead_store { block; pos; reg } ->
+      Fmt.pf ppf "dead store to %s at %s.%d (result never read)"
+        (Reg.to_string reg) block pos
+  | Dead_load { block; pos } ->
+      Fmt.pf ppf "dead load at %s.%d (no destination is ever read)" block pos
+  | Unreachable { block } ->
+      Fmt.pf ppf "block %s is unreachable from the entry" block

@@ -1,0 +1,102 @@
+(* Saturating integer intervals, the value domain of the effect
+   analysis.  Bounds live in [neg_inf, pos_inf]; the sentinels are far
+   below/above any 32-bit machine word, and all arithmetic clamps back
+   into the sentinel range, so OCaml-int overflow cannot occur.
+
+   The operations only need to be precise enough to bound *addresses*:
+   adds and constant shifts (table indexing), and-masks (byte
+   extraction), and or/xor of non-negative values (field packing).
+   Everything else degrades soundly to [top]. *)
+
+type t = { lo : int; hi : int }
+
+let pos_inf = max_int / 4
+let neg_inf = -pos_inf
+let top = { lo = neg_inf; hi = pos_inf }
+
+let clamp v = if v > pos_inf then pos_inf else if v < neg_inf then neg_inf else v
+let make lo hi = { lo = clamp lo; hi = clamp hi }
+let exact n = make n n
+let is_exact t = t.lo = t.hi
+let is_bounded t = t.lo > neg_inf && t.hi < pos_inf
+let mem n t = n >= t.lo && n <= t.hi
+let equal a b = a.lo = b.lo && a.hi = b.hi
+let join a b = { lo = min a.lo b.lo; hi = max a.hi b.hi }
+
+(* meet returns None when the intersection is empty (dead branch edge) *)
+let meet a b =
+  let lo = max a.lo b.lo and hi = min a.hi b.hi in
+  if lo > hi then None else Some { lo; hi }
+
+let widen ~old next =
+  {
+    lo = (if next.lo < old.lo then neg_inf else old.lo);
+    hi = (if next.hi > old.hi then pos_inf else old.hi);
+  }
+
+let add a b = make (a.lo + b.lo) (a.hi + b.hi)
+let sub a b = make (a.lo - b.hi) (a.hi - b.lo)
+let neg a = make (-a.hi) (-a.lo)
+
+(* Number of bits needed for a non-negative value. *)
+let bits n =
+  let rec go acc n = if n = 0 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+(* Smallest all-ones mask covering every value up to [n] (n >= 0). *)
+let pow2_mask n = (1 lsl bits n) - 1
+
+let shl a b =
+  if is_exact b && b.lo >= 0 && b.lo < 32 && a.lo >= 0 && is_bounded a then
+    let k = b.lo in
+    let s v = if v > pos_inf asr k then pos_inf else v lsl k in
+    make (s a.lo) (s a.hi)
+  else top
+
+let shr a b =
+  if is_exact b && b.lo >= 0 && a.lo >= 0 then
+    make (a.lo lsr b.lo) (a.hi lsr b.lo)
+  else top
+
+let and_ a b =
+  if is_exact a && is_exact b then exact (a.lo land b.lo)
+  else
+    (* x land m with m >= 0 is in [0, m] whatever x is *)
+    let masked m other =
+      if other.lo >= 0 && other.hi <= m && m = pow2_mask m then other
+      else make 0 m
+    in
+    if is_exact b && b.lo >= 0 then masked b.lo a
+    else if is_exact a && a.lo >= 0 then masked a.lo b
+    else if a.lo >= 0 && b.lo >= 0 then make 0 (min a.hi b.hi)
+    else top
+
+let or_ a b =
+  if is_exact a && is_exact b then exact (a.lo lor b.lo)
+  else if a.lo >= 0 && b.lo >= 0 && is_bounded a && is_bounded b then
+    (* for non-negative x, y: max(x, y) <= x|y <= 2^bits(max) - 1 *)
+    make (max a.lo b.lo) (pow2_mask (max a.hi b.hi))
+  else top
+
+let xor a b =
+  if is_exact a && is_exact b then exact (a.lo lxor b.lo)
+  else if a.lo >= 0 && b.lo >= 0 && is_bounded a && is_bounded b then
+    make 0 (pow2_mask (max a.hi b.hi))
+  else top
+
+let mul a b =
+  if is_exact a && is_exact b then
+    let p = a.lo * b.lo in
+    (* detect overflow of the concrete product *)
+    if a.lo <> 0 && p / a.lo <> b.lo then top else exact p
+  else top
+
+let lnot_ a = if is_exact a then exact (lnot a.lo) else top
+
+let pp ppf t =
+  if equal t top then Fmt.string ppf "T"
+  else if is_exact t then Fmt.pf ppf "[%d]" t.lo
+  else
+    Fmt.pf ppf "[%s,%s]"
+      (if t.lo = neg_inf then "-inf" else string_of_int t.lo)
+      (if t.hi = pos_inf then "+inf" else string_of_int t.hi)

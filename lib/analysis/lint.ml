@@ -1,0 +1,136 @@
+(* The lint driver: runs every analysis client over one compiled
+   program and folds the results into a uniform diagnostic stream.
+
+   A lint runs over *both* sides of register allocation:
+
+     - the virtual flowgraph carries single-assignment-ish temporaries,
+       which is where interval inference of memory footprints is
+       precise, so the race detector runs there;
+     - the physical flowgraph is what the hardware executes, so
+       definite initialization, pressure/capacity, dead stores, and the
+       delegated [Ixp.Checker] rules run there.  The only shared-memory
+       accesses introduced *by* allocation are spill slots, whose
+       addresses are exact; they are extracted from the physical graph
+       and merged into the same race check.
+
+   Block labels survive lowering with their source function's name as a
+   prefix, so a [provenance] callback can map a label back to a
+   [Support.Srcloc.t]; findings with no provenance carry the dummy
+   location and still print. *)
+
+module FG = Ixp.Flowgraph
+module Srcloc = Support.Srcloc
+module Trace = Support.Trace
+
+type finding = {
+  severity : Support.Diag.severity;
+  tag : string; (* "race" | "ro-write" | "validate" | "dead-store" | ... *)
+  loc : Srcloc.t;
+  block : string;
+  message : string;
+  suppressed : bool; (* matched a whitelist region *)
+}
+
+type report = {
+  findings : finding list;
+  accesses : int; (* shared-memory footprints examined *)
+  max_pressure : (Ixp.Bank.t * int) list;
+}
+
+let finding ?(suppressed = false) ~severity ~tag ~loc ~block fmt =
+  Fmt.kstr
+    (fun message -> { severity; tag; loc; block; message; suppressed })
+    fmt
+
+let run ?(regions = []) ?(provenance = fun _ -> None)
+    ~(virtual_graph : Support.Ident.t FG.t) ~(physical : Ixp.Reg.t FG.t) () :
+    report =
+  Trace.with_span "lint" @@ fun () ->
+  let loc_of block = Option.value ~default:Srcloc.dummy (provenance block) in
+  let acc = ref [] in
+  let emit f = acc := f :: !acc in
+  (* 1. memory effects + race detection (virtual graph + physical spills) *)
+  let accesses =
+    Trace.with_span "lint.effects" @@ fun () ->
+    Effects.of_graph virtual_graph @ Effects.spill_accesses physical
+  in
+  (Trace.with_span "lint.race" @@ fun () ->
+   List.iter
+     (fun f ->
+       match (f : Race.finding) with
+       | Race.Race { a; _ } ->
+           emit
+             (finding ~severity:Support.Diag.Error ~tag:"race"
+                ~loc:(loc_of a.Effects.block) ~block:a.Effects.block "%a"
+                Race.pp_finding f)
+       | Race.Whitelisted { a; _ } ->
+           emit
+             (finding ~suppressed:true ~severity:Support.Diag.Note ~tag:"race"
+                ~loc:(loc_of a.Effects.block) ~block:a.Effects.block "%a"
+                Race.pp_finding f)
+       | Race.Ro_write { a; _ } ->
+           emit
+             (finding ~severity:Support.Diag.Error ~tag:"ro-write"
+                ~loc:(loc_of a.Effects.block) ~block:a.Effects.block "%a"
+                Race.pp_finding f))
+     (Race.check ~regions accesses));
+  (* 2. machine-level validation of the emitted program *)
+  let vreport =
+    Trace.with_span "lint.validate" @@ fun () -> Validator.check physical
+  in
+  List.iter
+    (fun (v : Validator.finding) ->
+      let severity =
+        if v.Validator.severe then Support.Diag.Error else Support.Diag.Note
+      in
+      emit
+        (finding ~severity ~tag:"validate" ~loc:(loc_of v.Validator.block)
+           ~block:v.Validator.block "%s.%d: %s" v.Validator.block
+           v.Validator.pos v.Validator.message))
+    vreport.Validator.findings;
+  (* 3. dead stores / unreachable code *)
+  (Trace.with_span "lint.deadstore" @@ fun () ->
+   List.iter
+     (fun (f : Deadstore.finding) ->
+       let block =
+         match f with
+         | Deadstore.Dead_store { block; _ }
+         | Deadstore.Dead_load { block; _ }
+         | Deadstore.Unreachable { block } ->
+             block
+       in
+       emit
+         (finding ~severity:Support.Diag.Warning ~tag:"dead-store"
+            ~loc:(loc_of block) ~block "%a" Deadstore.pp_finding f))
+     (Deadstore.check physical));
+  {
+    findings = List.rev !acc;
+    accesses = List.length accesses;
+    max_pressure = vreport.Validator.max_pressure;
+  }
+
+let errors r =
+  List.filter
+    (fun f -> (not f.suppressed) && f.severity = Support.Diag.Error)
+    r.findings
+
+let warnings r =
+  List.filter
+    (fun f -> (not f.suppressed) && f.severity = Support.Diag.Warning)
+    r.findings
+
+let pp_finding ppf f =
+  Fmt.pf ppf "%a: %a: [%s] %s%s" Srcloc.pp f.loc Support.Diag.pp_severity
+    f.severity f.tag f.message
+    (if f.suppressed then " (whitelisted)" else "")
+
+let pp_report ppf r =
+  List.iter (fun f -> Fmt.pf ppf "%a@." pp_finding f) r.findings;
+  Fmt.pf ppf "lint: %d shared-memory footprints, %d errors, %d warnings@."
+    r.accesses
+    (List.length (errors r))
+    (List.length (warnings r));
+  List.iter
+    (fun (b, n) ->
+      Fmt.pf ppf "lint: peak pressure %s = %d@." (Ixp.Bank.to_string b) n)
+    r.max_pressure

@@ -1,0 +1,47 @@
+(* Independent backward liveness over physical programs, as a client of
+   the dataflow framework.  [Ixp.Liveness] computes liveness of virtual
+   temporaries for model generation; this one runs on emitted machine
+   code and shares no code with it, which is what makes it usable as a
+   cross-check. *)
+
+module FG = Ixp.Flowgraph
+module Insn = Ixp.Insn
+module Set = Ixp.Reg.Set
+
+module Lattice = struct
+  type t = Set.t
+
+  let bottom = Set.empty
+  let equal = Set.equal
+  let join ~at:_ a b = Set.union a b
+  let widen ~at:_ ~old next = Set.union old next
+end
+
+module Solver = Dataflow.Make (Lattice)
+
+let spec : Ixp.Reg.t Solver.spec =
+  {
+    Solver.direction = Dataflow.Backward;
+    boundary = Set.empty;
+    transfer =
+      (fun ~block:_ ~pos:_ insn live ->
+        let live =
+          List.fold_left (fun s d -> Set.remove d s) live (Insn.defs insn)
+        in
+        List.fold_left (fun s u -> Set.add u s) live (Insn.uses insn));
+    transfer_term =
+      (fun term live ->
+        List.fold_left (fun s u -> Set.add u s) live (Insn.term_uses term));
+    refine_edge = Solver.no_refine;
+  }
+
+type t = { graph : Ixp.Reg.t FG.t; sol : Solver.solution }
+
+let solve graph = { graph; sol = Solver.solve spec graph }
+
+(* [point_live t b]: array indexed by point; entry k is the set of
+   registers live at point (b, k) -- i.e. read on some path before being
+   overwritten. *)
+let point_live t (b : Ixp.Reg.t FG.block) = Solver.point_facts spec t.sol b
+
+let live_in t label = Solver.entry_fact t.sol label

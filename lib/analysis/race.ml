@@ -1,0 +1,219 @@
+(* Cross-context race detection.
+
+   Concurrency model (paper §1, PR 2's chip simulation): every micro-engine
+   runs the *same* program on 4 hardware contexts, and N engines run in
+   true parallel.  SRAM and scratch are chip-wide shared; SDRAM holds the
+   per-thread packet buffer and is private in our model; the FIFOs and
+   registers are per-context.  Context switches happen at memory
+   references and [ctx_arb] only, but engines interleave at every cycle,
+   so yield discipline alone cannot order two accesses -- the only
+   synchronization-free safe patterns are read-only sharing and the
+   atomic [bit_test_set] read-modify-write.
+
+   A *conflict* is therefore any pair of static accesses (possibly the
+   same instruction, executed by two contexts) to the same shared space
+   whose address ranges may overlap, where at least one is a write and
+   not both are atomic RMWs.  Intentional sharing is declared with
+   whitelist regions:
+
+     - [Read_only]: a table initialized by the control processor before
+       the engines start (AES T-tables, NAT mapping table).  Loads fully
+       inside the read-only area are exempt from pairing; a *write* whose
+       footprint provably overlaps the area is its own error.
+     - [Shared_write]: an area where racy writes are accepted by design
+       (the scratch result words, per-flow status words).  A pair is
+       absorbed only when both footprints lie inside the same region.
+
+   Read-only containment is checked against the *union* of the declared
+   read-only regions per space: a table lookup whose base is a joined
+   parameter (AES's t_lookup serves four adjacent tables) has a footprint
+   spanning several regions, and the union is what makes it checkable. *)
+
+module Insn = Ixp.Insn
+
+type policy = Read_only | Shared_write
+
+type region = {
+  rname : string;
+  rspace : Insn.space;
+  rbase : int; (* byte address *)
+  rwords : int;
+  rpolicy : policy;
+}
+
+let region ~name ~space ~base ~words policy =
+  { rname = name; rspace = space; rbase = base; rwords = words; rpolicy = policy }
+
+type pair_kind = Write_write | Read_write
+
+type finding =
+  | Race of { kind : pair_kind; a : Effects.access; b : Effects.access }
+  | Whitelisted of {
+      region : string;
+      kind : pair_kind;
+      a : Effects.access;
+      b : Effects.access;
+    }
+  | Ro_write of { region : string; a : Effects.access }
+
+(* Spaces shared between contexts (and between engines). *)
+let shared_space = function
+  | Insn.Sram | Insn.Scratch -> true
+  | Insn.Sdram -> false
+
+let ranges_overlap a b =
+  match (a, b) with
+  | Effects.Unknown_range, _ | _, Effects.Unknown_range -> true
+  | Effects.Bytes ra, Effects.Bytes rb -> ra.lo <= rb.hi && rb.lo <= ra.hi
+
+let range_inside (lo, hi) = function
+  | Effects.Unknown_range -> false
+  | Effects.Bytes r -> r.lo >= lo && r.hi <= hi
+
+let region_extent r = (r.rbase, r.rbase + (4 * r.rwords) - 1)
+
+(* Merge same-space regions of one policy into maximal disjoint byte
+   intervals for union-containment checks. *)
+let union_extents regions space policy =
+  let xs =
+    List.filter_map
+      (fun r ->
+        if r.rspace = space && r.rpolicy = policy then Some (region_extent r)
+        else None)
+      regions
+    |> List.sort compare
+  in
+  let rec merge = function
+    | (l1, h1) :: (l2, h2) :: rest when l2 <= h1 + 1 ->
+        merge ((l1, max h1 h2) :: rest)
+    | x :: rest -> x :: merge rest
+    | [] -> []
+  in
+  merge xs
+
+let inside_union extents range =
+  List.exists (fun ext -> range_inside ext range) extents
+
+(* The whitelist region (if any) that absorbs a conflicting pair: both
+   footprints fully inside the same [Shared_write] region. *)
+let absorbing_region regions space (a : Effects.access) (b : Effects.access) =
+  List.find_opt
+    (fun r ->
+      r.rpolicy = Shared_write && r.rspace = space
+      && range_inside (region_extent r) a.Effects.range
+      && range_inside (region_extent r) b.Effects.range)
+    regions
+
+let is_write (a : Effects.access) =
+  match a.Effects.kind with
+  | Effects.Store | Effects.Atomic_rmw -> true
+  | Effects.Load -> false
+
+let same_target (a : Effects.access) (b : Effects.access) =
+  match (a.Effects.target, b.Effects.target) with
+  | Effects.Mem s1, Effects.Mem s2 -> s1 = s2
+  | Effects.Csr_target c1, Effects.Csr_target c2 -> String.equal c1 c2
+  | _ -> false
+
+let check ?(regions = []) (accesses : Effects.access list) : finding list =
+  let findings = ref [] in
+  let add f = findings := f :: !findings in
+  (* accesses that can conflict across contexts at all *)
+  let interesting =
+    List.filter
+      (fun (a : Effects.access) ->
+        match a.Effects.target with
+        | Effects.Mem s -> shared_space s
+        | Effects.Csr_target _ -> true)
+      accesses
+  in
+  (* writes provably into declared read-only regions *)
+  List.iter
+    (fun (a : Effects.access) ->
+      if is_write a then
+        match a.Effects.target with
+        | Effects.Mem s ->
+            List.iter
+              (fun r ->
+                if
+                  r.rpolicy = Read_only && r.rspace = s
+                  && (match a.Effects.range with
+                     | Effects.Unknown_range -> false (* not *provably* inside *)
+                     | Effects.Bytes _ ->
+                         ranges_overlap a.Effects.range
+                           (let l, h = region_extent r in
+                            Effects.Bytes { lo = l; hi = h }))
+                then add (Ro_write { region = r.rname; a }))
+              regions
+        | Effects.Csr_target _ -> ())
+    interesting;
+  (* loads fully inside the read-only union are exempt from pairing *)
+  let ro_union_cache = Hashtbl.create 4 in
+  let ro_union space =
+    match Hashtbl.find_opt ro_union_cache space with
+    | Some u -> u
+    | None ->
+        let u = union_extents regions space Read_only in
+        Hashtbl.replace ro_union_cache space u;
+        u
+  in
+  let pairable =
+    List.filter
+      (fun (a : Effects.access) ->
+        match (a.Effects.kind, a.Effects.target) with
+        | Effects.Load, Effects.Mem s ->
+            not (inside_union (ro_union s) a.Effects.range)
+        | _ -> true)
+      interesting
+  in
+  (* conflicting pairs; i = j is meaningful -- the same instruction run
+     by two contexts *)
+  let arr = Array.of_list pairable in
+  let n = Array.length arr in
+  for i = 0 to n - 1 do
+    for j = i to n - 1 do
+      let a = arr.(i) and b = arr.(j) in
+      if
+        same_target a b
+        && ranges_overlap a.Effects.range b.Effects.range
+        && (is_write a || is_write b)
+        && not (a.Effects.kind = Effects.Atomic_rmw && b.Effects.kind = Effects.Atomic_rmw)
+      then begin
+        let kind =
+          if is_write a && is_write b then Write_write else Read_write
+        in
+        let space =
+          match a.Effects.target with
+          | Effects.Mem s -> Some s
+          | Effects.Csr_target _ -> None
+        in
+        match space with
+        | Some s -> (
+            match absorbing_region regions s a b with
+            | Some r -> add (Whitelisted { region = r.rname; kind; a; b })
+            | None -> add (Race { kind; a; b }))
+        | None -> add (Race { kind; a; b })
+      end
+    done
+  done;
+  List.rev !findings
+
+let pp_pair_kind ppf = function
+  | Write_write -> Fmt.string ppf "write/write"
+  | Read_write -> Fmt.string ppf "read/write"
+
+let pp_finding ppf = function
+  | Race { kind; a; b } ->
+      if a == b then
+        Fmt.pf ppf
+          "unsynchronized %a race: %a conflicts with itself in another context"
+          pp_pair_kind kind Effects.pp_access a
+      else
+        Fmt.pf ppf "unsynchronized %a race between %a and %a" pp_pair_kind kind
+          Effects.pp_access a Effects.pp_access b
+  | Whitelisted { region; kind; a; b } ->
+      Fmt.pf ppf "%a overlap absorbed by region '%s' (%a / %a)" pp_pair_kind
+        kind region Effects.pp_access a Effects.pp_access b
+  | Ro_write { region; a } ->
+      Fmt.pf ppf "write into declared read-only region '%s': %a" region
+        Effects.pp_access a

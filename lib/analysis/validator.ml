@@ -1,0 +1,173 @@
+(* Machine-level translation validation of emitted physical programs,
+   strictly stronger than [Ixp.Checker]:
+
+     - every per-instruction legality rule of [Checker] (delegated);
+     - initialization: a forward analysis tracking both the registers
+       written on *every* path from the entry (must-init, intersection
+       join) and on *some* path (may-init, union join).  A read outside
+       the may-init set can never observe a definition and is a hard
+       error; a read outside only the must-init set is reported at note
+       severity, because compiled loop-carried values routinely look
+       uninitialized along the infeasible zero-trip loop-exit path and
+       the analysis is path-insensitive.  [Checker] looks at one
+       instruction at a time and cannot see either;
+     - an independent backward liveness recomputation, from which we
+       derive the per-point register pressure of every bank and check it
+       against the hardware capacities (and report the maxima, which is
+       how the bank-capacity claim of the allocator is re-proved at the
+       machine level: the paper's K-constraint keeps one A register in
+       reserve, so emitted code may touch capacity but never exceed it).
+
+   The assignment-level half of translation validation (bank occupancy
+   of the ILP's own point/temp sets, transfer-aggregate colors, same-reg
+   pairs) lives in [Regalloc.Validate], next to the types it checks. *)
+
+module FG = Ixp.Flowgraph
+module Insn = Ixp.Insn
+module Bank = Ixp.Bank
+module Reg = Ixp.Reg
+
+type finding = {
+  block : string;
+  pos : int;
+  message : string;
+  severe : bool;
+      (* false: informational (possibly-uninitialized on an infeasible
+         path); true: the program is wrong *)
+}
+
+type report = {
+  findings : finding list;
+  max_pressure : (Bank.t * int) list;
+      (* peak simultaneously-live registers per bank *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Initialization (forward; must = intersection, may = union)          *)
+(* ------------------------------------------------------------------ *)
+
+module Init_lattice = struct
+  (* [Init (must, may)]: [must] is written on every path reaching the
+     point, [may] on at least one. *)
+  type t = Unreached | Init of Reg.Set.t * Reg.Set.t
+
+  let bottom = Unreached
+
+  let equal a b =
+    match (a, b) with
+    | Unreached, Unreached -> true
+    | Init (x1, x2), Init (y1, y2) ->
+        Reg.Set.equal x1 y1 && Reg.Set.equal x2 y2
+    | _ -> false
+
+  let join ~at:_ a b =
+    match (a, b) with
+    | Unreached, x | x, Unreached -> x
+    | Init (m1, y1), Init (m2, y2) ->
+        Init (Reg.Set.inter m1 m2, Reg.Set.union y1 y2)
+
+  let widen ~at ~old next = join ~at old next
+end
+
+module Init_solver = Dataflow.Make (Init_lattice)
+
+let init_spec : Reg.t Init_solver.spec =
+  {
+    Init_solver.direction = Dataflow.Forward;
+    boundary = Init_lattice.Init (Reg.Set.empty, Reg.Set.empty);
+    transfer =
+      (fun ~block:_ ~pos:_ insn fact ->
+        match fact with
+        | Init_lattice.Unreached -> Init_lattice.Unreached
+        | Init_lattice.Init (must, may) ->
+            let addl s = List.fold_left (fun s d -> Reg.Set.add d s) s in
+            let ds = Insn.defs insn in
+            Init_lattice.Init (addl must ds, addl may ds));
+    transfer_term = (fun _term fact -> fact);
+    refine_edge = Init_solver.no_refine;
+  }
+
+let check (g : Reg.t FG.t) : report =
+  let findings = ref [] in
+  let add ?(severe = true) ~block ~pos fmt =
+    Fmt.kstr
+      (fun message -> findings := { block; pos; message; severe } :: !findings)
+      fmt
+  in
+  (* 1. per-instruction legality, delegated to the checker *)
+  List.iter
+    (fun (v : Ixp.Checker.violation) ->
+      add ~block:v.Ixp.Checker.block ~pos:v.Ixp.Checker.pos "%s"
+        v.Ixp.Checker.message)
+    (Ixp.Checker.check g);
+  let reachable = Dataflow.reachable_blocks g in
+  (* 2. initialization *)
+  let init_sol = Init_solver.solve init_spec g in
+  FG.iter_blocks
+    (fun b ->
+      if Hashtbl.mem reachable b.FG.label then begin
+        let facts = Init_solver.point_facts init_spec init_sol b in
+        let check_uses pos uses =
+          match facts.(pos) with
+          | Init_lattice.Unreached -> ()
+          | Init_lattice.Init (must, may) ->
+              List.iter
+                (fun u ->
+                  if not (Reg.Set.mem u may) then
+                    add ~block:b.FG.label ~pos
+                      "register %s is read but never written on any path from \
+                       the entry"
+                      (Reg.to_string u)
+                  else if not (Reg.Set.mem u must) then
+                    add ~severe:false ~block:b.FG.label ~pos
+                      "register %s may be read before it is written (no \
+                       definition on one entry path; for loop-carried values \
+                       that path is usually infeasible)"
+                      (Reg.to_string u))
+                uses
+        in
+        Array.iteri (fun pos insn -> check_uses pos (Insn.uses insn)) b.FG.insns;
+        check_uses (Array.length b.FG.insns) (Insn.term_uses b.FG.term)
+      end)
+    g;
+  (* 3. independent liveness: pressure per bank against hardware capacity *)
+  let live = Live.solve g in
+  let max_pressure = Hashtbl.create 8 in
+  FG.iter_blocks
+    (fun b ->
+      if Hashtbl.mem reachable b.FG.label then
+        Array.iteri
+          (fun pos set ->
+            let by_bank = Hashtbl.create 8 in
+            Reg.Set.iter
+              (fun r ->
+                let bk = Reg.bank r in
+                Hashtbl.replace by_bank bk
+                  (1 + Option.value ~default:0 (Hashtbl.find_opt by_bank bk)))
+              set;
+            Hashtbl.iter
+              (fun bk n ->
+                if n > Bank.capacity bk then
+                  add ~block:b.FG.label ~pos
+                    "%d registers of bank %s live at once (capacity %d)" n
+                    (Bank.to_string bk) (Bank.capacity bk);
+                if n > Option.value ~default:0 (Hashtbl.find_opt max_pressure bk)
+                then Hashtbl.replace max_pressure bk n)
+              by_bank)
+          (Live.point_live live b))
+    g;
+  (* Registers live into the entry: the same some-path-uninitialized
+     property as the must-init check above, derived independently from
+     the backward liveness; note severity for the same reason. *)
+  let entry_live = Live.live_in live (FG.entry g).FG.label in
+  if not (Ixp.Reg.Set.is_empty entry_live) then
+    add ~severe:false ~block:(FG.entry g).FG.label ~pos:0
+      "live into the program entry (possible read of uninitialized state): %s"
+      (String.concat ", "
+         (List.map Reg.to_string (Ixp.Reg.Set.elements entry_live)));
+  {
+    findings = List.rev !findings;
+    max_pressure =
+      Hashtbl.fold (fun b n acc -> (b, n) :: acc) max_pressure []
+      |> List.sort compare;
+  }

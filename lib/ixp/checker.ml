@@ -19,10 +19,20 @@
    Every integration test and benchmark runs this checker on the final
    program; a violation is reported with its block and position. *)
 
-type violation = { block : string; pos : int; message : string }
+type violation = {
+  block : string;
+  pos : int;
+  message : string;
+  loc : Support.Srcloc.t;
+      (* source construct the offending block was lowered from;
+         [Srcloc.dummy] when the caller supplied no provenance *)
+}
 
 let pp_violation ppf v =
-  Fmt.pf ppf "%s.%d: %s" v.block v.pos v.message
+  if v.loc == Support.Srcloc.dummy then
+    Fmt.pf ppf "%s.%d: %s" v.block v.pos v.message
+  else
+    Fmt.pf ppf "%a: %s.%d: %s" Support.Srcloc.pp v.loc v.block v.pos v.message
 
 let check_alu_operands add x (y : Reg.t Insn.operand) =
   let add fmt = Fmt.kstr add fmt in
@@ -149,21 +159,24 @@ let check_term add (term : Reg.t Insn.terminator) =
   | Insn.Jump _ | Insn.Halt -> ()
   | Insn.Branch { x; y; _ } -> check_alu_operands add x y
 
-let check (program : Reg.t Flowgraph.t) =
+let check ?(provenance = fun _ -> None) (program : Reg.t Flowgraph.t) =
   let violations = ref [] in
   Flowgraph.iter_blocks
     (fun b ->
       let label = b.Flowgraph.label in
+      let loc =
+        Option.value ~default:Support.Srcloc.dummy (provenance label)
+      in
       Array.iteri
         (fun pos insn ->
           let add message =
-            violations := { block = label; pos; message } :: !violations
+            violations := { block = label; pos; message; loc } :: !violations
           in
           check_insn add insn)
         b.Flowgraph.insns;
       let add message =
         violations :=
-          { block = label; pos = Array.length b.Flowgraph.insns; message }
+          { block = label; pos = Array.length b.Flowgraph.insns; message; loc }
           :: !violations
       in
       check_term add b.Flowgraph.term;
@@ -177,8 +190,8 @@ let check (program : Reg.t Flowgraph.t) =
     program;
   List.rev !violations
 
-let check_exn program =
-  match check program with
+let check_exn ?provenance program =
+  match check ?provenance program with
   | [] -> ()
   | vs ->
       Support.Diag.ice "machine-legality check failed:@.%a"

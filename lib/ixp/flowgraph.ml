@@ -107,6 +107,23 @@ let points t =
       List.init (Array.length b.insns + 1) (fun pos -> { block = b.label; pos }))
     t.blocks
 
+(* Points where another hardware context may run: point k+1 of a block
+   whose instruction k yields (see [Insn.yields]).  [Ctx_arb] and the
+   long-latency references are ordinary instructions -- they do not end
+   a block and contribute no successor edges, so the CFG shape is
+   unchanged by context switching; only the cross-context interleaving
+   is affected.  Block exit points are not yield points: terminators
+   (jumps, branches, halt) execute without releasing the engine. *)
+let yield_points t =
+  List.concat_map
+    (fun b ->
+      Array.to_list b.insns
+      |> List.mapi (fun k insn -> (k, insn))
+      |> List.filter_map (fun (k, insn) ->
+             if Insn.yields insn then Some { block = b.label; pos = k + 1 }
+             else None))
+    t.blocks
+
 (* Edges between points:
    - within a block, point k --insn k--> point k+1;
    - the exit point of a block connects to the entry point (pos 0) of

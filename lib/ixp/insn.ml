@@ -140,6 +140,26 @@ let term_targets = function
   | Branch { ifso; ifnot; _ } -> [ ifso; ifnot ]
   | Halt -> []
 
+(* Does executing this instruction hand the engine to another ready
+   context?  Mirrors [Simulator.step_thread]: references whose latency
+   exceeds the 2-cycle issue cost yield -- under the default timing
+   model that is every memory, hash, and FIFO operation -- and so does
+   the voluntary [Ctx_arb].  ALU work, immediates, moves, and CSR
+   accesses complete in-pipe and never yield.
+
+   Note that [Ctx_arb] (like the CSR instructions) is a *plain*
+   instruction, not a terminator: control resumes at the next
+   instruction of the same block, and block successors derive only from
+   [term_targets].  What a yield changes is the cross-context schedule,
+   not the control-flow graph. *)
+let yields = function
+  | Read _ | Write _ | Hash _ | Bit_test_set _ | Spill _ | Reload _
+  | Rfifo_read _ | Tfifo_write _ | Ctx_arb ->
+      true
+  | Alu _ | Alu1 _ | Imm _ | Move _ | Clone _ | Csr_read _ | Csr_write _ | Nop
+    ->
+      false
+
 (* ------------------------------------------------------------------ *)
 (* Operand-class machine description (paper §5.2)                      *)
 (* ------------------------------------------------------------------ *)

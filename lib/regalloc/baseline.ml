@@ -71,11 +71,20 @@ let build (mg : Modelgen.t) : Assignment.t =
   List.iter
     (fun (ad : Modelgen.agg_def) ->
       let b = Insn.read_bank ad.Modelgen.ad_space in
+      let live_after =
+        Ixp.Liveness.live_at mg.Modelgen.live
+          mg.Modelgen.points.(ad.Modelgen.ad_point)
+      in
       Array.iteri
         (fun j v ->
           (* value appears in the transfer bank and is moved home at the
-             same point (before -> after) *)
+             same point (before -> after) -- unless it is already dead
+             there (an unused member of the aggregate), in which case it
+             stays in the transfer bank and vacating it would only emit
+             a dead store *)
           Hashtbl.replace st.before (ad.Modelgen.ad_point, bank_key v) b;
+          if not (Support.Ident.Set.mem v live_after) then
+            Hashtbl.replace st.after (ad.Modelgen.ad_point, bank_key v) b;
           Hashtbl.replace st.color (bank_key v, Bank.to_string b) j)
         ad.Modelgen.ad_members)
     mg.Modelgen.agg_defs;

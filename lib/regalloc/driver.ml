@@ -148,6 +148,33 @@ let front_end ?(entry = "main") ?(entry_args = []) ?(rematerialize = false)
     f_graph = graph;
   }
 
+(* Map an emitted block label back to the source function it was lowered
+   from.  Labels are printed idents, "<base>_<stamp>", whose base is the
+   function's source name possibly extended with derivation suffixes
+   (SSU clones print as "f.c1", inlined continuations as "k.phi", ...).
+   Continuation blocks (loop headers, join points, return continuations)
+   have fabricated bases and map to no location -- diagnostics on them
+   fall back to the dummy location but still carry the block label. *)
+let provenance_of_tprog (tprog : Nova.Tast.tprogram) :
+    string -> Srcloc.t option =
+  let by_name = Hashtbl.create 16 in
+  List.iter
+    (fun (f : Nova.Tast.tfun) ->
+      Hashtbl.replace by_name f.Nova.Tast.f_name f.Nova.Tast.f_body.Nova.Tast.loc)
+    tprog.Nova.Tast.funs;
+  fun label ->
+    let base =
+      match String.rindex_opt label '_' with
+      | Some i -> String.sub label 0 i
+      | None -> label
+    in
+    let root =
+      match String.index_opt base '.' with
+      | Some i -> String.sub base 0 i
+      | None -> base
+    in
+    Hashtbl.find_opt by_name root
+
 let allocate (options : options) (front : front) : compiled =
   Trace.with_span "allocate" @@ fun () ->
   let solve_ilp mg =
@@ -224,7 +251,9 @@ let allocate (options : options) (front : front) : compiled =
   if options.validate then begin
     match
       Trace.with_span "machine-check" (fun () ->
-          Ixp.Checker.check emitted.Emit.physical)
+          Ixp.Checker.check
+            ~provenance:(provenance_of_tprog front.f_tprog)
+            emitted.Emit.physical)
     with
     | [] -> ()
     | vs ->
@@ -285,6 +314,34 @@ let compile ?(options = default_options) ~file source =
       ~file source
   in
   allocate options front
+
+(* Static-analysis lint over a compiled program: cross-context races,
+   machine-level validation, dead stores (see [Analysis.Lint]), plus the
+   assignment-level translation validation of [Validate].  The scratch
+   result area, which every compiled program's contexts intentionally
+   share for their observable outputs, is whitelisted by default. *)
+let result_area_region =
+  Analysis.Race.region ~name:"result-area" ~space:Ixp.Insn.Scratch
+    ~base:(Cps.Isel.result_addr_bytes Ixp.Memory.default_config)
+    ~words:Cps.Isel.result_words Analysis.Race.Shared_write
+
+let lint ?(regions = []) (c : compiled) : Analysis.Lint.report =
+  Trace.with_span "lint-driver" @@ fun () ->
+  let report =
+    Analysis.Lint.run
+      ~regions:(result_area_region :: regions)
+      ~provenance:(provenance_of_tprog c.tprog) ~virtual_graph:c.virtual_graph
+      ~physical:c.physical ()
+  in
+  let vreport = Trace.with_span "lint-assignment" (fun () -> Validate.check c.assignment) in
+  let assignment_findings =
+    List.map
+      (fun e ->
+        Analysis.Lint.finding ~severity:Diag.Error ~tag:"assignment"
+          ~loc:Srcloc.dummy ~block:"<assignment>" "%s" e)
+      vreport.Validate.errors
+  in
+  { report with Analysis.Lint.findings = report.Analysis.Lint.findings @ assignment_findings }
 
 (* Convenience: run the compiled program on the simulator and return the
    observable results from the scratch result area. *)

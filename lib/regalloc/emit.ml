@@ -375,7 +375,16 @@ let free_xfer_reg st ~p bank =
 (* Emit the moves scheduled at point [p] of [block] at position [pos]. *)
 let emit_moves st out ~block ~pos ~p =
   let a = st.assignment in
-  let moves = a.Assignment.moves_at p in
+  let mg = a.Assignment.mg in
+  (* A scheduled move of a value that is dead at the point can only
+     produce a store nobody reads (solvers stopped at a node limit may
+     leave such moves in an otherwise legal assignment): drop it. *)
+  let live = Ixp.Liveness.live_at mg.Modelgen.live mg.Modelgen.points.(p) in
+  let moves =
+    List.filter
+      (fun (v, _, _) -> Support.Ident.Set.mem v live)
+      (a.Assignment.moves_at p)
+  in
   if moves <> [] then begin
     let i_before = inst ~pos ~side:0 and i_after = inst ~pos ~side:1 in
     (* 0. constant discards are free: nothing to emit for b -> C *)
@@ -411,6 +420,9 @@ let emit_moves st out ~block ~pos ~p =
                 reg_at st ~block ~instant:i_before v ))
         moves
     in
+    (* clone mates colocated in the same registers schedule the same
+       physical move: emit it once *)
+    let pairs = List.sort_uniq compare pairs in
     st.moves_inserted <- st.moves_inserted + List.length pairs;
     let remaining = ref (List.filter (fun (d, s) -> not (Reg.equal d s)) pairs) in
     let is_pending_src r = List.exists (fun (_, s) -> Reg.equal s r) !remaining in

@@ -212,3 +212,24 @@ let expected ~payload_len =
   let ct = Aes_ref.encrypt_words (Lazy.force round_keys) words in
   let csum = Aes_ref.ones_complement_sum ct in
   (ct, csum)
+
+(* Whitelist regions for `novac lint`: the tables and expanded key are
+   written by the control processor before the engines start and only
+   read by engine code; the checksum word and flow-accounting record are
+   deliberately shared slow-path outputs. *)
+let lint_regions =
+  let open Analysis.Race in
+  [
+    region ~name:"aes-t0" ~space:Ixp.Insn.Sram ~base:t0_base ~words:256 Read_only;
+    region ~name:"aes-t1" ~space:Ixp.Insn.Sram ~base:t1_base ~words:256 Read_only;
+    region ~name:"aes-t2" ~space:Ixp.Insn.Sram ~base:t2_base ~words:256 Read_only;
+    region ~name:"aes-t3" ~space:Ixp.Insn.Sram ~base:t3_base ~words:256 Read_only;
+    region ~name:"aes-sbox" ~space:Ixp.Insn.Sram ~base:sbox_base ~words:256
+      Read_only;
+    region ~name:"aes-round-keys" ~space:Ixp.Insn.Sram ~base:rk_base ~words:44
+      Read_only;
+    region ~name:"aes-csum" ~space:Ixp.Insn.Sram ~base:csum_addr ~words:1
+      Shared_write;
+    region ~name:"aes-flow-record" ~space:Ixp.Insn.Sram ~base:flow_addr
+      ~words:4 Shared_write;
+  ]

@@ -50,7 +50,7 @@ fun fi (x : word, ki : word) : word {
   let t7 = scratch(S7T + (seven0 << 2), 1);
   let seven1 = t7 ^ (nine1 & 0x7F);
   let seven2 = (seven1 ^ (ki >> 9)) & 0x7F;
-  let nine2 = nine1 ^ (ki & 0x1FF);
+  let nine2 = (nine1 ^ ki) & 0x1FF;
   let u9 = sram(S9T + (nine2 << 2), 1);
   let nine3 = u9 ^ seven2;
   let u7 = scratch(S7T + (seven2 << 2), 1);
@@ -176,3 +176,19 @@ let expected ~payload_len =
   let ct = Kasumi_ref.encrypt_words (Lazy.force round_keys) words in
   let csum = Aes_ref.ones_complement_sum ct in
   (ct, csum)
+
+(* Whitelist regions for `novac lint` (see [Aes.lint_regions]). *)
+let lint_regions =
+  let open Analysis.Race in
+  [
+    region ~name:"kasumi-subkeys" ~space:Ixp.Insn.Scratch ~base:sk_base
+      ~words:32 Read_only;
+    region ~name:"kasumi-s7" ~space:Ixp.Insn.Scratch ~base:s7_base ~words:128
+      Read_only;
+    region ~name:"kasumi-s9" ~space:Ixp.Insn.Sram ~base:s9_base ~words:512
+      Read_only;
+    region ~name:"kasumi-csum" ~space:Ixp.Insn.Sram ~base:csum_addr ~words:1
+      Shared_write;
+    region ~name:"kasumi-status" ~space:Ixp.Insn.Sram ~base:stat_addr ~words:2
+      Shared_write;
+  ]

@@ -232,3 +232,11 @@ let expected ~payload_len ~sdram_words =
   Array.blit packet 0 image (in_base / 4) (Array.length packet);
   let ret = reference_transform image ~payload_len in
   (image, ret)
+
+(* Whitelist regions for `novac lint` (see [Aes.lint_regions]). *)
+let lint_regions =
+  let open Analysis.Race in
+  [
+    region ~name:"nat-table" ~space:Ixp.Insn.Sram ~base:nat_table ~words:256
+      Read_only;
+  ]

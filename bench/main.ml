@@ -192,7 +192,7 @@ let baseline () =
    synthetic packet generator.  The solver runs under a node budget --
    deterministic, unlike a wall-clock cutoff -- so the same seed
    reproduces identical numbers across runs. *)
-let rates ~full () =
+let rec rates ~full () =
   rule "Forwarding rate: chip-level simulation (ILP vs baseline allocator)";
   let seed = 42 in
   let packets = if full then 512 else 128 in
@@ -265,7 +265,179 @@ let rates ~full () =
     workloads;
   Fmt.pr
     "(offered/achieved in Mpps at 233 MHz; p50 latency in cycles from \
-     arrival to packet completion; drops are RX-ring overflows)@."
+     arrival to packet completion; drops are RX-ring overflows)@.";
+  cluster_rates ~full ()
+
+(* ---------------- cluster forwarding rates ---------------- *)
+
+(* Adversarial traffic against the multi-chip cluster: flow-skewed and
+   flood profiles that stress the load balancer's affinity and failover
+   behaviour.  Reported per profile x balancer x allocator: forwarding
+   rate, p99/p999 tail latency from the Support.Metrics histograms, and
+   per-chip drop accounting.  Fully deterministic under the fixed
+   seed. *)
+and cluster_rates ~full () =
+  rule "Cluster forwarding rate: adversarial traffic (ILP vs baseline)";
+  let seed = 42 in
+  let packets = if full then 3000 else 600 in
+  let node_limit = if full then 400 else 60 in
+  let chips = if full then 4 else 2 in
+  let engines = 2 in
+  let offered = 0.6 in
+  let w = kasumi in
+  let profiles =
+    [
+      Ixp.Pktgen.Syn_flood { size = 40 };
+      Ixp.Pktgen.Elephants { flows = 512; heavy = 4; heavy_pct = 80; size = 576 };
+      Ixp.Pktgen.Imix_path;
+    ]
+  in
+  Fmt.pr
+    "(%s, %d chips x %d engines x 4 contexts, offered %.2f Mpps, %d \
+     packets/run, seed %d)@."
+    w.name chips engines offered packets seed;
+  Fmt.pr "%-10s %-5s %-4s | %8s | %6s | %8s %8s | %s@." "profile" "alloc"
+    "bal" "achieved" "drop%" "p99" "p99.9" "per-chip drops";
+  List.iter
+    (fun (alloc_name, alloc) ->
+      match
+        try Some (compile ~allocator:alloc ~time_limit:1e9 ~node_limit w)
+        with _ -> None
+      with
+      | None -> Fmt.pr "%-10s %-5s (compile failed)@." "" alloc_name
+      | Some c ->
+          List.iter
+            (fun profile ->
+              List.iter
+                (fun balancer ->
+                  let r =
+                    cluster_run w c ~chips ~balancer ~engines ~threads:4
+                      ~offered ~packets ~seed ~profile ~drop_budget:0
+                  in
+                  let drops =
+                    String.concat "/"
+                      (Array.to_list
+                         (Array.map string_of_int r.Cluster.lb_dropped))
+                  in
+                  Fmt.pr "%-10s %-5s %-4s | %8.3f | %6.1f | %8d %8d | %s@."
+                    (Ixp.Pktgen.profile_to_string profile)
+                    alloc_name
+                    (Cluster.balancer_to_string balancer)
+                    (Cluster.achieved_mpps r)
+                    (100. *. Cluster.drop_rate r)
+                    r.Cluster.p99 r.Cluster.p999 drops)
+                [ Cluster.Flow_hash; Cluster.Round_robin ])
+            profiles)
+    [ ("ilp", Regalloc.Driver.Ilp_allocator);
+      ("base", Regalloc.Driver.Baseline_allocator) ];
+  Fmt.pr
+    "(drops are balancer drops charged to the packet's natural target; \
+     p99/p99.9 in cycles from the cluster.latency histogram)@."
+
+(* CI smoke: a small cluster under a hard wall-clock ceiling, run twice
+   to assert bit-identical reports under the fixed seed. *)
+let cluster_smoke () =
+  rule "Cluster smoke: determinism + wall-clock ceiling";
+  let ceiling = 60. in
+  let t0 = Unix.gettimeofday () in
+  let w = kasumi in
+  let c = compile ~allocator:Regalloc.Driver.Baseline_allocator w in
+  let run balancer =
+    cluster_run w c ~chips:2 ~balancer ~engines:2 ~threads:4 ~offered:0.6
+      ~packets:400 ~seed:7
+      ~profile:(Ixp.Pktgen.Syn_flood { size = 40 })
+      ~drop_budget:0
+  in
+  let key (r : Cluster.report) =
+    ( r.Cluster.cycles,
+      r.Cluster.generated,
+      r.Cluster.completed,
+      r.Cluster.bytes_completed,
+      Array.to_list r.Cluster.steered,
+      Array.to_list r.Cluster.lb_dropped,
+      (r.Cluster.p50, r.Cluster.p90, r.Cluster.p99, r.Cluster.p999) )
+  in
+  let r1 = run Cluster.Flow_hash in
+  let r2 = run Cluster.Flow_hash in
+  let rr = run Cluster.Round_robin in
+  Fmt.pr "%a" Cluster.pp_report r1;
+  Fmt.pr "round-robin: %d completed, %d dropped@." rr.Cluster.completed
+    (Cluster.dropped rr);
+  let deterministic = key r1 = key r2 in
+  let accounted =
+    r1.Cluster.generated = r1.Cluster.completed + Cluster.dropped r1
+  in
+  (* keep the full reports as a CI artifact *)
+  let oc = open_out (artifact "cluster_smoke.txt") in
+  let ppf = Format.formatter_of_out_channel oc in
+  Cluster.pp_report ppf r1;
+  Cluster.pp_report ppf rr;
+  Format.pp_print_flush ppf ();
+  close_out oc;
+  let wall = Unix.gettimeofday () -. t0 in
+  Fmt.pr
+    "smoke wall time: %.2fs (ceiling %.0fs), deterministic: %b, accounted: \
+     %b@."
+    wall ceiling deterministic accounted;
+  if wall > ceiling || (not deterministic) || not accounted then begin
+    Fmt.epr "cluster-smoke FAILED@.";
+    exit 1
+  end
+
+(* 10M-packet single-chip run: the scale target for the event-engine
+   rewrite.  Uses the small idempotent chip kernel (packet-independent
+   cost) so the run measures the event engine, and asserts the
+   steady-state loop allocated (essentially) no minor words per
+   packet. *)
+let mega () =
+  rule "Mega run: 10M packets through one chip";
+  let source =
+    {|
+fun main () : word {
+  let x = sram(64, 1);
+  let c = scratch(256, 1);
+  scratch(256) <- c + 1;
+  x + 1
+}
+|}
+  in
+  let c = Regalloc.Driver.compile ~file:"mega.nova" source in
+  let config =
+    { Ixp.Chip.default_config with Ixp.Chip.engines = 6; threads = 4 }
+  in
+  let chip = Ixp.Chip.create ~config c.Regalloc.Driver.physical in
+  let count = 10_000_000 in
+  let gen =
+    Ixp.Pktgen.create
+      {
+        Ixp.Pktgen.default_config with
+        Ixp.Pktgen.profile = Ixp.Pktgen.Fixed 64;
+        offered_mpps = 2.0;
+        seed = 42;
+        count;
+        ports = 4;
+      }
+  in
+  Ixp.Chip.prepare chip ~ports:4 ~expected:count;
+  let t0 = Unix.gettimeofday () in
+  Gc.full_major ();
+  let minor0 = Gc.minor_words () in
+  Ixp.Chip.drive chip ~deliver:Ixp.Chip.default_deliver gen;
+  let minor1 = Gc.minor_words () in
+  let wall = Unix.gettimeofday () -. t0 in
+  let r = Ixp.Chip.finish chip in
+  let words_per_packet = (minor1 -. minor0) /. float_of_int count in
+  Fmt.pr "%a" Ixp.Chip.pp_report r;
+  Fmt.pr "wall: %.1fs (%.2f Mpkt/s real time), %.4f minor words/packet@."
+    wall
+    (float_of_int count /. wall /. 1e6)
+    words_per_packet;
+  let ceiling = 300. in
+  if wall > ceiling || words_per_packet >= 1. then begin
+    Fmt.epr "mega FAILED (ceiling %.0fs, alloc budget 1 word/packet)@."
+      ceiling;
+    exit 1
+  end
 
 (* ---------------- §8 model-size reductions ---------------- *)
 
@@ -550,7 +722,8 @@ let measure_pipeline (w : workload) =
   let c = Regalloc.Driver.compile ~options ~file:(w.name ^ ".nova") w.source in
   Support.Trace.disable ();
   let trace_file =
-    Printf.sprintf "trace_pipeline_%s.json" (String.lowercase_ascii w.name)
+    artifact
+      (Printf.sprintf "trace_pipeline_%s.json" (String.lowercase_ascii w.name))
   in
   Support.Trace.write trace_file;
   let s = c.Regalloc.Driver.stats in
@@ -642,7 +815,7 @@ let pipeline () =
   let oc = open_out "BENCH_pipeline.json" in
   output_string oc (pipeline_json rows);
   close_out oc;
-  Fmt.pr "wrote BENCH_pipeline.json (and trace_pipeline_*.json)@."
+  Fmt.pr "wrote BENCH_pipeline.json (and _artifacts/trace_pipeline_*.json)@."
 
 (* Gate tolerances.  Stage times are wall clock on shared CI runners, so
    the time gate is deliberately loose (3x + 100 ms): it catches a pass
@@ -679,7 +852,7 @@ let pipeline_gate () =
         exit 1
   in
   let rows = List.map measure_pipeline pipeline_workloads in
-  let oc = open_out "BENCH_pipeline.current.json" in
+  let oc = open_out (artifact "BENCH_pipeline.current.json") in
   output_string oc (pipeline_json rows);
   close_out oc;
   let failures = ref [] in
@@ -887,6 +1060,8 @@ let () =
   | "solver-smoke" -> solver_smoke ()
   | "pipeline" -> pipeline ()
   | "pipeline-gate" -> pipeline_gate ()
+  | "cluster-smoke" -> cluster_smoke ()
+  | "mega" -> mega ()
   | "ablation" -> ablation ()
   | "baseline" -> baseline ()
   | "pruning" -> pruning ()
@@ -907,7 +1082,7 @@ let () =
       Fmt.epr
         "unknown experiment %s (try \
          figure5/figure6/figure7/throughput/rates/rates-smoke/solver/\
-         solver-smoke/pipeline/pipeline-gate/ablation/baseline/pruning/\
-         verify/time/all)@."
+         solver-smoke/pipeline/pipeline-gate/cluster-smoke/mega/ablation/\
+         baseline/pruning/verify/time/all)@."
         other;
       exit 1

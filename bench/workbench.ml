@@ -1,6 +1,14 @@
 (* Shared benchmark plumbing: compile each paper workload once, cache the
    result, and provide simulator harnesses for the throughput runs. *)
 
+(* Run artifacts (traces, current-run measurements) land in an ignored
+   directory instead of littering the repo root; checked-in baselines
+   (BENCH_*.json at the root) stay where git tracks them. *)
+let artifact name =
+  let dir = "_artifacts" in
+  (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  Filename.concat dir name
+
 type workload = {
   name : string;
   source : string;
@@ -166,11 +174,21 @@ let compile ?(allocator = Regalloc.Driver.Ilp_allocator)
       Hashtbl.replace cache key c;
       c
 
+(* Packets are delivered by writing the workload's header+payload image
+   into the receiving context's SDRAM buffer (the kernels read the
+   packet from SDRAM, not the RFIFO). *)
+let workload_deliver (w : workload) : Ixp.Chip.deliver =
+ fun chip ~engine ~thread ~seq:_ ~size ~words:_ ~payload:_ ->
+  let sim = Ixp.Chip.engine chip engine in
+  let sd = Ixp.Simulator.sdram_of_thread sim ~thread in
+  let payload_len = max w.size_align (size / w.size_align * w.size_align) in
+  w.write_packet
+    (fun word v -> Ixp.Memory.poke sd Ixp.Insn.Sdram word v)
+    ~payload_len
+
 (* Chip-level forwarding-rate run: instantiate the chip on the compiled
    program, load the workload's tables into the shared memory, and drive
-   it from the packet generator.  Packets are delivered by writing the
-   workload's header+payload image into the receiving context's SDRAM
-   buffer (the kernels read the packet from SDRAM, not the RFIFO). *)
+   it from the packet generator. *)
 let chip_run (w : workload) (c : Regalloc.Driver.compiled) ~engines ~threads
     ~offered ~packets ~seed ~profile =
   let config =
@@ -189,17 +207,40 @@ let chip_run (w : workload) (c : Regalloc.Driver.compiled) ~engines ~threads
         size_align = w.size_align;
       }
   in
-  let deliver chip ~engine ~thread (pkt : Ixp.Pktgen.packet) =
-    let sim = Ixp.Chip.engine chip engine in
-    let sd = Ixp.Simulator.sdram_of_thread sim ~thread in
-    let payload_len =
-      max w.size_align (pkt.Ixp.Pktgen.size / w.size_align * w.size_align)
-    in
-    w.write_packet
-      (fun word v -> Ixp.Memory.poke sd Ixp.Insn.Sdram word v)
-      ~payload_len
+  Ixp.Chip.run ~deliver:(workload_deliver w) chip gen
+
+(* Cluster-level forwarding-rate run: [chips] chip models behind the
+   load balancer, each loaded with the workload's tables. *)
+let cluster_run (w : workload) (c : Regalloc.Driver.compiled) ~chips ~balancer
+    ~engines ~threads ~offered ~packets ~seed ~profile ~drop_budget =
+  let chip_config =
+    { Ixp.Chip.default_config with Ixp.Chip.engines; threads }
   in
-  Ixp.Chip.run ~deliver chip gen
+  let config =
+    {
+      Cluster.default_config with
+      Cluster.chips;
+      balancer;
+      chip_config;
+      drop_budget;
+    }
+  in
+  let cl = Cluster.create ~config c.Regalloc.Driver.physical in
+  Cluster.iter_chips
+    (fun chip -> w.init_chip_tables (Ixp.Chip.shared_memory chip))
+    cl;
+  let gen =
+    Ixp.Pktgen.create
+      {
+        Ixp.Pktgen.default_config with
+        Ixp.Pktgen.profile;
+        offered_mpps = offered;
+        seed;
+        count = packets;
+        size_align = w.size_align;
+      }
+  in
+  Cluster.run ~deliver:(workload_deliver w) cl gen
 
 let front_cache : (string, Regalloc.Driver.front) Hashtbl.t = Hashtbl.create 8
 

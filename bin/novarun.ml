@@ -99,12 +99,50 @@ let run_cmd =
       value & opt int 4
       & info [ "threads" ] ~doc:"Hardware contexts per engine (chip mode)")
   in
+  let cluster =
+    Arg.(
+      value & opt int 0
+      & info [ "cluster" ]
+          ~doc:
+            "Run a multi-chip cluster with this many chips behind the load \
+             balancer (0 = single chip); implies chip mode")
+  in
+  let balancer_conv =
+    let parse s =
+      match Cluster.balancer_of_string s with
+      | Ok b -> Ok b
+      | Error msg -> Error (`Msg msg)
+    in
+    let print ppf b =
+      Format.pp_print_string ppf (Cluster.balancer_to_string b)
+    in
+    Arg.conv (parse, print)
+  in
+  let balancer =
+    Arg.(
+      value
+      & opt balancer_conv Cluster.Flow_hash
+      & info [ "balancer" ]
+          ~doc:"Cluster load balancer: hash (5-tuple flow affinity) or rr")
+  in
+  let drop_budget =
+    Arg.(
+      value & opt int 0
+      & info [ "drop-budget" ]
+          ~doc:
+            "Balancer drops tolerated per chip before it is marked unhealthy \
+             and steered around (0 = no budget)")
+  in
   let profile =
     Arg.(
       value
       & opt profile_conv (Ixp.Pktgen.Fixed 64)
       & info [ "profile" ]
-          ~doc:"Traffic profile: fixed:BYTES, imix, or burst:BYTES:LEN")
+          ~doc:
+            "Traffic profile: fixed:BYTES, imix, burst:BYTES:LEN, \
+             flows:USERS:ALPHA_PCT:BYTES (Zipf users), elephants, flood \
+             (SYN flood), flash:RAMP (flash crowd), or imix-path \
+             (pathological IMIX)")
   in
   let offered_load =
     Arg.(
@@ -155,8 +193,8 @@ let run_cmd =
              is proven within this fraction of the optimum")
   in
   let run file entry_args sram sdram trace trace_out metrics allocator engines
-      threads profile offered_load packets seed ports rx_capacity
-      no_contention time_limit node_limit rel_gap =
+      threads cluster balancer drop_budget profile offered_load packets seed
+      ports rx_capacity no_contention time_limit node_limit rel_gap =
     try
       if trace_out <> None then Support.Trace.enable ();
       let finally () =
@@ -197,7 +235,57 @@ let run_cmd =
             m.Lp.Mip.root_time m.Lp.Mip.total_time m.Lp.Mip.nodes
             m.Lp.Mip.simplex_iterations m.Lp.Mip.cuts_added
       | None -> ());
-      if engines > 0 then begin
+      if cluster > 0 then begin
+        (* cluster mode: N chips behind the load balancer *)
+        let chip_config =
+          {
+            Ixp.Chip.default_config with
+            Ixp.Chip.engines = (if engines > 0 then engines else 6);
+            threads;
+            contention = not no_contention;
+            rx_capacity;
+            trace;
+          }
+        in
+        let config =
+          {
+            Cluster.default_config with
+            Cluster.chips = cluster;
+            balancer;
+            chip_config;
+            drop_budget;
+          }
+        in
+        let cl = Cluster.create ~config compiled.Regalloc.Driver.physical in
+        Cluster.iter_chips
+          (fun chip ->
+            let mem = Ixp.Chip.shared_memory chip in
+            List.iter
+              (fun (a, v) -> Ixp.Memory.write mem Ixp.Insn.Sram a [| v |])
+              sram)
+          cl;
+        let gen =
+          Ixp.Pktgen.create
+            {
+              Ixp.Pktgen.default_config with
+              Ixp.Pktgen.profile;
+              offered_mpps = offered_load;
+              seed;
+              count = packets;
+              ports;
+            }
+        in
+        let report = Cluster.run cl gen in
+        Fmt.pr
+          "cluster: %d chips x %d engines x %d threads, balancer %s, profile \
+           %s, offered %.3f Mpps, seed %d@."
+          cluster chip_config.Ixp.Chip.engines threads
+          (Cluster.balancer_to_string balancer)
+          (Ixp.Pktgen.profile_to_string profile)
+          offered_load seed;
+        Fmt.pr "%a" Cluster.pp_report report
+      end
+      else if engines > 0 then begin
         (* chip mode: line-rate run against the packet generator *)
         let config =
           {
@@ -268,8 +356,8 @@ let run_cmd =
     (Cmd.info "novarun" ~doc:"Compile and simulate a Nova program")
     Term.(
       const run $ file $ entry_args $ sram $ sdram $ trace $ trace_out
-      $ metrics $ allocator $ engines $ threads $ profile $ offered_load
-      $ packets $ seed $ ports $ rx_capacity $ no_contention $ time_limit
-      $ node_limit $ rel_gap)
+      $ metrics $ allocator $ engines $ threads $ cluster $ balancer
+      $ drop_budget $ profile $ offered_load $ packets $ seed $ ports
+      $ rx_capacity $ no_contention $ time_limit $ node_limit $ rel_gap)
 
 let () = exit (Cmd.eval run_cmd)

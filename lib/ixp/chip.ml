@@ -16,7 +16,18 @@
    generated packet arrival or the engine whose next runnable thread has
    the smallest timestamp.  Ties break toward arrivals, then lower
    engine/thread ids, so a given program, traffic profile and seed
-   reproduce bit-identical cycle counts, drops and latency traces. *)
+   reproduce bit-identical cycle counts, drops and latency traces.
+
+   The steady-state loop allocates zero minor words per packet.  Every
+   structure it touches is preallocated at [prepare]: packets live in a
+   pool of fixed payload buffers indexed by flat [int array]s, the
+   receive rings are flat circular [int array]s of pool slots, engine
+   wake-ups go through a timing wheel ([Event_wheel]), latencies
+   accumulate into a preallocated array plus an integer bucket table
+   merged into [Support.Metrics] at [finish], and the transmit drain is
+   10.10 fixed point rather than float.  [run] wraps the pieces for the
+   single-chip case; [Cluster] drives [prepare]/[offer]/[step]/[finish]
+   directly to interleave several chips. *)
 
 open Support
 
@@ -45,11 +56,10 @@ let default_config =
     trace = false;
   }
 
-type port_state = {
-  rx : (Pktgen.packet * int) Queue.t; (* packet, arrival cycle *)
-  mutable rx_received : int; (* packets that reached this port *)
-  mutable rx_dropped : int; (* ring overflow drops *)
-}
+let no_event = Event_wheel.no_event
+
+(* fixed-point scale for the transmit drain rate *)
+let tx_fp = 1024
 
 type t = {
   config : config;
@@ -57,9 +67,34 @@ type t = {
   shared : Memory.t;
   bus : Memory.bus option;
   engines : Simulator.t array;
-  mutable ports : port_state array; (* sized on [run] from the generator *)
-  in_flight : (Pktgen.packet * int) option array array; (* [engine].[thread] *)
-  latencies : int Vec.t;
+  wheel : Event_wheel.t; (* one event slot per engine *)
+  in_flight : int array; (* engine*threads+thread -> pool slot, or -1 *)
+  tx_drain_num : int; (* drain rate, x [tx_fp] *)
+  ctx_names : string array; (* trace labels, built once *)
+  m_rx_dropped : Metrics.counter;
+  (* packet pool: slot-indexed flat arrays; buffers are fixed at
+     [Pktgen.max_payload_words] and hold the packet from arrival until
+     completion (a context's receive FIFO aliases the pool buffer) *)
+  mutable pool_buf : int array array;
+  mutable pool_seq : int array;
+  mutable pool_size : int array;
+  mutable pool_words : int array;
+  mutable pool_arrival : int array;
+  mutable free_stack : int array; (* free slot ids; [free_top] live *)
+  mutable free_top : int;
+  (* receive rings: per-port circular ranges of [rx_ring] *)
+  mutable nports : int;
+  mutable rx_ring : int array; (* port*rx_capacity+k -> pool slot *)
+  mutable rx_head : int array;
+  mutable rx_len : int array;
+  mutable rx_queued : int; (* total packets across all rings *)
+  mutable rx_received : int array; (* packets that reached each port *)
+  mutable rx_dropped : int array; (* ring overflow drops *)
+  mutable rr_port : int; (* round-robin refill cursor *)
+  (* accounting *)
+  mutable latencies : int array; (* first [lat_len] valid, unsorted *)
+  mutable lat_len : int;
+  lat_buckets : int array; (* [Metrics.bucket_index]-mapped counts *)
   mutable completed : int;
   mutable bytes_completed : int;
   mutable generated : int;
@@ -67,7 +102,6 @@ type t = {
   mutable tx_dropped_words : int; (* ring-overflow words *)
   mutable tx_drained : int; (* words already on the wire *)
   mutable horizon : int; (* timestamp of the latest event seen *)
-  mutable rr_port : int; (* round-robin refill cursor *)
 }
 
 let create ?(config = default_config) program =
@@ -92,9 +126,31 @@ let create ?(config = default_config) program =
     shared;
     bus;
     engines;
-    ports = [||];
-    in_flight = Array.make_matrix config.engines config.threads None;
-    latencies = Vec.create ();
+    wheel = Event_wheel.create ~size:256 config.engines;
+    in_flight = Array.make (config.engines * config.threads) (-1);
+    tx_drain_num =
+      int_of_float (config.tx_drain_per_cycle *. float_of_int tx_fp);
+    ctx_names =
+      Array.init config.threads (fun i -> "ctx" ^ string_of_int i);
+    m_rx_dropped = Metrics.counter "chip.rx.dropped";
+    pool_buf = [||];
+    pool_seq = [||];
+    pool_size = [||];
+    pool_words = [||];
+    pool_arrival = [||];
+    free_stack = [||];
+    free_top = 0;
+    nports = 0;
+    rx_ring = [||];
+    rx_head = [||];
+    rx_len = [||];
+    rx_queued = 0;
+    rx_received = [||];
+    rx_dropped = [||];
+    rr_port = 0;
+    latencies = [||];
+    lat_len = 0;
+    lat_buckets = Array.make Metrics.bucket_count 0;
     completed = 0;
     bytes_completed = 0;
     generated = 0;
@@ -102,67 +158,181 @@ let create ?(config = default_config) program =
     tx_dropped_words = 0;
     tx_drained = 0;
     horizon = 0;
-    rr_port = 0;
   }
 
 let shared_memory t = t.shared
 let engine t e = t.engines.(e)
+let config t = t.config
 
-(* A packet is handed to a context by writing its payload into the
-   context's receive FIFO and the head of its private SDRAM packet
-   buffer; workloads that expect a particular SDRAM image install their
-   own [deliver]. *)
-type deliver = t -> engine:int -> thread:int -> Pktgen.packet -> unit
-
-let default_deliver chip ~engine ~thread (pkt : Pktgen.packet) =
-  let sim = chip.engines.(engine) in
-  Simulator.set_rfifo sim ~thread pkt.Pktgen.payload;
-  let sdram = Simulator.sdram_of_thread sim ~thread in
-  Memory.load_words sdram Insn.Sdram ~word_offset:0 pkt.Pktgen.payload
+(* Size every pool and ring for [ports] input ports and preallocate the
+   latency store for [expected] packets.  Must run before [offer]; after
+   it, the steady-state loop performs no minor allocation (the latency
+   array grows geometrically only if [expected] was an underestimate). *)
+let prepare chip ~ports ~expected =
+  let nports = max 1 ports in
+  let cap = chip.config.rx_capacity in
+  (* worst case live packets: every ring full + every context busy *)
+  let nslots = (nports * cap) + Array.length chip.in_flight + 2 in
+  chip.nports <- nports;
+  chip.pool_buf <-
+    Array.init nslots (fun _ -> Array.make Pktgen.max_payload_words 0);
+  chip.pool_seq <- Array.make nslots 0;
+  chip.pool_size <- Array.make nslots 0;
+  chip.pool_words <- Array.make nslots 0;
+  chip.pool_arrival <- Array.make nslots 0;
+  chip.free_stack <- Array.init nslots (fun i -> nslots - 1 - i);
+  chip.free_top <- nslots;
+  chip.rx_ring <- Array.make (nports * cap) (-1);
+  chip.rx_head <- Array.make nports 0;
+  chip.rx_len <- Array.make nports 0;
+  chip.rx_queued <- 0;
+  chip.rx_received <- Array.make nports 0;
+  chip.rx_dropped <- Array.make nports 0;
+  chip.rr_port <- 0;
+  chip.latencies <- Array.make (max 16 expected) 0;
+  chip.lat_len <- 0;
+  Array.fill chip.lat_buckets 0 Metrics.bucket_count 0;
+  Array.fill chip.in_flight 0 (Array.length chip.in_flight) (-1);
+  Event_wheel.clear chip.wheel;
+  chip.completed <- 0;
+  chip.bytes_completed <- 0;
+  chip.generated <- 0;
+  chip.tx_words <- 0;
+  chip.tx_dropped_words <- 0;
+  chip.tx_drained <- 0;
+  chip.horizon <- 0
 
 (* ------------------------------------------------------------------ *)
-(* Event-driven run loop                                               *)
+(* Packet pool                                                         *)
 (* ------------------------------------------------------------------ *)
 
-let no_event = max_int
+let acquire chip (v : Pktgen.view) =
+  chip.free_top <- chip.free_top - 1;
+  let slot = chip.free_stack.(chip.free_top) in
+  chip.pool_seq.(slot) <- v.Pktgen.v_seq;
+  chip.pool_size.(slot) <- v.Pktgen.v_size;
+  chip.pool_words.(slot) <- v.Pktgen.v_words;
+  chip.pool_arrival.(slot) <- v.Pktgen.v_arrival;
+  Array.blit v.Pktgen.v_payload 0 chip.pool_buf.(slot) 0 v.Pktgen.v_words;
+  slot
 
-(* Earliest cycle at which [sim] can execute its next instruction, or
-   [no_event] when every context is idle. *)
-let engine_next_time sim =
-  let best = ref no_event in
-  Array.iter
-    (fun th ->
-      if not th.Simulator.halted then
-        best := min !best th.Simulator.ready_at)
-    sim.Simulator.threads;
-  if !best = no_event then no_event else max sim.Simulator.clock !best
+let release chip slot =
+  chip.free_stack.(chip.free_top) <- slot;
+  chip.free_top <- chip.free_top + 1
+
+(* ------------------------------------------------------------------ *)
+(* Receive rings                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let push_rx chip port slot =
+  let cap = chip.config.rx_capacity in
+  let base = port * cap in
+  chip.rx_ring.(base + ((chip.rx_head.(port) + chip.rx_len.(port)) mod cap))
+  <- slot;
+  chip.rx_len.(port) <- chip.rx_len.(port) + 1;
+  chip.rx_queued <- chip.rx_queued + 1
+
+(* Pop the next queued packet across ports, round-robin, arrival order
+   within a port; pool slot, or -1 when every ring is empty. *)
+let pop_rx chip =
+  if chip.rx_queued = 0 then -1
+  else begin
+    let cap = chip.config.rx_capacity in
+    let slot = ref (-1) in
+    while !slot < 0 do
+      let p = chip.rr_port in
+      chip.rr_port <- (chip.rr_port + 1) mod chip.nports;
+      if chip.rx_len.(p) > 0 then begin
+        slot := chip.rx_ring.((p * cap) + chip.rx_head.(p));
+        chip.rx_head.(p) <- (chip.rx_head.(p) + 1) mod cap;
+        chip.rx_len.(p) <- chip.rx_len.(p) - 1;
+        chip.rx_queued <- chip.rx_queued - 1
+      end
+    done;
+    !slot
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Engine scheduling                                                   *)
+(* ------------------------------------------------------------------ *)
 
 (* Deterministic choice of an idle context: engine with the smallest
-   local clock (it has been idle longest), then lowest ids. *)
+   local clock (it has been idle longest), then lowest ids.  Flat
+   context index, or -1 when every context is busy. *)
 let find_idle chip =
-  let best = ref None in
-  Array.iteri
-    (fun e sim ->
-      Array.iteri
-        (fun i th ->
-          if th.Simulator.halted then
-            match !best with
-            | Some (_, be, _) when chip.engines.(be).Simulator.clock
-                                   <= sim.Simulator.clock -> ()
-            | _ -> best := Some (sim, e, i))
-        sim.Simulator.threads)
-    chip.engines;
+  let best = ref (-1) and best_clock = ref 0 in
+  for e = 0 to Array.length chip.engines - 1 do
+    let sim = chip.engines.(e) in
+    let ths = sim.Simulator.threads in
+    for i = 0 to Array.length ths - 1 do
+      if
+        ths.(i).Simulator.halted
+        && (!best < 0 || sim.Simulator.clock < !best_clock)
+      then begin
+        best := (e * chip.config.threads) + i;
+        best_clock := sim.Simulator.clock
+      end
+    done
+  done;
   !best
 
-let start_packet chip ~deliver sim e i (pkt : Pktgen.packet) ~arrival ~at =
+(* Earliest cycle at which engine [e] can execute its next instruction;
+   (re)stamps its wheel event, or cancels it when every context idles. *)
+let resched_engine chip e =
+  let sim = chip.engines.(e) in
+  let ths = sim.Simulator.threads in
+  let best = ref no_event in
+  for i = 0 to Array.length ths - 1 do
+    let th = ths.(i) in
+    if (not th.Simulator.halted) && th.Simulator.ready_at < !best then
+      best := th.Simulator.ready_at
+  done;
+  if !best = no_event then Event_wheel.cancel chip.wheel e
+  else
+    Event_wheel.schedule chip.wheel e
+      ~cycle:(max sim.Simulator.clock !best)
+
+(* ------------------------------------------------------------------ *)
+(* Packet hand-off                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A packet is handed to a context by aliasing its pool buffer into the
+   context's receive FIFO and copying the head into the context's
+   private SDRAM packet buffer; workloads that expect a particular SDRAM
+   image install their own [deliver].  [payload] is the pool buffer:
+   only the first [words] entries belong to the packet, and the buffer
+   is reused once the packet completes. *)
+type deliver =
+  t ->
+  engine:int ->
+  thread:int ->
+  seq:int ->
+  size:int ->
+  words:int ->
+  payload:int array ->
+  unit
+
+let default_deliver chip ~engine ~thread ~seq:_ ~size:_ ~words ~payload =
+  let sim = chip.engines.(engine) in
+  Simulator.set_rfifo_view sim ~thread payload ~words;
+  let sdram = Simulator.sdram_of_thread sim ~thread in
+  for k = 0 to words - 1 do
+    Memory.poke sdram Insn.Sdram k payload.(k)
+  done
+
+let start_packet chip ~(deliver : deliver) e i slot ~at =
+  let sim = chip.engines.(e) in
   let th = sim.Simulator.threads.(i) in
-  th.Simulator.block <- (Flowgraph.entry chip.program).Flowgraph.label;
+  th.Simulator.block <- Flowgraph.entry chip.program;
   th.Simulator.pc <- 0;
   th.Simulator.halted <- false;
   th.Simulator.ready_at <- max at sim.Simulator.clock;
   Vec.clear th.Simulator.tfifo;
-  deliver chip ~engine:e ~thread:i pkt;
-  chip.in_flight.(e).(i) <- Some (pkt, arrival)
+  deliver chip ~engine:e ~thread:i ~seq:chip.pool_seq.(slot)
+    ~size:chip.pool_size.(slot) ~words:chip.pool_words.(slot)
+    ~payload:chip.pool_buf.(slot);
+  chip.in_flight.((e * chip.config.threads) + i) <- slot;
+  resched_engine chip e
 
 (* Move a completed context's transmit FIFO into the chip transmit ring,
    modelling a port that drains [tx_drain_per_cycle] words per cycle:
@@ -172,10 +342,9 @@ let flush_tfifo chip sim i ~now =
   let th = sim.Simulator.threads.(i) in
   let n = Vec.length th.Simulator.tfifo in
   if n > 0 then begin
-    let drained =
-      int_of_float (float_of_int now *. chip.config.tx_drain_per_cycle)
-    in
-    chip.tx_drained <- max chip.tx_drained (min drained chip.tx_words);
+    let drained = now * chip.tx_drain_num / tx_fp in
+    if drained > chip.tx_drained then
+      chip.tx_drained <- min drained chip.tx_words;
     let level = chip.tx_words - chip.tx_drained in
     let accepted = max 0 (min n (chip.config.tx_capacity - level)) in
     chip.tx_words <- chip.tx_words + accepted;
@@ -183,35 +352,158 @@ let flush_tfifo chip sim i ~now =
     Vec.clear th.Simulator.tfifo
   end
 
-(* Pop the next queued packet across ports, round-robin, arrival order
-   within a port. *)
-let pop_rx chip =
-  let nports = Array.length chip.ports in
-  let rec go tries =
-    if tries >= nports then None
-    else begin
-      let p = chip.ports.(chip.rr_port) in
-      chip.rr_port <- (chip.rr_port + 1) mod nports;
-      if Queue.is_empty p.rx then go (tries + 1) else Some (Queue.pop p.rx)
-    end
-  in
-  if nports = 0 then None else go 0
+let record_latency chip d =
+  if chip.lat_len >= Array.length chip.latencies then begin
+    (* [expected] was an underestimate: geometric growth, off the
+       steady-state path when [prepare] was sized correctly *)
+    let n = Array.make (max 32 (2 * Array.length chip.latencies)) 0 in
+    Array.blit chip.latencies 0 n 0 chip.lat_len;
+    chip.latencies <- n
+  end;
+  chip.latencies.(chip.lat_len) <- d;
+  chip.lat_len <- chip.lat_len + 1;
+  let b = Metrics.bucket_index d in
+  chip.lat_buckets.(b) <- chip.lat_buckets.(b) + 1
 
-let complete_packet chip sim e i ~deliver =
+let complete_packet chip ~deliver e i =
+  let sim = chip.engines.(e) in
   let now = sim.Simulator.clock in
-  chip.horizon <- max chip.horizon now;
-  (match chip.in_flight.(e).(i) with
-  | Some (pkt, arrival) ->
-      chip.completed <- chip.completed + 1;
-      chip.bytes_completed <- chip.bytes_completed + pkt.Pktgen.size;
-      Vec.push chip.latencies (now - arrival);
-      chip.in_flight.(e).(i) <- None
-  | None -> ());
+  if now > chip.horizon then chip.horizon <- now;
+  let idx = (e * chip.config.threads) + i in
+  let slot = chip.in_flight.(idx) in
+  if slot >= 0 then begin
+    chip.completed <- chip.completed + 1;
+    chip.bytes_completed <- chip.bytes_completed + chip.pool_size.(slot);
+    record_latency chip (now - chip.pool_arrival.(slot));
+    chip.in_flight.(idx) <- -1;
+    release chip slot
+  end;
   flush_tfifo chip sim i ~now;
-  match pop_rx chip with
-  | Some (pkt, arrival) ->
-      start_packet chip ~deliver sim e i pkt ~arrival ~at:now
-  | None -> ()
+  let next = pop_rx chip in
+  if next >= 0 then start_packet chip ~deliver e i next ~at:now
+
+(* ------------------------------------------------------------------ *)
+(* Event-driven run loop                                               *)
+(* ------------------------------------------------------------------ *)
+
+exception Chip_stuck of string
+
+(* Room for one more packet on [port]?  When every context is busy and
+   the port's ring is full, an offered packet would be dropped; the
+   cluster load balancer checks this before steering. *)
+let has_room chip ~port =
+  chip.rx_len.(port) < chip.config.rx_capacity || find_idle chip >= 0
+
+(* Hand the packet in [v] to the chip at its arrival time: an idle
+   context if one exists (the receive rings are necessarily empty then),
+   else the port's ring, else the drop counter.  Packets must be offered
+   in arrival order, interleaved with [step] so that chip time never
+   runs ahead of arrivals ([v.v_arrival <= next_time]). *)
+let offer chip ~(deliver : deliver) ~port (v : Pktgen.view) =
+  chip.generated <- chip.generated + 1;
+  let t_arr = v.Pktgen.v_arrival in
+  if t_arr > chip.horizon then chip.horizon <- t_arr;
+  chip.rx_received.(port) <- chip.rx_received.(port) + 1;
+  let idle = find_idle chip in
+  if idle >= 0 then begin
+    let slot = acquire chip v in
+    start_packet chip ~deliver (idle / chip.config.threads)
+      (idle mod chip.config.threads) slot ~at:t_arr
+  end
+  else if chip.rx_len.(port) < chip.config.rx_capacity then
+    push_rx chip port (acquire chip v)
+  else begin
+    chip.rx_dropped.(port) <- chip.rx_dropped.(port) + 1;
+    Metrics.incr chip.m_rx_dropped;
+    if Trace.is_enabled () then
+      Trace.instant "rx-drop" ~tid:(-1) ~args:[ ("port", Trace.Int port) ]
+  end
+
+(* Free entries in [port]'s receive ring. *)
+let rx_room chip ~port = chip.config.rx_capacity - chip.rx_len.(port)
+
+(* Contexts idle and waiting for a packet. *)
+let idle_contexts chip =
+  let n = ref 0 in
+  for e = 0 to Array.length chip.engines - 1 do
+    let ths = chip.engines.(e).Simulator.threads in
+    for i = 0 to Array.length ths - 1 do
+      if ths.(i).Simulator.halted then n := !n + 1
+    done
+  done;
+  !n
+
+let rx_queued chip = chip.rx_queued
+
+(* Cycle of the chip's next internal event ([no_event] when every
+   context is idle). *)
+let next_time chip = Event_wheel.next_time chip.wheel
+
+(* Packets queued or in flight? *)
+let active chip = chip.rx_queued > 0 || not (Event_wheel.is_empty chip.wheel)
+
+(* Advance the chip by one event: run the engine with the earliest
+   wake-up to its next yield.  Must only be called when [active]. *)
+let step chip ~(deliver : deliver) =
+  let e = Event_wheel.pop chip.wheel in
+  if e < 0 then raise (Chip_stuck "chip step: queued packets, no event");
+  let sim = chip.engines.(e) in
+  let ths = sim.Simulator.threads in
+  (* runnable context with the earliest ready_at, lowest id on ties *)
+  let best_i = ref (-1) in
+  for i = 0 to Array.length ths - 1 do
+    let th = ths.(i) in
+    if
+      (not th.Simulator.halted)
+      && (!best_i < 0
+         || th.Simulator.ready_at < ths.(!best_i).Simulator.ready_at)
+    then best_i := i
+  done;
+  let th = ths.(!best_i) in
+  if th.Simulator.ready_at > sim.Simulator.clock then
+    sim.Simulator.clock <- th.Simulator.ready_at;
+  let step_start = sim.Simulator.clock in
+  Simulator.step_thread sim th ~fuel:1_000_000;
+  if sim.Simulator.clock > chip.horizon then
+    chip.horizon <- sim.Simulator.clock;
+  (* Context-occupancy span: one complete event per contiguous run of
+     context [best_i] on engine [e] (ended by a context swap on a memory
+     reference, or by the packet completing).  Timebase: one simulated
+     cycle is exported as one microsecond, so Perfetto's ruler reads
+     directly in cycles; tid = engine id. *)
+  if Trace.is_enabled () then
+    Trace.complete ~cat:"engine" ~tid:e
+      ~ts_us:(float_of_int step_start)
+      ~dur_us:(float_of_int (sim.Simulator.clock - step_start))
+      chip.ctx_names.(!best_i);
+  if th.Simulator.halted then complete_packet chip ~deliver e !best_i;
+  resched_engine chip e
+
+(* Drain the whole generator through the chip.  [fuel] bounds run-loop
+   iterations (events + arrivals), not instructions. *)
+let drive ?(fuel = 200_000_000) chip ~(deliver : deliver) gen =
+  let v = Pktgen.make_view () in
+  let pending = ref (Pktgen.next_into gen v) in
+  let budget = ref fuel in
+  while !pending || active chip do
+    decr budget;
+    if !budget < 0 then raise (Chip_stuck "chip run: fuel exhausted");
+    let t_step = next_time chip in
+    let t_arr = if !pending then v.Pktgen.v_arrival else no_event in
+    if t_arr = no_event && t_step = no_event then
+      (* queued packets but no pending arrival and no runnable context:
+         unreachable if the idle-implies-empty-rings invariant holds *)
+      raise (Chip_stuck "chip run: queued packets with no runnable context");
+    if t_arr <= t_step then begin
+      offer chip ~deliver ~port:v.Pktgen.v_port v;
+      pending := Pktgen.next_into gen v
+    end
+    else step chip ~deliver
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
 
 type report = {
   r_config : config;
@@ -219,6 +511,7 @@ type report = {
   generated : int;
   completed : int;
   bytes_completed : int;
+  r_in_flight : int; (* packets still on a context at report time *)
   rx_received : int array; (* per port *)
   rx_dropped : int array;
   tx_words : int;
@@ -226,112 +519,22 @@ type report = {
   engine_busy : int array;
   engine_cycles : int array;
   latencies : int array; (* sorted ascending *)
+  lat_buckets : int array; (* [Metrics.bucket_index]-mapped counts *)
   bus : (string * Memory.channel_stats) list;
 }
 
-exception Chip_stuck of string
+let in_flight_count chip =
+  let n = ref 0 in
+  Array.iter (fun s -> if s >= 0 then incr n) chip.in_flight;
+  !n
 
-let run ?(deliver = default_deliver) ?(fuel = 50_000_000) chip gen =
-  let m_rx_dropped = Metrics.counter "chip.rx.dropped" in
-  let ctx_names =
-    Array.init chip.config.threads (fun i -> "ctx" ^ string_of_int i)
-  in
-  let nports = max 1 gen.Pktgen.config.Pktgen.ports in
-  chip.ports <-
-    Array.init nports (fun _ ->
-        { rx = Queue.create (); rx_received = 0; rx_dropped = 0 });
-  let pending = ref (Pktgen.next gen) in
-  let budget = ref fuel in
-  let queued_packets () =
-    Array.exists (fun p -> not (Queue.is_empty p.rx)) chip.ports
-  in
-  let any_active () =
-    Array.exists
-      (fun sim ->
-        Array.exists
-          (fun th -> not th.Simulator.halted)
-          sim.Simulator.threads)
-      chip.engines
-  in
-  while !pending <> None || queued_packets () || any_active () do
-    decr budget;
-    if !budget < 0 then raise (Chip_stuck "chip run: fuel exhausted");
-    (* earliest engine event *)
-    let best_e = ref (-1) and t_step = ref no_event in
-    Array.iteri
-      (fun e sim ->
-        let t = engine_next_time sim in
-        if t < !t_step then begin
-          t_step := t;
-          best_e := e
-        end)
-      chip.engines;
-    let t_arr =
-      match !pending with Some p -> p.Pktgen.arrival | None -> no_event
-    in
-    if t_arr = no_event && !t_step = no_event then
-      (* queued packets but no pending arrival and no runnable context:
-         unreachable if the idle-implies-empty-rings invariant holds *)
-      raise (Chip_stuck "chip run: queued packets with no runnable context");
-    if t_arr <= !t_step then begin
-      (* arrival event: hand the packet to an idle context if one
-         exists (the receive rings are necessarily empty then), else
-         queue it, else drop it *)
-      let pkt = Option.get !pending in
-      pending := Pktgen.next gen;
-      chip.generated <- chip.generated + 1;
-      chip.horizon <- max chip.horizon t_arr;
-      let port = chip.ports.(pkt.Pktgen.port) in
-      port.rx_received <- port.rx_received + 1;
-      match find_idle chip with
-      | Some (sim, e, i) ->
-          start_packet chip ~deliver sim e i pkt ~arrival:t_arr ~at:t_arr
-      | None ->
-          if Queue.length port.rx < chip.config.rx_capacity then
-            Queue.push (pkt, t_arr) port.rx
-          else begin
-            port.rx_dropped <- port.rx_dropped + 1;
-            Metrics.incr m_rx_dropped;
-            if Trace.is_enabled () then
-              Trace.instant "rx-drop" ~tid:(-1)
-                ~args:[ ("port", Trace.Int pkt.Pktgen.port) ]
-          end
-    end
-    else begin
-      (* step event: run the earliest context to its next yield *)
-      let sim = chip.engines.(!best_e) in
-      let best_i = ref (-1) in
-      Array.iteri
-        (fun i th ->
-          if not th.Simulator.halted then
-            if
-              !best_i < 0
-              || th.Simulator.ready_at
-                 < sim.Simulator.threads.(!best_i).Simulator.ready_at
-            then best_i := i)
-        sim.Simulator.threads;
-      let th = sim.Simulator.threads.(!best_i) in
-      if th.Simulator.ready_at > sim.Simulator.clock then
-        sim.Simulator.clock <- th.Simulator.ready_at;
-      let step_start = sim.Simulator.clock in
-      Simulator.step_thread sim th ~fuel:1_000_000;
-      chip.horizon <- max chip.horizon sim.Simulator.clock;
-      (* Context-occupancy span: one complete event per contiguous run of
-         context [best_i] on engine [best_e] (ended by a context swap on a
-         memory reference, or by the packet completing).  Timebase: one
-         simulated cycle is exported as one microsecond, so Perfetto's
-         ruler reads directly in cycles; tid = engine id. *)
-      if Trace.is_enabled () then
-        Trace.complete ~cat:"engine" ~tid:!best_e
-          ~ts_us:(float_of_int step_start)
-          ~dur_us:(float_of_int (sim.Simulator.clock - step_start))
-          ctx_names.(!best_i);
-      if th.Simulator.halted then
-        complete_packet chip sim !best_e !best_i ~deliver
-    end
-  done;
-  let latencies = Vec.to_array chip.latencies in
-  Array.sort compare latencies;
+(* Snapshot the chip's counters into a report and mirror them into the
+   metrics registry (latency buckets merge into the "chip.latency"
+   histogram, so `--metrics` shows p99/p999 without parsing the
+   report). *)
+let finish (chip : t) =
+  let latencies = Array.sub chip.latencies 0 chip.lat_len in
+  Array.sort Int.compare latencies;
   (* Per-channel bus counters: mirrored into the metrics registry (and a
      trace counter series) so `--metrics` shows where memory time went
      without parsing the report. *)
@@ -355,24 +558,32 @@ let run ?(deliver = default_deliver) ?(fuel = 50_000_000) chip gen =
                 ("stall", float_of_int s.Memory.chan_stall);
               ])
         (Memory.bus_stats b));
-  Metrics.set
-    (Metrics.gauge "chip.completed")
-    (float_of_int chip.completed);
+  Metrics.merge_buckets (Metrics.histogram "chip.latency") chip.lat_buckets;
+  Metrics.set (Metrics.gauge "chip.completed") (float_of_int chip.completed);
   {
     r_config = chip.config;
     cycles = chip.horizon;
     generated = chip.generated;
     completed = chip.completed;
     bytes_completed = chip.bytes_completed;
-    rx_received = Array.map (fun (p : port_state) -> p.rx_received) chip.ports;
-    rx_dropped = Array.map (fun (p : port_state) -> p.rx_dropped) chip.ports;
+    r_in_flight = in_flight_count chip;
+    rx_received = Array.copy chip.rx_received;
+    rx_dropped = Array.copy chip.rx_dropped;
     tx_words = chip.tx_words;
     tx_dropped_words = chip.tx_dropped_words;
     engine_busy = Array.map Simulator.busy_cycles chip.engines;
     engine_cycles = Array.map Simulator.cycles chip.engines;
     latencies;
+    lat_buckets = Array.copy chip.lat_buckets;
     bus = (match chip.bus with None -> [] | Some b -> Memory.bus_stats b);
   }
+
+let run ?(deliver = default_deliver) ?fuel chip gen =
+  prepare chip
+    ~ports:gen.Pktgen.config.Pktgen.ports
+    ~expected:gen.Pktgen.config.Pktgen.count;
+  drive ?fuel chip ~deliver gen;
+  finish chip
 
 (* ------------------------------------------------------------------ *)
 (* Report derivations                                                  *)
@@ -417,6 +628,7 @@ let pp_report ppf r =
   Fmt.pf ppf "packets: %d generated, %d completed, %d dropped (%.1f%%)@."
     r.generated r.completed (dropped r)
     (100. *. drop_rate r);
+  if r.r_in_flight > 0 then Fmt.pf ppf "in flight: %d@." r.r_in_flight;
   Fmt.pf ppf "achieved: %.3f Mpps, %.1f Mbit/s payload@." (achieved_mpps r)
     (achieved_mbps r);
   Fmt.pf ppf "tx ring: %d words sent, %d dropped@." r.tx_words
@@ -427,9 +639,10 @@ let pp_report ppf r =
         (100. *. utilization r e))
     r.engine_busy;
   if Array.length r.latencies > 0 then
-    Fmt.pf ppf "latency cycles: p50 %d, p90 %d, p99 %d, max %d@."
+    Fmt.pf ppf "latency cycles: p50 %d, p90 %d, p99 %d, p99.9 %d, max %d@."
       (latency_percentile r 0.50) (latency_percentile r 0.90)
       (latency_percentile r 0.99)
+      (latency_percentile r 0.999)
       r.latencies.(Array.length r.latencies - 1);
   List.iter
     (fun (name, s) ->

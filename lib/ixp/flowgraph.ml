@@ -37,10 +37,13 @@ let entry t =
   | [] -> Diag.ice "Flowgraph: empty graph"
   | b :: _ -> b
 
+(* [Hashtbl.find] rather than [find_opt]: the simulator resolves branch
+   targets on its hot path, and the option would be a per-jump minor
+   allocation. *)
 let block t label =
-  match Hashtbl.find_opt t.tbl label with
-  | Some b -> b
-  | None -> Diag.ice "Flowgraph: unknown block %s" label
+  match Hashtbl.find t.tbl label with
+  | b -> b
+  | exception Not_found -> Diag.ice "Flowgraph: unknown block %s" label
 
 let blocks t = t.blocks
 let num_blocks t = List.length t.blocks

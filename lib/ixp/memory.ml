@@ -88,6 +88,23 @@ let read t space byte_addr ~count =
   let arr = space_array t space in
   Array.init count (fun k -> arr.(idx + k))
 
+(* Allocation-free transfer variants: the caller owns the buffer (the
+   simulator keeps one per thread), so the hot loop moves words without
+   materializing a fresh array per memory reference. *)
+let read_into t space byte_addr ~count ~dst =
+  let idx = word_index t space byte_addr ~count in
+  let arr = space_array t space in
+  for k = 0 to count - 1 do
+    Array.unsafe_set dst k (Array.unsafe_get arr (idx + k))
+  done
+
+let write_from t space byte_addr ~count ~src =
+  let idx = word_index t space byte_addr ~count in
+  let arr = space_array t space in
+  for k = 0 to count - 1 do
+    Array.unsafe_set arr (idx + k) (Array.unsafe_get src k land word_mask)
+  done
+
 let write t space byte_addr values =
   let count = Array.length values in
   let idx = word_index t space byte_addr ~count in

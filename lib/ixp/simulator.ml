@@ -21,10 +21,13 @@ type thread_state = {
   regs_s : int array;
   regs_sd : int array;
   mutable rfifo : int array; (* current inbound packet, as words *)
+  mutable rfifo_words : int; (* valid prefix of [rfifo]; pooled buffers
+                                are longer than the packet they hold *)
   tfifo : int Vec.t; (* outbound words *)
+  xfer : int array; (* scratch buffer for memory transfers (no alloc) *)
   (* private SDRAM packet buffer image *)
   sdram : Memory.t;
-  mutable block : string;
+  mutable block : Reg.t Flowgraph.block;
   mutable pc : int;
   mutable ready_at : int; (* cycle at which the thread may run again *)
   mutable halted : bool;
@@ -63,9 +66,11 @@ let create ?(threads = 1) ?(clock_mhz = 233.0) ?(config = Memory.default_config)
       regs_s = Array.make 8 0;
       regs_sd = Array.make 8 0;
       rfifo = [||];
+      rfifo_words = 0;
       tfifo = Vec.create ();
+      xfer = Array.make 8 0;
       sdram = Memory.create ~config ();
-      block = (Flowgraph.entry program).Flowgraph.label;
+      block = Flowgraph.entry program;
       pc = 0;
       ready_at = 0;
       halted = false;
@@ -165,8 +170,8 @@ type packet_source = thread:int -> packets_done:int -> int array option
 let exec_insn t th insn =
   th.insns_executed <- th.insns_executed + 1;
   if t.trace then
-    Fmt.epr "[%d] t%d %s.%d: %a@." t.clock th.id th.block th.pc
-      (Insn.pp Reg.pp) insn;
+    Fmt.epr "[%d] t%d %s.%d: %a@." t.clock th.id th.block.Flowgraph.label
+      th.pc (Insn.pp Reg.pp) insn;
   match insn with
   | Insn.Alu { dst; op; x; y } ->
       set th dst (alu_eval op (get th x) (operand_value th y));
@@ -190,14 +195,19 @@ let exec_insn t th insn =
       1
   | Insn.Read { space; dsts; addr } ->
       let mem = memory_for t th space in
-      let values =
-        Memory.read mem space (addr_value th addr) ~count:(Array.length dsts)
-      in
-      Array.iteri (fun k d -> set th d values.(k)) dsts;
+      let count = Array.length dsts in
+      Memory.read_into mem space (addr_value th addr) ~count ~dst:th.xfer;
+      for k = 0 to count - 1 do
+        set th dsts.(k) th.xfer.(k)
+      done;
       mem_latency t space ~base:(Memory.latency mem space)
   | Insn.Write { space; srcs; addr } ->
       let mem = memory_for t th space in
-      Memory.write mem space (addr_value th addr) (Array.map (get th) srcs);
+      let count = Array.length srcs in
+      for k = 0 to count - 1 do
+        th.xfer.(k) <- get th srcs.(k)
+      done;
+      Memory.write_from mem space (addr_value th addr) ~count ~src:th.xfer;
       mem_latency t space ~base:(Memory.latency mem space)
   | Insn.Hash { dst; src } ->
       set th dst (Memory.hash (get th src));
@@ -225,16 +235,17 @@ let exec_insn t th insn =
   | Insn.Csr_write _ -> 1
   | Insn.Rfifo_read { dsts; addr } ->
       let base = addr_value th addr / 4 in
-      Array.iteri
-        (fun k d ->
-          let idx = base + k in
-          let v = if idx < Array.length th.rfifo then th.rfifo.(idx) else 0 in
-          set th d v)
-        dsts;
+      for k = 0 to Array.length dsts - 1 do
+        let idx = base + k in
+        let v = if idx < th.rfifo_words then th.rfifo.(idx) else 0 in
+        set th dsts.(k) v
+      done;
       fifo_latency t
   | Insn.Tfifo_write { srcs; addr } ->
       ignore (addr_value th addr);
-      Array.iter (fun s -> Vec.push th.tfifo (get th s)) srcs;
+      for k = 0 to Array.length srcs - 1 do
+        Vec.push th.tfifo (get th srcs.(k))
+      done;
       fifo_latency t
   | Insn.Ctx_arb -> 1
   | Insn.Nop -> 1
@@ -248,7 +259,7 @@ let step_thread t th ~fuel =
     if !fuel <= 0 then
       raise (Stuck (Printf.sprintf "thread %d: fuel exhausted" th.id));
     decr fuel;
-    let b = Flowgraph.block t.program th.block in
+    let b = th.block in
     if th.pc < Array.length b.Flowgraph.insns then begin
       let insn = b.Flowgraph.insns.(th.pc) in
       th.pc <- th.pc + 1;
@@ -261,21 +272,23 @@ let step_thread t th ~fuel =
         th.ready_at <- t.clock + lat - 2;
         yielded := true
       end
-      else if insn = Insn.Ctx_arb then begin
-        th.ready_at <- t.clock;
-        yielded := true
-      end
+      else
+        match insn with
+        | Insn.Ctx_arb ->
+            th.ready_at <- t.clock;
+            yielded := true
+        | _ -> ()
     end
     else begin
       (match b.Flowgraph.term with
       | Insn.Jump l ->
-          th.block <- l;
+          th.block <- Flowgraph.block t.program l;
           th.pc <- 0;
           t.clock <- t.clock + 1;
           t.busy <- t.busy + 1
       | Insn.Branch { cond; x; y; ifso; ifnot } ->
           let taken = cond_eval cond (get th x) (operand_value th y) in
-          th.block <- (if taken then ifso else ifnot);
+          th.block <- Flowgraph.block t.program (if taken then ifso else ifnot);
           th.pc <- 0;
           let c = if taken then 3 else 1 in
           t.clock <- t.clock + c;
@@ -305,7 +318,8 @@ let run_packets ?(fuel = 100_000_000) t (source : packet_source) =
     | None -> false
     | Some packet ->
         th.rfifo <- packet;
-        th.block <- (Flowgraph.entry t.program).Flowgraph.label;
+        th.rfifo_words <- Array.length packet;
+        th.block <- Flowgraph.entry t.program;
         th.pc <- 0;
         th.halted <- false;
         true
@@ -351,5 +365,17 @@ let mbps t ~bytes =
   else float_of_int (bytes * 8) /. seconds /. 1e6
 
 let read_tfifo t ~thread = Vec.to_array t.threads.(thread).tfifo
-let set_rfifo t ~thread packet = t.threads.(thread).rfifo <- packet
+
+let set_rfifo t ~thread packet =
+  let th = t.threads.(thread) in
+  th.rfifo <- packet;
+  th.rfifo_words <- Array.length packet
+
+(* Pooled variant: [buf] outlives the packet and only its first [words]
+   entries belong to it.  No allocation. *)
+let set_rfifo_view t ~thread buf ~words =
+  let th = t.threads.(thread) in
+  th.rfifo <- buf;
+  th.rfifo_words <- words
+
 let sdram_of_thread t ~thread = t.threads.(thread).sdram

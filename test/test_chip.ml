@@ -55,6 +55,201 @@ let test_pktgen_profiles () =
        (List.map (fun (p : Ixp.Pktgen.packet) -> p.Ixp.Pktgen.arrival)
           (Ixp.Pktgen.trace (gen_config ~offered:0. ()))))
 
+(* ---------------- adversarial profiles ---------------- *)
+
+let test_pktgen_profile_strings () =
+  (* CLI names round-trip through the parser and printer *)
+  List.iter
+    (fun s ->
+      match Ixp.Pktgen.profile_of_string s with
+      | Ok p ->
+          (match Ixp.Pktgen.profile_of_string (Ixp.Pktgen.profile_to_string p) with
+          | Ok p' -> checkb ("round-trip " ^ s) true (p = p')
+          | Error _ -> Alcotest.failf "printer output for %s does not parse" s)
+      | Error _ -> Alcotest.failf "profile %s does not parse" s)
+    [
+      "fixed:64"; "imix"; "imix-path"; "burst:64:8"; "flood"; "flood:40";
+      "elephants"; "elephants:512:4:80:576"; "flows:1024:90:200"; "flash:5000";
+    ];
+  checkb "garbage rejected" true
+    (match Ixp.Pktgen.profile_of_string "nope" with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let flow_counts cfg =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (fun (p : Ixp.Pktgen.packet) ->
+      let f = p.Ixp.Pktgen.flow in
+      Hashtbl.replace tbl f (1 + Option.value ~default:0 (Hashtbl.find_opt tbl f)))
+    (Ixp.Pktgen.trace cfg);
+  tbl
+
+let test_pktgen_flood () =
+  (* a SYN flood draws a fresh flow id per packet: no reuse, tiny and
+     uniform packet size *)
+  let cfg =
+    gen_config ~profile:(Ixp.Pktgen.Syn_flood { size = 40 }) ~count:300 ()
+  in
+  let counts = flow_counts cfg in
+  checki "every packet a distinct flow" 300 (Hashtbl.length counts);
+  checkb "all 40-byte" true
+    (List.for_all
+       (fun (p : Ixp.Pktgen.packet) -> p.Ixp.Pktgen.size = 40)
+       (Ixp.Pktgen.trace cfg))
+
+let test_pktgen_elephants () =
+  (* 4 heavy flows carry 80% of the traffic: the top-4 flow counts must
+     clearly dominate the other 508 *)
+  let cfg =
+    gen_config
+      ~profile:
+        (Ixp.Pktgen.Elephants { flows = 512; heavy = 4; heavy_pct = 80; size = 576 })
+      ~count:500 ()
+  in
+  let counts = flow_counts cfg in
+  let sorted =
+    List.sort (fun a b -> compare b a)
+      (Hashtbl.fold (fun _ c acc -> c :: acc) counts [])
+  in
+  let top4 =
+    match sorted with a :: b :: c :: d :: _ -> a + b + c + d | _ -> 0
+  in
+  checkb
+    (Printf.sprintf "top-4 flows carry most packets (%d/500)" top4)
+    true
+    (top4 >= 300);
+  checkb "but not everything" true (Hashtbl.length counts > 8)
+
+let test_pktgen_zipf_flows () =
+  (* Zipf user population: heavily skewed but many distinct flows *)
+  let cfg =
+    gen_config
+      ~profile:(Ixp.Pktgen.Flows { users = 1024; alpha_pct = 110; size = 200 })
+      ~count:500 ()
+  in
+  let counts = flow_counts cfg in
+  let n = Hashtbl.length counts in
+  let max_c = Hashtbl.fold (fun _ c acc -> max c acc) counts 0 in
+  checkb (Printf.sprintf "many distinct flows (%d)" n) true (n > 50);
+  checkb
+    (Printf.sprintf "head flow well above uniform share (%d)" max_c)
+    true
+    (max_c * n > 3 * 500)
+
+let test_pktgen_flash_crowd () =
+  (* the flash crowd ramps the arrival rate up: gaps shrink over the
+     ramp, by 4x start-to-end *)
+  let cfg =
+    gen_config
+      ~profile:(Ixp.Pktgen.Flash_crowd { size = 64; ramp = 100 })
+      ~offered:1.0 ~count:101 ()
+  in
+  let arrivals =
+    List.map (fun (p : Ixp.Pktgen.packet) -> p.Ixp.Pktgen.arrival)
+      (Ixp.Pktgen.trace cfg)
+  in
+  let gaps =
+    let rec go = function
+      | a :: (b :: _ as tl) -> (b - a) :: go tl
+      | _ -> []
+    in
+    go arrivals
+  in
+  let first = List.nth gaps 0 and last = List.nth gaps (List.length gaps - 1) in
+  checkb
+    (Printf.sprintf "gap shrinks over the ramp (%d -> %d)" first last)
+    true
+    (first > last && first >= 3 * last)
+
+let test_pktgen_imix_path () =
+  (* pathological IMIX alternates one max-size packet with a run of
+     minimum-size packets in a fixed group pattern *)
+  let cfg = gen_config ~profile:Ixp.Pktgen.Imix_path ~count:36 () in
+  List.iter
+    (fun (p : Ixp.Pktgen.packet) ->
+      let expect = if p.Ixp.Pktgen.seq mod 12 = 0 then 1504 else 40 in
+      checki "group pattern" expect p.Ixp.Pktgen.size)
+    (Ixp.Pktgen.trace cfg)
+
+let test_pktgen_next_into_no_alloc () =
+  (* the streaming generator reuses the caller's view: zero minor words
+     per packet in steady state *)
+  let gen =
+    Ixp.Pktgen.create
+      (gen_config
+         ~profile:
+           (Ixp.Pktgen.Elephants { flows = 512; heavy = 4; heavy_pct = 80; size = 576 })
+         ~count:2000 ())
+  in
+  let v = Ixp.Pktgen.make_view () in
+  (* warm up *)
+  for _ = 1 to 10 do
+    ignore (Ixp.Pktgen.next_into gen v)
+  done;
+  let before = Gc.minor_words () in
+  for _ = 1 to 1500 do
+    ignore (Ixp.Pktgen.next_into gen v)
+  done;
+  let words = Gc.minor_words () -. before in
+  checkb
+    (Printf.sprintf "next_into allocates nothing (%.0f words)" words)
+    true (words < 64.)
+
+(* ---------------- event wheel ---------------- *)
+
+let test_wheel_order () =
+  let w = Ixp.Event_wheel.create ~size:16 4 in
+  checkb "empty" true (Ixp.Event_wheel.is_empty w);
+  Ixp.Event_wheel.schedule w 2 ~cycle:100;
+  Ixp.Event_wheel.schedule w 0 ~cycle:50;
+  Ixp.Event_wheel.schedule w 1 ~cycle:50;
+  Ixp.Event_wheel.schedule w 3 ~cycle:7;
+  checki "next is the min" 7 (Ixp.Event_wheel.next_time w);
+  checki "pop min" 3 (Ixp.Event_wheel.pop w);
+  (* ties break to the lowest event id *)
+  checki "tie to lowest id" 0 (Ixp.Event_wheel.pop w);
+  checki "then the other" 1 (Ixp.Event_wheel.pop w);
+  checki "then the stragglers" 2 (Ixp.Event_wheel.pop w);
+  checkb "empty again" true (Ixp.Event_wheel.is_empty w)
+
+let test_wheel_reschedule_cancel () =
+  let w = Ixp.Event_wheel.create ~size:16 4 in
+  Ixp.Event_wheel.schedule w 0 ~cycle:10;
+  (* rescheduling moves the event *)
+  Ixp.Event_wheel.schedule w 0 ~cycle:90;
+  Ixp.Event_wheel.schedule w 1 ~cycle:40;
+  checki "rescheduled event comes later" 1 (Ixp.Event_wheel.pop w);
+  Ixp.Event_wheel.cancel w 0;
+  checkb "cancel empties" true (Ixp.Event_wheel.is_empty w);
+  (* cancelling an unscheduled event is a no-op *)
+  Ixp.Event_wheel.cancel w 0;
+  checkb "still empty" true (Ixp.Event_wheel.is_empty w)
+
+let test_wheel_cursor_rollback () =
+  (* probing next_time advances the cursor; scheduling an earlier event
+     afterwards must roll it back, not lose the event *)
+  let w = Ixp.Event_wheel.create ~size:16 4 in
+  Ixp.Event_wheel.schedule w 0 ~cycle:60;
+  checki "cursor at 60" 60 (Ixp.Event_wheel.next_time w);
+  Ixp.Event_wheel.schedule w 1 ~cycle:20;
+  checki "earlier event wins" 20 (Ixp.Event_wheel.next_time w);
+  checki "pop it" 1 (Ixp.Event_wheel.pop w);
+  checki "later event intact" 0 (Ixp.Event_wheel.pop w)
+
+let test_wheel_sparse_jump () =
+  (* events far beyond the wheel size (many wraps away): next_time must
+     find them without walking the gap one cycle at a time, and rounds
+     must disambiguate same-bucket different-lap events *)
+  let w = Ixp.Event_wheel.create ~size:16 4 in
+  Ixp.Event_wheel.schedule w 0 ~cycle:1_000_003;
+  Ixp.Event_wheel.schedule w 1 ~cycle:3;
+  (* same bucket as 1_000_003 mod 16?  regardless: earlier lap first *)
+  checki "near event first" 3 (Ixp.Event_wheel.next_time w);
+  checki "pop near" 1 (Ixp.Event_wheel.pop w);
+  checki "distant event found" 1_000_003 (Ixp.Event_wheel.next_time w);
+  checki "pop far" 0 (Ixp.Event_wheel.pop w)
+
 (* ---------------- bus arbiter ---------------- *)
 
 let test_bus_arbiter () =
@@ -253,12 +448,117 @@ let test_chip_traced_run () =
     = r.Ixp.Chip.completed);
   Support.Trace.reset ()
 
+let test_chip_in_flight_invariant () =
+  (* drive the loop by hand and check the conservation law at every
+     event: received = completed + dropped + on-a-context + queued.
+     Overload parameters so the rings overflow and drops participate. *)
+  let c = Lazy.force compiled in
+  let config =
+    {
+      Ixp.Chip.default_config with
+      Ixp.Chip.engines = 1;
+      threads = 2;
+      rx_capacity = 4;
+    }
+  in
+  let chip = Ixp.Chip.create ~config c.Regalloc.Driver.physical in
+  let gen = Ixp.Pktgen.create (gen_config ~offered:0. ~count:60 ()) in
+  Ixp.Chip.prepare chip ~ports:1 ~expected:60;
+  let deliver = Ixp.Chip.default_deliver in
+  let v = Ixp.Pktgen.make_view () in
+  let pending = ref (Ixp.Pktgen.next_into gen v) in
+  let saw_in_flight = ref false in
+  let check_invariant () =
+    let received = Array.fold_left ( + ) 0 chip.Ixp.Chip.rx_received in
+    let dropped = Array.fold_left ( + ) 0 chip.Ixp.Chip.rx_dropped in
+    let in_flight = Ixp.Chip.in_flight_count chip in
+    if in_flight > 0 then saw_in_flight := true;
+    checki "received = completed + dropped + in-flight + queued" received
+      (chip.Ixp.Chip.completed + dropped + in_flight
+      + Ixp.Chip.rx_queued chip)
+  in
+  while !pending || Ixp.Chip.active chip do
+    let t_step = Ixp.Chip.next_time chip in
+    let t_arr = if !pending then v.Ixp.Pktgen.v_arrival else Ixp.Chip.no_event in
+    if t_arr <= t_step then begin
+      Ixp.Chip.offer chip ~deliver ~port:v.Ixp.Pktgen.v_port v;
+      pending := Ixp.Pktgen.next_into gen v
+    end
+    else Ixp.Chip.step chip ~deliver;
+    check_invariant ()
+  done;
+  checkb "the mid-run states actually had packets in flight" true
+    !saw_in_flight;
+  let r = Ixp.Chip.finish chip in
+  checkb "overloaded run dropped packets" true (Ixp.Chip.dropped r > 0);
+  checki "final report: nothing left in flight" 0 r.Ixp.Chip.r_in_flight;
+  checki "final report: generated fully accounted" r.Ixp.Chip.generated
+    (r.Ixp.Chip.completed + Ixp.Chip.dropped r + r.Ixp.Chip.r_in_flight)
+
+let test_chip_report_histogram () =
+  (* the report's latency buckets agree with its exact latency list *)
+  let r = run_chip ~engines:2 ~offered:0. ~count:40 () in
+  checki "bucket mass = completed" r.Ixp.Chip.completed
+    (Array.fold_left ( + ) 0 r.Ixp.Chip.lat_buckets);
+  let h = Support.Metrics.histogram "test.lat" in
+  Support.Metrics.merge_buckets h r.Ixp.Chip.lat_buckets;
+  let exact_p99 = Ixp.Chip.latency_percentile r 0.99 in
+  let hist_p99 = Support.Metrics.percentile h 0.99 in
+  (* histogram percentiles carry <=1/32 relative bucket error *)
+  checkb
+    (Printf.sprintf "histogram p99 tracks exact p99 (%d vs %d)" hist_p99
+       exact_p99)
+    true
+    (abs (hist_p99 - exact_p99) * 16 <= exact_p99 + 32)
+
+let test_chip_steady_state_no_alloc () =
+  (* the heart of the event-engine rewrite: once warmed up, the
+     offer/step loop must not allocate minor words at all *)
+  let c = Lazy.force compiled in
+  let config =
+    { Ixp.Chip.default_config with Ixp.Chip.engines = 2; threads = 4 }
+  in
+  let chip = Ixp.Chip.create ~config c.Regalloc.Driver.physical in
+  let count = 3000 in
+  let mk () = Ixp.Pktgen.create (gen_config ~offered:1.0 ~count ~ports:2 ()) in
+  (* warm up: latency array growth, lazy tables *)
+  Ixp.Chip.prepare chip ~ports:2 ~expected:count;
+  Ixp.Chip.drive chip ~deliver:Ixp.Chip.default_deliver (mk ());
+  (* generator construction and [prepare] may allocate; the event loop
+     itself must not (beyond the one packet view it creates) *)
+  let gen = mk () in
+  Ixp.Chip.prepare chip ~ports:2 ~expected:count;
+  let before = Gc.minor_words () in
+  Ixp.Chip.drive chip ~deliver:Ixp.Chip.default_deliver gen;
+  let words = Gc.minor_words () -. before in
+  checkb
+    (Printf.sprintf "steady-state drive allocates nothing (%.0f words for %d \
+                     packets)"
+       words count)
+    true (words < 64.)
+
 let suites =
   [
     ( "chip.pktgen",
       [
         Alcotest.test_case "determinism" `Quick test_pktgen_determinism;
         Alcotest.test_case "profiles" `Quick test_pktgen_profiles;
+        Alcotest.test_case "profile strings" `Quick test_pktgen_profile_strings;
+        Alcotest.test_case "syn flood" `Quick test_pktgen_flood;
+        Alcotest.test_case "elephant flows" `Quick test_pktgen_elephants;
+        Alcotest.test_case "zipf flows" `Quick test_pktgen_zipf_flows;
+        Alcotest.test_case "flash crowd" `Quick test_pktgen_flash_crowd;
+        Alcotest.test_case "pathological imix" `Quick test_pktgen_imix_path;
+        Alcotest.test_case "streaming no-alloc" `Quick
+          test_pktgen_next_into_no_alloc;
+      ] );
+    ( "chip.wheel",
+      [
+        Alcotest.test_case "min order" `Quick test_wheel_order;
+        Alcotest.test_case "reschedule and cancel" `Quick
+          test_wheel_reschedule_cancel;
+        Alcotest.test_case "cursor rollback" `Quick test_wheel_cursor_rollback;
+        Alcotest.test_case "sparse jump" `Quick test_wheel_sparse_jump;
       ] );
     ( "chip.bus",
       [
@@ -277,6 +577,12 @@ let suites =
         Alcotest.test_case "engine scaling" `Quick test_chip_scaling;
         Alcotest.test_case "report invariants" `Quick
           test_chip_report_invariants;
+        Alcotest.test_case "in-flight conservation" `Quick
+          test_chip_in_flight_invariant;
+        Alcotest.test_case "latency histogram" `Quick
+          test_chip_report_histogram;
+        Alcotest.test_case "steady-state zero-alloc" `Quick
+          test_chip_steady_state_no_alloc;
         Alcotest.test_case "traced run" `Quick test_chip_traced_run;
       ] );
   ]

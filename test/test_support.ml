@@ -205,6 +205,58 @@ let test_metrics () =
   Metrics.reset ();
   checki "reset zeroes counter in place" 0 (Metrics.counter_value c)
 
+(* Histogram percentiles on a known distribution: 1000 observations of
+   value 10, 9 of 1000, 1 of 50000.  Nearest-rank: p50/p90/p99 land in
+   the bulk, p99.9 on the 1000s, and only the top observation sits above
+   tail_count's cutoff.  Values up to 63 are recorded exactly; larger
+   ones within the bucket's 1/32 relative-error envelope. *)
+let test_metrics_percentiles () =
+  Metrics.reset ();
+  let h = Metrics.histogram "t.tail" in
+  for _ = 1 to 1000 do
+    Metrics.observe h 10.
+  done;
+  for _ = 1 to 9 do
+    Metrics.observe h 1000.
+  done;
+  Metrics.observe h 50000.;
+  checki "p50 exact (value < 64)" 10 (Metrics.percentile h 0.50);
+  checki "p90 exact" 10 (Metrics.percentile h 0.90);
+  checki "p99 exact" 10 (Metrics.percentile h 0.99);
+  let p999 = Metrics.percentile h 0.999 in
+  checkb
+    (Printf.sprintf "p99.9 within bucket error of 1000 (got %d)" p999)
+    true
+    (abs (p999 - 1000) * 32 <= 1000);
+  let p1000 = Metrics.percentile h 1.0 in
+  checkb
+    (Printf.sprintf "p100 within bucket error of 50000 (got %d)" p1000)
+    true
+    (abs (p1000 - 50000) * 32 <= 50000);
+  checki "tail above 100" 10 (Metrics.tail_count h 100);
+  checki "tail above 2000" 1 (Metrics.tail_count h 2000);
+  checki "tail above 100000" 0 (Metrics.tail_count h 100000);
+  (* merging external bucket counts is equivalent to observing *)
+  let h2 = Metrics.histogram "t.tail2" in
+  let buckets = Array.make 4096 0 in
+  buckets.(Metrics.bucket_index 10) <- 1000;
+  buckets.(Metrics.bucket_index 1000) <- 9;
+  buckets.(Metrics.bucket_index 50000) <- 1;
+  Metrics.merge_buckets h2 buckets;
+  checki "merged p50" (Metrics.percentile h 0.50) (Metrics.percentile h2 0.50);
+  checki "merged p99.9" p999 (Metrics.percentile h2 0.999);
+  checki "merged tail" 10 (Metrics.tail_count h2 100);
+  (* bucket_value is the inverse of bucket_index up to bucket width *)
+  List.iter
+    (fun v ->
+      let r = Metrics.bucket_value (Metrics.bucket_index v) in
+      checkb
+        (Printf.sprintf "bucket round-trip %d -> %d" v r)
+        true
+        (abs (r - v) * 32 <= max v 32))
+    [ 0; 1; 63; 64; 100; 1023; 65536; 1_000_000 ];
+  Metrics.reset ()
+
 (* ---------------- json parser ---------------- *)
 
 let test_json_parser () =
@@ -258,6 +310,8 @@ let suites =
         Alcotest.test_case "disabled trace allocates nothing" `Quick
           test_trace_disabled_no_alloc;
         Alcotest.test_case "metrics registry" `Quick test_metrics;
+        Alcotest.test_case "metrics percentiles and tails" `Quick
+          test_metrics_percentiles;
         Alcotest.test_case "json parser" `Quick test_json_parser;
       ] );
   ]

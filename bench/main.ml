@@ -10,6 +10,8 @@
      dune exec bench/main.exe -- rates-smoke  fast variant for CI
      dune exec bench/main.exe -- solver       MIP engine perf (BENCH_solver.json)
      dune exec bench/main.exe -- solver-smoke CI gate with a hard time ceiling
+                                              (--solver-domains N adds parallel legs)
+     dune exec bench/main.exe -- solver-scaling  wall time vs worker domains
      dune exec bench/main.exe -- pipeline     per-stage wall times (BENCH_pipeline.json)
      dune exec bench/main.exe -- pipeline-gate CI regression gate vs that baseline
      dune exec bench/main.exe -- ablation     spill-feasibility objective
@@ -543,12 +545,13 @@ let solver_status_string = function
   | Lp.Mip.Infeasible -> "infeasible"
   | Lp.Mip.Limit -> "limit"
 
-let solve_workload_model ?(time_limit = 120.) ?(node_limit = 20_000) w =
+let solve_workload_model ?(time_limit = 120.) ?(node_limit = 20_000)
+    ?(domains = 1) ?(deterministic = false) w =
   let f = front w in
   let mg = Regalloc.Modelgen.build ~allow_spill:false f.Regalloc.Driver.f_graph in
   let ilp = Regalloc.Ilp.build mg in
   let p = ilp.Regalloc.Ilp.instance.Ampl.Model.problem in
-  let r = Lp.Mip.solve ~time_limit ~node_limit p in
+  let r = Lp.Mip.solve ~time_limit ~node_limit ~domains ~deterministic p in
   let s = r.Lp.Mip.stats in
   {
     sb_name = w.name;
@@ -664,25 +667,91 @@ let solver () =
   write_solver_json (rows @ rand_rows)
 
 (* CI gate: small models under a hard wall-clock ceiling, so a basis or
-   pricing regression fails the build rather than just getting slower. *)
-let solver_smoke () =
-  rule "Solver smoke: Kasumi + random instances under a hard ceiling";
+   pricing regression fails the build rather than just getting slower.
+   With [domains] >= 2 the Kasumi model is additionally solved by the
+   parallel search -- twice, in deterministic mode -- and the gate also
+   fails if the parallel objective disagrees with the sequential one or
+   the deterministic node count does not reproduce. *)
+let solver_smoke ?(domains = 1) () =
+  rule
+    (if domains >= 2 then
+       Printf.sprintf
+         "Solver smoke: Kasumi + random instances (+%d-domain parallel \
+          search) under a hard ceiling"
+         domains
+     else "Solver smoke: Kasumi + random instances under a hard ceiling");
   let ceiling = 60. in
   let t0 = Unix.gettimeofday () in
   solver_header ();
-  let rows =
-    solve_workload_model ~time_limit:50. kasumi
-    :: List.map solve_random_instance [ 1; 2 ]
-  in
+  let seq = solve_workload_model ~time_limit:50. kasumi in
+  let rows = seq :: List.map solve_random_instance [ 1; 2 ] in
   List.iter pp_solver_row rows;
+  let par_failures = ref [] in
+  if domains >= 2 then begin
+    let par name r =
+      pp_solver_row { r with sb_name = name };
+      if r.sb_status <> "optimal" then
+        par_failures := Printf.sprintf "%s: status %s" name r.sb_status
+                        :: !par_failures;
+      r
+    in
+    let a =
+      par
+        (Printf.sprintf "par-%d-a" domains)
+        (solve_workload_model ~time_limit:50. ~domains ~deterministic:true
+           kasumi)
+    in
+    let b =
+      par
+        (Printf.sprintf "par-%d-b" domains)
+        (solve_workload_model ~time_limit:50. ~domains ~deterministic:true
+           kasumi)
+    in
+    if Float.abs (a.sb_obj -. seq.sb_obj) > 1e-6 then
+      par_failures :=
+        Printf.sprintf "parallel objective %.6f != sequential %.6f" a.sb_obj
+          seq.sb_obj
+        :: !par_failures;
+    if a.sb_nodes <> b.sb_nodes || a.sb_iters <> b.sb_iters then
+      par_failures :=
+        Printf.sprintf
+          "deterministic run did not reproduce: %d/%d nodes, %d/%d iters"
+          a.sb_nodes b.sb_nodes a.sb_iters b.sb_iters
+        :: !par_failures
+  end;
   let wall = Unix.gettimeofday () -. t0 in
   let all_optimal = List.for_all (fun r -> r.sb_status = "optimal") rows in
   Fmt.pr "smoke wall time: %.2fs (ceiling %.0fs), all optimal: %b@." wall
     ceiling all_optimal;
-  if wall > ceiling || not all_optimal then begin
+  List.iter (fun f -> Fmt.epr "solver-smoke: %s@." f) (List.rev !par_failures);
+  if wall > ceiling || (not all_optimal) || !par_failures <> [] then begin
     Fmt.epr "solver-smoke FAILED@.";
     exit 1
   end
+
+(* Speedup table for EXPERIMENTS.md: the AES and NAT models solved by
+   1/2/4/8 worker domains under the standard budgets.  Speedups are
+   relative to the 1-domain wall time of the same model; on a single-core
+   host expect ~1x across the board (the table records what the
+   measurement host can actually show, not an extrapolation). *)
+let solver_scaling () =
+  rule "Solver scaling: wall time vs worker domains (120 s / 20k nodes)";
+  Fmt.pr "(host reports %d core(s) available)@."
+    (Domain.recommended_domain_count ());
+  Fmt.pr "%-8s | %7s | %-8s | %10s | %7s | %6s | %7s@." "" "domains" "status"
+    "objective" "tot(s)" "nodes" "speedup";
+  List.iter
+    (fun w ->
+      let base = ref nan in
+      List.iter
+        (fun d ->
+          let r = solve_workload_model ~domains:d w in
+          if d = 1 then base := r.sb_total;
+          Fmt.pr "%-8s | %7d | %-8s | %10.4f | %7.2f | %6d | %6.2fx@."
+            r.sb_name d r.sb_status r.sb_obj r.sb_total r.sb_nodes
+            (!base /. r.sb_total))
+        [ 1; 2; 4; 8 ])
+    [ aes; nat ]
 
 (* ---------------- pipeline bench + CI regression gate ---------------- *)
 
@@ -920,6 +989,29 @@ let pipeline_gate () =
                 stages
           | _ -> fail "%s: baseline row has no stages object" name))
     json_workloads;
+  (* Parallel-search determinism: two identical 2-domain deterministic
+     solves of the AES model (under the same node budget as the pipeline
+     rows, so the search genuinely branches) must expand identical
+     trees.  This pins the fixed node-distribution schedule the pipeline
+     numbers above rely on for reproducibility. *)
+  let ra =
+    solve_workload_model ~node_limit:pipeline_node_limit ~domains:2
+      ~deterministic:true aes
+  in
+  let rb =
+    solve_workload_model ~node_limit:pipeline_node_limit ~domains:2
+      ~deterministic:true aes
+  in
+  if ra.sb_nodes <> rb.sb_nodes || ra.sb_iters <> rb.sb_iters then
+    fail
+      "deterministic 2-domain solve did not reproduce: %d/%d nodes, %d/%d \
+       iters"
+      ra.sb_nodes rb.sb_nodes ra.sb_iters rb.sb_iters
+  else
+    Fmt.pr
+      "deterministic 2-domain reproducibility: %d nodes / %d iters (both \
+       runs)  ok@."
+      ra.sb_nodes ra.sb_iters;
   match !failures with
   | [] -> Fmt.pr "pipeline-gate PASSED@."
   | fs ->
@@ -1057,7 +1149,16 @@ let () =
   | "rates" -> rates ~full:true ()
   | "rates-smoke" -> rates ~full:false ()
   | "solver" -> solver ()
-  | "solver-smoke" -> solver_smoke ()
+  | "solver-smoke" ->
+      (* optional: solver-smoke --solver-domains N adds the parallel legs *)
+      let domains = ref 1 in
+      Array.iteri
+        (fun i a ->
+          if a = "--solver-domains" && i + 1 < Array.length Sys.argv then
+            domains := int_of_string Sys.argv.(i + 1))
+        Sys.argv;
+      solver_smoke ~domains:!domains ()
+  | "solver-scaling" -> solver_scaling ()
   | "pipeline" -> pipeline ()
   | "pipeline-gate" -> pipeline_gate ()
   | "cluster-smoke" -> cluster_smoke ()

@@ -81,6 +81,23 @@ let compile_cmd =
             "Branch&bound relative optimality gap: stop once the incumbent \
              is proven within this fraction of the optimum")
   in
+  let solver_domains =
+    Arg.(
+      value & opt int 1
+      & info [ "solver-domains" ]
+          ~doc:
+            "Worker domains for parallel branch&bound (1 = the classic \
+             sequential search)")
+  in
+  let solver_deterministic =
+    Arg.(
+      value & flag
+      & info [ "solver-deterministic" ]
+          ~doc:
+            "With --solver-domains >= 2, distribute nodes on a fixed \
+             schedule so node counts are reproducible run to run (slightly \
+             less pruning)")
+  in
   let no_validate =
     Arg.(
       value & flag
@@ -130,7 +147,8 @@ let compile_cmd =
              errors; same as `novac lint` but without workload whitelists")
   in
   let run file allocator dump entry_args time_limit node_limit rel_gap
-      no_validate verify_each no_verify_each trace_out metrics lint_flag =
+      solver_domains solver_deterministic no_validate verify_each
+      no_verify_each trace_out metrics lint_flag =
     handle_errors (fun () ->
         let source = read_file file in
         if trace_out <> None then Support.Trace.enable ();
@@ -158,6 +176,8 @@ let compile_cmd =
             time_limit;
             node_limit;
             rel_gap;
+            solver_domains;
+            solver_deterministic;
             validate = not no_validate;
             verify_each = verify_each || not no_verify_each;
           }
@@ -209,8 +229,9 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a Nova program to IXP assembly")
     Term.(
       const run $ file $ allocator $ dump $ entry_args $ time_limit
-      $ node_limit $ rel_gap $ no_validate $ verify_each $ no_verify_each
-      $ trace_out $ metrics $ lint_flag)
+      $ node_limit $ rel_gap $ solver_domains $ solver_deterministic
+      $ no_validate $ verify_each $ no_verify_each $ trace_out $ metrics
+      $ lint_flag)
 
 (* ---------------- lint ---------------- *)
 

@@ -192,9 +192,26 @@ let run_cmd =
             "Branch&bound relative optimality gap: stop once the incumbent \
              is proven within this fraction of the optimum")
   in
+  let solver_domains =
+    Arg.(
+      value & opt int 1
+      & info [ "solver-domains" ]
+          ~doc:
+            "Worker domains for parallel branch&bound (1 = the classic \
+             sequential search)")
+  in
+  let solver_deterministic =
+    Arg.(
+      value & flag
+      & info [ "solver-deterministic" ]
+          ~doc:
+            "With --solver-domains >= 2, distribute nodes on a fixed \
+             schedule so node counts are reproducible run to run")
+  in
   let run file entry_args sram sdram trace trace_out metrics allocator engines
       threads cluster balancer drop_budget profile offered_load packets seed
-      ports rx_capacity no_contention time_limit node_limit rel_gap =
+      ports rx_capacity no_contention time_limit node_limit rel_gap
+      solver_domains solver_deterministic =
     try
       if trace_out <> None then Support.Trace.enable ();
       let finally () =
@@ -216,6 +233,8 @@ let run_cmd =
           time_limit;
           node_limit;
           rel_gap;
+          solver_domains;
+          solver_deterministic;
           allocator =
             (match allocator with
             | `Ilp -> Regalloc.Driver.Ilp_allocator
@@ -358,6 +377,7 @@ let run_cmd =
       const run $ file $ entry_args $ sram $ sdram $ trace $ trace_out
       $ metrics $ allocator $ engines $ threads $ cluster $ balancer
       $ drop_budget $ profile $ offered_load $ packets $ seed $ ports
-      $ rx_capacity $ no_contention $ time_limit $ node_limit $ rel_gap)
+      $ rx_capacity $ no_contention $ time_limit $ node_limit $ rel_gap
+      $ solver_domains $ solver_deterministic)
 
 let () = exit (Cmd.eval run_cmd)

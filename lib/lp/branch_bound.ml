@@ -1,7 +1,8 @@
 (* Branch and bound for 0-1 (and general-integer) programs over the
-   revised dual simplex.
+   revised dual simplex, single-threaded or parallel across OCaml 5
+   domains.
 
-   A single solver state is threaded through the whole search; nodes only
+   A solver state is threaded through a whole search chain; nodes only
    change variable bounds, which keeps the current basis dual feasible,
    so child re-solves are warm-started (the solver only re-examines the
    variables whose bounds actually changed between two nodes).
@@ -25,7 +26,21 @@
 
    A rounding/diving primal heuristic (see [Heuristic]) runs at the root
    and periodically at nodes so pruning starts before the dive reaches a
-   leaf.  All time accounting is wall clock via [Clock]. *)
+   leaf.  All time accounting is wall clock via [Clock].
+
+   Parallel search ([domains] >= 2): the tree is explored in synchronous
+   rounds.  Each round the coordinator pops a batch of open nodes off
+   the shared best-bound heap, hands them to persistent worker domains
+   (each owning a private [Revised] solver, so every node re-solve stays
+   a warm restart), waits at a barrier, and merges the workers' parked
+   children and incumbents back in a fixed worker order.  In
+   deterministic mode seeds are distributed round-robin by worker index
+   and the pruning cutoff is frozen per round, so the set of nodes
+   expanded -- and therefore the reported node count -- is a pure
+   function of the problem, reproducible run to run.  In the default
+   (opportunistic) mode workers steal seeds from a shared cursor and
+   prune against an atomically published global incumbent, trading
+   reproducibility for strictly more pruning. *)
 
 type status = Optimal | Infeasible | Limit
 
@@ -111,71 +126,118 @@ module Heap = struct
     end
 end
 
-let solve ?(time_limit = 600.) ?(node_limit = 500_000) ?(rel_gap = 1e-4)
-    ?(use_heuristic = true) ?(heur_period = 128) (p : Problem.t) =
+(* ------------------------------------------------------------------ *)
+(* Pseudocost state (one instance per search thread)                   *)
+(* ------------------------------------------------------------------ *)
+
+type pc = {
+  sum_dn : float array;
+  cnt_dn : int array;
+  sum_up : float array;
+  cnt_up : int array;
+  mutable g_sum_dn : float;
+  mutable g_cnt_dn : int;
+  mutable g_sum_up : float;
+  mutable g_cnt_up : int;
+}
+
+let pc_create n =
+  {
+    sum_dn = Array.make n 0.;
+    cnt_dn = Array.make n 0;
+    sum_up = Array.make n 0.;
+    cnt_up = Array.make n 0;
+    g_sum_dn = 0.;
+    g_cnt_dn = 0;
+    g_sum_up = 0.;
+    g_cnt_up = 0;
+  }
+
+let pc_est (p : Problem.t) pc up v =
+  let sum, cnt, gsum, gcnt =
+    if up then (pc.sum_up.(v), pc.cnt_up.(v), pc.g_sum_up, pc.g_cnt_up)
+    else (pc.sum_dn.(v), pc.cnt_dn.(v), pc.g_sum_dn, pc.g_cnt_dn)
+  in
+  if cnt > 0 then sum /. float_of_int cnt
+  else if gcnt > 0 then gsum /. float_of_int gcnt
+  else Float.abs (Problem.var_obj p v) +. 1e-6
+
+let pc_learn pc (nd : node) obj =
+  if nd.bvar >= 0 then begin
+    let gain = Float.max 0. (obj -. nd.nb) in
+    let dist = if nd.bup then 1. -. nd.bfrac else nd.bfrac in
+    let rate = gain /. Float.max dist 1e-6 in
+    if nd.bup then begin
+      pc.sum_up.(nd.bvar) <- pc.sum_up.(nd.bvar) +. rate;
+      pc.cnt_up.(nd.bvar) <- pc.cnt_up.(nd.bvar) + 1;
+      pc.g_sum_up <- pc.g_sum_up +. rate;
+      pc.g_cnt_up <- pc.g_cnt_up + 1
+    end
+    else begin
+      pc.sum_dn.(nd.bvar) <- pc.sum_dn.(nd.bvar) +. rate;
+      pc.cnt_dn.(nd.bvar) <- pc.cnt_dn.(nd.bvar) + 1;
+      pc.g_sum_dn <- pc.g_sum_dn +. rate;
+      pc.g_cnt_dn <- pc.g_cnt_dn + 1
+    end
+  end
+
+(* Pseudocost product-score branching variable, or -1 if integral. *)
+let select_branch (p : Problem.t) pc n x =
+  let best = ref (-1) in
+  let best_score = ref neg_infinity in
+  for j = 0 to n - 1 do
+    if Problem.var_integer p j then begin
+      let f = x.(j) -. floor x.(j) in
+      if f > int_tol && f < 1. -. int_tol then begin
+        let dn = pc_est p pc false j *. f in
+        let up = pc_est p pc true j *. (1. -. f) in
+        let score = Float.max dn 1e-8 *. Float.max up 1e-8 in
+        if score > !best_score then begin
+          best := j;
+          best_score := score
+        end
+      end
+    end
+  done;
+  !best
+
+(* ------------------------------------------------------------------ *)
+(* Incumbent publication (shared across worker domains)                *)
+(* ------------------------------------------------------------------ *)
+
+type incumbent = { i_obj : float; i_x : float array }
+
+(* Strictly-better-only compare-and-set loop: under any interleaving of
+   concurrent publications the stored objective never regresses, and the
+   final value is the minimum of everything published. *)
+let publish_incumbent (best : incumbent option Atomic.t) ~obj ~x =
+  let rec go () =
+    let cur = Atomic.get best in
+    let cur_obj = match cur with None -> infinity | Some i -> i.i_obj in
+    if obj < cur_obj then
+      if Atomic.compare_and_set best cur (Some { i_obj = obj; i_x = x }) then
+        true
+      else go ()
+    else false
+  in
+  go ()
+
+(* ------------------------------------------------------------------ *)
+(* Sequential search                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let m_nodes = Support.Metrics.counter "lp.bb.nodes"
+let m_incumbents = Support.Metrics.counter "lp.bb.incumbents"
+let m_heur = Support.Metrics.counter "lp.bb.heuristic_incumbents"
+
+let solve_sequential ~time_limit ~node_limit ~rel_gap ~use_heuristic
+    ~heur_period (p : Problem.t) =
   let t0 = Clock.now () in
-  (* Observability: resolved once per solve, bumped per node (a field
-     store, so the search loop pays nothing measurable). *)
-  let m_nodes = Support.Metrics.counter "lp.bb.nodes" in
-  let m_incumbents = Support.Metrics.counter "lp.bb.incumbents" in
-  let m_heur = Support.Metrics.counter "lp.bb.heuristic_incumbents" in
   let n = Problem.num_vars p in
   let solver = Revised.create p in
   let orig_lo = Array.init n (Problem.var_lo p) in
   let orig_hi = Array.init n (Problem.var_hi p) in
-  (* pseudocost state *)
-  let pc_sum_dn = Array.make n 0. and pc_cnt_dn = Array.make n 0 in
-  let pc_sum_up = Array.make n 0. and pc_cnt_up = Array.make n 0 in
-  let g_sum_dn = ref 0. and g_cnt_dn = ref 0 in
-  let g_sum_up = ref 0. and g_cnt_up = ref 0 in
-  let pc_est up v =
-    let sum, cnt, gsum, gcnt =
-      if up then (pc_sum_up.(v), pc_cnt_up.(v), !g_sum_up, !g_cnt_up)
-      else (pc_sum_dn.(v), pc_cnt_dn.(v), !g_sum_dn, !g_cnt_dn)
-    in
-    if cnt > 0 then sum /. float_of_int cnt
-    else if gcnt > 0 then gsum /. float_of_int gcnt
-    else Float.abs (Problem.var_obj p v) +. 1e-6
-  in
-  let pc_learn (nd : node) obj =
-    if nd.bvar >= 0 then begin
-      let gain = Float.max 0. (obj -. nd.nb) in
-      let dist = if nd.bup then 1. -. nd.bfrac else nd.bfrac in
-      let rate = gain /. Float.max dist 1e-6 in
-      if nd.bup then begin
-        pc_sum_up.(nd.bvar) <- pc_sum_up.(nd.bvar) +. rate;
-        pc_cnt_up.(nd.bvar) <- pc_cnt_up.(nd.bvar) + 1;
-        g_sum_up := !g_sum_up +. rate;
-        incr g_cnt_up
-      end
-      else begin
-        pc_sum_dn.(nd.bvar) <- pc_sum_dn.(nd.bvar) +. rate;
-        pc_cnt_dn.(nd.bvar) <- pc_cnt_dn.(nd.bvar) + 1;
-        g_sum_dn := !g_sum_dn +. rate;
-        incr g_cnt_dn
-      end
-    end
-  in
-  (* Pseudocost product-score branching variable, or -1 if integral. *)
-  let select_branch x =
-    let best = ref (-1) in
-    let best_score = ref neg_infinity in
-    for j = 0 to n - 1 do
-      if Problem.var_integer p j then begin
-        let f = x.(j) -. floor x.(j) in
-        if f > int_tol && f < 1. -. int_tol then begin
-          let dn = pc_est false j *. f in
-          let up = pc_est true j *. (1. -. f) in
-          let score = Float.max dn 1e-8 *. Float.max up 1e-8 in
-          if score > !best_score then begin
-            best := j;
-            best_score := score
-          end
-        end
-      end
-    done;
-    !best
-  in
+  let pc = pc_create n in
   (* Bound activation: undo the previous node's fixings, apply the new
      ones.  A variable appearing in both with the same bounds produces no
      net change, so the solver's incremental restart does no work for the
@@ -263,10 +325,10 @@ let solve ?(time_limit = 600.) ?(node_limit = 500_000) ?(rel_gap = 1e-4)
                 root_objective := obj;
                 root_time := Clock.since t0
               end;
-              pc_learn nd obj;
+              pc_learn pc nd obj;
               if obj < cutoff () then begin
                 let x = Revised.primal solver in
-                match select_branch x with
+                match select_branch p pc n x with
                 | -1 ->
                     incumbent := Some (Array.copy x);
                     incumbent_obj := obj;
@@ -323,8 +385,8 @@ let solve ?(time_limit = 600.) ?(node_limit = 500_000) ?(rel_gap = 1e-4)
                     in
                     let down = mk_child cl (floor x.(v)) false in
                     let up = mk_child (ceil x.(v)) ch true in
-                    let est_down = obj +. (pc_est false v *. f) in
-                    let est_up = obj +. (pc_est true v *. (1. -. f)) in
+                    let est_down = obj +. (pc_est p pc false v *. f) in
+                    let est_up = obj +. (pc_est p pc true v *. (1. -. f)) in
                     let dive_first, park =
                       if est_down <= est_up then (down, up) else (up, down)
                     in
@@ -369,3 +431,421 @@ let solve ?(time_limit = 600.) ?(node_limit = 500_000) ?(rel_gap = 1e-4)
         best_bound = (if !limit_hit then !lb_at_exit else infinity);
         heuristic_incumbents = !heur_found;
       }
+
+(* ------------------------------------------------------------------ *)
+(* Parallel search across domains                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Batch geometry: each round the coordinator hands out up to
+   [par_seeds_per_worker] seeds per worker, and each seed is dived for
+   at most [par_chain_cap] nodes before the remainder of the chain is
+   parked back on the shared heap.  Large enough to amortize the round
+   barrier over hundreds of LP solves, small enough that cutoff
+   improvements propagate between workers every few hundred nodes. *)
+let par_seeds_per_worker = 4
+let par_chain_cap = 64
+
+(* What one worker hands back at the round barrier.  Written by exactly
+   one worker between barrier crossings; read by the coordinator only
+   after the barrier, so no field needs finer-grained synchronization. *)
+type wout = {
+  mutable o_children : node list; (* parked nodes, newest first *)
+  mutable o_incumbent : (float * float array) option; (* round's best *)
+  mutable o_nodes : int;
+  mutable o_heur : int;
+  mutable o_iters : int; (* cumulative solver iterations *)
+  mutable o_limit : bool; (* simplex iteration limit / deadline hit *)
+}
+
+let solve_parallel ~domains ~deterministic ~time_limit ~node_limit ~rel_gap
+    ~use_heuristic ~heur_period (p : Problem.t) =
+  let t0 = Clock.now () in
+  let n = Problem.num_vars p in
+  let orig_lo = Array.init n (Problem.var_lo p) in
+  let orig_hi = Array.init n (Problem.var_hi p) in
+  let gap_margin obj = (rel_gap *. Float.max 1. (Float.abs obj)) +. 1e-9 in
+  let heur_deadline = if deterministic then infinity else t0 +. time_limit in
+  let incumbent = ref None in
+  let incumbent_obj = ref infinity in
+  let heur_found = ref 0 in
+  let cutoff () =
+    if !incumbent = None then infinity else !incumbent_obj -. gap_margin !incumbent_obj
+  in
+  let finish status ~nodes ~iters ~root_objective ~root_time ~best_bound =
+    let objective = match !incumbent with Some _ -> !incumbent_obj | None -> infinity in
+    {
+      status;
+      objective;
+      solution =
+        (match !incumbent with Some x -> x | None -> Array.make n 0.);
+      nodes;
+      root_objective;
+      root_time;
+      total_time = Clock.since t0;
+      simplex_iterations = iters;
+      best_bound;
+      heuristic_incumbents = !heur_found;
+    }
+  in
+  (* ---- root relaxation on the coordinator ---- *)
+  let root_solver = Revised.create p in
+  let root_pc = pc_create n in
+  Support.Metrics.incr m_nodes;
+  match Support.Trace.with_span "root-lp" (fun () -> Revised.solve root_solver) with
+  | Revised.Iteration_limit ->
+      finish Limit ~nodes:1 ~iters:(Revised.iterations root_solver)
+        ~root_objective:nan ~root_time:(Clock.since t0)
+        ~best_bound:neg_infinity
+  | Revised.Infeasible ->
+      finish Infeasible ~nodes:1 ~iters:(Revised.iterations root_solver)
+        ~root_objective:nan ~root_time:(Clock.since t0) ~best_bound:infinity
+  | Revised.Optimal ->
+      let root_objective = Revised.objective root_solver in
+      let root_time = Clock.since t0 in
+      let x = Revised.primal root_solver in
+      let heap = Heap.create () in
+      (match select_branch p root_pc n x with
+      | -1 ->
+          incumbent := Some (Array.copy x);
+          incumbent_obj := root_objective;
+          Support.Metrics.incr m_incumbents
+      | v ->
+          (if use_heuristic then
+             match
+               Heuristic.dive ~cutoff:infinity ~deadline:heur_deadline
+                 root_solver p
+             with
+             | Some (hobj, hx) ->
+                 incumbent := Some hx;
+                 incumbent_obj := hobj;
+                 incr heur_found;
+                 Support.Metrics.incr m_incumbents;
+                 Support.Metrics.incr m_heur
+             | None -> ());
+          let f = x.(v) -. floor x.(v) in
+          let mk l h up =
+            if l > h +. 1e-9 then ()
+            else
+              Heap.push heap
+                {
+                  nb = root_objective;
+                  fixings = [ (v, l, h) ];
+                  depth = 1;
+                  bvar = v;
+                  bfrac = f;
+                  bup = up;
+                }
+          in
+          let est_down = pc_est p root_pc false v *. f in
+          let est_up = pc_est p root_pc true v *. (1. -. f) in
+          if est_down <= est_up then begin
+            mk orig_lo.(v) (floor x.(v)) false;
+            mk (ceil x.(v)) orig_hi.(v) true
+          end
+          else begin
+            mk (ceil x.(v)) orig_hi.(v) true;
+            mk orig_lo.(v) (floor x.(v)) false
+          end);
+      if Heap.size heap = 0 then
+        (* root was integral (or both children empty): done *)
+        finish
+          (if !incumbent = None then Infeasible else Optimal)
+          ~nodes:1 ~iters:(Revised.iterations root_solver) ~root_objective
+          ~root_time
+          ~best_bound:
+            (if !incumbent = None then infinity else !incumbent_obj)
+      else begin
+        (* ---- round machinery ---- *)
+        let mu = Mutex.create () in
+        let cv = Condition.create () in
+        let round = ref 0 in
+        let stop = ref false in
+        let seeds = ref [||] in
+        let round_cutoff = ref infinity in
+        let done_count = ref 0 in
+        let steal = Atomic.make 0 in
+        let shared_best : incumbent option Atomic.t = Atomic.make None in
+        let outs =
+          Array.init domains (fun _ ->
+              {
+                o_children = [];
+                o_incumbent = None;
+                o_nodes = 0;
+                o_heur = 0;
+                o_iters = 0;
+                o_limit = false;
+              })
+        in
+        let worker d =
+          let solver = Revised.create p in
+          let pc = pc_create n in
+          let applied = ref [] in
+          let activate fixings =
+            List.iter
+              (fun (v, _, _) ->
+                Revised.set_bounds solver v ~lo:orig_lo.(v) ~hi:orig_hi.(v))
+              !applied;
+            List.iter
+              (fun (v, l, h) -> Revised.set_bounds solver v ~lo:l ~hi:h)
+              fixings;
+            applied := fixings
+          in
+          let out = outs.(d) in
+          let my_nodes = ref 0 in
+          let local_cutoff = ref infinity in
+          let record_incumbent ?(heur = false) obj x =
+            (match out.o_incumbent with
+            | Some (o, _) when o <= obj -> ()
+            | _ -> out.o_incumbent <- Some (obj, x));
+            local_cutoff := Float.min !local_cutoff (obj -. gap_margin obj);
+            if not deterministic then
+              ignore (publish_incumbent shared_best ~obj ~x);
+            Support.Metrics.incr m_incumbents;
+            if heur then begin
+              out.o_heur <- out.o_heur + 1;
+              Support.Metrics.incr m_heur
+            end
+          in
+          let current_cutoff () =
+            if deterministic then !local_cutoff
+            else
+              match Atomic.get shared_best with
+              | Some i ->
+                  Float.min !local_cutoff (i.i_obj -. gap_margin i.i_obj)
+              | None -> !local_cutoff
+          in
+          let process_chain seed =
+            let next = ref (Some seed) in
+            let chain = ref 0 in
+            while !next <> None do
+              let nd = match !next with Some nd -> nd | None -> assert false in
+              next := None;
+              let cut = current_cutoff () in
+              if nd.nb >= cut then () (* pruned *)
+              else if !chain >= par_chain_cap then
+                out.o_children <- nd :: out.o_children
+              else if
+                (not deterministic) && Clock.since t0 > time_limit
+              then begin
+                out.o_limit <- true;
+                out.o_children <- nd :: out.o_children
+              end
+              else begin
+                incr chain;
+                activate nd.fixings;
+                incr my_nodes;
+                out.o_nodes <- out.o_nodes + 1;
+                Support.Metrics.incr m_nodes;
+                if Support.Trace.is_enabled () && !my_nodes land 255 = 0 then
+                  Support.Trace.counter ~tid:(d + 1) "bb"
+                    [ ("nodes", float_of_int !my_nodes) ];
+                match Revised.solve solver with
+                | Revised.Iteration_limit ->
+                    out.o_limit <- true;
+                    (* keep the node: its bound still counts at exit *)
+                    out.o_children <- nd :: out.o_children
+                | Revised.Infeasible -> ()
+                | Revised.Optimal ->
+                    let obj = Revised.objective solver in
+                    pc_learn pc nd obj;
+                    if obj < cut then begin
+                      let x = Revised.primal solver in
+                      match select_branch p pc n x with
+                      | -1 -> record_incumbent obj (Array.copy x)
+                      | v ->
+                          if use_heuristic && !my_nodes mod heur_period = 0
+                          then begin
+                            match
+                              Heuristic.dive ~cutoff:cut
+                                ~deadline:heur_deadline solver p
+                            with
+                            | Some (hobj, hx) -> record_incumbent ~heur:true hobj hx
+                            | None -> ()
+                          end;
+                          let f = x.(v) -. floor x.(v) in
+                          let cl, ch = Revised.bounds solver v in
+                          let base =
+                            List.filter (fun (w, _, _) -> w <> v) nd.fixings
+                          in
+                          let mk_child l h up =
+                            if l > h +. 1e-9 then None
+                            else
+                              Some
+                                {
+                                  nb = obj;
+                                  fixings = (v, l, h) :: base;
+                                  depth = nd.depth + 1;
+                                  bvar = v;
+                                  bfrac = f;
+                                  bup = up;
+                                }
+                          in
+                          let down = mk_child cl (floor x.(v)) false in
+                          let up = mk_child (ceil x.(v)) ch true in
+                          let est_down = obj +. (pc_est p pc false v *. f) in
+                          let est_up =
+                            obj +. (pc_est p pc true v *. (1. -. f))
+                          in
+                          let dive_first, park =
+                            if est_down <= est_up then (down, up)
+                            else (up, down)
+                          in
+                          (match park with
+                          | Some nd' -> out.o_children <- nd' :: out.o_children
+                          | None -> ());
+                          next := dive_first
+                    end
+              end
+            done
+          in
+          let last_round = ref 0 in
+          let running = ref true in
+          while !running do
+            Mutex.lock mu;
+            while (not !stop) && !round = !last_round do
+              Condition.wait cv mu
+            done;
+            if !stop then begin
+              Mutex.unlock mu;
+              running := false
+            end
+            else begin
+              last_round := !round;
+              let sds = !seeds in
+              let cut0 = !round_cutoff in
+              Mutex.unlock mu;
+              out.o_children <- [];
+              out.o_incumbent <- None;
+              out.o_nodes <- 0;
+              out.o_heur <- 0;
+              out.o_limit <- false;
+              local_cutoff := cut0;
+              let len = Array.length sds in
+              if deterministic then begin
+                let i = ref d in
+                while !i < len do
+                  process_chain sds.(!i);
+                  i := !i + domains
+                done
+              end
+              else begin
+                let continue_ = ref true in
+                while !continue_ do
+                  let i = Atomic.fetch_and_add steal 1 in
+                  if i < len then process_chain sds.(i) else continue_ := false
+                done
+              end;
+              out.o_iters <- Revised.iterations solver;
+              Mutex.lock mu;
+              incr done_count;
+              Condition.broadcast cv;
+              Mutex.unlock mu
+            end
+          done
+        in
+        let doms = Array.init domains (fun d -> Domain.spawn (fun () -> worker d)) in
+        let total_nodes = ref 1 (* root *) in
+        let limit_hit = ref false in
+        let lb_at_exit = ref neg_infinity in
+        let running = ref true in
+        (try
+           while !running do
+             let cut = cutoff () in
+             (* collect the round's seeds, pruning stale nodes *)
+             let buf = ref [] in
+             let count = ref 0 in
+             let batch = domains * par_seeds_per_worker in
+             let collecting = ref true in
+             while !collecting && !count < batch do
+               match Heap.pop heap with
+               | None -> collecting := false
+               | Some nd ->
+                   if nd.nb < cut then begin
+                     buf := nd :: !buf;
+                     incr count
+                   end
+             done;
+             if !count = 0 then running := false (* tree exhausted *)
+             else if
+               Clock.since t0 > time_limit || !total_nodes >= node_limit
+             then begin
+               limit_hit := true;
+               running := false;
+               (* retain the seeds' bounds for the exit bound *)
+               List.iter (Heap.push heap) !buf
+             end
+             else begin
+               Mutex.lock mu;
+               seeds := Array.of_list (List.rev !buf);
+               Atomic.set steal 0;
+               round_cutoff := cut;
+               done_count := 0;
+               incr round;
+               Condition.broadcast cv;
+               while !done_count < domains do
+                 Condition.wait cv mu
+               done;
+               Mutex.unlock mu;
+               (* merge in fixed worker order (determinism) *)
+               Array.iter
+                 (fun out ->
+                   (match out.o_incumbent with
+                   | Some (obj, x) when obj < !incumbent_obj ->
+                       incumbent := Some x;
+                       incumbent_obj := obj
+                   | _ -> ());
+                   List.iter (Heap.push heap) (List.rev out.o_children);
+                   total_nodes := !total_nodes + out.o_nodes;
+                   heur_found := !heur_found + out.o_heur;
+                   if out.o_limit then begin
+                     limit_hit := true;
+                     running := false
+                   end)
+                 outs
+             end
+           done
+         with e ->
+           (* never leave worker domains blocked on the round condition *)
+           Mutex.lock mu;
+           stop := true;
+           Condition.broadcast cv;
+           Mutex.unlock mu;
+           Array.iter Domain.join doms;
+           raise e);
+        if !limit_hit then lb_at_exit := Heap.min_bound heap;
+        Mutex.lock mu;
+        stop := true;
+        Condition.broadcast cv;
+        Mutex.unlock mu;
+        Array.iter Domain.join doms;
+        let iters =
+          Array.fold_left
+            (fun acc out -> acc + out.o_iters)
+            (Revised.iterations root_solver)
+            outs
+        in
+        match !incumbent with
+        | Some _ ->
+            let status = if !limit_hit then Limit else Optimal in
+            let best_bound =
+              if !limit_hit then Float.min !lb_at_exit !incumbent_obj
+              else !incumbent_obj
+            in
+            finish status ~nodes:!total_nodes ~iters ~root_objective
+              ~root_time ~best_bound
+        | None ->
+            finish
+              (if !limit_hit then Limit else Infeasible)
+              ~nodes:!total_nodes ~iters ~root_objective ~root_time
+              ~best_bound:(if !limit_hit then !lb_at_exit else infinity)
+      end
+
+let solve ?(time_limit = 600.) ?(node_limit = 500_000) ?(rel_gap = 1e-4)
+    ?(use_heuristic = true) ?(heur_period = 128) ?(domains = 1)
+    ?(deterministic = false) (p : Problem.t) =
+  if domains <= 1 then
+    solve_sequential ~time_limit ~node_limit ~rel_gap ~use_heuristic
+      ~heur_period p
+  else
+    solve_parallel ~domains ~deterministic ~time_limit ~node_limit ~rel_gap
+      ~use_heuristic ~heur_period p

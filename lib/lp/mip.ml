@@ -94,7 +94,8 @@ let root_cut_pass ?(max_rounds = 3) ~deadline (p : Problem.t) =
   (!rounds, !added)
 
 let solve ?(presolve = true) ?(cuts = true) ?(time_limit = 600.)
-    ?(node_limit = 500_000) ?(rel_gap = 1e-4) (p : Problem.t) =
+    ?(node_limit = 500_000) ?(rel_gap = 1e-4) ?(domains = 1)
+    ?(deterministic = false) (p : Problem.t) =
   let t0 = Clock.now () in
   let before = Problem.stats p in
   let finish status objective solution ~root_time ~root_obj ~nodes ~iters
@@ -135,7 +136,8 @@ let solve ?(presolve = true) ?(cuts = true) ?(time_limit = 600.)
     let remaining = Float.max 1. (time_limit -. Clock.since t0) in
     let r =
       Support.Trace.with_span "branch-and-bound" (fun () ->
-          Branch_bound.solve ~time_limit:remaining ~node_limit ~rel_gap sub)
+          Branch_bound.solve ~time_limit:remaining ~node_limit ~rel_gap
+            ~domains ~deterministic sub)
     in
     let status =
       match r.Branch_bound.status with
@@ -151,11 +153,20 @@ let solve ?(presolve = true) ?(cuts = true) ?(time_limit = 600.)
         (s, Problem.objective_value p s)
       end
     in
+    (* The search proves its bound on the presolved/cut problem while the
+       reported objective is re-evaluated on the original problem, so the
+       two can disagree by float drift (observed at the 1e-5 scale on the
+       larger allocation models), yielding the absurd report
+       "best_bound < objective" on a proven optimum.  At optimality the
+       objective itself is the tightest valid bound: clamp to it. *)
+    let best_bound =
+      if status = Optimal then Float.max r.Branch_bound.best_bound objective
+      else r.Branch_bound.best_bound
+    in
     finish status objective solution ~root_time:r.Branch_bound.root_time
       ~root_obj:r.Branch_bound.root_objective ~nodes:r.Branch_bound.nodes
       ~iters:r.Branch_bound.simplex_iterations ~cut_rounds ~cuts_added
-      ~best_bound:r.Branch_bound.best_bound
-      ~heur:r.Branch_bound.heuristic_incumbents ~after_stats
+      ~best_bound ~heur:r.Branch_bound.heuristic_incumbents ~after_stats
   in
   let empty_solution = Array.make (Problem.num_vars p) 0. in
   if presolve then begin

@@ -164,7 +164,7 @@ let build (mg : Modelgen.t) : Assignment.t =
      as set; the GPR side aligns). *)
   let changed = ref true in
   let rounds = ref 0 in
-  while !changed && !rounds < 8 do
+  while !changed && !rounds < 16 do
     changed := false;
     incr rounds;
     List.iter
@@ -182,7 +182,33 @@ let build (mg : Modelgen.t) : Assignment.t =
             changed := true
           end
         end)
-      mg.Modelgen.copies
+      mg.Modelgen.copies;
+    (* Clone instructions are emitted as zero-cost register shares: the
+       destination is assumed to materialize in the source's register.
+       That is only true if the destination *enters* in the source's bank
+       (and, for transfer banks, its register number); otherwise the
+       clone reads a register nobody ever wrote.  Align each destination's
+       entry bank with the source's exit bank, and let the ordinary
+       within-point move derivation relocate it to its home afterwards. *)
+    List.iter
+      (fun (p1, p2, dsts, src) ->
+        let a1 = Hashtbl.find st.after (p1, bank_key src) in
+        Array.iter
+          (fun d ->
+            let b2 = Hashtbl.find st.before (p2, bank_key d) in
+            if not (Bank.equal a1 b2) then begin
+              Hashtbl.replace st.before (p2, bank_key d) a1;
+              if Bank.is_transfer a1 then begin
+                let c =
+                  Option.value ~default:0
+                    (Hashtbl.find_opt st.color (bank_key src, Bank.to_string a1))
+                in
+                Hashtbl.replace st.color (bank_key d, Bank.to_string a1) c
+              end;
+              changed := true
+            end)
+          dsts)
+      mg.Modelgen.clones
   done;
   (* bounced operands return home right after the instruction: nothing to
      do -- [before] of the next point is home, and the move derivation

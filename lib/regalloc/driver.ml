@@ -16,6 +16,11 @@ type options = {
   time_limit : float; (* branch&bound wall-clock budget, seconds *)
   node_limit : int; (* branch&bound node budget (deterministic) *)
   rel_gap : float;
+  solver_domains : int; (* worker domains for parallel branch&bound *)
+  solver_deterministic : bool;
+      (* fixed node-distribution schedule: reproducible node counts at
+         the cost of slightly less pruning (only matters when
+         solver_domains >= 2) *)
   limit_fallback : bool;
       (* when the solver exhausts its budget without an incumbent, emit
          the baseline heuristic allocation instead of failing *)
@@ -33,6 +38,8 @@ let default_options =
     time_limit = 300.;
     node_limit = 500_000;
     rel_gap = 1e-4;
+    solver_domains = 1;
+    solver_deterministic = false;
     limit_fallback = true;
     entry = "main";
     entry_args = [];
@@ -184,7 +191,8 @@ let allocate (options : options) (front : front) : compiled =
     in
     Trace.with_span "solve" (fun () ->
         Ilp.solve ~time_limit:options.time_limit ~node_limit:options.node_limit
-          ~rel_gap:options.rel_gap ilp)
+          ~rel_gap:options.rel_gap ~domains:options.solver_domains
+          ~deterministic:options.solver_deterministic ilp)
   in
   (* When branch&bound hits its budget with a feasible incumbent in
      hand, that incumbent is used: it is a valid (machine-checked)

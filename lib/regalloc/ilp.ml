@@ -743,9 +743,10 @@ type solution = {
 }
 
 let solve ?(time_limit = 300.) ?(node_limit = 500_000) ?(rel_gap = 1e-4)
-    (ilp : t) =
+    ?(domains = 1) ?(deterministic = false) (ilp : t) =
   let result =
-    Lp.Mip.solve ~time_limit ~node_limit ~rel_gap ilp.instance.M.problem
+    Lp.Mip.solve ~time_limit ~node_limit ~rel_gap ~domains ~deterministic
+      ilp.instance.M.problem
   in
   match result.Lp.Mip.status with
   | Lp.Mip.Infeasible -> Error `Infeasible

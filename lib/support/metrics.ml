@@ -6,12 +6,21 @@
    "how many times did X happen").  Lookup by name goes through a
    hashtable, so hot paths should resolve their instrument once (at
    module initialization or at the top of a solve) and then bump the
-   returned record directly -- an increment is a single mutable-field
-   store.  [reset] zeroes every registered instrument in place, keeping
-   previously resolved handles valid. *)
+   returned record directly.  [reset] zeroes every registered instrument
+   in place, keeping previously resolved handles valid.
 
-type counter = { c_name : string; mutable c_value : int }
-type gauge = { g_name : string; mutable g_value : float }
+   Domain-safety: the solver now runs branch-and-bound workers on
+   OCaml 5 domains, and those workers bump counters (node counts,
+   refactorizations) concurrently.  Counters and gauges are therefore
+   [Atomic.t] cells -- an increment stays a single lock-free RMW -- and
+   the registry hashtable plus the multi-word histogram updates are
+   guarded by one module mutex.  Registration is cold (handles are
+   resolved once), and histograms are fed either from single-domain
+   simulation loops or via [merge_buckets] at the end of a run, so the
+   lock is uncontended in practice. *)
+
+type counter = { c_name : string; c_value : int Atomic.t }
+type gauge = { g_name : string; g_value : float Atomic.t }
 
 (* ------------------------------------------------------------------ *)
 (* Histogram buckets                                                   *)
@@ -73,73 +82,89 @@ type instrument =
   | Histogram of histogram
 
 let registry : (string, instrument) Hashtbl.t = Hashtbl.create 64
+let lock = Mutex.create ()
+
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+      Mutex.unlock lock;
+      v
+  | exception e ->
+      Mutex.unlock lock;
+      raise e
 
 let kind_clash name =
   invalid_arg
     (Printf.sprintf "Metrics: %S already registered as another kind" name)
 
 let counter name =
-  match Hashtbl.find_opt registry name with
-  | Some (Counter c) -> c
-  | Some _ -> kind_clash name
-  | None ->
-      let c = { c_name = name; c_value = 0 } in
-      Hashtbl.replace registry name (Counter c);
-      c
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Counter c) -> c
+      | Some _ -> kind_clash name
+      | None ->
+          let c = { c_name = name; c_value = Atomic.make 0 } in
+          Hashtbl.replace registry name (Counter c);
+          c)
 
-let incr c = c.c_value <- c.c_value + 1
-let add c n = c.c_value <- c.c_value + n
-let counter_value c = c.c_value
+let incr c = Atomic.incr c.c_value
+let add c n = ignore (Atomic.fetch_and_add c.c_value n)
+let counter_value c = Atomic.get c.c_value
 
 let gauge name =
-  match Hashtbl.find_opt registry name with
-  | Some (Gauge g) -> g
-  | Some _ -> kind_clash name
-  | None ->
-      let g = { g_name = name; g_value = 0. } in
-      Hashtbl.replace registry name (Gauge g);
-      g
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Gauge g) -> g
+      | Some _ -> kind_clash name
+      | None ->
+          let g = { g_name = name; g_value = Atomic.make 0. } in
+          Hashtbl.replace registry name (Gauge g);
+          g)
 
-let set g v = g.g_value <- v
-let gauge_value g = g.g_value
+let set g v = Atomic.set g.g_value v
+let gauge_value g = Atomic.get g.g_value
 
 let histogram name =
-  match Hashtbl.find_opt registry name with
-  | Some (Histogram h) -> h
-  | Some _ -> kind_clash name
-  | None ->
-      let h =
-        { h_name = name; h_count = 0; h_sum = 0.; h_min = infinity;
-          h_max = neg_infinity; h_buckets = Array.make bucket_count 0 }
-      in
-      Hashtbl.replace registry name (Histogram h);
-      h
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some (Histogram h) -> h
+      | Some _ -> kind_clash name
+      | None ->
+          let h =
+            { h_name = name; h_count = 0; h_sum = 0.; h_min = infinity;
+              h_max = neg_infinity; h_buckets = Array.make bucket_count 0 }
+          in
+          Hashtbl.replace registry name (Histogram h);
+          h)
 
 let observe h v =
-  h.h_count <- h.h_count + 1;
-  h.h_sum <- h.h_sum +. v;
-  if v < h.h_min then h.h_min <- v;
-  if v > h.h_max then h.h_max <- v;
-  let i = bucket_index (int_of_float v) in
-  h.h_buckets.(i) <- h.h_buckets.(i) + 1
+  locked (fun () ->
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum +. v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v;
+      let i = bucket_index (int_of_float v) in
+      h.h_buckets.(i) <- h.h_buckets.(i) + 1)
 
 (* Fold an externally accumulated bucket table (same [bucket_index]
    mapping) into [h].  sum/min/max are reconstructed from the bucket
    lower bounds, i.e. exact below [linear] and within the bucket
    quantization above it. *)
 let merge_buckets h (buckets : int array) =
-  let n = min (Array.length buckets) bucket_count in
-  for i = 0 to n - 1 do
-    let c = buckets.(i) in
-    if c > 0 then begin
-      let v = float_of_int (bucket_value i) in
-      h.h_buckets.(i) <- h.h_buckets.(i) + c;
-      h.h_count <- h.h_count + c;
-      h.h_sum <- h.h_sum +. (v *. float_of_int c);
-      if v < h.h_min then h.h_min <- v;
-      if v > h.h_max then h.h_max <- v
-    end
-  done
+  locked (fun () ->
+      let n = min (Array.length buckets) bucket_count in
+      for i = 0 to n - 1 do
+        let c = buckets.(i) in
+        if c > 0 then begin
+          let v = float_of_int (bucket_value i) in
+          h.h_buckets.(i) <- h.h_buckets.(i) + c;
+          h.h_count <- h.h_count + c;
+          h.h_sum <- h.h_sum +. (v *. float_of_int c);
+          if v < h.h_min then h.h_min <- v;
+          if v > h.h_max then h.h_max <- v
+        end
+      done)
 
 let histogram_count h = h.h_count
 let histogram_sum h = h.h_sum
@@ -180,18 +205,19 @@ let tail_count h v =
   !acc
 
 let reset () =
-  Hashtbl.iter
-    (fun _ instrument ->
-      match instrument with
-      | Counter c -> c.c_value <- 0
-      | Gauge g -> g.g_value <- 0.
-      | Histogram h ->
-          h.h_count <- 0;
-          h.h_sum <- 0.;
-          h.h_min <- infinity;
-          h.h_max <- neg_infinity;
-          Array.fill h.h_buckets 0 bucket_count 0)
-    registry
+  locked (fun () ->
+      Hashtbl.iter
+        (fun _ instrument ->
+          match instrument with
+          | Counter c -> Atomic.set c.c_value 0
+          | Gauge g -> Atomic.set g.g_value 0.
+          | Histogram h ->
+              h.h_count <- 0;
+              h.h_sum <- 0.;
+              h.h_min <- infinity;
+              h.h_max <- neg_infinity;
+              Array.fill h.h_buckets 0 bucket_count 0)
+        registry)
 
 (* Every registered instrument as one text line, sorted by name:
      counter   lp.bb.nodes 128
@@ -199,22 +225,25 @@ let reset () =
      histogram span.solve count=3 sum=1.2 min=0.1 max=0.8 *)
 let dump () =
   let lines =
-    Hashtbl.fold
-      (fun name instrument acc ->
-        let line =
-          match instrument with
-          | Counter c -> Printf.sprintf "counter   %s %d" name c.c_value
-          | Gauge g -> Printf.sprintf "gauge     %s %g" name g.g_value
-          | Histogram h ->
-              if h.h_count = 0 then
-                Printf.sprintf "histogram %s count=0" name
-              else
-                Printf.sprintf
-                  "histogram %s count=%d sum=%g min=%g max=%g mean=%g" name
-                  h.h_count h.h_sum h.h_min h.h_max
-                  (h.h_sum /. float_of_int h.h_count)
-        in
-        line :: acc)
-      registry []
+    locked (fun () ->
+        Hashtbl.fold
+          (fun name instrument acc ->
+            let line =
+              match instrument with
+              | Counter c ->
+                  Printf.sprintf "counter   %s %d" name (Atomic.get c.c_value)
+              | Gauge g ->
+                  Printf.sprintf "gauge     %s %g" name (Atomic.get g.g_value)
+              | Histogram h ->
+                  if h.h_count = 0 then
+                    Printf.sprintf "histogram %s count=0" name
+                  else
+                    Printf.sprintf
+                      "histogram %s count=%d sum=%g min=%g max=%g mean=%g" name
+                      h.h_count h.h_sum h.h_min h.h_max
+                      (h.h_sum /. float_of_int h.h_count)
+            in
+            line :: acc)
+          registry [])
   in
   String.concat "\n" (List.sort String.compare lines)

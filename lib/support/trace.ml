@@ -29,32 +29,50 @@ type event = {
   ev_args : (string * value) list;
 }
 
-let on = ref false
+(* Worker domains of the parallel branch-and-bound emit spans and
+   instants concurrently, so the enabled flag is an [Atomic] (a plain
+   [ref] read could be torn against [enable]'s buffer clear) and every
+   buffer mutation happens under one mutex.  The disabled-path cost is
+   unchanged: a single atomic load, no lock. *)
+let on = Atomic.make false
 let origin_ns = ref 0L
 let events : event Vec.t = Vec.create ()
+let lock = Mutex.create ()
 
-let is_enabled () = !on
+let locked f =
+  Mutex.lock lock;
+  match f () with
+  | v ->
+      Mutex.unlock lock;
+      v
+  | exception e ->
+      Mutex.unlock lock;
+      raise e
+
+let push ev = locked (fun () -> Vec.push events ev)
+let is_enabled () = Atomic.get on
 
 let enable () =
-  Vec.clear events;
-  origin_ns := Monotonic.now_ns ();
-  on := true
+  locked (fun () ->
+      Vec.clear events;
+      origin_ns := Monotonic.now_ns ());
+  Atomic.set on true
 
-let disable () = on := false
+let disable () = Atomic.set on false
 
 let reset () =
-  Vec.clear events;
-  on := false
+  Atomic.set on false;
+  locked (fun () -> Vec.clear events)
 
-let num_events () = Vec.length events
+let num_events () = locked (fun () -> Vec.length events)
 
 let now_us () =
   Int64.to_float (Int64.sub (Monotonic.now_ns ()) !origin_ns) /. 1e3
 
 (* Raw emission with a caller-supplied timebase (already in "us"). *)
 let complete ?(cat = "") ?(tid = 0) ?(args = []) ~ts_us ~dur_us name =
-  if !on then
-    Vec.push events
+  if Atomic.get on then
+    push
       {
         ev_ph = 'X';
         ev_name = name;
@@ -68,7 +86,7 @@ let complete ?(cat = "") ?(tid = 0) ?(args = []) ~ts_us ~dur_us name =
 (* Time [f], recording a complete span even when [f] raises (the span is
    what you want to see when hunting the stage that blew up). *)
 let with_span ?(cat = "") ?(tid = 0) ?(args = []) name f =
-  if not !on then f ()
+  if not (Atomic.get on) then f ()
   else begin
     let t0 = now_us () in
     let finish () =
@@ -84,8 +102,8 @@ let with_span ?(cat = "") ?(tid = 0) ?(args = []) name f =
   end
 
 let instant ?(cat = "") ?(tid = 0) ?(args = []) name =
-  if !on then
-    Vec.push events
+  if Atomic.get on then
+    push
       {
         ev_ph = 'i';
         ev_name = name;
@@ -99,8 +117,8 @@ let instant ?(cat = "") ?(tid = 0) ?(args = []) name =
 (* A named family of counter series sampled at the current time;
    rendered by Perfetto as stacked area charts. *)
 let counter ?(tid = 0) name series =
-  if !on then
-    Vec.push events
+  if Atomic.get on then
+    push
       {
         ev_ph = 'C';
         ev_name = name;
@@ -120,13 +138,14 @@ let counter ?(tid = 0) name series =
    contains the "root-lp" span inside it). *)
 let span_totals () =
   let tbl : (string, float ref) Hashtbl.t = Hashtbl.create 32 in
+  locked (fun () ->
   Vec.iter
     (fun ev ->
       if ev.ev_ph = 'X' then
         match Hashtbl.find_opt tbl ev.ev_name with
         | Some r -> r := !r +. ev.ev_dur
         | None -> Hashtbl.add tbl ev.ev_name (ref ev.ev_dur))
-    events;
+    events);
   Hashtbl.fold (fun name r acc -> (name, !r /. 1e6) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
@@ -198,11 +217,12 @@ let buf_event buf ev =
 let to_json () =
   let buf = Buffer.create (256 + (Vec.length events * 96)) in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
-  Vec.iteri
-    (fun i ev ->
-      if i > 0 then Buffer.add_string buf ",\n";
-      buf_event buf ev)
-    events;
+  locked (fun () ->
+      Vec.iteri
+        (fun i ev ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          buf_event buf ev)
+        events);
   Buffer.add_string buf "]}\n";
   Buffer.contents buf
 

@@ -498,6 +498,120 @@ let bb_matches_brute_force =
       | _, Mip.Limit -> false)
 
 (* ------------------------------------------------------------------ *)
+(* Parallel branch and bound (OCaml 5 domains)                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Seeded random set-covering instance: positive costs, >=1 rows over
+   random subsets.  Always feasible (all-ones covers), fractional at the
+   root, and large enough that the parallel search actually runs several
+   coordinator rounds instead of finishing inside the root dive. *)
+let seeded_cover_mip seed =
+  let nvars = 40 and nrows = 60 in
+  let st = Random.State.make [| seed |] in
+  let p = Problem.create () in
+  for j = 0 to nvars - 1 do
+    (* near-uniform costs keep the instance symmetric enough to force a
+       real tree (tens of nodes) instead of a lucky root dive *)
+    ignore
+      (Problem.add_binary p
+         ~obj:(float_of_int (3 + Random.State.int st 4))
+         (Printf.sprintf "b%d" j))
+  done;
+  for _ = 1 to nrows do
+    let terms = ref [] in
+    for j = 0 to nvars - 1 do
+      if Random.State.int st 5 = 0 then terms := (j, 1.) :: !terms
+    done;
+    (* never emit an uncoverable (empty) row *)
+    if !terms = [] then terms := [ (Random.State.int st nvars, 1.) ];
+    Problem.add_row p Problem.Ge 1. !terms
+  done;
+  p
+
+(* The proven optimum must not depend on how many domains search for it:
+   1, 2 and 4 workers (with and without the deterministic schedule) all
+   prove the same objective with rel_gap = 0. *)
+let test_bb_domains_agree () =
+  List.iter
+    (fun seed ->
+      let run d det =
+        (* fresh problem per solve (root cuts mutate it in place); cuts
+           off so the search has to prove the optimum by branching *)
+        Mip.solve ~cuts:false ~rel_gap:0. ~domains:d ~deterministic:det
+          (seeded_cover_mip seed)
+      in
+      let r1 = run 1 false in
+      checkb "1-domain optimal" true (r1.Mip.status = Mip.Optimal);
+      List.iter
+        (fun (d, det) ->
+          let r = run d det in
+          checkb
+            (Printf.sprintf "seed %d: %d-domain optimal (det=%b)" seed d det)
+            true
+            (r.Mip.status = Mip.Optimal);
+          check (Alcotest.float 1e-6)
+            (Printf.sprintf "seed %d: objective at %d domains (det=%b)" seed d
+               det)
+            r1.Mip.objective r.Mip.objective)
+        [ (2, false); (2, true); (4, false); (4, true) ])
+    [ 11; 42 ]
+
+(* In deterministic mode the node distribution schedule is fixed, so the
+   node count (and everything else) reproduces exactly run to run. *)
+let test_bb_deterministic_nodes () =
+  let run () =
+    Mip.solve ~cuts:false ~rel_gap:0. ~domains:2 ~deterministic:true
+      (seeded_cover_mip 123)
+  in
+  let a = run () in
+  let b = run () in
+  checkb "optimal" true (a.Mip.status = Mip.Optimal);
+  checki "node count reproduces" a.Mip.stats.Mip.nodes b.Mip.stats.Mip.nodes;
+  check (Alcotest.float 0.) "objective reproduces" a.Mip.objective
+    b.Mip.objective;
+  checki "simplex iterations reproduce" a.Mip.stats.Mip.simplex_iterations
+    b.Mip.stats.Mip.simplex_iterations
+
+(* Concurrent incumbent publication: under any interleaving the stored
+   bound never regresses (each domain's observations are non-increasing)
+   and the final value is the minimum of everything published. *)
+let incumbent_publication_is_monotone =
+  QCheck.Test.make
+    ~name:"concurrent incumbent publication never regresses the bound"
+    ~count:50
+    QCheck.(
+      list_of_size (Gen.int_range 1 30) (int_range (-1000) 1000))
+    (fun objs_i ->
+      let objs = List.map float_of_int objs_i in
+      let best : Branch_bound.incumbent option Atomic.t = Atomic.make None in
+      let regressed = Atomic.make false in
+      let publisher l () =
+        let last = ref infinity in
+        List.iter
+          (fun o ->
+            ignore (Branch_bound.publish_incumbent best ~obj:o ~x:[| o |]);
+            match Atomic.get best with
+            | Some i ->
+                if i.Branch_bound.i_obj > !last +. 1e-12 then
+                  Atomic.set regressed true
+                else last := i.Branch_bound.i_obj
+            | None -> Atomic.set regressed true)
+          l
+      in
+      let a = List.filteri (fun i _ -> i mod 2 = 0) objs in
+      let b = List.filteri (fun i _ -> i mod 2 = 1) objs in
+      let d1 = Domain.spawn (publisher a) in
+      let d2 = Domain.spawn (publisher b) in
+      Domain.join d1;
+      Domain.join d2;
+      let expect = List.fold_left Float.min infinity objs in
+      (not (Atomic.get regressed))
+      &&
+      match Atomic.get best with
+      | Some i -> i.Branch_bound.i_obj = expect
+      | None -> false)
+
+(* ------------------------------------------------------------------ *)
 (* Sparse LU kernel                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -885,6 +999,11 @@ let suites =
         QCheck_alcotest.to_alcotest bb_matches_brute_force;
         QCheck_alcotest.to_alcotest cuts_are_valid;
         QCheck_alcotest.to_alcotest heuristic_is_sound;
+        Alcotest.test_case "parallel domains agree on the optimum" `Quick
+          test_bb_domains_agree;
+        Alcotest.test_case "deterministic mode reproduces node counts" `Quick
+          test_bb_deterministic_nodes;
+        QCheck_alcotest.to_alcotest incumbent_publication_is_monotone;
       ] );
     ( "lp.format",
       [ Alcotest.test_case "writer sanitizes names" `Quick test_lp_format ] );

@@ -257,6 +257,56 @@ let test_metrics_percentiles () =
     [ 0; 1; 63; 64; 100; 1023; 65536; 1_000_000 ];
   Metrics.reset ()
 
+(* Two domains hammer the same instruments concurrently: with atomic
+   counters and the mutexed registry/histograms, no increment or
+   observation may be lost, and racing registrations of one name must
+   resolve to a single handle. *)
+let test_metrics_domain_safety () =
+  Metrics.reset ();
+  let n = 100_000 in
+  let worker () =
+    (* resolve handles inside the domain so registration itself races *)
+    let c = Metrics.counter "t.par.count" in
+    let g = Metrics.gauge "t.par.gauge" in
+    let h = Metrics.histogram "t.par.hist" in
+    for i = 1 to n do
+      Metrics.incr c;
+      Metrics.add c 2;
+      Metrics.set g (float_of_int i);
+      if i land 1023 = 0 then Metrics.observe h (float_of_int (i land 63))
+    done
+  in
+  let d1 = Domain.spawn worker and d2 = Domain.spawn worker in
+  Domain.join d1;
+  Domain.join d2;
+  checki "no lost counter increments" (2 * 3 * n)
+    (Metrics.counter_value (Metrics.counter "t.par.count"));
+  checki "no lost histogram observations"
+    (2 * (n / 1024))
+    (Metrics.histogram_count (Metrics.histogram "t.par.hist"));
+  checkb "gauge holds one of the written values" true
+    (let v = Metrics.gauge_value (Metrics.gauge "t.par.gauge") in
+     v >= 1. && v <= float_of_int n);
+  Metrics.reset ()
+
+(* Same shape for the trace buffer: concurrent instants from two domains
+   must all land in the (mutexed) event vector. *)
+let test_trace_domain_safety () =
+  Trace.reset ();
+  Trace.enable ();
+  let n = 10_000 in
+  let worker tid () =
+    for _ = 1 to n do
+      Trace.instant ~tid "tick"
+    done
+  in
+  let d1 = Domain.spawn (worker 1) and d2 = Domain.spawn (worker 2) in
+  Domain.join d1;
+  Domain.join d2;
+  Trace.disable ();
+  checki "no lost events" (2 * n) (Trace.num_events ());
+  Trace.reset ()
+
 (* ---------------- json parser ---------------- *)
 
 let test_json_parser () =
@@ -312,6 +362,10 @@ let suites =
         Alcotest.test_case "metrics registry" `Quick test_metrics;
         Alcotest.test_case "metrics percentiles and tails" `Quick
           test_metrics_percentiles;
+        Alcotest.test_case "metrics survive two domains" `Quick
+          test_metrics_domain_safety;
+        Alcotest.test_case "trace survives two domains" `Quick
+          test_trace_domain_safety;
         Alcotest.test_case "json parser" `Quick test_json_parser;
       ] );
   ]

@@ -203,11 +203,14 @@ let compile_cmd =
         | Some m ->
             Fmt.epr
               "; ILP %dx%d -> %dx%d, root %.2fs, total %.2fs, %d nodes, %d \
-               pivots, %d cuts/%d rounds, %d heuristic incumbents@."
+               pivots, %d cuts/%d rounds, %d heuristic incumbents, \
+               warm_start=%s incumbent_source=%s@."
               m.Lp.Mip.vars_before m.Lp.Mip.rows_before m.Lp.Mip.vars_after
               m.Lp.Mip.rows_after m.Lp.Mip.root_time m.Lp.Mip.total_time
               m.Lp.Mip.nodes m.Lp.Mip.simplex_iterations m.Lp.Mip.cuts_added
               m.Lp.Mip.cut_rounds m.Lp.Mip.heuristic_incumbents
+              (if m.Lp.Mip.warm_start_used then "yes" else "no")
+              m.Lp.Mip.incumbent_source
         | None -> ());
         (match stats.Regalloc.Driver.solver_outcome with
         | Regalloc.Driver.Outcome_incumbent | Regalloc.Driver.Outcome_fallback
@@ -232,6 +235,83 @@ let compile_cmd =
       $ node_limit $ rel_gap $ solver_domains $ solver_deterministic
       $ no_validate $ verify_each $ no_verify_each $ trace_out $ metrics
       $ lint_flag)
+
+(* ---------------- serve ---------------- *)
+
+let serve_cmd =
+  let socket =
+    Arg.(
+      value
+      & opt string Service.Daemon.default_socket
+      & info [ "socket"; "s" ] ~docv:"PATH"
+          ~doc:"Unix domain socket to listen on")
+  in
+  let cache_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cache-dir" ] ~docv:"DIR"
+          ~doc:
+            "Artifact store directory (default: _artifacts/cache); holds \
+             the persistent solve artifacts that survive daemon restarts")
+  in
+  let solver_domains =
+    Arg.(
+      value & opt int 1
+      & info [ "solver-domains" ]
+          ~doc:"Worker domains for parallel branch&bound, for every job")
+  in
+  let solver_deterministic =
+    Arg.(
+      value & flag
+      & info [ "solver-deterministic" ]
+          ~doc:"Fixed node-distribution schedule for every job")
+  in
+  let time_limit =
+    Arg.(
+      value & opt float 300.
+      & info [ "time-limit" ] ~doc:"Default branch&bound budget per job")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Dump the metrics registry to stderr on shutdown")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"No per-job log lines")
+  in
+  let run socket cache_dir solver_domains solver_deterministic time_limit
+      metrics quiet =
+    handle_errors (fun () ->
+        let config =
+          {
+            Service.Daemon.socket_path = socket;
+            cache_dir;
+            base_options =
+              {
+                Regalloc.Driver.default_options with
+                solver_domains;
+                solver_deterministic;
+                time_limit;
+              };
+            verbose = not quiet;
+          }
+        in
+        Fmt.epr "novac serve: listening on %s (ctrl-c or {\"op\":\"shutdown\"} to stop)@." socket;
+        Service.Daemon.run config;
+        if metrics then Fmt.epr "%s@." (Support.Metrics.dump ()))
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the incremental compile service: a Unix-domain-socket daemon \
+          accepting batched compile jobs (newline-delimited JSON), with an \
+          in-memory hot cache over the stage-cached driver and persistent \
+          solve artifacts for warm-started rebuilds")
+    Term.(
+      const run $ socket $ cache_dir $ solver_domains $ solver_deterministic
+      $ time_limit $ metrics $ quiet)
 
 (* ---------------- lint ---------------- *)
 
@@ -418,4 +498,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "novac" ~doc)
-          [ compile_cmd; lint_cmd; stats_cmd; model_cmd ]))
+          [ compile_cmd; serve_cmd; lint_cmd; stats_cmd; model_cmd ]))

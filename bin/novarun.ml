@@ -250,9 +250,13 @@ let run_cmd =
       | _ -> ());
       (match compiled.Regalloc.Driver.stats.Regalloc.Driver.mip with
       | Some m ->
-          Fmt.epr "solver: root %.2fs, total %.2fs, %d nodes, %d pivots, %d cuts@."
+          Fmt.epr
+            "solver: root %.2fs, total %.2fs, %d nodes, %d pivots, %d cuts, \
+             warm_start=%s incumbent_source=%s@."
             m.Lp.Mip.root_time m.Lp.Mip.total_time m.Lp.Mip.nodes
             m.Lp.Mip.simplex_iterations m.Lp.Mip.cuts_added
+            (if m.Lp.Mip.warm_start_used then "yes" else "no")
+            m.Lp.Mip.incumbent_source
       | None -> ());
       if cluster > 0 then begin
         (* cluster mode: N chips behind the load balancer *)

@@ -72,18 +72,24 @@ let count_uses (t : term) =
 let run (t : term) : term =
   let writes, others = count_uses t in
   let needed = Ident.Tbl.create 32 in
-  Ident.Tbl.iter
-    (fun x w ->
-      let o = Option.value ~default:0 (Ident.Tbl.find_opt others x) in
-      let clones = if o > 0 then w else w - 1 in
-      if clones > 0 then begin
-        let fresh = List.init clones (fun _ -> Ident.clone x) in
-        (* queue of replacement names for successive write uses; when the
-           original has no other uses it serves the first write use *)
-        let queue = if o > 0 then fresh else x :: fresh in
-        Ident.Tbl.replace needed x (ref queue, Array.of_list fresh)
-      end)
-    writes;
+  (* Clone in stamp order, not table order: [Ident.Tbl] buckets by the
+     absolute stamp value, so iterating it directly would make the order
+     in which clones draw fresh stamps depend on where the global stamp
+     counter happened to start -- and downstream names would differ
+     between two compiles of the same source in one process. *)
+  Ident.Tbl.fold (fun x w acc -> (x, w) :: acc) writes []
+  |> List.sort (fun (a, _) (b, _) -> Ident.compare a b)
+  |> List.iter (fun (x, w) ->
+         let o = Option.value ~default:0 (Ident.Tbl.find_opt others x) in
+         let clones = if o > 0 then w else w - 1 in
+         if clones > 0 then begin
+           let fresh = List.init clones (fun _ -> Ident.clone x) in
+           (* queue of replacement names for successive write uses; when
+              the original has no other uses it serves the first write
+              use *)
+           let queue = if o > 0 then fresh else x :: fresh in
+           Ident.Tbl.replace needed x (ref queue, Array.of_list fresh)
+         end);
   if Ident.Tbl.length needed = 0 then t
   else begin
     let next_clone x =

@@ -44,6 +44,21 @@
 
 type status = Optimal | Infeasible | Limit
 
+(* Warm-start input: hints from a previous solve of this (or a closely
+   related) problem, both keyed by variable index.  [w_hints] is the
+   previous integral solution -- seeded into an incumbent at the root by
+   the guided dive ([Heuristic.guided_dive]) -- and [w_pc] is the
+   previous search's pseudocost history (sum_dn, cnt_dn, sum_up,
+   cnt_up), imported so branching is informed from node one instead of
+   relearning degradation rates.  Stale entries (index out of range
+   after a model change) are ignored. *)
+type warm = {
+  w_hints : (int * float) list;
+  w_pc : (int * (float * int * float * int)) list;
+}
+
+let no_warm = { w_hints = []; w_pc = [] }
+
 type result = {
   status : status;
   objective : float;
@@ -55,6 +70,13 @@ type result = {
   simplex_iterations : int;
   best_bound : float; (* proven lower bound on the optimum at exit *)
   heuristic_incumbents : int; (* incumbents found by the diving heuristic *)
+  incumbent_source : string;
+      (* where the emitted incumbent came from: "seeded" (warm-start
+         guided dive), "heuristic" (plain rounding dive), "branch"
+         (integral LP leaf), or "none" *)
+  warm_seeded : bool; (* the warm-start hints produced an incumbent *)
+  pc_out : (int * (float * int * float * int)) list;
+      (* final pseudocost table, for the next warm start *)
 }
 
 let int_tol = 1e-6
@@ -162,6 +184,63 @@ let pc_est (p : Problem.t) pc up v =
   else if gcnt > 0 then gsum /. float_of_int gcnt
   else Float.abs (Problem.var_obj p v) +. 1e-6
 
+(* Seed a pseudocost table from a previous search's exported history.
+   Imported history also feeds the global fallback averages, so even
+   variables without their own record branch better than cold. *)
+let pc_import pc n (w : warm) =
+  List.iter
+    (fun (j, (sd, cd, su, cu)) ->
+      if j >= 0 && j < n then begin
+        pc.sum_dn.(j) <- sd;
+        pc.cnt_dn.(j) <- cd;
+        pc.sum_up.(j) <- su;
+        pc.cnt_up.(j) <- cu;
+        pc.g_sum_dn <- pc.g_sum_dn +. sd;
+        pc.g_cnt_dn <- pc.g_cnt_dn + cd;
+        pc.g_sum_up <- pc.g_sum_up +. su;
+        pc.g_cnt_up <- pc.g_cnt_up + cu
+      end)
+    w.w_pc
+
+let pc_export n pc =
+  let acc = ref [] in
+  for j = n - 1 downto 0 do
+    if pc.cnt_dn.(j) > 0 || pc.cnt_up.(j) > 0 then
+      acc :=
+        (j, (pc.sum_dn.(j), pc.cnt_dn.(j), pc.sum_up.(j), pc.cnt_up.(j)))
+        :: !acc
+  done;
+  !acc
+
+(* Element-wise sum of several per-worker tables (parallel search). *)
+let pc_merge n (tables : pc array) =
+  let m = pc_create n in
+  Array.iter
+    (fun pc ->
+      for j = 0 to n - 1 do
+        m.sum_dn.(j) <- m.sum_dn.(j) +. pc.sum_dn.(j);
+        m.cnt_dn.(j) <- m.cnt_dn.(j) + pc.cnt_dn.(j);
+        m.sum_up.(j) <- m.sum_up.(j) +. pc.sum_up.(j);
+        m.cnt_up.(j) <- m.cnt_up.(j) + pc.cnt_up.(j)
+      done)
+    tables;
+  m
+
+let hints_of_warm n (w : warm) =
+  if w.w_hints = [] then None
+  else begin
+    let h = Array.make n nan in
+    let any = ref false in
+    List.iter
+      (fun (j, v) ->
+        if j >= 0 && j < n then begin
+          h.(j) <- v;
+          any := true
+        end)
+      w.w_hints;
+    if !any then Some h else None
+  end
+
 let pc_learn pc (nd : node) obj =
   if nd.bvar >= 0 then begin
     let gain = Float.max 0. (obj -. nd.nb) in
@@ -231,13 +310,17 @@ let m_incumbents = Support.Metrics.counter "lp.bb.incumbents"
 let m_heur = Support.Metrics.counter "lp.bb.heuristic_incumbents"
 
 let solve_sequential ~time_limit ~node_limit ~rel_gap ~use_heuristic
-    ~heur_period (p : Problem.t) =
+    ~heur_period ~warm (p : Problem.t) =
   let t0 = Clock.now () in
   let n = Problem.num_vars p in
   let solver = Revised.create p in
   let orig_lo = Array.init n (Problem.var_lo p) in
   let orig_hi = Array.init n (Problem.var_hi p) in
   let pc = pc_create n in
+  pc_import pc n warm;
+  let hints = hints_of_warm n warm in
+  let warm_seeded = ref false in
+  let incumbent_src = ref "none" in
   (* Bound activation: undo the previous node's fixings, apply the new
      ones.  A variable appearing in both with the same bounds produces no
      net change, so the solver's incremental restart does no work for the
@@ -332,6 +415,7 @@ let solve_sequential ~time_limit ~node_limit ~rel_gap ~use_heuristic
                 | -1 ->
                     incumbent := Some (Array.copy x);
                     incumbent_obj := obj;
+                    incumbent_src := "branch";
                     Support.Metrics.incr m_incumbents;
                     if Support.Trace.is_enabled () then
                       Support.Trace.instant "incumbent"
@@ -341,6 +425,28 @@ let solve_sequential ~time_limit ~node_limit ~rel_gap ~use_heuristic
                             ("node", Support.Trace.Int !nodes);
                           ]
                 | v ->
+                    (* Warm-start seeding, once, at the root: fix the
+                       previous solution's values and let the guided
+                       dive repair the remainder.  An incumbent before
+                       the first branch is what collapses the tree. *)
+                    (match hints with
+                    | Some h when nd.depth = 0 -> (
+                        match
+                          Heuristic.guided_dive ~cutoff:(cutoff ())
+                            ~deadline:(t0 +. time_limit) ~hints:h solver p
+                        with
+                        | Some (hobj, hx) when hobj < !incumbent_obj ->
+                            incumbent := Some hx;
+                            incumbent_obj := hobj;
+                            incumbent_src := "seeded";
+                            warm_seeded := true;
+                            Support.Metrics.incr m_incumbents;
+                            if Support.Trace.is_enabled () then
+                              Support.Trace.instant "seeded-incumbent"
+                                ~args:
+                                  [ ("objective", Support.Trace.Float hobj) ]
+                        | _ -> ())
+                    | _ -> ());
                     (* Periodic primal heuristic (always at the root). *)
                     if
                       use_heuristic
@@ -353,6 +459,7 @@ let solve_sequential ~time_limit ~node_limit ~rel_gap ~use_heuristic
                       | Some (hobj, hx) when hobj < !incumbent_obj ->
                           incumbent := Some hx;
                           incumbent_obj := hobj;
+                          incumbent_src := "heuristic";
                           incr heur_found;
                           Support.Metrics.incr m_incumbents;
                           Support.Metrics.incr m_heur;
@@ -399,6 +506,7 @@ let solve_sequential ~time_limit ~node_limit ~rel_gap ~use_heuristic
   done;
   let total_time = Clock.since t0 in
   let simplex_iterations = Revised.iterations solver in
+  let pc_out = pc_export n pc in
   match !incumbent with
   | Some x ->
       let status = if !limit_hit then Limit else Optimal in
@@ -417,6 +525,9 @@ let solve_sequential ~time_limit ~node_limit ~rel_gap ~use_heuristic
         simplex_iterations;
         best_bound;
         heuristic_incumbents = !heur_found;
+        incumbent_source = !incumbent_src;
+        warm_seeded = !warm_seeded;
+        pc_out;
       }
   | None ->
       {
@@ -430,6 +541,9 @@ let solve_sequential ~time_limit ~node_limit ~rel_gap ~use_heuristic
         simplex_iterations;
         best_bound = (if !limit_hit then !lb_at_exit else infinity);
         heuristic_incumbents = !heur_found;
+        incumbent_source = "none";
+        warm_seeded = !warm_seeded;
+        pc_out;
       }
 
 (* ------------------------------------------------------------------ *)
@@ -450,7 +564,8 @@ let par_chain_cap = 64
    after the barrier, so no field needs finer-grained synchronization. *)
 type wout = {
   mutable o_children : node list; (* parked nodes, newest first *)
-  mutable o_incumbent : (float * float array) option; (* round's best *)
+  mutable o_incumbent : (float * float array * string) option;
+      (* round's best, with its source tag *)
   mutable o_nodes : int;
   mutable o_heur : int;
   mutable o_iters : int; (* cumulative solver iterations *)
@@ -458,7 +573,7 @@ type wout = {
 }
 
 let solve_parallel ~domains ~deterministic ~time_limit ~node_limit ~rel_gap
-    ~use_heuristic ~heur_period (p : Problem.t) =
+    ~use_heuristic ~heur_period ~warm (p : Problem.t) =
   let t0 = Clock.now () in
   let n = Problem.num_vars p in
   let orig_lo = Array.init n (Problem.var_lo p) in
@@ -467,10 +582,23 @@ let solve_parallel ~domains ~deterministic ~time_limit ~node_limit ~rel_gap
   let heur_deadline = if deterministic then infinity else t0 +. time_limit in
   let incumbent = ref None in
   let incumbent_obj = ref infinity in
+  let incumbent_src = ref "none" in
+  let warm_seeded = ref false in
   let heur_found = ref 0 in
+  let hints = hints_of_warm n warm in
+  (* per-worker pseudocost tables, created here so the final merged
+     table can be exported after the workers join *)
+  let worker_pcs =
+    Array.init domains (fun _ ->
+        let pc = pc_create n in
+        pc_import pc n warm;
+        pc)
+  in
   let cutoff () =
     if !incumbent = None then infinity else !incumbent_obj -. gap_margin !incumbent_obj
   in
+  let root_pc = pc_create n in
+  pc_import root_pc n warm;
   let finish status ~nodes ~iters ~root_objective ~root_time ~best_bound =
     let objective = match !incumbent with Some _ -> !incumbent_obj | None -> infinity in
     {
@@ -485,11 +613,15 @@ let solve_parallel ~domains ~deterministic ~time_limit ~node_limit ~rel_gap
       simplex_iterations = iters;
       best_bound;
       heuristic_incumbents = !heur_found;
+      incumbent_source =
+        (match !incumbent with Some _ -> !incumbent_src | None -> "none");
+      warm_seeded = !warm_seeded;
+      pc_out =
+        pc_export n (pc_merge n (Array.append [| root_pc |] worker_pcs));
     }
   in
   (* ---- root relaxation on the coordinator ---- *)
   let root_solver = Revised.create p in
-  let root_pc = pc_create n in
   Support.Metrics.incr m_nodes;
   match Support.Trace.with_span "root-lp" (fun () -> Revised.solve root_solver) with
   | Revised.Iteration_limit ->
@@ -508,16 +640,32 @@ let solve_parallel ~domains ~deterministic ~time_limit ~node_limit ~rel_gap
       | -1 ->
           incumbent := Some (Array.copy x);
           incumbent_obj := root_objective;
+          incumbent_src := "branch";
           Support.Metrics.incr m_incumbents
       | v ->
+          (match hints with
+          | Some h -> (
+              match
+                Heuristic.guided_dive ~cutoff:infinity
+                  ~deadline:heur_deadline ~hints:h root_solver p
+              with
+              | Some (hobj, hx) when hobj < !incumbent_obj ->
+                  incumbent := Some hx;
+                  incumbent_obj := hobj;
+                  incumbent_src := "seeded";
+                  warm_seeded := true;
+                  Support.Metrics.incr m_incumbents
+              | _ -> ())
+          | None -> ());
           (if use_heuristic then
              match
-               Heuristic.dive ~cutoff:infinity ~deadline:heur_deadline
-                 root_solver p
+               Heuristic.dive ~cutoff:!incumbent_obj
+                 ~deadline:heur_deadline root_solver p
              with
              | Some (hobj, hx) ->
                  incumbent := Some hx;
                  incumbent_obj := hobj;
+                 incumbent_src := "heuristic";
                  incr heur_found;
                  Support.Metrics.incr m_incumbents;
                  Support.Metrics.incr m_heur
@@ -578,7 +726,7 @@ let solve_parallel ~domains ~deterministic ~time_limit ~node_limit ~rel_gap
         in
         let worker d =
           let solver = Revised.create p in
-          let pc = pc_create n in
+          let pc = worker_pcs.(d) in
           let applied = ref [] in
           let activate fixings =
             List.iter
@@ -594,9 +742,10 @@ let solve_parallel ~domains ~deterministic ~time_limit ~node_limit ~rel_gap
           let my_nodes = ref 0 in
           let local_cutoff = ref infinity in
           let record_incumbent ?(heur = false) obj x =
+            let src = if heur then "heuristic" else "branch" in
             (match out.o_incumbent with
-            | Some (o, _) when o <= obj -> ()
-            | _ -> out.o_incumbent <- Some (obj, x));
+            | Some (o, _, _) when o <= obj -> ()
+            | _ -> out.o_incumbent <- Some (obj, x, src));
             local_cutoff := Float.min !local_cutoff (obj -. gap_margin obj);
             if not deterministic then
               ignore (publish_incumbent shared_best ~obj ~x);
@@ -790,9 +939,10 @@ let solve_parallel ~domains ~deterministic ~time_limit ~node_limit ~rel_gap
                Array.iter
                  (fun out ->
                    (match out.o_incumbent with
-                   | Some (obj, x) when obj < !incumbent_obj ->
+                   | Some (obj, x, src) when obj < !incumbent_obj ->
                        incumbent := Some x;
-                       incumbent_obj := obj
+                       incumbent_obj := obj;
+                       incumbent_src := src
                    | _ -> ());
                    List.iter (Heap.push heap) (List.rev out.o_children);
                    total_nodes := !total_nodes + out.o_nodes;
@@ -842,10 +992,10 @@ let solve_parallel ~domains ~deterministic ~time_limit ~node_limit ~rel_gap
 
 let solve ?(time_limit = 600.) ?(node_limit = 500_000) ?(rel_gap = 1e-4)
     ?(use_heuristic = true) ?(heur_period = 128) ?(domains = 1)
-    ?(deterministic = false) (p : Problem.t) =
+    ?(deterministic = false) ?(warm = no_warm) (p : Problem.t) =
   if domains <= 1 then
     solve_sequential ~time_limit ~node_limit ~rel_gap ~use_heuristic
-      ~heur_period p
+      ~heur_period ~warm p
   else
     solve_parallel ~domains ~deterministic ~time_limit ~node_limit ~rel_gap
-      ~use_heuristic ~heur_period p
+      ~use_heuristic ~heur_period ~warm p

@@ -88,6 +88,63 @@ let dive ?(max_fixes = 500) ?(cutoff = infinity) ?(deadline = infinity)
       end
     end
   in
-  let result = go 0 in
+  (* The solver may be carrying queued bound deltas (e.g. a preceding
+     [guided_dive] restores its fixings without re-solving), in which
+     case the stored primal is stale -- possibly infeasible for the
+     current bounds.  Re-establish optimality before reading it; when
+     the caller really did just solve, this costs zero pivots. *)
+  let result = if resolve_ok () then go 0 else None in
   restore ();
   result
+
+(* Warm-start seeding dive: fix every hinted integer variable to its
+   hinted value at once (clamped to current bounds), re-solve, and let
+   the ordinary dive above finish off any remaining fractional
+   variables.  The bulk re-solve *is* the [Sparse_lu] warm-restart path:
+   [Revised.set_bounds] only queues bound deltas, so the dual simplex
+   restarts from the current factored basis instead of refactorizing --
+   which is what makes seeding from a previous solve's solution cheap.
+   When the hints describe an incompatible model (the program changed
+   enough that the old assignment is infeasible here), the fix-all LP
+   comes back infeasible and the caller falls back to the plain dive.
+
+   [hints.(j)] is the suggested value for variable [j], or [nan] for no
+   suggestion.  All bounds touched are restored before returning. *)
+let guided_max_iters = 20_000
+
+let guided_dive ?(cutoff = infinity) ?(deadline = infinity)
+    ~(hints : float array) (solver : Revised.t) (p : Problem.t) =
+  let n = Problem.num_vars p in
+  let saved = ref [] in
+  let fixed = ref 0 in
+  for j = 0 to min n (Array.length hints) - 1 do
+    let h = hints.(j) in
+    if Problem.var_integer p j && not (Float.is_nan h) then begin
+      let lo, hi = Revised.bounds solver j in
+      let v = Float.max lo (Float.min hi (Float.round h)) in
+      saved := (j, lo, hi) :: !saved;
+      Revised.set_bounds solver j ~lo:v ~hi:v;
+      incr fixed
+    end
+  done;
+  let restore () =
+    List.iter (fun (j, lo, hi) -> Revised.set_bounds solver j ~lo ~hi) !saved
+  in
+  if !fixed = 0 then begin
+    restore ();
+    None
+  end
+  else begin
+    let result =
+      match Revised.solve ~max_iters:guided_max_iters solver with
+      | Revised.Infeasible | Revised.Iteration_limit -> None
+      | Revised.Optimal ->
+          if Revised.objective solver >= cutoff then None
+          else
+            (* hinted variables are fixed integral; the plain dive now
+               only has the unhinted remainder to round *)
+            dive ~cutoff ~deadline solver p
+    in
+    restore ();
+    result
+  end

@@ -14,6 +14,20 @@
 
 type status = Optimal | Infeasible | Limit
 
+(* Warm-start input/output, keyed by the *original* problem's variable
+   indices (callers never see presolve's reduced index space; the
+   mapping through [Presolve.info.keep_map] happens here).  [ws_values]
+   is an integral solution to seed the incumbent from; [ws_pseudocosts]
+   is the branching history (sum_dn, cnt_dn, sum_up, cnt_up) to import.
+   A solve's [ws_out] is exactly this shape, so "persist ws_out, feed it
+   back as [warm] next time" is the whole reuse protocol. *)
+type warm_start = {
+  ws_values : (int * float) list;
+  ws_pseudocosts : (int * (float * int * float * int)) list;
+}
+
+let no_warm_start = { ws_values = []; ws_pseudocosts = [] }
+
 type stats = {
   vars_before : int;
   rows_before : int;
@@ -30,6 +44,9 @@ type stats = {
   cuts_added : int; (* violated cuts appended before branching *)
   best_bound : float; (* proven lower bound at exit *)
   heuristic_incumbents : int; (* incumbents found by the diving heuristic *)
+  warm_start_used : bool; (* warm hints seeded the incumbent *)
+  incumbent_source : string;
+      (* "seeded" | "heuristic" | "branch" | "presolve" | "none" *)
 }
 
 type result = {
@@ -37,6 +54,7 @@ type result = {
   objective : float;
   solution : float array; (* indexed by the original problem's variables *)
   stats : stats;
+  ws_out : warm_start; (* solution + pseudocosts for the next warm start *)
 }
 
 let default_stats =
@@ -56,6 +74,8 @@ let default_stats =
     cuts_added = 0;
     best_bound = nan;
     heuristic_incumbents = 0;
+    warm_start_used = false;
+    incumbent_source = "none";
   }
 
 let int_tol = 1e-6
@@ -95,11 +115,13 @@ let root_cut_pass ?(max_rounds = 3) ~deadline (p : Problem.t) =
 
 let solve ?(presolve = true) ?(cuts = true) ?(time_limit = 600.)
     ?(node_limit = 500_000) ?(rel_gap = 1e-4) ?(domains = 1)
-    ?(deterministic = false) (p : Problem.t) =
+    ?(deterministic = false) ?(warm = no_warm_start) (p : Problem.t) =
   let t0 = Clock.now () in
   let before = Problem.stats p in
-  let finish status objective solution ~root_time ~root_obj ~nodes ~iters
-      ~cut_rounds ~cuts_added ~best_bound ~heur ~after_stats =
+  let finish ?(warm_used = false) ?(inc_src = "none")
+      ?(ws_out = no_warm_start) status objective solution ~root_time
+      ~root_obj ~nodes ~iters ~cut_rounds ~cuts_added ~best_bound ~heur
+      ~after_stats =
     let total_time = Clock.since t0 in
     {
       status;
@@ -122,10 +144,18 @@ let solve ?(presolve = true) ?(cuts = true) ?(time_limit = 600.)
           cuts_added;
           best_bound;
           heuristic_incumbents = heur;
+          warm_start_used = warm_used;
+          incumbent_source = inc_src;
         };
+      ws_out;
     }
   in
-  let branch_and_bound sub ~after_stats ~postsolve_fn =
+  (* [map_orig_to_sub] translates warm data given on original variable
+     indices to the (presolved) subproblem's index space; [sub_to_orig]
+     is the inverse, for exporting the final pseudocost table back.
+     Identity when presolve is off. *)
+  let branch_and_bound sub ~after_stats ~postsolve_fn ~map_orig_to_sub
+      ~sub_to_orig =
     let cut_rounds, cuts_added =
       if cuts then
         Support.Trace.with_span "root-cuts" (fun () ->
@@ -134,10 +164,24 @@ let solve ?(presolve = true) ?(cuts = true) ?(time_limit = 600.)
     in
     Support.Metrics.add (Support.Metrics.counter "lp.cuts.added") cuts_added;
     let remaining = Float.max 1. (time_limit -. Clock.since t0) in
+    let bb_warm =
+      {
+        Branch_bound.w_hints =
+          List.filter_map
+            (fun (j, v) ->
+              Option.map (fun j' -> (j', v)) (map_orig_to_sub j))
+            warm.ws_values;
+        w_pc =
+          List.filter_map
+            (fun (j, h) ->
+              Option.map (fun j' -> (j', h)) (map_orig_to_sub j))
+            warm.ws_pseudocosts;
+      }
+    in
     let r =
       Support.Trace.with_span "branch-and-bound" (fun () ->
           Branch_bound.solve ~time_limit:remaining ~node_limit ~rel_gap
-            ~domains ~deterministic sub)
+            ~domains ~deterministic ~warm:bb_warm sub)
     in
     let status =
       match r.Branch_bound.status with
@@ -153,6 +197,25 @@ let solve ?(presolve = true) ?(cuts = true) ?(time_limit = 600.)
         (s, Problem.objective_value p s)
       end
     in
+    let ws_out =
+      if status = Infeasible then no_warm_start
+      else
+        {
+          ws_values =
+            (let acc = ref [] in
+             for j = Problem.num_vars p - 1 downto 0 do
+               if Problem.var_integer p j
+                  && Float.abs solution.(j) > 1e-6
+               then acc := (j, Float.round solution.(j)) :: !acc
+             done;
+             !acc);
+          ws_pseudocosts =
+            List.filter_map
+              (fun (j, h) ->
+                Option.map (fun j' -> (j', h)) (sub_to_orig j))
+              r.Branch_bound.pc_out;
+        }
+    in
     (* The search proves its bound on the presolved/cut problem while the
        reported objective is re-evaluated on the original problem, so the
        two can disagree by float drift (observed at the 1e-5 scale on the
@@ -167,6 +230,8 @@ let solve ?(presolve = true) ?(cuts = true) ?(time_limit = 600.)
       ~root_obj:r.Branch_bound.root_objective ~nodes:r.Branch_bound.nodes
       ~iters:r.Branch_bound.simplex_iterations ~cut_rounds ~cuts_added
       ~best_bound ~heur:r.Branch_bound.heuristic_incumbents ~after_stats
+      ~warm_used:r.Branch_bound.warm_seeded
+      ~inc_src:r.Branch_bound.incumbent_source ~ws_out
   in
   let empty_solution = Array.make (Problem.num_vars p) 0. in
   if presolve then begin
@@ -184,14 +249,32 @@ let solve ?(presolve = true) ?(cuts = true) ?(time_limit = 600.)
           finish Optimal objective solution ~root_time:0.
             ~root_obj:objective ~nodes:0 ~iters:0 ~cut_rounds:0 ~cuts_added:0
             ~best_bound:objective ~heur:0 ~after_stats
+            ~inc_src:"presolve"
         end
-        else
+        else begin
+          let keep_map = info.Presolve.keep_map in
+          let n_orig = Array.length keep_map in
+          let inverse = Array.make (Problem.num_vars reduced) (-1) in
+          Array.iteri
+            (fun j j' -> if j' >= 0 then inverse.(j') <- j)
+            keep_map;
           branch_and_bound reduced ~after_stats
             ~postsolve_fn:(Presolve.postsolve info)
+            ~map_orig_to_sub:(fun j ->
+              if j < 0 || j >= n_orig || keep_map.(j) < 0 then None
+              else Some keep_map.(j))
+            ~sub_to_orig:(fun j' ->
+              if j' < 0 || j' >= Array.length inverse || inverse.(j') < 0
+              then None
+              else Some inverse.(j'))
+        end
   end
   else
     branch_and_bound p ~after_stats:(Problem.stats p)
       ~postsolve_fn:(fun s -> s)
+      ~map_orig_to_sub:(fun j ->
+        if j >= 0 && j < Problem.num_vars p then Some j else None)
+      ~sub_to_orig:(fun j -> Some j)
 
 (* Solve the LP relaxation only (used for root-relaxation statistics). *)
 let solve_relaxation (p : Problem.t) =

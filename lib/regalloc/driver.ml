@@ -182,18 +182,38 @@ let provenance_of_tprog (tprog : Nova.Tast.tprogram) :
     in
     Hashtbl.find_opt by_name root
 
-let allocate (options : options) (front : front) : compiled =
-  Trace.with_span "allocate" @@ fun () ->
-  let solve_ilp mg =
-    let ilp =
-      Trace.with_span "ilp-build" (fun () ->
-          Ilp.build ~objective_mode:options.objective mg)
-    in
+(* The allocator is parameterized over how a model variant is built and
+   solved so the incremental driver below can interpose its stage cache;
+   [variant] names which model flavor is being requested ("nospill",
+   "spill", "remat") and doubles as a cache-key component. *)
+type model_solve =
+  variant:string ->
+  Ident.t Ixp.Flowgraph.t ->
+  Modelgen.t * (Ilp.solution, [ `Infeasible | `Limit ]) result
+
+let build_variant ~variant graph =
+  match variant with
+  | "remat" -> Modelgen.build ~allow_spill:false ~rematerialize:true graph
+  | "nospill" -> Modelgen.build ~allow_spill:false graph
+  | "spill" -> Modelgen.build ~allow_spill:true graph
+  | v -> Diag.ice "unknown model variant %S" v
+
+let direct_model_solve (options : options) : model_solve =
+ fun ~variant graph ->
+  let mg = build_variant ~variant graph in
+  let ilp =
+    Trace.with_span "ilp-build" (fun () ->
+        Ilp.build ~objective_mode:options.objective mg)
+  in
+  ( mg,
     Trace.with_span "solve" (fun () ->
         Ilp.solve ~time_limit:options.time_limit ~node_limit:options.node_limit
           ~rel_gap:options.rel_gap ~domains:options.solver_domains
-          ~deterministic:options.solver_deterministic ilp)
-  in
+          ~deterministic:options.solver_deterministic ilp) )
+
+let allocate_with ~(model_solve : model_solve) (options : options)
+    (front : front) : compiled =
+  Trace.with_span "allocate" @@ fun () ->
   (* When branch&bound hits its budget with a feasible incumbent in
      hand, that incumbent is used: it is a valid (machine-checked)
      allocation, merely without the optimality certificate.  The
@@ -221,10 +241,8 @@ let allocate (options : options) (front : front) : compiled =
         let mg = Modelgen.build front.f_graph in
         (mg, Baseline.build mg, None, Outcome_heuristic)
     | Ilp_allocator when options.rematerialize -> (
-        let mg =
-          Modelgen.build ~allow_spill:false ~rematerialize:true front.f_graph
-        in
-        match solve_ilp mg with
+        let mg, solved = model_solve ~variant:"remat" front.f_graph in
+        match solved with
         | Ok sol -> of_solution mg sol
         | Error `Limit -> limit_fallback ()
         | Error `Infeasible ->
@@ -232,13 +250,13 @@ let allocate (options : options) (front : front) : compiled =
     | Ilp_allocator -> (
         (* spill-free model first (paper §11): much smaller; fall back to
            the full model with scratch enabled only when infeasible *)
-        let mg = Modelgen.build ~allow_spill:false front.f_graph in
-        match solve_ilp mg with
+        let mg, solved = model_solve ~variant:"nospill" front.f_graph in
+        match solved with
         | Ok sol -> of_solution mg sol
         | Error `Limit -> limit_fallback ()
         | Error `Infeasible -> (
-            let mg = Modelgen.build ~allow_spill:true front.f_graph in
-            match solve_ilp mg with
+            let mg, solved = model_solve ~variant:"spill" front.f_graph in
+            match solved with
             | Ok sol -> of_solution mg sol
             | Error `Infeasible ->
                 raise (Allocation_failed "ILP model is infeasible")
@@ -314,6 +332,9 @@ let allocate (options : options) (front : front) : compiled =
       };
   }
 
+let allocate (options : options) (front : front) : compiled =
+  allocate_with ~model_solve:(direct_model_solve options) options front
+
 let compile ?(options = default_options) ~file source =
   Trace.with_span "compile" ~args:[ ("file", Trace.Str file) ] @@ fun () ->
   let front =
@@ -322,6 +343,424 @@ let compile ?(options = default_options) ~file source =
       ~file source
   in
   allocate options front
+
+(* ------------------------------------------------------------------ *)
+(* Incremental compilation: stage-cached driver                        *)
+(* ------------------------------------------------------------------ *)
+
+(* [compile_incremental] runs the same pipeline as [compile] but makes
+   every stage boundary cacheable:
+
+     front    source text + front options        -> front IR (memo)
+     model    front key + variant + objective    -> Modelgen/ILP (memo)
+     solve    model fingerprint + solve options  -> MIP result (disk)
+     full     front key + all options            -> compiled (memo)
+
+   The front and model stages hold OCaml IR (ident-stamped graphs,
+   hashtables keyed by idents) that has no faithful JSON form, so their
+   replay is by in-process memo -- which is exactly the hot path of
+   `novac serve`; on disk they leave provenance stamps only.  The solve
+   stage is where the time goes, and its artifact *is* fully
+   serializable: the MIP solution and warm-start data keyed by
+   canonical variable names ([Modelhash]), so a fresh process that
+   rebuilds the front and model cheaply can still skip branch and bound
+   entirely when the model fingerprint matches.
+
+   On a solve miss, the previous solve of the same (file, variant,
+   objective) -- located through a store head pointer -- seeds a warm
+   start: its solution becomes the incumbent hints and its pseudocost
+   table primes branching ([Lp.Mip.warm_start]).  Values map by
+   canonical name, so hints survive ident-stamp drift and partial model
+   changes; unmappable names are simply dropped.
+
+   Replayed solves are re-validated: the stored solution must be
+   feasible on the freshly built instance and reproduce the stored
+   objective, otherwise the artifact is ignored and the solve runs
+   live.  Downstream validation (assignment + machine check) still runs
+   on every path, so a stale artifact can never emit an illegal
+   program. *)
+
+type cache_report = {
+  front_hit : bool; (* front IR replayed from the in-process memo *)
+  model_hit : bool; (* Modelgen/ILP build replayed from the memo *)
+  solve_hit : bool; (* MIP solution replayed from an artifact *)
+  full_hit : bool; (* whole compile replayed (no stage ran at all) *)
+  warm_used : bool; (* live solve seeded its incumbent from a warm start *)
+  model_fingerprint : string; (* structural hash of the solved model *)
+}
+
+let cold_report =
+  {
+    front_hit = false;
+    model_hit = false;
+    solve_hit = false;
+    full_hit = false;
+    warm_used = false;
+    model_fingerprint = "";
+  }
+
+(* Shared with [Cache.Store]'s instruments: the registry dedups by
+   name, so memo hits and store hits accumulate into the same lines. *)
+let m_hit = Metrics.counter "cache.hit"
+let m_miss = Metrics.counter "cache.miss"
+let m_evict = Metrics.counter "cache.evict"
+
+let obj_tag = function
+  | Ilp.Minimize_moves -> "moves"
+  | Ilp.Spill_feasibility -> "spillfeas"
+
+(* Options fingerprints.  [fp_front] covers exactly what [front_end]
+   reads; [fp_solve] covers the solver budget and gap (worker-domain
+   count and the deterministic schedule change the search path, not
+   what a returned proof means, so they are deliberately excluded --
+   a proven optimum is replayable regardless of how many domains found
+   it); [fp_alloc] covers everything else that shapes [compiled]. *)
+let fp_front (o : options) =
+  Cache.Key.combine
+    [
+      "front:v1";
+      o.entry;
+      String.concat "," (List.map string_of_int o.entry_args);
+      string_of_bool o.rematerialize;
+      string_of_bool o.verify_each;
+    ]
+
+let front_key (o : options) source =
+  Cache.Key.combine [ Cache.Key.text source; fp_front o ]
+
+let fp_solve (o : options) =
+  Cache.Key.combine
+    [
+      "solve:v1";
+      Printf.sprintf "%.17g" o.time_limit;
+      string_of_int o.node_limit;
+      Printf.sprintf "%.17g" o.rel_gap;
+    ]
+
+let fp_alloc (o : options) =
+  Cache.Key.combine
+    [
+      "alloc:v1";
+      (match o.allocator with
+      | Ilp_allocator -> "ilp"
+      | Baseline_allocator -> "baseline");
+      obj_tag o.objective;
+      fp_solve o;
+      string_of_bool o.limit_fallback;
+      string_of_bool o.validate;
+    ]
+
+(* In-process memos.  Small and process-global: the daemon's hot cache.
+   Eviction is size-capped and bumps the shared cache.evict counter. *)
+let memo_cap = 8
+
+let memo_front : (string, front) Hashtbl.t = Hashtbl.create 8
+
+type model_entry = {
+  me_graph : Ident.t Ixp.Flowgraph.t; (* identity guard, see below *)
+  me_mg : Modelgen.t;
+  me_ilp : Ilp.t;
+  me_fp : string;
+}
+
+let memo_model : (string, model_entry) Hashtbl.t = Hashtbl.create 8
+let memo_full : (string, compiled * cache_report) Hashtbl.t = Hashtbl.create 8
+
+let memo_trim (tbl : (string, 'a) Hashtbl.t) =
+  let excess = Hashtbl.length tbl - memo_cap in
+  if excess > 0 then begin
+    let keys = Hashtbl.fold (fun k _ acc -> k :: acc) tbl [] in
+    List.iteri
+      (fun i k ->
+        if i < excess then begin
+          Hashtbl.remove tbl k;
+          Metrics.incr m_evict
+        end)
+      keys
+  end
+
+(* Reset the in-process memos (tests; `novac serve` cache control). *)
+let clear_memos () =
+  Hashtbl.reset memo_front;
+  Hashtbl.reset memo_model;
+  Hashtbl.reset memo_full
+
+(* ---------------- solve artifacts ---------------- *)
+
+let status_to_string = function
+  | Lp.Mip.Optimal -> "optimal"
+  | Lp.Mip.Limit -> "limit"
+  | Lp.Mip.Infeasible -> "infeasible"
+
+let solve_artifact_of_result ~names (r : Lp.Mip.result) : Json.t =
+  Json.Obj
+    [
+      ("status", Json.Str (status_to_string r.Lp.Mip.status));
+      ("objective", Json.Num r.Lp.Mip.objective);
+      ("best_bound", Json.Num r.Lp.Mip.stats.Lp.Mip.best_bound);
+      ("nodes", Json.Num (float_of_int r.Lp.Mip.stats.Lp.Mip.nodes));
+      ( "iters",
+        Json.Num (float_of_int r.Lp.Mip.stats.Lp.Mip.simplex_iterations) );
+      ("root_time", Json.Num r.Lp.Mip.stats.Lp.Mip.root_time);
+      ("total_time", Json.Num r.Lp.Mip.stats.Lp.Mip.total_time);
+      ("root_objective", Json.Num r.Lp.Mip.stats.Lp.Mip.root_objective);
+      ("solution", Modelhash.solution_to_json ~names r.Lp.Mip.solution);
+      ("ws", Modelhash.ws_to_json ~names r.Lp.Mip.ws_out);
+    ]
+
+let num_field doc name ~default =
+  match Json.member name doc with
+  | Some v -> Option.value ~default (Json.to_float v)
+  | None -> default
+
+(* Rebuild an [Ilp.solution] from a stored artifact, or refuse.  The
+   mapped solution must be feasible on this instance and reproduce the
+   stored objective -- anything else means the artifact belongs to a
+   different model than the fingerprint claimed. *)
+let replay_solve (ilp : Ilp.t) ~index (doc : Json.t) :
+    (Ilp.solution, [ `Infeasible | `Limit ]) result option =
+  let p = ilp.Ilp.instance.Ampl.Model.problem in
+  let status =
+    Option.bind (Json.member "status" doc) Json.to_string
+    |> Option.value ~default:""
+  in
+  match status with
+  | "infeasible" -> Some (Error `Infeasible)
+  | "limit-no-incumbent" -> Some (Error `Limit)
+  | "optimal" | "limit" -> (
+      match
+        Option.bind (Json.member "solution" doc)
+          (Modelhash.solution_of_json ~index ~n:(Lp.Problem.num_vars p))
+      with
+      | None -> None
+      | Some x ->
+          let stored_obj = num_field doc "objective" ~default:nan in
+          let obj = Lp.Problem.objective_value p x in
+          if
+            (not (Lp.Problem.check_feasible p x))
+            || Float.is_nan stored_obj
+            || Float.abs (obj -. stored_obj)
+               > 1e-6 *. (1. +. Float.abs stored_obj)
+          then None
+          else begin
+            let ws_out =
+              match Json.member "ws" doc with
+              | Some w -> Modelhash.ws_of_json ~index w
+              | None -> Lp.Mip.no_warm_start
+            in
+            let stats =
+              {
+                Lp.Mip.default_stats with
+                Lp.Mip.nodes = int_of_float (num_field doc "nodes" ~default:0.);
+                simplex_iterations =
+                  int_of_float (num_field doc "iters" ~default:0.);
+                root_time = num_field doc "root_time" ~default:0.;
+                total_time = num_field doc "total_time" ~default:0.;
+                root_objective = num_field doc "root_objective" ~default:nan;
+                best_bound = num_field doc "best_bound" ~default:stored_obj;
+                incumbent_source = "cache";
+              }
+            in
+            let result =
+              {
+                Lp.Mip.status =
+                  (if status = "optimal" then Lp.Mip.Optimal else Lp.Mip.Limit);
+                objective = stored_obj;
+                solution = x;
+                stats;
+                ws_out;
+              }
+            in
+            Some (Ok { Ilp.assignment = x; result; ilp })
+          end)
+  | _ -> None
+
+(* ---------------- the cached model+solve hook ---------------- *)
+
+let cached_model_solve ~(store : Cache.Store.t) ~file ~key_front
+    ~(report_model_hit : unit -> unit) ~(report_solve_hit : unit -> unit)
+    ~(report_warm : unit -> unit) ~(report_fp : string -> unit)
+    (options : options) : model_solve =
+ fun ~variant graph ->
+  (* model stage: memo keyed by (front key, variant, objective); the
+     stored entry is only valid for the very front object it was built
+     from (ident stamps!), so a physical-identity guard backs the key *)
+  let mk = Cache.Key.combine [ key_front; variant; obj_tag options.objective ] in
+  let entry =
+    match Hashtbl.find_opt memo_model mk with
+    | Some e when e.me_graph == graph ->
+        report_model_hit ();
+        Metrics.incr m_hit;
+        e
+    | _ ->
+        Metrics.incr m_miss;
+        let mg = build_variant ~variant graph in
+        let ilp =
+          Trace.with_span "ilp-build" (fun () ->
+              Ilp.build ~objective_mode:options.objective mg)
+        in
+        let fp =
+          Trace.with_span "model-fingerprint" (fun () ->
+              Modelhash.fingerprint ilp.Ilp.instance.Ampl.Model.problem)
+        in
+        let e = { me_graph = graph; me_mg = mg; me_ilp = ilp; me_fp = fp } in
+        Hashtbl.replace memo_model mk e;
+        memo_trim memo_model;
+        let st = Lp.Problem.stats ilp.Ilp.instance.Ampl.Model.problem in
+        Cache.Store.store store ~stage:"model" ~key:mk
+          (Json.Obj
+             [
+               ("fingerprint", Json.Str fp);
+               ("vars", Json.Num (float_of_int st.Lp.Problem.n_vars));
+               ("rows", Json.Num (float_of_int st.Lp.Problem.n_rows));
+             ]);
+        e
+  in
+  report_fp entry.me_fp;
+  let ilp = entry.me_ilp in
+  let problem = ilp.Ilp.instance.Ampl.Model.problem in
+  let names = Modelhash.canonical_names problem in
+  let index = Modelhash.index_of_canonical names in
+  let key_solve =
+    Cache.Key.combine [ "solve:v1"; entry.me_fp; fp_solve options ]
+  in
+  let head_name =
+    Printf.sprintf "solve-%s-%s-%s" file variant (obj_tag options.objective)
+  in
+  let live () =
+    (* warm start from the previous solve of this target, if any *)
+    let warm =
+      match Cache.Store.head store ~name:head_name with
+      | Some prev_key when prev_key <> key_solve -> (
+          match Cache.Store.lookup store ~stage:"solve" ~key:prev_key with
+          | Some doc -> (
+              match Json.member "ws" doc with
+              | Some w -> Modelhash.ws_of_json ~index w
+              | None -> Lp.Mip.no_warm_start)
+          | None -> Lp.Mip.no_warm_start)
+      | _ -> Lp.Mip.no_warm_start
+    in
+    let solved =
+      Trace.with_span "solve" (fun () ->
+          Ilp.solve ~time_limit:options.time_limit
+            ~node_limit:options.node_limit ~rel_gap:options.rel_gap
+            ~domains:options.solver_domains
+            ~deterministic:options.solver_deterministic ~warm ilp)
+    in
+    let artifact =
+      match solved with
+      | Ok sol ->
+          if sol.Ilp.result.Lp.Mip.stats.Lp.Mip.warm_start_used then
+            report_warm ();
+          Some (solve_artifact_of_result ~names sol.Ilp.result)
+      | Error `Infeasible ->
+          Some (Json.Obj [ ("status", Json.Str "infeasible") ])
+      | Error `Limit ->
+          (* budget exhausted with no incumbent: cache the outcome so an
+             identical budget is not re-burned, but leave no head (there
+             is nothing to warm-start from) *)
+          Some (Json.Obj [ ("status", Json.Str "limit-no-incumbent") ])
+    in
+    Option.iter
+      (fun doc ->
+        Cache.Store.store store ~stage:"solve" ~key:key_solve doc;
+        match solved with
+        | Ok _ -> Cache.Store.set_head store ~name:head_name ~key:key_solve
+        | Error _ -> ())
+      artifact;
+    (entry.me_mg, solved)
+  in
+  match Cache.Store.lookup store ~stage:"solve" ~key:key_solve with
+  | Some doc -> (
+      match replay_solve ilp ~index doc with
+      | Some solved ->
+          report_solve_hit ();
+          (entry.me_mg, solved)
+      | None ->
+          (* fingerprint collision or corrupt artifact: solve live *)
+          live ())
+  | None -> live ()
+
+(* ---------------- entry point ---------------- *)
+
+let compile_incremental ?(options = default_options) ?store ~file source :
+    compiled * cache_report =
+  let store =
+    match store with Some s -> s | None -> Cache.Store.create ()
+  in
+  Trace.with_span "compile-incremental" ~args:[ ("file", Trace.Str file) ]
+  @@ fun () ->
+  let kf = front_key options source in
+  let kfull = Cache.Key.combine [ kf; fp_alloc options ] in
+  match Hashtbl.find_opt memo_full kfull with
+  | Some (c, r) ->
+      Metrics.incr m_hit;
+      ( c,
+        {
+          r with
+          front_hit = true;
+          model_hit = true;
+          solve_hit = true;
+          full_hit = true;
+          warm_used = false;
+        } )
+  | None ->
+      Metrics.incr m_miss;
+      let front_hit = ref false
+      and model_hit = ref false
+      and solve_hit = ref false
+      and warm_used = ref false
+      and model_fp = ref "" in
+      let front =
+        match Hashtbl.find_opt memo_front kf with
+        | Some f ->
+            front_hit := true;
+            Metrics.incr m_hit;
+            f
+        | None ->
+            Metrics.incr m_miss;
+            let f =
+              front_end ~entry:options.entry ~entry_args:options.entry_args
+                ~rematerialize:options.rematerialize
+                ~verify_each:options.verify_each ~file source
+            in
+            Hashtbl.replace memo_front kf f;
+            memo_trim memo_front;
+            (* provenance stamp: front IR itself is memo-only *)
+            Cache.Store.store store ~stage:"front" ~key:kf
+              (Json.Obj
+                 [
+                   ("file", Json.Str file);
+                   ( "cps_size",
+                     Json.Num (float_of_int (Cps.Ir.size f.f_term)) );
+                   ( "blocks",
+                     Json.Num
+                       (float_of_int (Ixp.Flowgraph.num_blocks f.f_graph)) );
+                 ]);
+            f
+      in
+      let model_solve =
+        cached_model_solve ~store ~file ~key_front:kf
+          ~report_model_hit:(fun () -> model_hit := true)
+          ~report_solve_hit:(fun () -> solve_hit := true)
+          ~report_warm:(fun () -> warm_used := true)
+          ~report_fp:(fun fp -> model_fp := fp)
+          options
+      in
+      let compiled = allocate_with ~model_solve options front in
+      let report =
+        {
+          front_hit = !front_hit;
+          model_hit = !model_hit;
+          solve_hit = !solve_hit;
+          full_hit = false;
+          warm_used = !warm_used;
+          model_fingerprint = !model_fp;
+        }
+      in
+      Hashtbl.replace memo_full kfull (compiled, report);
+      memo_trim memo_full;
+      (compiled, report)
 
 (* Static-analysis lint over a compiled program: cross-context races,
    machine-level validation, dead stores (see [Analysis.Lint]), plus the

@@ -743,10 +743,11 @@ type solution = {
 }
 
 let solve ?(time_limit = 300.) ?(node_limit = 500_000) ?(rel_gap = 1e-4)
-    ?(domains = 1) ?(deterministic = false) (ilp : t) =
+    ?(domains = 1) ?(deterministic = false)
+    ?(warm = Lp.Mip.no_warm_start) (ilp : t) =
   let result =
     Lp.Mip.solve ~time_limit ~node_limit ~rel_gap ~domains ~deterministic
-      ilp.instance.M.problem
+      ~warm ilp.instance.M.problem
   in
   match result.Lp.Mip.status with
   | Lp.Mip.Infeasible -> Error `Infeasible

@@ -1,0 +1,235 @@
+(* Canonical naming and structural fingerprinting of ILP instances, for
+   the incremental-compilation cache.
+
+   Two compiles of the *same* source in one process build the same model
+   up to renaming: [Ident] stamps come from a global counter, so the
+   variable names ("Before[12,x_345,A]") embed process-lifetime stamps,
+   and because the AMPL [Dataset] orders tuples by string compare of
+   those names, the *index order* of variables and rows drifts with the
+   stamps too.  Cache artifacts therefore cannot be keyed by raw names
+   or indices.
+
+   This module restores a canonical view:
+
+     - [canonical_names] rank-normalizes the stamps: every `_<digits>`
+       run that ends an ident atom inside a variable name is replaced by
+       `_s<rank>`, where ranks are assigned by ascending stamp value
+       across the whole problem.  Equal models (up to stamp renaming)
+       get equal canonical names for corresponding variables.
+
+     - [fingerprint] hashes the model *structurally* and
+       order-insensitively ([Cache.Key.fold_*]): one digest per variable
+       (canonical name, bounds, objective coefficient, integrality) and
+       one per row (sense, rhs, terms sorted by canonical name), summed.
+       Equal models hash equal no matter the instantiation order.
+
+     - [solution_to_json]/[solution_of_json] and
+       [ws_to_json]/[ws_of_json] persist solutions and warm-start data
+       keyed by canonical name, so a value saved by one compile can be
+       mapped onto the (differently indexed) instance of the next. *)
+
+open Support
+module P = Lp.Problem
+
+(* [rewrite_stamps name ranks] replaces each stamp run `_<digits>`
+   (underscore + digits immediately followed by an atom delimiter:
+   ',', ']', or end of string) with `_s<rank>`.  When [ranks] is [None]
+   the stamp values are collected into the returned list instead. *)
+let scan_name name ~(rank : (int -> int) option) =
+  let n = String.length name in
+  let buf = if rank = None then None else Some (Buffer.create (n + 8)) in
+  let stamps = ref [] in
+  let emit_char c = Option.iter (fun b -> Buffer.add_char b c) buf in
+  let emit_str s = Option.iter (fun b -> Buffer.add_string b s) buf in
+  let i = ref 0 in
+  while !i < n do
+    let c = name.[!i] in
+    if c = '_' then begin
+      (* measure the digit run after the underscore *)
+      let j = ref (!i + 1) in
+      while !j < n && name.[!j] >= '0' && name.[!j] <= '9' do incr j done;
+      let is_stamp =
+        !j > !i + 1 && (!j = n || name.[!j] = ',' || name.[!j] = ']')
+      in
+      if is_stamp then begin
+        let v = int_of_string (String.sub name (!i + 1) (!j - !i - 1)) in
+        (match rank with
+        | None -> stamps := v :: !stamps
+        | Some r -> emit_str (Printf.sprintf "_s%d" (r v)));
+        i := !j
+      end
+      else begin
+        emit_char c;
+        incr i
+      end
+    end
+    else begin
+      emit_char c;
+      incr i
+    end
+  done;
+  match buf with Some b -> Either.Left (Buffer.contents b) | None -> Either.Right !stamps
+
+let canonical_names (p : P.t) : string array =
+  let n = P.num_vars p in
+  (* pass 1: collect every stamp value *)
+  let seen = Hashtbl.create 256 in
+  for j = 0 to n - 1 do
+    match scan_name (P.var_name p j) ~rank:None with
+    | Either.Right stamps ->
+        List.iter (fun s -> Hashtbl.replace seen s ()) stamps
+    | Either.Left _ -> ()
+  done;
+  let sorted =
+    Hashtbl.fold (fun s () acc -> s :: acc) seen [] |> List.sort Int.compare
+  in
+  let ranks = Hashtbl.create (List.length sorted) in
+  List.iteri (fun i s -> Hashtbl.replace ranks s i) sorted;
+  let rank s = try Hashtbl.find ranks s with Not_found -> -1 in
+  Array.init n (fun j ->
+      match scan_name (P.var_name p j) ~rank:(Some rank) with
+      | Either.Left s -> s
+      | Either.Right _ -> assert false)
+
+let index_of_canonical (names : string array) : (string, int) Hashtbl.t =
+  let tbl = Hashtbl.create (Array.length names) in
+  Array.iteri (fun j name -> Hashtbl.replace tbl name j) names;
+  tbl
+
+let fnum f = Printf.sprintf "%.17g" f
+
+(* Order-insensitive structural hash of the whole instance. *)
+let fingerprint (p : P.t) : Cache.Key.t =
+  let names = canonical_names p in
+  let acc = Cache.Key.fold_create () in
+  for j = 0 to P.num_vars p - 1 do
+    Cache.Key.fold_add acc
+      (Printf.sprintf "v|%s|%s|%s|%s|%b" names.(j)
+         (fnum (P.var_lo p j))
+         (fnum (P.var_hi p j))
+         (fnum (P.var_obj p j))
+         (P.var_integer p j))
+  done;
+  P.iter_rows
+    (fun r ->
+      let sense =
+        match r.P.sense with P.Le -> "<=" | P.Ge -> ">=" | P.Eq -> "="
+      in
+      let terms =
+        List.map (fun (v, c) -> (names.(v), c)) r.P.terms
+        |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+      in
+      let buf = Buffer.create 128 in
+      Buffer.add_string buf "r|";
+      Buffer.add_string buf sense;
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (fnum r.P.rhs);
+      List.iter
+        (fun (name, c) ->
+          Buffer.add_char buf '|';
+          Buffer.add_string buf name;
+          Buffer.add_char buf '*';
+          Buffer.add_string buf (fnum c))
+        terms;
+      Cache.Key.fold_add acc (Buffer.contents buf))
+    p;
+  Cache.Key.fold_digest acc
+
+(* ---------------- solution / warm-start serialization ---------------- *)
+
+(* A solution is stored sparsely: canonical name -> value, nonzeros
+   only.  Reconstruction fills unmentioned variables with 0. *)
+let solution_to_json ~(names : string array) (x : float array) : Json.t =
+  let fields = ref [] in
+  for j = Array.length x - 1 downto 0 do
+    if Float.abs x.(j) > 1e-9 then
+      fields := (names.(j), Json.Num x.(j)) :: !fields
+  done;
+  Json.Obj !fields
+
+let solution_of_json ~(index : (string, int) Hashtbl.t) ~(n : int)
+    (doc : Json.t) : float array option =
+  match doc with
+  | Json.Obj fields ->
+      let x = Array.make n 0. in
+      let ok = ref true in
+      List.iter
+        (fun (name, v) ->
+          match (Hashtbl.find_opt index name, Json.to_float v) with
+          | Some j, Some f -> x.(j) <- f
+          | _ ->
+              (* a stored name absent from this instance means the model
+                 is not actually identical: refuse rather than replay *)
+              ok := false)
+        fields;
+      if !ok then Some x else None
+  | _ -> None
+
+(* Warm-start data tolerates partial mapping by design (the model has
+   changed; that is why it is a warm start and not a replay): unknown
+   names are skipped, known ones become hints on this instance's
+   indices. *)
+let ws_to_json ~(names : string array) (ws : Lp.Mip.warm_start) : Json.t =
+  let name_of j =
+    if j >= 0 && j < Array.length names then Some names.(j) else None
+  in
+  Json.Obj
+    [
+      ( "values",
+        Json.Obj
+          (List.filter_map
+             (fun (j, v) ->
+               Option.map (fun nm -> (nm, Json.Num v)) (name_of j))
+             ws.Lp.Mip.ws_values) );
+      ( "pc",
+        Json.Obj
+          (List.filter_map
+             (fun (j, (sd, cd, su, cu)) ->
+               Option.map
+                 (fun nm ->
+                   ( nm,
+                     Json.Arr
+                       [
+                         Json.Num sd;
+                         Json.Num (float_of_int cd);
+                         Json.Num su;
+                         Json.Num (float_of_int cu);
+                       ] ))
+                 (name_of j))
+             ws.Lp.Mip.ws_pseudocosts) );
+    ]
+
+let ws_of_json ~(index : (string, int) Hashtbl.t) (doc : Json.t) :
+    Lp.Mip.warm_start =
+  let values =
+    match Json.member "values" doc with
+    | Some (Json.Obj fields) ->
+        List.filter_map
+          (fun (name, v) ->
+            match (Hashtbl.find_opt index name, Json.to_float v) with
+            | Some j, Some f -> Some (j, f)
+            | _ -> None)
+          fields
+    | _ -> []
+  in
+  let pc =
+    match Json.member "pc" doc with
+    | Some (Json.Obj fields) ->
+        List.filter_map
+          (fun (name, v) ->
+            match (Hashtbl.find_opt index name, v) with
+            | Some j, Json.Arr [ a; b; c; d ] -> (
+                match
+                  ( Json.to_float a,
+                    Json.to_float b,
+                    Json.to_float c,
+                    Json.to_float d )
+                with
+                | Some sd, Some cd, Some su, Some cu ->
+                    Some (j, (sd, int_of_float cd, su, int_of_float cu))
+                | _ -> None)
+            | _ -> None)
+          fields
+    | _ -> []
+  in
+  { Lp.Mip.ws_values = values; ws_pseudocosts = pc }

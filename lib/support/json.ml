@@ -1,10 +1,12 @@
-(* Minimal JSON: a value type, a recursive-descent parser and accessors.
+(* Minimal JSON: a value type, a recursive-descent parser, a writer and
+   accessors.
 
-   This exists so the benchmark gate can read its checked-in baseline
-   and the tests can validate the trace exporter without adding a JSON
-   dependency to the build.  It accepts standard JSON (RFC 8259); the
-   only liberty taken is that numbers are always represented as OCaml
-   floats. *)
+   This exists so the benchmark gate can read its checked-in baseline,
+   the artifact cache and the compile service can persist/exchange
+   structured data, and the tests can validate the trace exporter --
+   all without adding a JSON dependency to the build.  It accepts
+   standard JSON (RFC 8259); the only liberty taken is that numbers are
+   always represented as OCaml floats. *)
 
 type t =
   | Null
@@ -176,6 +178,67 @@ let parse s =
   | v -> Ok v
   | exception Parse_error msg -> Error msg
 
+(* ---------------- writer ---------------- *)
+
+let buf_escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+(* JSON has no NaN/Infinity literals; clamp so the output always parses
+   (mirroring the trace exporter's convention). *)
+let buf_num buf f =
+  if Float.is_nan f then Buffer.add_string buf "null"
+  else if f = infinity then Buffer.add_string buf "1e308"
+  else if f = neg_infinity then Buffer.add_string buf "-1e308"
+  else if Float.is_integer f && Float.abs f < 1e15 then
+    Buffer.add_string buf (Printf.sprintf "%.0f" f)
+  else Buffer.add_string buf (Printf.sprintf "%.17g" f)
+
+let rec buf_value buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (string_of_bool b)
+  | Num f -> buf_num buf f
+  | Str s ->
+      Buffer.add_char buf '"';
+      buf_escape buf s;
+      Buffer.add_char buf '"'
+  | Arr xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          buf_value buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj fields ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          buf_escape buf k;
+          Buffer.add_string buf "\":";
+          buf_value buf v)
+        fields;
+      Buffer.add_char buf '}'
+
+(* [encode] rather than [to_string]: the latter is the [Str] accessor
+   below, kept under its historical name. *)
+let encode (v : t) : string =
+  let buf = Buffer.create 256 in
+  buf_value buf v;
+  Buffer.contents buf
+
 (* ---------------- accessors ---------------- *)
 
 let member key = function
@@ -185,6 +248,7 @@ let member key = function
 let to_list = function Arr xs -> Some xs | _ -> None
 let to_float = function Num f -> Some f | _ -> None
 let to_string = function Str s -> Some s | _ -> None
+let to_bool = function Bool b -> Some b | _ -> None
 
 let to_int = function
   | Num f when Float.is_integer f -> Some (int_of_float f)

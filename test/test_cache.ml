@@ -1,0 +1,260 @@
+(* Tests for the incremental-compilation layer: content-hash keys,
+   the two-tier artifact store, model fingerprint stability, and the
+   stage-invalidation behavior of [Regalloc.Driver.compile_incremental]
+   (a source edit must invalidate exactly the downstream stages). *)
+
+let check = Alcotest.check
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+(* ---------------- keys ---------------- *)
+
+let test_key_determinism () =
+  let src = "fun main () : word { 1 + 2 }" in
+  checks "identical text, identical key" (Cache.Key.text src)
+    (Cache.Key.text src);
+  checkb "one-token edit changes the key" false
+    (Cache.Key.text src = Cache.Key.text "fun main () : word { 1 + 3 }");
+  checks "combine is deterministic"
+    (Cache.Key.combine [ "a"; "bc" ])
+    (Cache.Key.combine [ "a"; "bc" ]);
+  (* length-prefixing: part boundaries matter, not just the concatenation *)
+  checkb "combine separates parts" false
+    (Cache.Key.combine [ "ab"; "c" ] = Cache.Key.combine [ "a"; "bc" ])
+
+let test_key_fold_order_insensitive () =
+  let digest_of parts =
+    let acc = Cache.Key.fold_create () in
+    List.iter (fun s -> Cache.Key.fold_add acc (Cache.Key.text s)) parts;
+    Cache.Key.fold_digest acc
+  in
+  checks "fold is order-insensitive"
+    (digest_of [ "x"; "y"; "z" ])
+    (digest_of [ "z"; "x"; "y" ]);
+  checkb "fold distinguishes contents" false
+    (digest_of [ "x"; "y" ] = digest_of [ "x"; "z" ])
+
+(* ---------------- store ---------------- *)
+
+let fresh_dir =
+  let n = ref 0 in
+  fun () ->
+    incr n;
+    let dir =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "novac-test-cache-%d-%d" (Unix.getpid ()) !n)
+    in
+    dir
+
+let test_store_roundtrip () =
+  let store = Cache.Store.create ~dir:(fresh_dir ()) () in
+  let key = Cache.Key.text "some input" in
+  checkb "miss before store" true
+    (Cache.Store.lookup store ~stage:"solve" ~key = None);
+  let doc = Support.Json.Obj [ ("answer", Support.Json.Num 42.) ] in
+  Cache.Store.store store ~stage:"solve" ~key doc;
+  (match Cache.Store.lookup store ~stage:"solve" ~key with
+  | Some d ->
+      checkb "roundtrip value" true
+        (Option.bind (Support.Json.member "answer" d) Support.Json.to_float
+        = Some 42.)
+  | None -> Alcotest.fail "stored artifact not found");
+  (* stages are namespaced: the same key under another stage misses *)
+  checkb "stage namespacing" true
+    (Cache.Store.lookup store ~stage:"model" ~key = None);
+  (* survives a memory clear (disk tier) *)
+  Cache.Store.clear_memory store;
+  checkb "disk tier survives memory clear" true
+    (Cache.Store.lookup store ~stage:"solve" ~key <> None)
+
+let test_store_eviction () =
+  let store =
+    Cache.Store.create ~dir:(fresh_dir ()) ~mem_entries:4 ~disk_entries:4 ()
+  in
+  for i = 1 to 12 do
+    Cache.Store.store store ~stage:"s"
+      ~key:(Cache.Key.text (string_of_int i))
+      (Support.Json.Num (float_of_int i))
+  done;
+  let present = ref 0 in
+  for i = 1 to 12 do
+    if
+      Cache.Store.lookup store ~stage:"s"
+        ~key:(Cache.Key.text (string_of_int i))
+      <> None
+    then incr present
+  done;
+  checkb "eviction keeps the store within its cap" true (!present <= 8);
+  checkb "the newest entry survives" true
+    (Cache.Store.lookup store ~stage:"s" ~key:(Cache.Key.text "12") <> None)
+
+let test_store_head_pointer () =
+  let store = Cache.Store.create ~dir:(fresh_dir ()) () in
+  checkb "no head initially" true (Cache.Store.head store ~name:"h" = None);
+  Cache.Store.set_head store ~name:"h" ~key:"k1";
+  checkb "head set" true (Cache.Store.head store ~name:"h" = Some "k1");
+  Cache.Store.set_head store ~name:"h" ~key:"k2";
+  checkb "head moves" true (Cache.Store.head store ~name:"h" = Some "k2")
+
+(* ---------------- model fingerprints ---------------- *)
+
+let small_src =
+  {|
+fun main () : word {
+  let (a, b, c, d) = sram(100);
+  var acc = 0;
+  var i = 0;
+  while (i < 3) {
+    acc := acc + a + b - c;
+    i := i + 1;
+  }
+  sram(200) <- (acc, d);
+  acc + d
+}
+|}
+
+(* [small_src] with one token added to the result expression ("+ a"):
+   this stretches [a]'s live range across the stores to the very end of
+   the program, so the allocation model itself changes.  (Note that a
+   mere opcode flip like "- c" -> "+ c" would NOT change the model: the
+   ILP sees operands, liveness and program points, not instruction
+   semantics, and the cache is correct to reuse the solve.) *)
+let small_src_semantic_edit =
+  {|
+fun main () : word {
+  let (a, b, c, d) = sram(100);
+  var acc = 0;
+  var i = 0;
+  while (i < 3) {
+    acc := acc + a + b - c;
+    i := i + 1;
+  }
+  sram(200) <- (acc, d);
+  acc + d + a
+}
+|}
+
+let build_problem source =
+  let f =
+    Regalloc.Driver.front_end ~entry:"main" ~entry_args:[]
+      ~rematerialize:false ~verify_each:false ~file:"test.nova" source
+  in
+  let mg = Regalloc.Modelgen.build f.Regalloc.Driver.f_graph in
+  let ilp = Regalloc.Ilp.build mg in
+  ilp.Regalloc.Ilp.instance.Ampl.Model.problem
+
+let test_fingerprint_stability () =
+  (* two builds of the same source in one process draw entirely different
+     ident stamps; the canonical fingerprint must agree anyway *)
+  let p1 = build_problem small_src in
+  let p2 = build_problem small_src in
+  checks "same source, same fingerprint" (Regalloc.Modelhash.fingerprint p1)
+    (Regalloc.Modelhash.fingerprint p2);
+  (* a trailing comment is trivia: same model, same fingerprint *)
+  let p3 = build_problem (small_src ^ "\n// trailing comment\n") in
+  checks "comment-only edit keeps the fingerprint"
+    (Regalloc.Modelhash.fingerprint p1)
+    (Regalloc.Modelhash.fingerprint p3);
+  (* a semantic edit changes the model *)
+  let p4 = build_problem small_src_semantic_edit in
+  checkb "semantic edit changes the fingerprint" false
+    (Regalloc.Modelhash.fingerprint p1 = Regalloc.Modelhash.fingerprint p4);
+  (* canonical names are a stable, duplicate-free relabeling *)
+  let n1 = Regalloc.Modelhash.canonical_names p1 in
+  let n2 = Regalloc.Modelhash.canonical_names p2 in
+  let sorted a =
+    let c = Array.copy a in
+    Array.sort String.compare c;
+    c
+  in
+  checkb "canonical name sets agree across builds" true
+    (sorted n1 = sorted n2);
+  let module S = Set.Make (String) in
+  checki "canonical names are unique"
+    (Array.length n1)
+    (S.cardinal (S.of_list (Array.to_list n1)))
+
+(* ---------------- stage invalidation through the driver ---------------- *)
+
+let fast_options =
+  { Regalloc.Driver.default_options with time_limit = 60.; node_limit = 4096 }
+
+let compile_inc ?(options = fast_options) store src =
+  Regalloc.Driver.compile_incremental ~options ~store ~file:"test.nova" src
+
+let test_stage_invalidation () =
+  Regalloc.Driver.clear_memos ();
+  let store = Cache.Store.create ~dir:(fresh_dir ()) () in
+  (* cold compile: every stage misses *)
+  let c0, r0 = compile_inc store small_src in
+  checkb "cold: no front hit" false r0.Regalloc.Driver.front_hit;
+  checkb "cold: no solve hit" false r0.Regalloc.Driver.solve_hit;
+  checkb "cold: no full hit" false r0.Regalloc.Driver.full_hit;
+  checkb "cold: fingerprint reported" true
+    (r0.Regalloc.Driver.model_fingerprint <> "");
+  (* identical source: pure full-compile hit, nothing recomputed *)
+  let _, r1 = compile_inc store small_src in
+  checkb "no-op: full hit" true r1.Regalloc.Driver.full_hit;
+  (* in-process memos dropped (a fresh daemon, say): the front re-runs,
+     the model is rebuilt, but the solve replays from disk *)
+  Regalloc.Driver.clear_memos ();
+  let c2, r2 = compile_inc store small_src in
+  checkb "fresh memos: no full hit" false r2.Regalloc.Driver.full_hit;
+  checkb "fresh memos: solve replays from disk" true
+    r2.Regalloc.Driver.solve_hit;
+  checks "fresh memos: same fingerprint" r0.Regalloc.Driver.model_fingerprint
+    r2.Regalloc.Driver.model_fingerprint;
+  check (Alcotest.float 1e-6) "fresh memos: same move cost"
+    c0.Regalloc.Driver.stats.Regalloc.Driver.weighted_move_cost
+    c2.Regalloc.Driver.stats.Regalloc.Driver.weighted_move_cost;
+  (* comment-only edit: front invalidated, model fingerprint unchanged,
+     solve replays *)
+  let c3, r3 = compile_inc store (small_src ^ "\n// edited\n") in
+  checkb "comment edit: no front hit" false r3.Regalloc.Driver.front_hit;
+  checkb "comment edit: no full hit" false r3.Regalloc.Driver.full_hit;
+  checkb "comment edit: solve replays" true r3.Regalloc.Driver.solve_hit;
+  check (Alcotest.float 1e-6) "comment edit: same move cost"
+    c0.Regalloc.Driver.stats.Regalloc.Driver.weighted_move_cost
+    c3.Regalloc.Driver.stats.Regalloc.Driver.weighted_move_cost;
+  (* solver-option edit (rel_gap): the model is untouched -- the memoized
+     front and model are reused -- but the solve key changes *)
+  let opt_gap = { fast_options with rel_gap = 0.25 } in
+  let _, r4 = compile_inc ~options:opt_gap store (small_src ^ "\n// edited\n") in
+  checkb "rel_gap change: front memo survives" true
+    r4.Regalloc.Driver.front_hit;
+  checkb "rel_gap change: model memo survives" true
+    r4.Regalloc.Driver.model_hit;
+  checkb "rel_gap change: solve re-runs" false r4.Regalloc.Driver.solve_hit;
+  (* semantic one-token edit: model fingerprint changes, solve re-runs *)
+  let _, r5 = compile_inc store small_src_semantic_edit in
+  checkb "semantic edit: no front hit" false r5.Regalloc.Driver.front_hit;
+  checkb "semantic edit: solve re-runs" false r5.Regalloc.Driver.solve_hit;
+  checkb "semantic edit: new fingerprint" false
+    (r5.Regalloc.Driver.model_fingerprint
+    = r0.Regalloc.Driver.model_fingerprint)
+
+let suites =
+  [
+    ( "cache.key",
+      [
+        Alcotest.test_case "content hashing" `Quick test_key_determinism;
+        Alcotest.test_case "order-insensitive fold" `Quick
+          test_key_fold_order_insensitive;
+      ] );
+    ( "cache.store",
+      [
+        Alcotest.test_case "roundtrip + tiers" `Quick test_store_roundtrip;
+        Alcotest.test_case "eviction" `Quick test_store_eviction;
+        Alcotest.test_case "head pointers" `Quick test_store_head_pointer;
+      ] );
+    ( "cache.fingerprint",
+      [
+        Alcotest.test_case "stability across builds" `Quick
+          test_fingerprint_stability;
+      ] );
+    ( "cache.driver",
+      [
+        Alcotest.test_case "stage invalidation" `Quick test_stage_invalidation;
+      ] );
+  ]

@@ -572,6 +572,58 @@ let test_bb_deterministic_nodes () =
   checki "simplex iterations reproduce" a.Mip.stats.Mip.simplex_iterations
     b.Mip.stats.Mip.simplex_iterations
 
+(* Warm starts: re-solving a slightly edited instance seeded with the
+   previous solve's solution and pseudocost history must prove exactly
+   the objective a cold solve of the edited instance proves, and must
+   report its bookkeeping honestly ([warm_start_used],
+   [incumbent_source]).  The edit bumps a few objective coefficients, so
+   the previous solution stays feasible and the seed can land. *)
+let test_mip_warm_start_equivalence () =
+  List.iter
+    (fun seed ->
+      let cold = Mip.solve ~cuts:false ~rel_gap:0. (seeded_cover_mip seed) in
+      checkb
+        (Printf.sprintf "seed %d: baseline optimal" seed)
+        true
+        (cold.Mip.status = Mip.Optimal);
+      checkb
+        (Printf.sprintf "seed %d: cold solve not warm-started" seed)
+        false cold.Mip.stats.Mip.warm_start_used;
+      checkb
+        (Printf.sprintf "seed %d: cold solve exports hints" seed)
+        true
+        (cold.Mip.ws_out.Mip.ws_values <> []);
+      let edited () =
+        let p = seeded_cover_mip seed in
+        let st = Random.State.make [| (seed * 7) + 1 |] in
+        for _ = 1 to 3 do
+          let j = Random.State.int st (Problem.num_vars p) in
+          Problem.set_obj p j (Problem.var_obj p j +. 1.)
+        done;
+        p
+      in
+      let warm_r =
+        Mip.solve ~cuts:false ~rel_gap:0. ~warm:cold.Mip.ws_out (edited ())
+      in
+      let cold_r = Mip.solve ~cuts:false ~rel_gap:0. (edited ()) in
+      checkb
+        (Printf.sprintf "seed %d: warm solve optimal" seed)
+        true
+        (warm_r.Mip.status = Mip.Optimal);
+      check (Alcotest.float 1e-6)
+        (Printf.sprintf "seed %d: warm proves the cold objective" seed)
+        cold_r.Mip.objective warm_r.Mip.objective;
+      checkb
+        (Printf.sprintf "seed %d: warm start reported as used" seed)
+        true warm_r.Mip.stats.Mip.warm_start_used;
+      checkb
+        (Printf.sprintf "seed %d: incumbent source reported (%s)" seed
+           warm_r.Mip.stats.Mip.incumbent_source)
+        true
+        (List.mem warm_r.Mip.stats.Mip.incumbent_source
+           [ "seeded"; "heuristic"; "branch"; "presolve" ]))
+    [ 7; 21; 42; 99 ]
+
 (* Concurrent incumbent publication: under any interleaving the stored
    bound never regresses (each domain's observations are non-increasing)
    and the final value is the minimum of everything published. *)
@@ -1003,6 +1055,8 @@ let suites =
           test_bb_domains_agree;
         Alcotest.test_case "deterministic mode reproduces node counts" `Quick
           test_bb_deterministic_nodes;
+        Alcotest.test_case "warm start proves the cold objective" `Quick
+          test_mip_warm_start_equivalence;
         QCheck_alcotest.to_alcotest incumbent_publication_is_monotone;
       ] );
     ( "lp.format",

@@ -200,7 +200,7 @@ let rec rates ~full () =
   let packets = if full then 512 else 128 in
   let node_limit = if full then 400 else 60 in
   let profile = Ixp.Pktgen.Fixed 64 in
-  let workloads = if full then all else [ kasumi ] in
+  let workloads = if full then all else [ kasumi; lpm; firewall; csum; qos ] in
   let engine_counts = if full then [ 1; 2; 6 ] else [ 1; 2 ] in
   (* one load every configuration can sustain (achieved = offered, no
      drops) and one that saturates even six engines (achieved = capacity,
@@ -863,7 +863,7 @@ let pipeline_json rows =
   Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf
 
-let pipeline_workloads = [ kasumi; aes; nat ]
+let pipeline_workloads = [ kasumi; aes; nat; lpm; firewall; csum; qos ]
 
 let missing_stages r =
   List.filter
@@ -1316,7 +1316,42 @@ let verify () =
     if Ixp.Memory.peek sdram Ixp.Insn.Sdram i <> image.(i) then nok := false
   done;
   Fmt.pr "NAT packet image matches reference: %b@." !nok;
-  ok := !aok && !kok && !nok;
+  (* dataplane portfolio: generic packet-image comparison against each
+     workload's reference transform *)
+  let dataplane_ok w ~payload_len ~in_base expected =
+    let c = compile w in
+    let sim = Ixp.Simulator.create c.Regalloc.Driver.physical in
+    w.init_sim sim ~payload_len;
+    ignore (Ixp.Simulator.run_single sim);
+    let image, _ =
+      expected ~payload_len
+        ~sdram_words:Ixp.Memory.default_config.Ixp.Memory.sdram_words
+    in
+    let sdram = Ixp.Simulator.sdram_of_thread sim ~thread:0 in
+    let wok = ref true in
+    for i = in_base / 4 to ((in_base + 20 + payload_len) / 4) + 1 do
+      if Ixp.Memory.peek sdram Ixp.Insn.Sdram i <> image.(i) then wok := false
+    done;
+    Fmt.pr "%s packet image matches reference: %b@." w.name !wok;
+    !wok
+  in
+  let lok =
+    dataplane_ok lpm ~payload_len:16 ~in_base:Workloads.Lpm.in_base
+      Workloads.Lpm.expected
+  in
+  let fok =
+    dataplane_ok firewall ~payload_len:16 ~in_base:Workloads.Firewall.in_base
+      Workloads.Firewall.expected
+  in
+  let cok =
+    dataplane_ok csum ~payload_len:24 ~in_base:Workloads.Csum.in_base
+      Workloads.Csum.expected
+  in
+  let qok =
+    dataplane_ok qos ~payload_len:16 ~in_base:Workloads.Qos.in_base
+      Workloads.Qos.expected
+  in
+  ok := !aok && !kok && !nok && lok && fok && cok && qok;
   if not !ok then exit 1
 
 (* ---------------- bechamel micro-benchmarks ---------------- *)

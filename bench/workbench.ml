@@ -137,7 +137,62 @@ let nat =
         ignore (Workloads.Nat.init_payload load ~payload_len));
   }
 
-let all = [ aes; kasumi; nat ]
+(* The dataplane portfolio workloads (LPM, firewall, csum, QoS) all share
+   the NAT-shaped init interface: one SRAM table loader and one SDRAM
+   packet writer.  No paper figures — they are ours, not the paper's. *)
+let dataplane name source ~size_align ~init_tables ~init_payload =
+  {
+    name;
+    source;
+    paper_fig5 = None;
+    paper_fig6 = None;
+    paper_fig7 = None;
+    init_sim =
+      (fun sim ~payload_len ->
+        let mem = Ixp.Simulator.shared_memory sim in
+        init_tables (fun w v -> Ixp.Memory.poke mem Ixp.Insn.Sram w v);
+        let sdram = Ixp.Simulator.sdram_of_thread sim ~thread:0 in
+        ignore
+          (init_payload
+             (fun w v -> Ixp.Memory.poke sdram Ixp.Insn.Sdram w v)
+             ~payload_len));
+    init_interp =
+      (fun st ~payload_len ->
+        let mem = Cps.Interp.memory st in
+        init_tables (fun w v -> Ixp.Memory.poke mem Ixp.Insn.Sram w v);
+        ignore
+          (init_payload
+             (fun w v -> Ixp.Memory.poke mem Ixp.Insn.Sdram w v)
+             ~payload_len));
+    size_align;
+    init_chip_tables =
+      (fun mem ->
+        init_tables (fun w v -> Ixp.Memory.poke mem Ixp.Insn.Sram w v));
+    write_packet =
+      (fun load ~payload_len -> ignore (init_payload load ~payload_len));
+  }
+
+let lpm =
+  dataplane "LPM" Workloads.Lpm.source ~size_align:4
+    ~init_tables:Workloads.Lpm.init_tables
+    ~init_payload:Workloads.Lpm.init_payload
+
+let firewall =
+  dataplane "Firewall" Workloads.Firewall.source ~size_align:4
+    ~init_tables:Workloads.Firewall.init_tables
+    ~init_payload:Workloads.Firewall.init_payload
+
+let csum =
+  dataplane "Csum" Workloads.Csum.source ~size_align:8
+    ~init_tables:Workloads.Csum.init_tables
+    ~init_payload:Workloads.Csum.init_payload
+
+let qos =
+  dataplane "QoS" Workloads.Qos.source ~size_align:4
+    ~init_tables:Workloads.Qos.init_tables
+    ~init_payload:Workloads.Qos.init_payload
+
+let all = [ aes; kasumi; nat; lpm; firewall; csum; qos ]
 
 (* Compilation cache: each workload is compiled at most once per mode. *)
 let cache : (string, Regalloc.Driver.compiled) Hashtbl.t = Hashtbl.create 8

@@ -1,7 +1,7 @@
 (* novac: the Nova compiler command-line driver.
 
      novac compile FILE [--allocator ilp|baseline] [--dump PHASE] [--lint] ...
-     novac lint (FILE | --workload aes|kasumi|nat) [--allow REGION] ...
+     novac lint (FILE | --workload aes|kasumi|nat|lpm|firewall|csum|qos) [--allow REGION] ...
      novac stats FILE
      novac model FILE [-o out.lp]
 
@@ -354,7 +354,15 @@ let lint_cmd =
   let workload =
     Arg.(
       value
-      & opt (some (enum [ ("aes", `Aes); ("kasumi", `Kasumi); ("nat", `Nat) ])) None
+      & opt
+          (some
+             (enum
+                [
+                  ("aes", `Aes); ("kasumi", `Kasumi); ("nat", `Nat);
+                  ("lpm", `Lpm); ("firewall", `Firewall); ("csum", `Csum);
+                  ("qos", `Qos);
+                ]))
+          None
       & info [ "workload"; "w" ]
           ~doc:
             "Lint a built-in paper workload with its table/result whitelist \
@@ -401,6 +409,16 @@ let lint_cmd =
               ("<kasumi>", Workloads.Kasumi.source, Workloads.Kasumi.lint_regions)
           | Some `Nat, None ->
               ("<nat>", Workloads.Nat.source, Workloads.Nat.lint_regions)
+          | Some `Lpm, None ->
+              ("<lpm>", Workloads.Lpm.source, Workloads.Lpm.lint_regions)
+          | Some `Firewall, None ->
+              ( "<firewall>",
+                Workloads.Firewall.source,
+                Workloads.Firewall.lint_regions )
+          | Some `Csum, None ->
+              ("<csum>", Workloads.Csum.source, Workloads.Csum.lint_regions)
+          | Some `Qos, None ->
+              ("<qos>", Workloads.Qos.source, Workloads.Qos.lint_regions)
           | None, Some f -> (f, read_file f, [])
           | Some _, Some _ ->
               Fmt.epr "lint: give either FILE or --workload, not both@.";
@@ -441,6 +459,110 @@ let lint_cmd =
           unreachable-code lint")
     Term.(
       const run $ file $ workload $ allocator $ allow $ allow_ro $ strict)
+
+(* ---------------- fuzz ---------------- *)
+
+let fuzz_cmd =
+  let seed =
+    Arg.(value & opt int 0
+         & info [ "seed" ] ~docv:"N"
+             ~doc:"Campaign seed; program i is generated from (seed, i)")
+  in
+  let count =
+    Arg.(value & opt int 100
+         & info [ "count" ] ~docv:"K" ~doc:"Number of programs to generate")
+  in
+  let max_size =
+    Arg.(value & opt int 20
+         & info [ "max-size" ] ~docv:"S"
+             ~doc:"Size budget per program (statements; expression fuel is 5S)")
+  in
+  let minimize =
+    Arg.(value & flag
+         & info [ "minimize" ]
+             ~doc:"Shrink counterexamples before writing them (greedy \
+                   first-fit over type-preserving AST rewrites)")
+  in
+  let node_limit =
+    Arg.(value & opt int 400
+         & info [ "node-limit" ] ~docv:"N"
+             ~doc:"Branch-and-bound node budget for the ILP legs")
+  in
+  let no_ilp =
+    Arg.(value & flag
+         & info [ "no-ilp" ]
+             ~doc:"Skip the ILP-vs-baseline and warm-vs-cold stages (cheap \
+                   smoke mode)")
+  in
+  let out_dir =
+    Arg.(value & opt string "fuzz-corpus"
+         & info [ "out" ] ~docv:"DIR"
+             ~doc:"Directory for shrunk counterexample corpus files")
+  in
+  let replay =
+    Arg.(value & opt_all file []
+         & info [ "replay" ] ~docv:"FILE"
+             ~doc:"Replay corpus file(s) through the full oracle instead of \
+                   generating; exit 1 if any fails")
+  in
+  let run seed count max_size minimize node_limit no_ilp out_dir replay =
+    handle_errors (fun () ->
+        let ilp = not no_ilp in
+        match replay with
+        | _ :: _ ->
+            let failed =
+              List.filter
+                (fun path ->
+                  match Fuzz.Campaign.replay_file ~node_limit ~ilp path with
+                  | Ok () ->
+                      Fmt.pr "%s: ok@." path;
+                      false
+                  | Error f ->
+                      Fmt.pr "%s: FAILED at stage %s: %s@." path
+                        f.Fuzz.Oracle.stage f.Fuzz.Oracle.detail;
+                      true)
+                replay
+            in
+            if failed <> [] then exit 1
+        | [] ->
+            Fmt.pr
+              "fuzzing: seed=%d count=%d max-size=%d %s node-limit=%d@."
+              seed count max_size
+              (if ilp then "(full oracle)" else "(front-end only)")
+              node_limit;
+            let summary =
+              Fuzz.Campaign.run ~seed ~count ~max_size ~minimize ~node_limit
+                ~ilp ~out_dir
+                ~log:(fun m -> Fmt.pr "  %s@." m)
+                ()
+            in
+            let nfail = List.length summary.Fuzz.Campaign.failures in
+            Fmt.pr "ran %d programs: %d counterexample(s)@."
+              summary.Fuzz.Campaign.ran nfail;
+            List.iter
+              (fun cx ->
+                Fmt.pr "  index %d, stage %s: %s%a@."
+                  cx.Fuzz.Campaign.cx_index
+                  cx.Fuzz.Campaign.cx_failure.Fuzz.Oracle.stage
+                  cx.Fuzz.Campaign.cx_failure.Fuzz.Oracle.detail
+                  (fun ppf -> function
+                    | Some p -> Fmt.pf ppf " (%s)" p
+                    | None -> ())
+                  cx.Fuzz.Campaign.cx_path)
+              summary.Fuzz.Campaign.failures;
+            if nfail > 0 then exit 1)
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Differential fuzzing: generate seeded well-typed Nova programs and \
+          check printer/parser agreement, interpreter-vs-simulator \
+          execution, ILP-vs-baseline allocation and warm-vs-cold \
+          compilation; shrunk counterexamples are written to a replayable \
+          corpus")
+    Term.(
+      const run $ seed $ count $ max_size $ minimize $ node_limit $ no_ilp
+      $ out_dir $ replay)
 
 (* ---------------- stats ---------------- *)
 
@@ -498,4 +620,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group (Cmd.info "novac" ~doc)
-          [ compile_cmd; serve_cmd; lint_cmd; stats_cmd; model_cmd ]))
+          [ compile_cmd; serve_cmd; lint_cmd; fuzz_cmd; stats_cmd; model_cmd ]))

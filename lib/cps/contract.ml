@@ -345,6 +345,16 @@ let rec rewrite (st : round_state) (t : term) : term =
                    (* if g is being inlined-once, this body IS its unique
                       call site: let the inline happen instead *)
                    && (not (Ident.Tbl.mem st.inline g))
+                   (* if this forwarder escapes as a value, the
+                      substitution d |-> g makes g escape too; parameter
+                      surgery scheduled for g this round assumed g never
+                      escapes, so escaped call sites (e.g. through a
+                      callee's return-continuation parameter) would keep
+                      the pre-surgery arity.  Defer the eta one round so
+                      the analysis can see the escape. *)
+                   && (not
+                         (use_count st.c d.name > 0
+                         && Ident.Tbl.mem st.dropped g))
                    && List.length args = List.length d.params
                    && List.for_all2
                         (fun p a -> match a with Var x -> Ident.equal x p | _ -> false)

@@ -1,0 +1,104 @@
+(* Fuzzing campaigns: drive the generator/oracle/shrinker loop, keep a
+   replayable corpus of counterexamples, and replay corpus files.
+
+   Program [i] of a campaign is generated from [Random.State.make
+   [| seed; i; 0x5eed |]], so any single counterexample can be regenerated from
+   the (seed, index) pair alone, and the corpus file header records
+   both.  Corpus files are plain Nova sources with `//` header
+   comments; replaying one runs the full oracle on the file's text. *)
+
+type counterexample = {
+  cx_index : int;
+  cx_failure : Oracle.failure;
+  cx_program : Nova.Ast.program; (* after shrinking, if requested *)
+  cx_path : string option; (* corpus file, if one was written *)
+}
+
+type summary = {
+  seed : int;
+  ran : int;
+  failures : counterexample list;
+}
+
+let generate ~seed ~index ~max_size =
+  let rng = Random.State.make [| seed; index; 0x5eed |] in
+  Gen.program ~max_size rng
+
+let corpus_file ~out_dir ~seed ~index (f : Oracle.failure) source =
+  (try Unix.mkdir out_dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+  let path = Filename.concat out_dir
+      (Printf.sprintf "cex_seed%d_%d.nova" seed index)
+  in
+  let oc = open_out path in
+  Printf.fprintf oc "// novac fuzz counterexample (shrunk)\n";
+  Printf.fprintf oc "// seed=%d index=%d stage=%s\n" seed index f.Oracle.stage;
+  Printf.fprintf oc "// %s\n"
+    (String.map (function '\n' -> ' ' | c -> c) f.Oracle.detail);
+  Printf.fprintf oc "// replay: novac fuzz --replay %s\n\n" path;
+  output_string oc source;
+  close_out oc;
+  path
+
+let run ~seed ~count ?(max_size = 20) ?(minimize = true) ?node_limit ?ilp
+    ?(out_dir = "fuzz-corpus") ?(log = fun _ -> ()) () : summary =
+  let failures = ref [] in
+  for index = 0 to count - 1 do
+    (* the driver memoizes whole compiles; fuzzing feeds it thousands of
+       distinct keys, so drop the tables between programs *)
+    Regalloc.Driver.clear_memos ();
+    let p = generate ~seed ~index ~max_size in
+    match Oracle.check ?node_limit ?ilp p with
+    | Ok () ->
+        if (index + 1) mod 25 = 0 then
+          log (Printf.sprintf "%d/%d ok" (index + 1) count)
+    | Error f ->
+        log
+          (Printf.sprintf "counterexample at index %d (stage %s): %s" index
+             f.Oracle.stage f.Oracle.detail);
+        let shrunk =
+          if minimize then
+            (* a shrink counts only if it fails at the SAME stage: the
+               oracle has cheap invariant failures (e.g. an alignment
+               fault after halving an address mask) that an
+               any-failure predicate happily migrates to, losing the
+               original bug *)
+            Shrink.minimize
+              ~failing:(fun c ->
+                Regalloc.Driver.clear_memos ();
+                match Oracle.check ?node_limit ?ilp c with
+                | Ok () -> false
+                | Error f' -> String.equal f'.Oracle.stage f.Oracle.stage)
+              p
+          else p
+        in
+        (* re-run on the shrunk form to record the final failure *)
+        Regalloc.Driver.clear_memos ();
+        let final_failure =
+          match Oracle.check ?node_limit ?ilp shrunk with
+          | Error f' -> f'
+          | Ok () -> f (* should not happen: shrinking preserves failure *)
+        in
+        let source = Nova.Pp.program_to_string shrunk in
+        let path =
+          corpus_file ~out_dir ~seed ~index final_failure source
+        in
+        log (Printf.sprintf "  shrunk counterexample written to %s" path);
+        failures :=
+          {
+            cx_index = index;
+            cx_failure = final_failure;
+            cx_program = shrunk;
+            cx_path = Some path;
+          }
+          :: !failures
+  done;
+  { seed; ran = count; failures = List.rev !failures }
+
+(* replay a corpus file (or any Nova source) through the full oracle *)
+let replay_file ?node_limit ?ilp path : (unit, Oracle.failure) result =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let source = really_input_string ic n in
+  close_in ic;
+  Regalloc.Driver.clear_memos ();
+  Oracle.check_source ?node_limit ?ilp ~file:path source

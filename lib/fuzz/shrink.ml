@@ -1,0 +1,272 @@
+(* Type-preserving shrinking on the Nova AST.
+
+   [candidates p] enumerates strictly smaller programs that are still
+   well-typed whenever [p] is: every rewrite keeps the type of the
+   rewritten position (word stays word, unit stays unit) and never
+   removes a binder that is still referenced.  [minimize] then runs a
+   greedy first-fit loop against a failure predicate, which is how
+   `novac fuzz --minimize` and the campaign reduce counterexamples
+   before writing them to the corpus.  [qcheck_iter] exposes the same
+   candidates as a QCheck shrinker so property tests over generated
+   programs shrink on the AST too. *)
+
+module A = Nova.Ast
+
+let dloc = Support.Srcloc.dummy
+
+let arg_expr = function A.Apos e -> e | A.Anamed (_, e) -> e
+
+let arg_with a' = function
+  | A.Apos _ -> A.Apos a'
+  | A.Anamed (n, _) -> A.Anamed (n, a')
+
+(* generic bottom-up predicate over every sub-expression *)
+let rec exists_expr f (e : A.expr) =
+  f e
+  ||
+  match e with
+  | A.Var _ | A.Int _ | A.Bool _ | A.Unit _ | A.CsrRead _ | A.CtxArb _ ->
+      false
+  | A.Binop (_, a, b, _) | A.Seq (a, b, _) | A.While (a, b, _)
+  | A.MemWrite (_, a, b, _) | A.BitTestSet (a, b, _)
+  | A.TfifoWrite (a, b, _) ->
+      exists_expr f a || exists_expr f b
+  | A.Unop (_, a, _) | A.Select (a, _, _) | A.Proj (a, _, _)
+  | A.Unpack (_, a, _) | A.Pack (_, a, _) | A.MemRead (_, a, _, _)
+  | A.Hash (a, _) | A.CsrWrite (_, a, _) | A.RfifoRead (a, _, _)
+  | A.Assign (_, a, _) ->
+      exists_expr f a
+  | A.Tuple (es, _) -> List.exists (exists_expr f) es
+  | A.Record (fs, _) -> List.exists (fun (_, e) -> exists_expr f e) fs
+  | A.If (c, t, e1, _) ->
+      exists_expr f c || exists_expr f t || exists_expr f e1
+  | A.Call (_, args, _) | A.Raise (_, args, _) ->
+      List.exists (fun a -> exists_expr f (arg_expr a)) args
+  | A.Let (_, _, rhs, body, _) | A.Vardecl (_, _, rhs, body, _) ->
+      exists_expr f rhs || exists_expr f body
+  | A.Try (b, hs, _) ->
+      exists_expr f b || List.exists (fun h -> exists_expr f h.A.hbody) hs
+
+(* conservative syntactic occurrence check (shadowing ignored: a false
+   "occurs" only suppresses a candidate, never breaks one) *)
+let occurs name e =
+  exists_expr
+    (function A.Var (x, _) | A.Assign (x, _, _) -> x = name | _ -> false)
+    e
+
+let calls fname e =
+  exists_expr (function A.Call (f, _, _) -> f = fname | _ -> false) e
+
+(* a Try body that raises cannot lose its handlers; note nested tries
+   handle their own raises, but treating any syntactic raise as binding
+   is conservative and only suppresses a candidate *)
+let contains_raise e = exists_expr (function A.Raise _ -> true | _ -> false) e
+
+let pat_names = function A.Pvar (x, _) -> [ x ] | A.Ptuple (xs, _) -> xs
+
+(* [shrink_expr e] enumerates same-typed replacements for [e]: word
+   positions stay word, bool stay bool, unit stay unit.
+
+   Address positions are special: the generator only emits sandboxed
+   effective addresses -- BASE + (e & MASK) with an aligned literal
+   mask, or an aligned literal -- and the generic word rewrites destroy
+   that shape (peeling the wrapper exposes an arbitrary word as the
+   address; halving a literal breaks 4-byte alignment).  A shrunk
+   program that faults on alignment or escapes the sandbox is a new,
+   boring failure, not a smaller instance of the one being minimized,
+   so [shrink_addr] only offers the base literal or rewrites of the
+   masked sub-expression, keeping the wrapper intact. *)
+let rec shrink_expr (e : A.expr) : A.expr list =
+  let sub1 mk a = List.map mk (shrink_expr a) in
+  let sub2 mk a b =
+    List.map (fun a' -> mk a' b) (shrink_expr a)
+    @ List.map (fun b' -> mk a b') (shrink_expr b)
+  in
+  match e with
+  | A.Int (n, _) when n <> 0 ->
+      A.Int (0, dloc)
+      :: (if n > 1 || n < -1 then [ A.Int (n / 2, dloc) ] else [])
+  | A.Int _ | A.Var _ | A.Unit _ -> []
+  | A.Bool (true, _) -> [ A.Bool (false, dloc) ]
+  | A.Bool (false, _) -> []
+  | A.Binop (op, a, b, _) ->
+      let peel =
+        match op with
+        | A.Add | A.Sub | A.Mul | A.And | A.Or | A.Xor | A.Shl | A.Shr
+        | A.Asr ->
+            [ a; b ] (* word op word : word *)
+        | A.LAnd | A.LOr -> [ a; b ] (* bool op bool : bool *)
+        | A.Eq | A.Ne | A.Lt | A.Le | A.Gt | A.Ge | A.Ult | A.Uge ->
+            [ A.Bool (false, dloc) ] (* operands are words, result bool *)
+      in
+      peel @ sub2 (fun a' b' -> A.Binop (op, a', b', dloc)) a b
+  | A.Unop (op, a, _) -> a :: sub1 (fun a' -> A.Unop (op, a', dloc)) a
+  | A.If (c, t, e1, _) ->
+      [ t; e1 ]
+      @ List.map (fun c' -> A.If (c', t, e1, dloc)) (shrink_expr c)
+      @ List.map (fun t' -> A.If (c, t', e1, dloc)) (shrink_expr t)
+      @ List.map (fun e' -> A.If (c, t, e', dloc)) (shrink_expr e1)
+  | A.Seq (s, rest, _) ->
+      (* drop the statement entirely, then shrink either side *)
+      rest :: sub2 (fun s' r' -> A.Seq (s', r', dloc)) s rest
+  | A.Let (p, ty, rhs, body, _) ->
+      (if List.for_all (fun x -> not (occurs x body)) (pat_names p) then
+         [ body ]
+       else [])
+      @ sub2 (fun r' b' -> A.Let (p, ty, r', b', dloc)) rhs body
+  | A.Vardecl (x, ty, rhs, body, _) ->
+      (if not (occurs x body) then [ body ] else [])
+      @ sub2 (fun r' b' -> A.Vardecl (x, ty, r', b', dloc)) rhs body
+  | A.Assign (x, e1, _) ->
+      A.Unit dloc :: sub1 (fun e' -> A.Assign (x, e', dloc)) e1
+  | A.While (c, body, _) ->
+      A.Unit dloc :: sub2 (fun c' b' -> A.While (c', b', dloc)) c body
+  | A.MemWrite (sp, a, v, _) ->
+      (A.Unit dloc
+      :: List.map (fun a' -> A.MemWrite (sp, a', v, dloc)) (shrink_addr a))
+      @ sub1 (fun v' -> A.MemWrite (sp, a, v', dloc)) v
+  | A.MemRead (sp, a, n, _) ->
+      (match n with
+      | Some 1 | None -> [ A.Int (0, dloc) ]
+      | Some k -> [ A.Tuple (List.init k (fun _ -> A.Int (0, dloc)), dloc) ])
+      @ List.map (fun a' -> A.MemRead (sp, a', n, dloc)) (shrink_addr a)
+  | A.Hash (a, _) -> a :: sub1 (fun a' -> A.Hash (a', dloc)) a
+  | A.Tuple (es, _) ->
+      List.concat
+        (List.mapi
+           (fun i ei ->
+             List.map
+               (fun ei' ->
+                 A.Tuple
+                   (List.mapi (fun j e0 -> if i = j then ei' else e0) es,
+                    dloc))
+               (shrink_expr ei))
+           es)
+  | A.Call (f, args, _) ->
+      (* generated helpers take and return words *)
+      A.Int (0, dloc)
+      :: List.concat
+           (List.mapi
+              (fun i arg ->
+                List.map
+                  (fun a' ->
+                    A.Call
+                      ( f,
+                        List.mapi
+                          (fun j a0 ->
+                            if i = j then arg_with a' arg else a0)
+                          args,
+                        dloc ))
+                  (shrink_expr (arg_expr arg)))
+              args)
+  | A.Raise (exn, args, _) ->
+      List.concat
+        (List.mapi
+           (fun i arg ->
+             List.map
+               (fun a' ->
+                 A.Raise
+                   ( exn,
+                     List.mapi
+                       (fun j a0 -> if i = j then arg_with a' arg else a0)
+                       args,
+                     dloc ))
+               (shrink_expr (arg_expr arg)))
+           args)
+  | A.Try (body, hs, _) ->
+      (if not (contains_raise body) then [ body ] else [])
+      @ List.map (fun b' -> A.Try (b', hs, dloc)) (shrink_expr body)
+      @ List.concat
+          (List.map
+             (fun h ->
+               List.map
+                 (fun hb ->
+                   A.Try
+                     ( body,
+                       List.map
+                         (fun h0 ->
+                           if h0 == h then { h0 with A.hbody = hb } else h0)
+                         hs,
+                       dloc ))
+                 (shrink_expr h.A.hbody))
+             hs)
+  | A.Select _ | A.Proj _ | A.Record _ | A.Unpack _ | A.Pack _
+  | A.BitTestSet _ | A.CsrRead _ | A.CsrWrite _ | A.RfifoRead _
+  | A.TfifoWrite _ | A.CtxArb _ ->
+      []
+
+and shrink_addr (a : A.expr) : A.expr list =
+  match a with
+  | A.Binop (A.Add, (A.Int _ as base), A.Binop (A.And, e, (A.Int _ as mask), _), _)
+    ->
+      base
+      :: List.map
+           (fun e' ->
+             A.Binop (A.Add, base, A.Binop (A.And, e', mask, dloc), dloc))
+           (shrink_expr e)
+  | _ -> [] (* literal or unrecognized shape: leave untouched *)
+
+(* program-level candidates: drop a helper no one calls, or shrink any
+   function body *)
+let candidates (p : A.program) : A.program list =
+  let called fname =
+    List.exists
+      (function A.Dfun fd -> calls fname fd.A.fn_body | _ -> false)
+      p.A.decls
+  in
+  let drop_helpers =
+    List.concat
+      (List.mapi
+         (fun i d ->
+           match d with
+           | A.Dfun fd
+             when fd.A.fn_name <> "main" && not (called fd.A.fn_name) ->
+               [ { A.decls = List.filteri (fun j _ -> j <> i) p.A.decls } ]
+           | _ -> [])
+         p.A.decls)
+  in
+  let body_shrinks =
+    List.concat
+      (List.mapi
+         (fun i d ->
+           match d with
+           | A.Dfun fd ->
+               List.map
+                 (fun b ->
+                   let d' = A.Dfun { fd with A.fn_body = b } in
+                   {
+                     A.decls =
+                       List.mapi
+                         (fun j d0 -> if i = j then d' else d0)
+                         p.A.decls;
+                   })
+                 (shrink_expr fd.A.fn_body)
+           | A.Dconst _ | A.Dlayout _ -> [])
+         p.A.decls)
+  in
+  drop_helpers @ body_shrinks
+
+(* greedy first-fit minimization against a failure predicate; the
+   budget bounds oracle invocations, not candidate enumeration *)
+let minimize ?(budget = 400) ~(failing : A.program -> bool) (p : A.program) :
+    A.program =
+  let left = ref budget in
+  let rec loop p =
+    if !left <= 0 then p
+    else
+      let next =
+        List.find_opt
+          (fun c ->
+            if !left <= 0 then false
+            else begin
+              decr left;
+              failing c
+            end)
+          (candidates p)
+      in
+      match next with Some c -> loop c | None -> p
+  in
+  loop p
+
+let qcheck_iter (p : A.program) : A.program QCheck.Iter.t =
+  QCheck.Iter.of_list (candidates p)

@@ -131,6 +131,39 @@ let check (a : Assignment.t) : report =
       count_side p "before" a.Assignment.bank_before;
       count_side p "after" a.Assignment.bank_after)
     mg.Modelgen.points;
+  (* 2b. transfer-register collisions: two temporaries resident in the
+     same transfer bank on the same side of one point must not share a
+     register number (clone mates excepted: every member of a family
+     holds the same value).  The capacity count above cannot see this --
+     two values can fit the bank yet be assigned one register, which
+     silently clobbers whichever was written first (found by the fuzzer:
+     a store inside a loop pins its operand in S around the back edge,
+     where a naive coloring collides with the loop body's other
+     stores). *)
+  let check_xfer_collisions p side_name side =
+    let seen = Hashtbl.create 8 in
+    (* (bank, color) -> (family stamp, witness) *)
+    Ident.Set.iter
+      (fun v ->
+        let b = side p v in
+        if Bank.is_transfer b then begin
+          let c = a.Assignment.xfer_color v b in
+          let fam = Ident.stamp (mg.Modelgen.clone_family v) in
+          match Hashtbl.find_opt seen (Bank.to_string b, c) with
+          | Some (fam', v') when fam' <> fam ->
+              err "%a and %a both occupy %s%d %s point %a" Ident.pp v' Ident.pp
+                v (Bank.to_string b) c side_name FG.pp_point
+                (Modelgen.point_of mg p)
+          | Some _ -> ()
+          | None -> Hashtbl.replace seen (Bank.to_string b, c) (fam, v)
+        end)
+      mg.Modelgen.exists_at.(p)
+  in
+  Array.iteri
+    (fun p _ ->
+      check_xfer_collisions p "before" a.Assignment.bank_before;
+      check_xfer_collisions p "after" a.Assignment.bank_after)
+    mg.Modelgen.points;
   (* 3. transfer-aggregate adjacency, re-derived from the colors *)
   let check_agg what members bank =
     Array.iteri

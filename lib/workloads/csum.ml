@@ -1,0 +1,172 @@
+(* IPv4 + UDP checksum offload in Nova:
+     - the IPv4 header checksum is recomputed over the five header words
+       with the checksum field zeroed;
+     - the UDP checksum covers the pseudo-header (src, dst, protocol,
+       UDP length), the UDP header and the payload; the datagram starts
+       on a 4-byte but not 8-byte boundary, so the pair loop runs over
+       aligned SDRAM pairs from the length word onward and the final
+       odd word is picked up by one trailing pair read (its second word
+       is buffer padding and is excluded from the sum);
+     - both checksums are patched into the packet with read-modify-write
+       pair stores (a zero UDP checksum transmits as 0xFFFF per RFC 768);
+     - non-v4 or non-UDP packets and ragged lengths punt. *)
+
+(* memory map *)
+let in_base = 0x100 (* SDRAM byte address of the packet *)
+let csum_addr = 0x5C (* SRAM: ipck<<16 | udpck *)
+
+let source =
+  Printf.sprintf
+    {|
+// IPv4/UDP checksum offload.
+
+layout ipv4_hdr = {
+  vi : overlay { whole : 8 | parts : { version : 4, ihl : 4 } },
+  tos : 8, total_length : 16,
+  ident : 16, flags_frag : 16,
+  ttl : 8, protocol : 8, hdr_csum : 16,
+  src : 32, dst : 32
+};
+
+const IN = %d;
+const CSUMOUT = %d;
+
+fun halves (w : word) : word { (w >> 16) + (w & 0xFFFF) }
+
+fun fold16 (x : word) : word {
+  let y = (x & 0xFFFF) + (x >> 16);
+  (y & 0xFFFF) + (y >> 16)
+}
+
+fun main () : word {
+  try {
+    let (h0, h1, h2, h3, h4, u0) = sdram(IN, 6);
+    let ip = unpack[ipv4_hdr]((h0, h1, h2, h3, h4));
+    if (ip.vi.whole != 0x45) { raise Punt [why = ip.vi.whole]; }
+    if (ip.protocol != 17) { raise Punt [why = ip.protocol]; }
+    let paylen = ip.total_length - 28;
+    if ((paylen & 7) != 0) { raise BadLen [len = paylen]; }
+    // IPv4 header checksum over the five words, checksum field zeroed
+    let s = halves(h0) + halves(h1) + halves(h2 & 0xFFFF0000)
+          + halves(h3) + halves(h4);
+    let ipck = (~(fold16(s))) & 0xFFFF;
+    // UDP: pseudo-header, then aligned pairs from the length word on;
+    // the trailing odd word rides in one last pair read whose second
+    // word is buffer padding (excluded from the sum)
+    let udplen = paylen + 8;
+    var sum = halves(h3) + halves(h4) + 17 + udplen + halves(u0);
+    var off = 0;
+    while (off <u paylen) {
+      let (a, b) = sdram(IN + 24 + off);
+      sum := sum + halves(a) + halves(b);
+      off := off + 8;
+    }
+    let (tail, pad) = sdram(IN + 24 + paylen);
+    sum := sum + halves(tail);
+    let f = fold16(fold16(sum));
+    let u = (~f) & 0xFFFF;
+    let udpck = if (u == 0) { 0xFFFF } else { u };
+    // patch both checksums with read-modify-write pair stores
+    sdram(IN + 8) <- ((h2 & 0xFFFF0000) | ipck, h3);
+    let (v1, q0) = sdram(IN + 24, 2);
+    sdram(IN + 24) <- ((v1 & 0xFFFF0000) | udpck, q0);
+    sram(CSUMOUT) <- (ipck << 16) | udpck;
+    (ipck << 16) | udpck
+  }
+  handle Punt [why : word] { 0xE0000000 | why }
+  handle BadLen [len : word] { 0xD0000000 | len }
+}
+|}
+    in_base csum_addr
+
+(* ------------------------------------------------------------------ *)
+(* Packet builder and reference                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mask = 0xFFFFFFFF
+
+let halves w = ((w lsr 16) land 0xFFFF) + (w land 0xFFFF)
+
+let fold16 x =
+  let y = (x land 0xFFFF) + (x lsr 16) in
+  ((y land 0xFFFF) + (y lsr 16)) land mask
+
+(* [payload_len] counts the bytes after the IPv4 header: the 8-byte UDP
+   header plus the UDP payload; it is a multiple of 8 (size_align). *)
+let build_packet ~payload_len =
+  let n = 5 + (payload_len / 4) in
+  let words = Array.make n 0 in
+  let total = 20 + payload_len in
+  words.(0) <- (4 lsl 28) lor (5 lsl 24) lor total;
+  words.(1) <- (0x51AB lsl 16) lor 0x4000;
+  words.(2) <- (64 lsl 24) lor (17 lsl 16) (* csum field zero: offloaded *);
+  words.(3) <- 0xC0A80001;
+  words.(4) <- 0x0A0A0A0A + (payload_len land 0xFF);
+  words.(5) <- (0xC350 lsl 16) lor 0x0035 (* sport 50000, dport 53 *);
+  words.(6) <- payload_len lsl 16 (* UDP length, checksum zero *);
+  let state = ref 0x0C5EC5EC in
+  for i = 7 to n - 1 do
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFFFFF;
+    words.(i) <- !state land mask
+  done;
+  words
+
+(* Transform an SDRAM image in place; returns the result word. *)
+let reference_transform (sdram : int array) ~payload_len:_ =
+  let inw = in_base / 4 in
+  let w i = sdram.(inw + i) in
+  let version_ihl = w 0 lsr 24 in
+  if version_ihl <> 0x45 then 0xE0000000 lor version_ihl
+  else begin
+    let proto = (w 2 lsr 16) land 0xFF in
+    if proto <> 17 then 0xE0000000 lor proto
+    else begin
+      let total = w 0 land 0xFFFF in
+      let paylen = total - 28 in
+      if paylen land 7 <> 0 then 0xD0000000 lor (paylen land mask)
+      else begin
+        let s =
+          halves (w 0) + halves (w 1)
+          + halves (w 2 land 0xFFFF0000)
+          + halves (w 3) + halves (w 4)
+        in
+        let ipck = lnot (fold16 s) land 0xFFFF in
+        let udplen = paylen + 8 in
+        let sum = ref (halves (w 3) + halves (w 4) + 17 + udplen + halves (w 5)) in
+        let off = ref 0 in
+        while !off < paylen do
+          sum := !sum + halves (w (6 + (!off / 4))) + halves (w (7 + (!off / 4)));
+          off := !off + 8
+        done;
+        sum := !sum + halves (w (6 + (paylen / 4)));
+        let f = fold16 (fold16 !sum) in
+        let u = lnot f land 0xFFFF in
+        let udpck = if u = 0 then 0xFFFF else u in
+        sdram.(inw + 2) <- (w 2 land 0xFFFF0000) lor ipck;
+        sdram.(inw + 6) <- (w 6 land 0xFFFF0000) lor udpck;
+        (ipck lsl 16) lor udpck
+      end
+    end
+  end
+
+let init_tables (_load_sram : int -> int -> unit) = ()
+
+let init_payload load_sdram ~payload_len =
+  let words = build_packet ~payload_len in
+  Array.iteri (fun i v -> load_sdram ((in_base / 4) + i) v) words;
+  words
+
+let expected ~payload_len ~sdram_words =
+  let image = Array.make sdram_words 0 in
+  let packet = build_packet ~payload_len in
+  Array.blit packet 0 image (in_base / 4) (Array.length packet);
+  let ret = reference_transform image ~payload_len in
+  (image, ret)
+
+(* Whitelist regions for `novac lint` (see [Aes.lint_regions]). *)
+let lint_regions =
+  let open Analysis.Race in
+  [
+    region ~name:"csum-out" ~space:Ixp.Insn.Sram ~base:csum_addr ~words:1
+      Shared_write;
+  ]

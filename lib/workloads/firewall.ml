@@ -1,0 +1,257 @@
+(* 5-tuple firewall / packet classifier in Nova:
+     - a linear rule table in SRAM, 8 words per rule: src/mask, dst/mask,
+       source- and destination-port ranges (packed min<<16|max), protocol
+       (0xFF wildcard) and action|id;
+     - first-match-wins loop with an early exit through the carried
+       [verdict] variable; two 4-word SRAM burst reads per rule;
+     - per-rule hit counters in scratch (read-modify-write, whitelisted
+       as a shared-write region for the race lint);
+     - non-v4 and non-TCP/UDP packets punt to the slow path. *)
+
+(* memory map *)
+let in_base = 0x100 (* SDRAM byte address of the packet *)
+let rules_base = 0x6000 (* SRAM byte address of the rule table *)
+let hits_base = 0x500 (* scratch byte address of the hit counters *)
+let verdict_addr = 0x58 (* SRAM: last verdict *)
+let n_rules = 16
+
+(* verdict encoding: action (1 = accept, 2 = deny) | rule id << 8 *)
+let default_verdict = 0xFF02
+
+let source =
+  Printf.sprintf
+    {|
+// 5-tuple firewall: first-match-wins over a linear SRAM rule table.
+
+layout ipv4_hdr = {
+  vi : overlay { whole : 8 | parts : { version : 4, ihl : 4 } },
+  tos : 8, total_length : 16,
+  ident : 16, flags_frag : 16,
+  ttl : 8, protocol : 8, hdr_csum : 16,
+  src : 32, dst : 32
+};
+
+const IN = %d;
+const RULES = %d;
+const HITS = %d;
+const VERDICT = %d;
+const NRULES = %d;
+const DEFAULT = %d;
+
+fun main () : word {
+  try {
+    let (h0, h1, h2, h3, h4, p0) = sdram(IN, 6);
+    let ip = unpack[ipv4_hdr]((h0, h1, h2, h3, h4));
+    if (ip.vi.whole != 0x45) { raise Punt [why = ip.vi.whole]; }
+    let proto = ip.protocol;
+    if (proto != 6) {
+      if (proto != 17) { raise Punt [why = proto]; }
+    }
+    let sport = p0 >> 16;
+    let dport = p0 & 0xFFFF;
+    var i = 0;
+    var verdict = 0;
+    while (verdict == 0 && i <u NRULES) {
+      let base = RULES + (i << 5);
+      let (r0, r1, r2, r3) = sram(base, 4);
+      let (r4, r5, r6, r7) = sram(base + 16, 4);
+      if ((ip.src & r1) == r0 && (ip.dst & r3) == r2
+          && (r4 >> 16) <= sport && sport <= (r4 & 0xFFFF)
+          && (r5 >> 16) <= dport && dport <= (r5 & 0xFFFF)
+          && (r6 == 0xFF || r6 == proto)) {
+        verdict := r7;
+      }
+      else {
+        i := i + 1;
+      }
+    }
+    let hit = if (verdict == 0) { NRULES } else { i };
+    let v = if (verdict == 0) { DEFAULT } else { verdict };
+    let cnt = scratch(HITS + (hit << 2), 1);
+    scratch(HITS + (hit << 2)) <- cnt + 1;
+    sram(VERDICT) <- v;
+    v
+  }
+  handle Punt [why : word] { 0xE0000000 | why }
+}
+|}
+    in_base rules_base hits_base verdict_addr n_rules default_verdict
+
+(* ------------------------------------------------------------------ *)
+(* Rule table (shared by the SRAM loader and the reference)            *)
+(* ------------------------------------------------------------------ *)
+
+type rule = {
+  src : int;
+  smask : int;
+  dst : int;
+  dmask : int;
+  sp : int * int;
+  dp : int * int;
+  proto : int; (* 0xFF = wildcard *)
+  action : int; (* 1 = accept, 2 = deny *)
+}
+
+let mask_of_len len = if len = 0 then 0 else 0xFFFFFFFF lsl (32 - len) land 0xFFFFFFFF
+
+let any = (0, 0)
+let all_ports = (0, 0xFFFF)
+
+let rules =
+  let fixed =
+    [
+      (* block telnet anywhere *)
+      { src = 0; smask = 0; dst = 0; dmask = 0; sp = all_ports; dp = (23, 23);
+        proto = 6; action = 2 };
+      (* allow DNS *)
+      { src = 0; smask = 0; dst = 0; dmask = 0; sp = all_ports; dp = (53, 53);
+        proto = 17; action = 1 };
+      (* allow web to 10.20.30/24 *)
+      { src = 0; smask = 0; dst = 0x0A141E00; dmask = mask_of_len 24;
+        sp = all_ports; dp = (80, 443); proto = 6; action = 1 };
+      (* drop everything sourced from 192.168/16 *)
+      { src = 0xC0A80000; smask = mask_of_len 16; dst = 0; dmask = 0;
+        sp = all_ports; dp = all_ports; proto = 0xFF; action = 2 };
+      (* allow high source ports from 10/8 *)
+      { src = 0x0A000000; smask = mask_of_len 8; dst = 0; dmask = 0;
+        sp = (1024, 65535); dp = all_ports; proto = 6; action = 1 };
+    ]
+  in
+  let filler =
+    List.init (n_rules - List.length fixed) (fun k ->
+        let i = k + List.length fixed in
+        {
+          src = 0x0A000000 + i;
+          smask = mask_of_len 32;
+          dst = 0;
+          dmask = 0;
+          sp = (i * 100, (i * 100) + 50);
+          dp = all_ports;
+          proto = 6;
+          action = (if i mod 2 = 0 then 1 else 2);
+        })
+  in
+  Array.of_list (fixed @ filler)
+
+let () =
+  ignore any;
+  assert (Array.length rules = n_rules)
+
+(* flatten a rule to its 8 SRAM words *)
+let rule_words i (r : rule) =
+  [|
+    r.src land r.smask;
+    r.smask;
+    r.dst land r.dmask;
+    r.dmask;
+    (fst r.sp lsl 16) lor snd r.sp;
+    (fst r.dp lsl 16) lor snd r.dp;
+    r.proto;
+    r.action lor (i lsl 8);
+  |]
+
+(* ------------------------------------------------------------------ *)
+(* Packet builder and reference                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mask = 0xFFFFFFFF
+
+(* vary the 5-tuple with the packet size so different rules fire *)
+let tuples =
+  [|
+    (* src, dst, sport, dport, proto *)
+    (0x0A010101, 0x0B020202, 40000, 23, 6) (* rule 0: telnet deny *);
+    (0x0A010101, 0x08080808, 5353, 53, 17) (* rule 1: dns accept *);
+    (0xC0000001, 0x0A141E05, 33000, 443, 6) (* rule 2: web accept *);
+    (0xC0A80050, 0x0B020202, 1234, 8080, 6) (* rule 3: 192.168 deny *);
+    (0x0A00000A, 0x0B020202, 2048, 9999, 6) (* rule 4: high port accept *);
+    (0x0A000007, 0x0B020202, 730, 9999, 6) (* filler rule 7 *);
+    (0x2A2A2A2A, 0x2B2B2B2B, 1, 2, 17) (* default verdict *);
+    (0x0A00000C, 0x0B020202, 1225, 80, 6) (* filler rule 12 *);
+  |]
+
+let build_packet ~payload_len =
+  let n = 5 + (payload_len / 4) in
+  let words = Array.make n 0 in
+  let total = 20 + payload_len in
+  let src, dst, sport, dport, proto =
+    tuples.(payload_len / 4 mod Array.length tuples)
+  in
+  words.(0) <- (4 lsl 28) lor (5 lsl 24) lor total;
+  words.(1) <- (0x7777 lsl 16) lor 0x4000;
+  words.(2) <- (64 lsl 24) lor (proto lsl 16) lor 0x0BAD;
+  words.(3) <- src;
+  words.(4) <- dst;
+  words.(5) <- (sport lsl 16) lor dport;
+  let state = ref 0xF12E57A7 in
+  for i = 6 to n - 1 do
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFFFFF;
+    words.(i) <- !state land mask
+  done;
+  words
+
+(* Mirror of the Nova matcher over the same rule words. *)
+let reference_verdict ~src ~dst ~sport ~dport ~proto =
+  let rec go i =
+    if i >= n_rules then (n_rules, default_verdict)
+    else
+      let r = rule_words i rules.(i) in
+      if
+        src land r.(1) = r.(0)
+        && dst land r.(3) = r.(2)
+        && r.(4) lsr 16 <= sport
+        && sport <= r.(4) land 0xFFFF
+        && r.(5) lsr 16 <= dport
+        && dport <= r.(5) land 0xFFFF
+        && (r.(6) = 0xFF || r.(6) = proto)
+      then (i, r.(7))
+      else go (i + 1)
+  in
+  go 0
+
+(* The packet image is not modified; the result is the verdict word. *)
+let reference_transform (sdram : int array) ~payload_len:_ =
+  let inw = in_base / 4 in
+  let version_ihl = sdram.(inw) lsr 24 in
+  if version_ihl <> 0x45 then 0xE0000000 lor version_ihl
+  else
+    let proto = (sdram.(inw + 2) lsr 16) land 0xFF in
+    if proto <> 6 && proto <> 17 then 0xE0000000 lor proto
+    else
+      let src = sdram.(inw + 3) and dst = sdram.(inw + 4) in
+      let p0 = sdram.(inw + 5) in
+      let sport = p0 lsr 16 and dport = p0 land 0xFFFF in
+      let _, v = reference_verdict ~src ~dst ~sport ~dport ~proto in
+      v
+
+let init_tables load_sram =
+  Array.iteri
+    (fun i r ->
+      Array.iteri
+        (fun j w -> load_sram ((rules_base / 4) + (i * 8) + j) w)
+        (rule_words i r))
+    rules
+
+let init_payload load_sdram ~payload_len =
+  let words = build_packet ~payload_len in
+  Array.iteri (fun i v -> load_sdram ((in_base / 4) + i) v) words;
+  words
+
+let expected ~payload_len ~sdram_words =
+  let image = Array.make sdram_words 0 in
+  let packet = build_packet ~payload_len in
+  Array.blit packet 0 image (in_base / 4) (Array.length packet);
+  let ret = reference_transform image ~payload_len in
+  (image, ret)
+
+(* Whitelist regions for `novac lint` (see [Aes.lint_regions]). *)
+let lint_regions =
+  let open Analysis.Race in
+  [
+    region ~name:"fw-rules" ~space:Ixp.Insn.Sram ~base:rules_base
+      ~words:(n_rules * 8) Read_only;
+    region ~name:"fw-hits" ~space:Ixp.Insn.Scratch ~base:hits_base
+      ~words:(n_rules + 1) Shared_write;
+    region ~name:"fw-verdict" ~space:Ixp.Insn.Sram ~base:verdict_addr ~words:1
+      Shared_write;
+  ]

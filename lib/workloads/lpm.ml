@@ -1,0 +1,276 @@
+(* IPv4 longest-prefix-match forwarding in Nova:
+     - an 8-bit-stride multibit trie lives in SRAM; each node is 256
+       entries, an entry is 0 (no route below this point), a leaf with
+       bit 31 set carrying port and next-hop index, or the byte offset
+       of a child node;
+     - the header is parsed with the ipv4_hdr layout (version+ihl via
+       the `whole` overlay arm, as in Kasumi);
+     - the trie walk is a carried-variable loop (node, shift, result),
+       at most four iterations by construction;
+     - TTL is decremented and the header checksum patched incrementally
+       (RFC 1624: the ttl|proto 16-bit field drops by 0x100, so the
+       stored one's-complement checksum gains 0x100 with end-around
+       carry);
+     - non-v4 packets and expiring TTLs punt to the slow path. *)
+
+(* memory map *)
+let in_base = 0x100 (* SDRAM byte address of the packet *)
+let trie_base = 0x8000 (* SRAM byte address of the trie node pool *)
+let nh_addr = 0x60 (* SRAM: last next-hop leaf + port (2 slots) *)
+
+let source =
+  Printf.sprintf
+    {|
+// IPv4 LPM forwarding: 8-bit-stride trie in SRAM.
+
+layout ipv4_hdr = {
+  vi : overlay { whole : 8 | parts : { version : 4, ihl : 4 } },
+  tos : 8, total_length : 16,
+  ident : 16, flags_frag : 16,
+  ttl : 8, protocol : 8, hdr_csum : 16,
+  src : 32, dst : 32
+};
+
+const IN = %d;
+const TRIE = %d;
+const NH = %d;
+const DEFAULT = 0x80000000;
+
+fun fold16 (x : word) : word {
+  let y = (x & 0xFFFF) + (x >> 16);
+  (y & 0xFFFF) + (y >> 16)
+}
+
+fun main () : word {
+  try {
+    let (h0, h1, h2, h3, h4, p0) = sdram(IN, 6);
+    let ip = unpack[ipv4_hdr]((h0, h1, h2, h3, h4));
+    if (ip.vi.whole != 0x45) { raise Punt [why = ip.vi.whole]; }
+    if (ip.ttl <u 2) { raise Expired [ttl = ip.ttl]; }
+    let d = ip.dst;
+    // trie walk: entry 0 = miss, bit 31 = leaf, else child byte offset
+    var node = 0;
+    var shift = 24;
+    var result = DEFAULT;
+    var live = 1;
+    while (live != 0) {
+      let idx = (d >> shift) & 0xFF;
+      let e = sram(TRIE + node + (idx << 2), 1);
+      if (e == 0) { live := 0; }
+      else {
+        if ((e >> 31) != 0) {
+          result := e;
+          live := 0;
+        }
+        else {
+          node := e;
+          shift := shift - 8;
+        }
+      }
+    }
+    // decrement TTL, patch checksum incrementally
+    let w2 = h2 - 0x01000000;
+    let ck = fold16((h2 & 0xFFFF) + 0x100);
+    let w2p = (w2 & 0xFFFF0000) | ck;
+    sdram(IN + 8) <- (w2p, h3);
+    sram(NH) <- result;
+    sram(NH + 4) <- (result >> 16) & 0x7F;
+    result
+  }
+  handle Punt [why : word] { 0xE0000000 | why }
+  handle Expired [ttl : word] { 0xD0000000 | ttl }
+}
+|}
+    in_base trie_base nh_addr
+
+(* ------------------------------------------------------------------ *)
+(* Trie construction (shared by the SRAM loader and the reference)     *)
+(* ------------------------------------------------------------------ *)
+
+let max_nodes = 64
+let default_leaf = 0x80000000
+
+let leaf ~port ~nh = 0x80000000 lor ((port land 0x7F) lsl 16) lor (nh land 0xFFFF)
+let is_leaf e = e land 0x80000000 <> 0
+
+(* entries.(n).(i): the word stored in the SRAM image; plens shadows the
+   prefix length that claimed each entry so longer prefixes win
+   regardless of insertion order. *)
+let node_count = ref 1
+let entries = Array.make_matrix max_nodes 256 0
+let plens = Array.make_matrix max_nodes 256 (-1)
+
+let new_node () =
+  let n = !node_count in
+  incr node_count;
+  if n >= max_nodes then failwith "lpm: trie node pool exhausted";
+  n
+
+(* child pointers are byte offsets relative to TRIE (1 KiB per node),
+   nonzero because node 0 is the root *)
+let child_off n = n * 1024
+
+let rec set_covering node i value plen =
+  let e = entries.(node).(i) in
+  if e <> 0 && not (is_leaf e) then
+    (* a child covers this range: push the route down *)
+    let c = e / 1024 in
+    for j = 0 to 255 do
+      set_covering c j value plen
+    done
+  else if plen >= plens.(node).(i) then begin
+    entries.(node).(i) <- value;
+    plens.(node).(i) <- plen
+  end
+
+let rec insert_at node depth prefix len value =
+  let byte = (prefix lsr (24 - (8 * depth))) land 0xFF in
+  let consumed = 8 * depth in
+  if len - consumed <= 8 then begin
+    (* controlled prefix expansion within this node *)
+    let rem = len - consumed in
+    let low_mask = (1 lsl (8 - rem)) - 1 in
+    let lo = byte land lnot low_mask land 0xFF in
+    for i = lo to lo lor low_mask do
+      set_covering node i value len
+    done
+  end
+  else begin
+    let e = entries.(node).(byte) in
+    let c =
+      if e <> 0 && not (is_leaf e) then e / 1024
+      else begin
+        let c = new_node () in
+        (* leaf-pushing: an existing shorter route covers the child *)
+        if is_leaf e then
+          for j = 0 to 255 do
+            entries.(c).(j) <- e;
+            plens.(c).(j) <- plens.(node).(byte)
+          done;
+        entries.(node).(byte) <- child_off c;
+        plens.(node).(byte) <- -1;
+        c
+      end
+    in
+    insert_at c (depth + 1) prefix len value
+  end
+
+(* deterministic route table: mixed lengths, overlapping prefixes *)
+let routes =
+  [
+    (0x0A000000, 8, 1, 1) (* 10/8 *);
+    (0x0A140000, 16, 2, 2) (* 10.20/16 *);
+    (0x0A141E00, 24, 3, 3) (* 10.20.30/24 *);
+    (0x0A141E28, 32, 4, 4) (* 10.20.30.40/32 *);
+    (0xC0A80000, 16, 5, 5) (* 192.168/16 *);
+    (0xC0A80100, 24, 6, 6) (* 192.168.1/24 *);
+    (0xAC100000, 12, 7, 7) (* 172.16/12 *);
+    (0x08080800, 24, 8, 8) (* 8.8.8/24 *);
+    (0x08080808, 32, 9, 9) (* 8.8.8.8/32 *);
+    (0x01000000, 8, 10, 10) (* 1/8 *);
+    (0x42660000, 17, 11, 11) (* 66.102/17 *);
+  ]
+
+let () =
+  List.iter
+    (fun (p, len, port, nh) -> insert_at 0 0 p len (leaf ~port ~nh))
+    routes
+
+let trie_words = lazy (!node_count * 256)
+
+(* mirror of the Nova trie walk over the same entries *)
+let reference_lookup d =
+  let rec go node shift =
+    let idx = (d lsr shift) land 0xFF in
+    let e = entries.(node).(idx) in
+    if e = 0 then default_leaf
+    else if is_leaf e then e
+    else go (e / 1024) (shift - 8)
+  in
+  go 0 24
+
+(* ------------------------------------------------------------------ *)
+(* Packet builder and reference transform                              *)
+(* ------------------------------------------------------------------ *)
+
+let mask = 0xFFFFFFFF
+
+let fold16 x =
+  let y = (x land 0xFFFF) + (x lsr 16) in
+  ((y land 0xFFFF) + (y lsr 16)) land mask
+
+(* destinations hitting different routes depending on the packet size *)
+let dests =
+  [|
+    0x0A141E28 (* /32 hit *);
+    0x0A141E63 (* /24 *);
+    0x0A630001 (* /8 *);
+    0xC0A8014D (* 192.168.1/24 *);
+    0xAC110101 (* 172.16/12 *);
+    0x08080808 (* /32 *);
+    0x09090909 (* default *);
+    0x01020304 (* 1/8 *);
+  |]
+
+let build_packet ~payload_len =
+  let n = 5 + (payload_len / 4) in
+  let words = Array.make n 0 in
+  let total = 20 + payload_len in
+  words.(0) <- (4 lsl 28) lor (5 lsl 24) lor total;
+  words.(1) <- (0x1234 lsl 16) lor 0x4000;
+  words.(2) <- (64 lsl 24) lor (6 lsl 16) lor 0xB1C2;
+  words.(3) <- 0xC0A80001;
+  words.(4) <- dests.(payload_len / 4 mod Array.length dests);
+  let state = ref 0x17ACE5EED in
+  for i = 5 to n - 1 do
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFFFFF;
+    words.(i) <- !state land mask
+  done;
+  words
+
+(* Transform an SDRAM image in place; returns the result word. *)
+let reference_transform (sdram : int array) ~payload_len:_ =
+  let inw = in_base / 4 in
+  let h2 = sdram.(inw + 2) in
+  let d = sdram.(inw + 4) in
+  let ttl = (h2 lsr 24) land 0xFF in
+  let version_ihl = sdram.(inw) lsr 24 in
+  if version_ihl <> 0x45 then 0xE0000000 lor version_ihl
+  else if ttl < 2 then 0xD0000000 lor ttl
+  else begin
+    let result = reference_lookup d in
+    let w2 = (h2 - 0x01000000) land mask in
+    let ck = fold16 ((h2 land 0xFFFF) + 0x100) in
+    sdram.(inw + 2) <- (w2 land 0xFFFF0000) lor ck;
+    result
+  end
+
+let init_tables load_sram =
+  for n = 0 to !node_count - 1 do
+    for i = 0 to 255 do
+      let w = entries.(n).(i) in
+      if w <> 0 then load_sram ((trie_base / 4) + (n * 256) + i) w
+    done
+  done
+
+let init_payload load_sdram ~payload_len =
+  let words = build_packet ~payload_len in
+  Array.iteri (fun i v -> load_sdram ((in_base / 4) + i) v) words;
+  words
+
+let expected ~payload_len ~sdram_words =
+  let image = Array.make sdram_words 0 in
+  let packet = build_packet ~payload_len in
+  Array.blit packet 0 image (in_base / 4) (Array.length packet);
+  let ret = reference_transform image ~payload_len in
+  (image, ret)
+
+(* Whitelist regions for `novac lint` (see [Aes.lint_regions]). *)
+let lint_regions =
+  let open Analysis.Race in
+  [
+    region ~name:"lpm-trie" ~space:Ixp.Insn.Sram ~base:trie_base
+      ~words:(Lazy.force trie_words) Read_only;
+    region ~name:"lpm-nexthop" ~space:Ixp.Insn.Sram ~base:nh_addr ~words:2
+      Shared_write;
+  ]

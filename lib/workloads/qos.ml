@@ -1,0 +1,196 @@
+(* Token-bucket QoS shaper in Nova:
+     - per-flow state in SRAM, two words per flow: remaining tokens and
+       packed conform<<16|exceed counters; 64 flows selected by hashing
+       the 5-tuple (the hardware hash unit, as in NAT's table lookup);
+     - refill-then-spend: tokens grow by RATE per packet and saturate at
+       BURST; a conforming packet spends its length and is remarked to
+       the assured-forwarding DSCP, an exceeding packet keeps its tokens
+       and is remarked to best-effort;
+     - the ToS rewrite changes the header, so the header checksum is
+       recomputed and both words patched with aligned pair stores;
+     - flow state is read-modify-write shared across contexts: the race
+       lint whitelists it as a shared-write region. *)
+
+(* memory map *)
+let in_base = 0x100 (* SDRAM byte address of the packet *)
+let flow_base = 0x7000 (* SRAM byte address of the flow-state table *)
+let n_flows = 64
+let rate = 500 (* tokens (bytes) refilled per packet arrival *)
+let burst = 3000 (* bucket depth in bytes *)
+let tos_conform = 0x28 (* AF11 *)
+let tos_exceed = 0x08 (* best effort, CS1 *)
+
+let source =
+  Printf.sprintf
+    {|
+// Token-bucket shaper: hash to a flow, refill, spend, remark DSCP.
+
+layout ipv4_hdr = {
+  vi : overlay { whole : 8 | parts : { version : 4, ihl : 4 } },
+  tos : 8, total_length : 16,
+  ident : 16, flags_frag : 16,
+  ttl : 8, protocol : 8, hdr_csum : 16,
+  src : 32, dst : 32
+};
+
+const IN = %d;
+const FLOW = %d;
+const RATE = %d;
+const BURST = %d;
+const TOS_OK = %d;
+const TOS_HOT = %d;
+
+fun halves (w : word) : word { (w >> 16) + (w & 0xFFFF) }
+
+fun fold16 (x : word) : word {
+  let y = (x & 0xFFFF) + (x >> 16);
+  (y & 0xFFFF) + (y >> 16)
+}
+
+fun main () : word {
+  try {
+    let (h0, h1, h2, h3, h4, p0) = sdram(IN, 6);
+    let ip = unpack[ipv4_hdr]((h0, h1, h2, h3, h4));
+    if (ip.vi.whole != 0x45) { raise Punt [why = ip.vi.whole]; }
+    let flow = hash(ip.src ^ ip.dst ^ ip.protocol) & 0x3F;
+    let fa = FLOW + (flow << 3);
+    let tok0 = sram(fa, 1);
+    let st0 = sram(fa + 4, 1);
+    let len = ip.total_length;
+    // refill, saturating at the bucket depth
+    let t1 = tok0 + RATE;
+    let t2 = if (BURST <u t1) { BURST } else { t1 };
+    let ok = t2 >=u len;
+    let tokn = if (ok) { t2 - len } else { t2 };
+    let stn = if (ok) { st0 + 0x10000 } else { st0 + 1 };
+    let tos = if (ok) { TOS_OK } else { TOS_HOT };
+    let mark = if (ok) { 1 } else { 0 };
+    sram(fa) <- tokn;
+    sram(fa + 4) <- stn;
+    // remark the ToS byte and recompute the header checksum
+    let h0p = (h0 & 0xFF00FFFF) | (tos << 16);
+    let s = halves(h0p) + halves(h1) + halves(h2 & 0xFFFF0000)
+          + halves(h3) + halves(h4);
+    let ck = (~(fold16(s))) & 0xFFFF;
+    sdram(IN) <- (h0p, h1);
+    sdram(IN + 8) <- ((h2 & 0xFFFF0000) | ck, h3);
+    (flow << 24) | (mark << 16) | (tokn & 0xFFFF)
+  }
+  handle Punt [why : word] { 0xE0000000 | why }
+}
+|}
+    in_base flow_base rate burst tos_conform tos_exceed
+
+(* ------------------------------------------------------------------ *)
+(* Flow table, packet builder and reference                            *)
+(* ------------------------------------------------------------------ *)
+
+let mask = 0xFFFFFFFF
+
+let halves w = ((w lsr 16) land 0xFFFF) + (w land 0xFFFF)
+
+let fold16 x =
+  let y = (x land 0xFFFF) + (x lsr 16) in
+  ((y land 0xFFFF) + (y lsr 16)) land mask
+
+(* initial token fill: spread around the packet-size range so both the
+   conform and exceed paths are exercised from the first packet *)
+let initial_tokens flow = (flow * 137) + 256
+
+(* vary the flow with the packet size *)
+let endpoints =
+  [|
+    (0x0A010101, 0x0B020202);
+    (0x0A010102, 0x0B020203);
+    (0xC0A80001, 0x0A141E28);
+    (0x11223344, 0x55667788);
+    (0x0A0A0A0A, 0x0B0B0B0B);
+    (0xDE00AD00, 0xBE00EF00);
+    (0x01020304, 0x05060708);
+    (0xCAFE0001, 0xF00D0002);
+  |]
+
+let build_packet ~payload_len =
+  let n = 5 + (payload_len / 4) in
+  let words = Array.make n 0 in
+  let total = 20 + payload_len in
+  let src, dst = endpoints.(payload_len / 4 mod Array.length endpoints) in
+  words.(0) <- (4 lsl 28) lor (5 lsl 24) lor total;
+  words.(1) <- (0xAB40 lsl 16) lor 0x4000;
+  words.(2) <- (64 lsl 24) lor (17 lsl 16) lor 0x9E11;
+  words.(3) <- src;
+  words.(4) <- dst;
+  let state = ref 0x70CEB0C0 in
+  for i = 5 to n - 1 do
+    state := ((!state * 1103515245) + 12345) land 0x3FFFFFFFFFF;
+    words.(i) <- !state land mask
+  done;
+  words
+
+(* Transform an SDRAM image in place given the current flow table;
+   mirrors the Nova program and updates [flow_state] the same way the
+   program updates SRAM.  Returns the result word. *)
+let reference_transform_with (flow_state : int array) (sdram : int array)
+    ~payload_len:_ =
+  let inw = in_base / 4 in
+  let h0 = sdram.(inw) and h1 = sdram.(inw + 1) in
+  let h2 = sdram.(inw + 2) in
+  let h3 = sdram.(inw + 3) and h4 = sdram.(inw + 4) in
+  let version_ihl = h0 lsr 24 in
+  if version_ihl <> 0x45 then 0xE0000000 lor version_ihl
+  else begin
+    let proto = (h2 lsr 16) land 0xFF in
+    let flow = Ixp.Memory.hash (h3 lxor h4 lxor proto) land 0x3F in
+    let tok0 = flow_state.(2 * flow) in
+    let st0 = flow_state.((2 * flow) + 1) in
+    let len = h0 land 0xFFFF in
+    let t1 = tok0 + rate in
+    let t2 = if t1 > burst then burst else t1 in
+    let ok = t2 >= len in
+    let tokn = if ok then t2 - len else t2 in
+    let stn = (if ok then st0 + 0x10000 else st0 + 1) land mask in
+    let tos = if ok then tos_conform else tos_exceed in
+    let mark = if ok then 1 else 0 in
+    flow_state.(2 * flow) <- tokn;
+    flow_state.((2 * flow) + 1) <- stn;
+    let h0p = h0 land 0xFF00FFFF lor (tos lsl 16) in
+    let s =
+      halves h0p + halves h1
+      + halves (h2 land 0xFFFF0000)
+      + halves h3 + halves h4
+    in
+    let ck = lnot (fold16 s) land 0xFFFF in
+    sdram.(inw) <- h0p;
+    sdram.(inw + 2) <- (h2 land 0xFFFF0000) lor ck;
+    (flow lsl 24) lor (mark lsl 16) lor (tokn land 0xFFFF)
+  end
+
+let fresh_flow_state () =
+  Array.init (2 * n_flows) (fun i ->
+      if i mod 2 = 0 then initial_tokens (i / 2) else 0)
+
+let reference_transform sdram ~payload_len =
+  reference_transform_with (fresh_flow_state ()) sdram ~payload_len
+
+let init_tables load_sram =
+  Array.iteri (fun i v -> load_sram ((flow_base / 4) + i) v) (fresh_flow_state ())
+
+let init_payload load_sdram ~payload_len =
+  let words = build_packet ~payload_len in
+  Array.iteri (fun i v -> load_sdram ((in_base / 4) + i) v) words;
+  words
+
+let expected ~payload_len ~sdram_words =
+  let image = Array.make sdram_words 0 in
+  let packet = build_packet ~payload_len in
+  Array.blit packet 0 image (in_base / 4) (Array.length packet);
+  let ret = reference_transform image ~payload_len in
+  (image, ret)
+
+(* Whitelist regions for `novac lint` (see [Aes.lint_regions]). *)
+let lint_regions =
+  let open Analysis.Race in
+  [
+    region ~name:"qos-flow-state" ~space:Ixp.Insn.Sram ~base:flow_base
+      ~words:(2 * n_flows) Shared_write;
+  ]

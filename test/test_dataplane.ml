@@ -1,0 +1,428 @@
+(* Equivalence tests for the four dataplane workloads added with the
+   fuzzer PR: IPv4 LPM forwarding, the 5-tuple firewall, IPv4/UDP
+   checksum offload and the token-bucket QoS shaper.
+
+   Each workload is checked packet-for-packet against its OCaml
+   reference at two levels:
+     - front end: CPS term under [Cps.Interp] (fast, every payload size
+       variant, so every route / rule / flow path in the tables fires);
+     - compiled: baseline-allocated code on the chip-level simulator for
+       every workload, ILP-allocated for LPM (slow). *)
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let sdram_words = Ixp.Memory.default_config.Ixp.Memory.sdram_words
+
+(* run the front end under the CPS interpreter *)
+let run_front name source ~init =
+  let front = Regalloc.Driver.front_end ~file:(name ^ ".nova") source in
+  let st = Cps.Interp.create () in
+  init st;
+  let result =
+    Cps.Interp.run st Support.Ident.Map.empty front.Regalloc.Driver.f_term
+  in
+  (result, st)
+
+(* run a compiled program on the chip-level simulator *)
+let run_sim name source ~allocator ~init =
+  let options =
+    { Regalloc.Driver.default_options with allocator; node_limit = 200 }
+  in
+  let c = Regalloc.Driver.compile ~options ~file:(name ^ ".nova") source in
+  let sim = Ixp.Simulator.create c.Regalloc.Driver.physical in
+  let mem = Ixp.Simulator.shared_memory sim in
+  let sdram = Ixp.Simulator.sdram_of_thread sim ~thread:0 in
+  init ~mem ~sdram;
+  let cycles = Ixp.Simulator.run_single sim in
+  checkb "ran" true (cycles > 0);
+  (mem, sdram)
+
+let poke mem space w v = Ixp.Memory.poke mem space w v
+
+(* compare an SDRAM packet region against the reference image *)
+let check_packet_region what mem image ~in_base ~bytes =
+  for i = in_base / 4 to ((in_base + bytes) / 4) + 1 do
+    checki
+      (Printf.sprintf "%s sdram[%d]" what i)
+      image.(i)
+      (Ixp.Memory.peek mem Ixp.Insn.Sdram i)
+  done
+
+(* ---------------- LPM ---------------- *)
+
+let lpm_init ~sram ~sdram ~plen =
+  Workloads.Lpm.init_tables (fun w v -> poke sram Ixp.Insn.Sram w v);
+  ignore
+    (Workloads.Lpm.init_payload
+       (fun w v -> poke sdram Ixp.Insn.Sdram w v)
+       ~payload_len:plen)
+
+let test_lpm_front_end_matches_reference () =
+  (* every destination in [Lpm.dests] fires across these sizes *)
+  List.iter
+    (fun plen ->
+      let result, st =
+        run_front "lpm" Workloads.Lpm.source ~init:(fun st ->
+            let mem = Cps.Interp.memory st in
+            lpm_init ~sram:mem ~sdram:mem ~plen)
+      in
+      let image, ret = Workloads.Lpm.expected ~payload_len:plen ~sdram_words in
+      let mem = Cps.Interp.memory st in
+      check_packet_region
+        (Printf.sprintf "lpm/%d" plen)
+        mem image ~in_base:Workloads.Lpm.in_base ~bytes:(20 + plen);
+      checkb (Printf.sprintf "lpm/%d ret" plen) true (result = [ ret ]);
+      (* the program records the leaf and port in SRAM *)
+      checki "nh leaf" ret
+        (Ixp.Memory.peek mem Ixp.Insn.Sram (Workloads.Lpm.nh_addr / 4));
+      checki "nh port" ((ret lsr 16) land 0x7F)
+        (Ixp.Memory.peek mem Ixp.Insn.Sram ((Workloads.Lpm.nh_addr / 4) + 1)))
+    [ 4; 8; 12; 16; 20; 24; 28; 32 ]
+
+let test_lpm_punts () =
+  let plen = 16 in
+  let corrupt field st =
+    let mem = Cps.Interp.memory st in
+    lpm_init ~sram:mem ~sdram:mem ~plen;
+    let inw = Workloads.Lpm.in_base / 4 in
+    match field with
+    | `Version ->
+        let w0 = Ixp.Memory.peek mem Ixp.Insn.Sdram inw in
+        poke mem Ixp.Insn.Sdram inw ((w0 land 0x0FFFFFFF) lor (6 lsl 28))
+    | `Ttl ->
+        let w2 = Ixp.Memory.peek mem Ixp.Insn.Sdram (inw + 2) in
+        poke mem Ixp.Insn.Sdram (inw + 2) ((w2 land 0x00FFFFFF) lor (1 lsl 24))
+  in
+  let result, _ =
+    run_front "lpm" Workloads.Lpm.source ~init:(corrupt `Version)
+  in
+  checkb "bad version punts" true (result = [ 0xE0000000 lor 0x65 ]);
+  let result, _ = run_front "lpm" Workloads.Lpm.source ~init:(corrupt `Ttl) in
+  checkb "expiring ttl punts" true (result = [ 0xD0000000 lor 1 ])
+
+let test_lpm_reference_lookup () =
+  (* longest prefix wins among overlapping routes *)
+  let l = Workloads.Lpm.reference_lookup in
+  let leaf = Workloads.Lpm.leaf in
+  checki "/32 beats /24" (leaf ~port:4 ~nh:4) (l 0x0A141E28);
+  checki "/24 beats /16" (leaf ~port:3 ~nh:3) (l 0x0A141E01);
+  checki "/16 beats /8" (leaf ~port:2 ~nh:2) (l 0x0A140001);
+  checki "/8 fallback" (leaf ~port:1 ~nh:1) (l 0x0A990001);
+  checki "/12 aggregate" (leaf ~port:7 ~nh:7) (l 0xAC1F0001);
+  checki "/17 in range" (leaf ~port:11 ~nh:11) (l 0x42667FFF);
+  checki "/17 out of range" Workloads.Lpm.default_leaf (l 0x42668000);
+  checki "default" Workloads.Lpm.default_leaf (l 0x7F000001)
+
+(* ---------------- firewall ---------------- *)
+
+let fw_init ~sram ~sdram ~plen =
+  Workloads.Firewall.init_tables (fun w v -> poke sram Ixp.Insn.Sram w v);
+  ignore
+    (Workloads.Firewall.init_payload
+       (fun w v -> poke sdram Ixp.Insn.Sdram w v)
+       ~payload_len:plen)
+
+let test_firewall_front_end_matches_reference () =
+  List.iter
+    (fun plen ->
+      let result, st =
+        run_front "firewall" Workloads.Firewall.source ~init:(fun st ->
+            let mem = Cps.Interp.memory st in
+            fw_init ~sram:mem ~sdram:mem ~plen)
+      in
+      let image, ret =
+        Workloads.Firewall.expected ~payload_len:plen ~sdram_words
+      in
+      let mem = Cps.Interp.memory st in
+      (* the firewall does not modify the packet *)
+      check_packet_region
+        (Printf.sprintf "fw/%d" plen)
+        mem image ~in_base:Workloads.Firewall.in_base ~bytes:(20 + plen);
+      checkb (Printf.sprintf "fw/%d ret" plen) true (result = [ ret ]);
+      checki "verdict slot" ret
+        (Ixp.Memory.peek mem Ixp.Insn.Sram (Workloads.Firewall.verdict_addr / 4));
+      (* exactly one hit counter ticked *)
+      let inw = Workloads.Firewall.in_base / 4 in
+      let p0 = image.(inw + 5) in
+      let hit, _ =
+        Workloads.Firewall.reference_verdict ~src:image.(inw + 3)
+          ~dst:image.(inw + 4) ~sport:(p0 lsr 16) ~dport:(p0 land 0xFFFF)
+          ~proto:((image.(inw + 2) lsr 16) land 0xFF)
+      in
+      for k = 0 to Workloads.Firewall.n_rules do
+        checki
+          (Printf.sprintf "fw/%d hits[%d]" plen k)
+          (if k = hit then 1 else 0)
+          (Ixp.Memory.peek mem Ixp.Insn.Scratch
+             ((Workloads.Firewall.hits_base / 4) + k))
+      done)
+    [ 4; 8; 12; 16; 20; 24; 28; 32 ]
+
+let test_firewall_rules_hit_expected_actions () =
+  (* spot-check the reference matcher against hand-computed rules *)
+  let v ~src ~dst ~sport ~dport ~proto =
+    snd (Workloads.Firewall.reference_verdict ~src ~dst ~sport ~dport ~proto)
+  in
+  (* telnet deny: rule 0, action 2 *)
+  checki "telnet" 0x002 (v ~src:1 ~dst:2 ~sport:999 ~dport:23 ~proto:6);
+  (* dns accept: rule 1 *)
+  checki "dns" 0x101 (v ~src:1 ~dst:2 ~sport:999 ~dport:53 ~proto:17);
+  (* 192.168/16 source deny: rule 3 *)
+  checki "rfc1918" 0x302
+    (v ~src:0xC0A80101 ~dst:2 ~sport:9 ~dport:9 ~proto:17);
+  (* default *)
+  checki "default" Workloads.Firewall.default_verdict
+    (v ~src:0x20202020 ~dst:0x30303030 ~sport:1 ~dport:2 ~proto:17)
+
+let test_firewall_punts_bad_proto () =
+  let plen = 16 in
+  let result, _ =
+    run_front "firewall" Workloads.Firewall.source ~init:(fun st ->
+        let mem = Cps.Interp.memory st in
+        fw_init ~sram:mem ~sdram:mem ~plen;
+        let inw = Workloads.Firewall.in_base / 4 in
+        let w2 = Ixp.Memory.peek mem Ixp.Insn.Sdram (inw + 2) in
+        (* protocol := 47 (GRE): neither TCP nor UDP *)
+        poke mem Ixp.Insn.Sdram (inw + 2)
+          ((w2 land 0xFF00FFFF) lor (47 lsl 16)))
+  in
+  checkb "punted" true (result = [ 0xE0000000 lor 47 ])
+
+(* ---------------- checksum offload ---------------- *)
+
+let csum_init ~sdram ~plen =
+  ignore
+    (Workloads.Csum.init_payload
+       (fun w v -> poke sdram Ixp.Insn.Sdram w v)
+       ~payload_len:plen)
+
+let test_csum_front_end_matches_reference () =
+  List.iter
+    (fun plen ->
+      let result, st =
+        run_front "csum" Workloads.Csum.source ~init:(fun st ->
+            csum_init ~sdram:(Cps.Interp.memory st) ~plen)
+      in
+      let image, ret = Workloads.Csum.expected ~payload_len:plen ~sdram_words in
+      let mem = Cps.Interp.memory st in
+      check_packet_region
+        (Printf.sprintf "csum/%d" plen)
+        mem image ~in_base:Workloads.Csum.in_base ~bytes:(20 + plen);
+      checkb (Printf.sprintf "csum/%d ret" plen) true (result = [ ret ]);
+      checki "csum slot" ret
+        (Ixp.Memory.peek mem Ixp.Insn.Sram (Workloads.Csum.csum_addr / 4)))
+    [ 8; 16; 24; 32; 40; 48; 64 ]
+
+let test_csum_verifies () =
+  (* the patched packet must checksum to zero the way a receiver would:
+     sum of all 16-bit header words including the stored checksum folds
+     to 0xFFFF *)
+  let plen = 32 in
+  let image, _ = Workloads.Csum.expected ~payload_len:plen ~sdram_words in
+  let inw = Workloads.Csum.in_base / 4 in
+  let halves w = ((w lsr 16) land 0xFFFF) + (w land 0xFFFF) in
+  let fold x =
+    let y = (x land 0xFFFF) + (x lsr 16) in
+    (y land 0xFFFF) + (y lsr 16)
+  in
+  let ipsum = ref 0 in
+  for i = 0 to 4 do
+    ipsum := !ipsum + halves image.(inw + i)
+  done;
+  checki "ip checksum verifies" 0xFFFF (fold (fold !ipsum));
+  let udpsum =
+    ref
+      (halves image.(inw + 3) + halves image.(inw + 4) + 17
+     + (plen land 0xFFFF))
+  in
+  for i = 5 to 5 + (plen / 4) - 1 do
+    udpsum := !udpsum + halves image.(inw + i)
+  done;
+  checki "udp checksum verifies" 0xFFFF (fold (fold !udpsum))
+
+let test_csum_punts_ragged_length () =
+  let plen = 16 in
+  let result, _ =
+    run_front "csum" Workloads.Csum.source ~init:(fun st ->
+        let mem = Cps.Interp.memory st in
+        csum_init ~sdram:mem ~plen;
+        let inw = Workloads.Csum.in_base / 4 in
+        let w0 = Ixp.Memory.peek mem Ixp.Insn.Sdram inw in
+        (* total_length := 20 + plen + 4: ragged UDP payload *)
+        poke mem Ixp.Insn.Sdram inw ((w0 land 0xFFFF0000) lor (20 + plen + 4)))
+  in
+  checkb "punted" true (result = [ 0xD0000000 lor 12 ])
+
+(* ---------------- QoS shaper ---------------- *)
+
+let qos_init ~sram ~sdram ~plen =
+  Workloads.Qos.init_tables (fun w v -> poke sram Ixp.Insn.Sram w v);
+  ignore
+    (Workloads.Qos.init_payload
+       (fun w v -> poke sdram Ixp.Insn.Sdram w v)
+       ~payload_len:plen)
+
+let test_qos_front_end_matches_reference () =
+  List.iter
+    (fun plen ->
+      let result, st =
+        run_front "qos" Workloads.Qos.source ~init:(fun st ->
+            let mem = Cps.Interp.memory st in
+            qos_init ~sram:mem ~sdram:mem ~plen)
+      in
+      let flow_state = Workloads.Qos.fresh_flow_state () in
+      let image = Array.make sdram_words 0 in
+      let packet = Workloads.Qos.build_packet ~payload_len:plen in
+      Array.blit packet 0 image (Workloads.Qos.in_base / 4)
+        (Array.length packet);
+      let ret =
+        Workloads.Qos.reference_transform_with flow_state image
+          ~payload_len:plen
+      in
+      let mem = Cps.Interp.memory st in
+      check_packet_region
+        (Printf.sprintf "qos/%d" plen)
+        mem image ~in_base:Workloads.Qos.in_base ~bytes:(20 + plen);
+      checkb (Printf.sprintf "qos/%d ret" plen) true (result = [ ret ]);
+      (* the whole flow-state table matches the reference's *)
+      Array.iteri
+        (fun i v ->
+          checki
+            (Printf.sprintf "qos/%d flow[%d]" plen i)
+            v
+            (Ixp.Memory.peek mem Ixp.Insn.Sram
+               ((Workloads.Qos.flow_base / 4) + i)))
+        flow_state)
+    [ 4; 8; 12; 16; 20; 24; 28; 32; 1496 ]
+
+let test_qos_exceed_path () =
+  (* drain a flow's bucket: a 1496-byte packet against a nearly empty
+     bucket must take the exceed path and leave tokens unspent *)
+  let plen = 1496 in
+  let image = Array.make sdram_words 0 in
+  let packet = Workloads.Qos.build_packet ~payload_len:plen in
+  Array.blit packet 0 image (Workloads.Qos.in_base / 4) (Array.length packet);
+  let flow_state = Workloads.Qos.fresh_flow_state () in
+  (* force every flow to a nearly-empty bucket *)
+  Array.iteri
+    (fun i _ -> if i mod 2 = 0 then flow_state.(i) <- 10)
+    flow_state;
+  let ret =
+    Workloads.Qos.reference_transform_with flow_state image ~payload_len:plen
+  in
+  checki "exceed mark" 0 ((ret lsr 16) land 0xFF);
+  let flow = ret lsr 24 in
+  checki "tokens kept" 510 flow_state.(2 * flow);
+  checki "exceed counter" 1 flow_state.((2 * flow) + 1);
+  (* ToS remarked to best effort *)
+  let inw = Workloads.Qos.in_base / 4 in
+  checki "tos" Workloads.Qos.tos_exceed ((image.(inw) lsr 16) land 0xFF)
+
+(* ---------------- compiled-on-simulator equivalence ---------------- *)
+
+let compiled_case name source ~allocator ~plen ~init ~check =
+  let _mem, _sdram =
+    run_sim name source ~allocator ~init:(fun ~mem ~sdram ->
+        init ~mem ~sdram ~plen)
+  in
+  check ~mem:_mem ~sdram:_sdram ~plen
+
+module type WORKLOAD = sig
+  val in_base : int
+  val expected : payload_len:int -> sdram_words:int -> int array * int
+end
+
+let check_against_image (module W : WORKLOAD) name ~mem:_ ~sdram ~plen =
+  let image, _ret = W.expected ~payload_len:plen ~sdram_words in
+  check_packet_region name sdram image ~in_base:W.in_base ~bytes:(20 + plen)
+
+let test_compiled_baseline_all () =
+  let alloc = Regalloc.Driver.Baseline_allocator in
+  compiled_case "lpm" Workloads.Lpm.source ~allocator:alloc ~plen:16
+    ~init:(fun ~mem ~sdram ~plen -> lpm_init ~sram:mem ~sdram ~plen)
+    ~check:(fun ~mem ~sdram ~plen ->
+      check_against_image (module Workloads.Lpm) "lpm-base" ~mem ~sdram ~plen;
+      let _, ret = Workloads.Lpm.expected ~payload_len:plen ~sdram_words in
+      checki "lpm nh" ret
+        (Ixp.Memory.peek mem Ixp.Insn.Sram (Workloads.Lpm.nh_addr / 4)));
+  compiled_case "firewall" Workloads.Firewall.source ~allocator:alloc ~plen:16
+    ~init:(fun ~mem ~sdram ~plen -> fw_init ~sram:mem ~sdram ~plen)
+    ~check:(fun ~mem ~sdram ~plen ->
+      check_against_image
+        (module Workloads.Firewall)
+        "fw-base" ~mem ~sdram ~plen;
+      let _, ret = Workloads.Firewall.expected ~payload_len:plen ~sdram_words in
+      checki "fw verdict" ret
+        (Ixp.Memory.peek mem Ixp.Insn.Sram (Workloads.Firewall.verdict_addr / 4)));
+  compiled_case "csum" Workloads.Csum.source ~allocator:alloc ~plen:24
+    ~init:(fun ~mem:_ ~sdram ~plen -> csum_init ~sdram ~plen)
+    ~check:(fun ~mem ~sdram ~plen ->
+      check_against_image (module Workloads.Csum) "csum-base" ~mem ~sdram ~plen;
+      let _, ret = Workloads.Csum.expected ~payload_len:plen ~sdram_words in
+      checki "csum out" ret
+        (Ixp.Memory.peek mem Ixp.Insn.Sram (Workloads.Csum.csum_addr / 4)));
+  compiled_case "qos" Workloads.Qos.source ~allocator:alloc ~plen:16
+    ~init:(fun ~mem ~sdram ~plen -> qos_init ~sram:mem ~sdram ~plen)
+    ~check:(fun ~mem ~sdram ~plen ->
+      check_against_image (module Workloads.Qos) "qos-base" ~mem ~sdram ~plen;
+      let flow_state = Workloads.Qos.fresh_flow_state () in
+      let image = Array.make sdram_words 0 in
+      let packet = Workloads.Qos.build_packet ~payload_len:plen in
+      Array.blit packet 0 image (Workloads.Qos.in_base / 4)
+        (Array.length packet);
+      ignore
+        (Workloads.Qos.reference_transform_with flow_state image
+           ~payload_len:plen);
+      Array.iteri
+        (fun i v ->
+          checki
+            (Printf.sprintf "qos flow[%d]" i)
+            v
+            (Ixp.Memory.peek mem Ixp.Insn.Sram
+               ((Workloads.Qos.flow_base / 4) + i)))
+        flow_state)
+
+let test_lpm_ilp_compiled_end_to_end () =
+  compiled_case "lpm" Workloads.Lpm.source
+    ~allocator:Regalloc.Driver.Ilp_allocator ~plen:20
+    ~init:(fun ~mem ~sdram ~plen -> lpm_init ~sram:mem ~sdram ~plen)
+    ~check:(fun ~mem ~sdram ~plen ->
+      check_against_image (module Workloads.Lpm) "lpm-ilp" ~mem ~sdram ~plen;
+      let _, ret = Workloads.Lpm.expected ~payload_len:plen ~sdram_words in
+      checki "lpm nh" ret
+        (Ixp.Memory.peek mem Ixp.Insn.Sram (Workloads.Lpm.nh_addr / 4)))
+
+let suites =
+  [
+    ( "dataplane.front_end",
+      [
+        Alcotest.test_case "LPM matches reference" `Quick
+          test_lpm_front_end_matches_reference;
+        Alcotest.test_case "LPM punts" `Quick test_lpm_punts;
+        Alcotest.test_case "LPM reference lookup" `Quick
+          test_lpm_reference_lookup;
+        Alcotest.test_case "firewall matches reference" `Quick
+          test_firewall_front_end_matches_reference;
+        Alcotest.test_case "firewall rule actions" `Quick
+          test_firewall_rules_hit_expected_actions;
+        Alcotest.test_case "firewall punts bad proto" `Quick
+          test_firewall_punts_bad_proto;
+        Alcotest.test_case "csum matches reference" `Quick
+          test_csum_front_end_matches_reference;
+        Alcotest.test_case "csum verifies end-to-end" `Quick
+          test_csum_verifies;
+        Alcotest.test_case "csum punts ragged length" `Quick
+          test_csum_punts_ragged_length;
+        Alcotest.test_case "qos matches reference" `Quick
+          test_qos_front_end_matches_reference;
+        Alcotest.test_case "qos exceed path" `Quick test_qos_exceed_path;
+      ] );
+    ( "dataplane.compiled",
+      [
+        Alcotest.test_case "baseline-compiled all four" `Quick
+          test_compiled_baseline_all;
+        Alcotest.test_case "LPM ILP-compiled end-to-end" `Slow
+          test_lpm_ilp_compiled_end_to_end;
+      ] );
+  ]

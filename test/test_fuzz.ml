@@ -1,0 +1,170 @@
+(* Tests for the typed Nova fuzzer: generator well-typedness, shrinker
+   type preservation, the differential oracle on fresh programs, and
+   replay of the checked-in counterexample corpus.
+
+   The corpus files under test/corpus/ are shrunk counterexamples from
+   historical bugs (pretty-printer statement/expression ambiguities,
+   baseline join-point bank reconciliation, ...); each must pass the
+   full oracle stack now, pinning those fixes as tier-1 regressions. *)
+
+let typechecks p =
+  try
+    ignore (Nova.Typecheck.check_program ~entry:"main" p);
+    true
+  with Support.Diag.Compile_error _ -> false
+
+let arb max_size =
+  QCheck.make
+    ~print:(fun p -> Nova.Pp.program_to_string p)
+    ~shrink:Fuzz.Shrink.qcheck_iter
+    (fun st -> Fuzz.Gen.program ~max_size st)
+
+(* every generated program typechecks and survives print -> re-parse *)
+let test_generator_well_typed =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:60 ~name:"generated programs roundtrip"
+       (arb 18)
+       (fun p ->
+         let src = Nova.Pp.program_to_string p in
+         match Fuzz.Oracle.reparse ~file:"<gen>" src with
+         | Ok _ -> true
+         | Error f ->
+             QCheck.Test.fail_reportf "stage %s: %s\n%s" f.Fuzz.Oracle.stage
+               f.Fuzz.Oracle.detail src))
+
+(* shrink candidates of a well-typed program stay well-typed *)
+let test_shrink_preserves_types () =
+  for seed = 0 to 14 do
+    let rng = Random.State.make [| seed; 77 |] in
+    let p = Fuzz.Gen.program ~max_size:12 rng in
+    Alcotest.(check bool)
+      (Printf.sprintf "seed %d generates well-typed" seed)
+      true (typechecks p);
+    List.iteri
+      (fun i c ->
+        if not (typechecks c) then
+          Alcotest.failf "seed %d candidate %d is ill-typed:\n%s" seed i
+            (Nova.Pp.program_to_string c))
+      (Fuzz.Shrink.candidates p)
+  done
+
+(* the shrinker makes progress: programs get structurally smaller *)
+let rec expr_size (e : Nova.Ast.expr) =
+  1
+  +
+  match e with
+  | Nova.Ast.Binop (_, a, b, _)
+  | Nova.Ast.Seq (a, b, _)
+  | Nova.Ast.While (a, b, _)
+  | Nova.Ast.MemWrite (_, a, b, _) ->
+      expr_size a + expr_size b
+  | Nova.Ast.Unop (_, a, _)
+  | Nova.Ast.Hash (a, _)
+  | Nova.Ast.MemRead (_, a, _, _)
+  | Nova.Ast.Assign (_, a, _) ->
+      expr_size a
+  | Nova.Ast.If (c, t, e1, _) -> expr_size c + expr_size t + expr_size e1
+  | Nova.Ast.Let (_, _, r, b, _) | Nova.Ast.Vardecl (_, _, r, b, _) ->
+      expr_size r + expr_size b
+  | Nova.Ast.Tuple (es, _) -> List.fold_left (fun a e -> a + expr_size e) 0 es
+  | Nova.Ast.Try (b, hs, _) ->
+      expr_size b
+      + List.fold_left (fun a h -> a + expr_size h.Nova.Ast.hbody) 0 hs
+  | Nova.Ast.Call (_, args, _) | Nova.Ast.Raise (_, args, _) ->
+      List.fold_left
+        (fun a -> function
+          | Nova.Ast.Apos e | Nova.Ast.Anamed (_, e) -> a + expr_size e)
+        0 args
+  | _ -> 0
+
+let program_size (p : Nova.Ast.program) =
+  List.fold_left
+    (fun a -> function
+      | Nova.Ast.Dfun fd -> a + expr_size fd.Nova.Ast.fn_body
+      | _ -> a + 1)
+    0 p.Nova.Ast.decls
+
+let test_minimize_shrinks () =
+  let rng = Random.State.make [| 3; 99 |] in
+  let p = Fuzz.Gen.program ~max_size:16 rng in
+  (* minimize against "still well-typed": must reach a small fixpoint
+     without ever leaving the well-typed fragment *)
+  let m = Fuzz.Shrink.minimize ~budget:2000 ~failing:typechecks p in
+  Alcotest.(check bool)
+    "minimized no larger" true
+    (program_size m <= program_size p);
+  Alcotest.(check bool) "minimized well-typed" true (typechecks m)
+
+(* cheap oracle stages over a batch of fresh programs *)
+let test_oracle_front_end () =
+  for index = 0 to 11 do
+    let p = Fuzz.Campaign.generate ~seed:7 ~index ~max_size:16 in
+    match Fuzz.Oracle.check ~ilp:false p with
+    | Ok () -> ()
+    | Error f ->
+        Alcotest.failf "seed 7/%d failed stage %s: %s\n%s" index
+          f.Fuzz.Oracle.stage f.Fuzz.Oracle.detail
+          (Nova.Pp.program_to_string p)
+  done
+
+(* full stack (ILP + warm/cold) on a handful of programs *)
+let test_oracle_full_stack () =
+  for index = 0 to 3 do
+    Regalloc.Driver.clear_memos ();
+    let p = Fuzz.Campaign.generate ~seed:11 ~index ~max_size:10 in
+    match Fuzz.Oracle.check ~node_limit:200 p with
+    | Ok () -> ()
+    | Error f ->
+        Alcotest.failf "seed 11/%d failed stage %s: %s\n%s" index
+          f.Fuzz.Oracle.stage f.Fuzz.Oracle.detail
+          (Nova.Pp.program_to_string p)
+  done
+
+(* ---------------- corpus replay ---------------- *)
+
+let corpus_dir = "corpus"
+
+let corpus_files () =
+  Sys.readdir corpus_dir |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".nova")
+  |> List.sort compare
+  |> List.map (Filename.concat corpus_dir)
+
+let test_corpus_present () =
+  let n = List.length (corpus_files ()) in
+  Alcotest.(check bool)
+    (Printf.sprintf "at least 5 corpus files (found %d)" n)
+    true (n >= 5)
+
+let test_corpus_replays () =
+  List.iter
+    (fun path ->
+      match Fuzz.Campaign.replay_file ~node_limit:200 path with
+      | Ok () -> ()
+      | Error f ->
+          Alcotest.failf "%s failed stage %s: %s" path f.Fuzz.Oracle.stage
+            f.Fuzz.Oracle.detail)
+    (corpus_files ())
+
+let suites =
+  [
+    ( "fuzz.gen",
+      [
+        test_generator_well_typed;
+        Alcotest.test_case "shrink preserves types" `Quick
+          test_shrink_preserves_types;
+        Alcotest.test_case "minimize shrinks" `Quick test_minimize_shrinks;
+      ] );
+    ( "fuzz.oracle",
+      [
+        Alcotest.test_case "front-end differential" `Quick
+          test_oracle_front_end;
+        Alcotest.test_case "full stack differential" `Slow
+          test_oracle_full_stack;
+      ] );
+    ( "fuzz.corpus",
+      [
+        Alcotest.test_case "corpus present" `Quick test_corpus_present;
+        Alcotest.test_case "corpus replays clean" `Quick test_corpus_replays;
+      ] );
+  ]

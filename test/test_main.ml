@@ -5,4 +5,5 @@ let () =
    @ Test_verify.suites @ Test_workloads.suites @ Test_emit.suites
    @ Test_paper.suites @ Test_random.suites @ Test_chip.suites
    @ Test_misc.suites @ Test_analysis.suites @ Test_cluster.suites
-   @ Test_cache.suites)
+   @ Test_cache.suites @ Test_pp.suites @ Test_dataplane.suites
+   @ Test_fuzz.suites)

@@ -1,0 +1,109 @@
+(* Round-trip tests for the Nova pretty-printer: parse -> print -> re-parse
+   must reproduce the AST modulo source locations, and the re-parsed program
+   must still typecheck.  Exercised over every workload source and the
+   examples, i.e. every nontrivial Nova program in the tree. *)
+
+let roundtrip ~name source =
+  let p1 = Nova.Parser.parse_string ~file:name source in
+  let printed = Nova.Pp.program_to_string p1 in
+  let p2 =
+    try Nova.Parser.parse_string ~file:(name ^ "<printed>") printed
+    with Support.Diag.Compile_error d ->
+      Alcotest.failf "printed %s does not re-parse: %s\n%s" name
+        (Support.Diag.to_string d) printed
+  in
+  if not (Nova.Pp.equal_program p1 p2) then
+    Alcotest.failf "round-trip mismatch for %s\n--- printed ---\n%s" name
+      printed;
+  (* printed output must still typecheck *)
+  try ignore (Nova.Typecheck.check_program ~entry:"main" p2)
+  with Support.Diag.Compile_error d ->
+    Alcotest.failf "printed %s does not typecheck: %s\n%s" name
+      (Support.Diag.to_string d) printed
+
+let workload_sources () =
+  [
+    ("aes", Workloads.Aes.source);
+    ("kasumi", Workloads.Kasumi.source);
+    ("nat", Workloads.Nat.source);
+    ("lpm", Workloads.Lpm.source);
+    ("firewall", Workloads.Firewall.source);
+    ("csum", Workloads.Csum.source);
+    ("qos", Workloads.Qos.source);
+  ]
+
+let test_roundtrip_workloads () =
+  List.iter (fun (name, src) -> roundtrip ~name src) (workload_sources ())
+
+let test_roundtrip_idempotent () =
+  (* printing is a fixpoint: print (parse (print p)) = print p *)
+  List.iter
+    (fun (name, src) ->
+      let p1 = Nova.Parser.parse_string ~file:name src in
+      let s1 = Nova.Pp.program_to_string p1 in
+      let p2 = Nova.Parser.parse_string ~file:name s1 in
+      let s2 = Nova.Pp.program_to_string p2 in
+      Alcotest.(check string) (name ^ " print idempotent") s1 s2)
+    (workload_sources ())
+
+let test_roundtrip_constructs () =
+  (* one source exercising every corner of the grammar the workloads miss *)
+  let src =
+    {|
+layout hdr = {a : 8, b : 8, rest : overlay {x : 16 | y : {hi : 8, lo : 8}}, c : 32};
+layout two = hdr ## {16};
+
+const BASE = 0x100 + 2 * 3;
+
+fun helper (x : word, y) : word {
+  let t = (x, y, 1);
+  let (p, q, r) = t;
+  p + q * r - -y + ~x & 0xff | 1 ^ 2
+}
+
+fun named_params [a, b : word] : word {
+  a - b
+}
+
+fun main () : word {
+  var i : word = 0;
+  var acc = 0;
+  while (i <u 4) {
+    acc := acc + sram(BASE + (i << 2), 1);
+    i := i + 1;
+  };
+  let h = unpack[hdr](sram(0x10, 2));
+  let packed_h = pack[hdr] [a = h.a, b = h.b, rest = [x = h.rest.x], c = h.c];
+  let (w0, w1) = packed_h;
+  sram(0x20) <- w0;
+  scratch(0x30) <- w1;
+  sdram(0x40) <- (1, 2);
+  let r = [lo = 1, hi = 2];
+  let v = if (h.a == 0 || acc >=u 10) { r.lo } else { r.hi };
+  let s = helper(v, named_params[a = 2, b = 1]);
+  let hashed = hash(s ^ h.rest.x);
+  try {
+    if (hashed >= 0x80) {
+      raise Overflow [code = hashed, extra = 1];
+    }
+    ()
+  } handle Overflow [code, extra : word] {
+    sram(0x24) <- code + extra;
+  }
+  acc + s
+}
+|}
+  in
+  roundtrip ~name:"constructs" src
+
+let suites =
+  [
+    ( "pp",
+      [
+        Alcotest.test_case "roundtrip workloads" `Quick
+          test_roundtrip_workloads;
+        Alcotest.test_case "print idempotent" `Quick test_roundtrip_idempotent;
+        Alcotest.test_case "roundtrip constructs" `Quick
+          test_roundtrip_constructs;
+      ] );
+  ]
